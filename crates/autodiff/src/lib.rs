@@ -1,0 +1,47 @@
+//! `inbox-autodiff` — a minimal, dependency-light tensor + reverse-mode
+//! autodiff engine built as the training substrate for the InBox
+//! reproduction (VLDB 2024).
+//!
+//! The paper trains InBox in PyTorch on a GPU; this crate replaces that stack
+//! with a from-scratch CPU implementation providing exactly the operations
+//! the model needs:
+//!
+//! * [`Tensor`] — dense row-major 2-D `f32` matrices,
+//! * [`Tape`] / [`Var`] — recorded computation graphs with reverse-mode
+//!   differentiation (`Tape::backward`),
+//! * [`ParamStore`] / [`GradStore`] — named parameters with dense *and*
+//!   sparse (embedding-row) gradients, mergeable across worker threads,
+//! * [`Adam`] — the optimiser used in the paper, with lazy per-row moment
+//!   updates so large embedding tables stay cheap to train.
+//!
+//! # Example
+//!
+//! ```
+//! use inbox_autodiff::{Adam, ParamStore, Tape, Tensor};
+//!
+//! let mut store = ParamStore::new();
+//! let w = store.add("w", Tensor::scalar(0.0));
+//! let adam = Adam::with_lr(0.05);
+//! // Minimise (w - 3)^2.
+//! for _ in 0..300 {
+//!     let mut tape = Tape::new();
+//!     let wv = tape.param(&store, w);
+//!     let c = tape.constant(Tensor::scalar(3.0));
+//!     let d = tape.sub(wv, c);
+//!     let sq = tape.square(d);
+//!     let loss = tape.sum_all(sq);
+//!     let grads = tape.backward(loss);
+//!     adam.step(&mut store, &grads);
+//! }
+//! assert!((store.value(w).item() - 3.0).abs() < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+
+mod params;
+mod tape;
+mod tensor;
+
+pub use params::{Adam, GradStore, ParamId, ParamStore, Sgd};
+pub use tape::{log_sigmoid_f, sigmoid_f, Tape, Var};
+pub use tensor::Tensor;

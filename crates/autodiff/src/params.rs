@@ -1,0 +1,520 @@
+//! Parameter storage, gradient accumulation, and the Adam optimiser.
+//!
+//! Two kinds of parameters exist in the InBox training loops:
+//!
+//! * **dense** parameters (MLP weight matrices, bias rows) whose gradient is a
+//!   full tensor every step, and
+//! * **embedding tables** (item points, tag/relation box centers and offsets)
+//!   from which a step touches only a handful of rows.
+//!
+//! Both are stored in a [`ParamStore`]; a backward pass produces a
+//! [`GradStore`] that keeps dense grads as tensors and embedding grads as
+//! sparse row maps, and [`Adam`] applies *lazy* per-row moment updates so an
+//! embedding row's optimiser state is only touched when the row has a
+//! gradient.
+
+use std::collections::HashMap;
+
+use crate::tensor::Tensor;
+
+/// Identifier of a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(pub(crate) u32);
+
+impl ParamId {
+    /// Raw index of the parameter.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+struct ParamSlot {
+    name: String,
+    value: Tensor,
+    /// First Adam moment, lazily allocated on first update.
+    m: Option<Tensor>,
+    /// Second Adam moment, lazily allocated on first update.
+    v: Option<Tensor>,
+    /// Per-row update counter for bias correction (lazy/sparse Adam).
+    steps: Vec<u64>,
+}
+
+/// Named collection of trainable parameters with Adam state.
+#[derive(Default)]
+pub struct ParamStore {
+    slots: Vec<ParamSlot>,
+    by_name: HashMap<String, ParamId>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter under `name`. Panics if the name is taken.
+    pub fn add(&mut self, name: &str, value: Tensor) -> ParamId {
+        assert!(
+            !self.by_name.contains_key(name),
+            "duplicate parameter name {name:?}"
+        );
+        let id = ParamId(self.slots.len() as u32);
+        let rows = value.rows();
+        self.slots.push(ParamSlot {
+            name: name.to_string(),
+            value,
+            m: None,
+            v: None,
+            steps: vec![0; rows],
+        });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks a parameter up by name.
+    pub fn id(&self, name: &str) -> Option<ParamId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.slots[id.index()].value
+    }
+
+    /// Mutable access to a parameter value (e.g. for manual re-initialisation).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.slots[id.index()].value
+    }
+
+    /// The registered name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.slots[id.index()].name
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Iterator over `(id, name, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (ParamId(i as u32), s.name.as_str(), &s.value))
+    }
+
+    /// Total number of scalar parameters across all tensors.
+    pub fn num_scalars(&self) -> usize {
+        self.slots.iter().map(|s| s.value.len()).sum()
+    }
+
+    /// Exports all parameter values by name (optimiser state is not
+    /// exported; a reloaded model is ready for inference or fresh training).
+    pub fn export_values(&self) -> Vec<(String, Tensor)> {
+        self.slots
+            .iter()
+            .map(|s| (s.name.clone(), s.value.clone()))
+            .collect()
+    }
+
+    /// Imports values by name. Every imported name must already be
+    /// registered with a matching shape; unknown names or shape mismatches
+    /// are reported as errors. Names absent from `values` keep their current
+    /// values.
+    pub fn import_values(&mut self, values: &[(String, Tensor)]) -> Result<(), String> {
+        for (name, value) in values {
+            let id = self
+                .id(name)
+                .ok_or_else(|| format!("unknown parameter {name:?}"))?;
+            let slot = &mut self.slots[id.index()];
+            if slot.value.shape() != value.shape() {
+                return Err(format!(
+                    "shape mismatch for {name:?}: stored {:?}, imported {:?}",
+                    slot.value.shape(),
+                    value.shape()
+                ));
+            }
+            slot.value = value.clone();
+        }
+        Ok(())
+    }
+}
+
+/// Gradients produced by one (or several merged) backward passes.
+#[derive(Default)]
+pub struct GradStore {
+    dense: HashMap<ParamId, Tensor>,
+    sparse: HashMap<ParamId, HashMap<u32, Vec<f32>>>,
+}
+
+impl GradStore {
+    /// An empty gradient store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates a dense gradient for `id`.
+    pub fn add_dense(&mut self, id: ParamId, grad: &Tensor) {
+        match self.dense.get_mut(&id) {
+            Some(t) => t.axpy(1.0, grad),
+            None => {
+                self.dense.insert(id, grad.clone());
+            }
+        }
+    }
+
+    /// Accumulates a gradient for a single row of an embedding parameter.
+    pub fn add_row(&mut self, id: ParamId, row: u32, grad: &[f32]) {
+        let entry = self.sparse.entry(id).or_default();
+        match entry.get_mut(&row) {
+            Some(acc) => {
+                for (a, &g) in acc.iter_mut().zip(grad) {
+                    *a += g;
+                }
+            }
+            None => {
+                entry.insert(row, grad.to_vec());
+            }
+        }
+    }
+
+    /// Dense gradient for `id`, if any.
+    pub fn dense(&self, id: ParamId) -> Option<&Tensor> {
+        self.dense.get(&id)
+    }
+
+    /// Sparse row gradients for `id`, if any.
+    pub fn sparse(&self, id: ParamId) -> Option<&HashMap<u32, Vec<f32>>> {
+        self.sparse.get(&id)
+    }
+
+    /// True when no gradients were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.dense.is_empty() && self.sparse.is_empty()
+    }
+
+    /// Merges another gradient store into this one (used to combine
+    /// per-thread partial gradients).
+    pub fn merge(&mut self, other: GradStore) {
+        for (id, g) in other.dense {
+            match self.dense.get_mut(&id) {
+                Some(t) => t.axpy(1.0, &g),
+                None => {
+                    self.dense.insert(id, g);
+                }
+            }
+        }
+        for (id, rows) in other.sparse {
+            let entry = self.sparse.entry(id).or_default();
+            for (r, g) in rows {
+                match entry.get_mut(&r) {
+                    Some(acc) => {
+                        for (a, &v) in acc.iter_mut().zip(&g) {
+                            *a += v;
+                        }
+                    }
+                    None => {
+                        entry.insert(r, g);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Multiplies every stored gradient by `scale` (e.g. `1/batch`).
+    pub fn scale(&mut self, scale: f32) {
+        for g in self.dense.values_mut() {
+            for v in g.data_mut() {
+                *v *= scale;
+            }
+        }
+        for rows in self.sparse.values_mut() {
+            for g in rows.values_mut() {
+                for v in g {
+                    *v *= scale;
+                }
+            }
+        }
+    }
+
+    /// Largest absolute gradient component across all parameters.
+    pub fn max_abs(&self) -> f32 {
+        let mut m = 0.0f32;
+        for g in self.dense.values() {
+            m = m.max(g.max_abs());
+        }
+        for rows in self.sparse.values() {
+            for g in rows.values() {
+                for v in g {
+                    m = m.max(v.abs());
+                }
+            }
+        }
+        m
+    }
+}
+
+/// Adam optimiser (Kingma & Ba) with lazy sparse row updates.
+///
+/// The paper trains InBox with Adam at learning rate `1e-4` with step decay;
+/// the learning rate here is mutable so trainers can implement that schedule.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate (`alpha`).
+    pub lr: f32,
+    /// First-moment decay (`beta_1`).
+    pub beta1: f32,
+    /// Second-moment decay (`beta_2`).
+    pub beta2: f32,
+    /// Numerical-stability constant.
+    pub eps: f32,
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Self {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+impl Adam {
+    /// Creates an Adam optimiser with the given learning rate and default betas.
+    pub fn with_lr(lr: f32) -> Self {
+        Self {
+            lr,
+            ..Self::default()
+        }
+    }
+
+    /// Applies `grads` to `store`.
+    ///
+    /// Dense parameters get a full-tensor update; embedding parameters are
+    /// updated row-by-row with per-row bias correction, so untouched rows keep
+    /// their moments untouched (lazy Adam).
+    pub fn step(&self, store: &mut ParamStore, grads: &GradStore) {
+        for (idx, slot) in store.slots.iter_mut().enumerate() {
+            let id = ParamId(idx as u32);
+            let (rows, cols) = slot.value.shape();
+            if let Some(g) = grads.dense(id) {
+                assert_eq!(g.shape(), slot.value.shape(), "dense grad shape mismatch");
+                let m = slot.m.get_or_insert_with(|| Tensor::zeros(rows, cols));
+                let v = slot.v.get_or_insert_with(|| Tensor::zeros(rows, cols));
+                for r in 0..rows {
+                    slot.steps[r] += 1;
+                    let t = slot.steps[r];
+                    adam_row(
+                        self,
+                        t,
+                        slot.value.row_slice_mut(r),
+                        m.row_slice_mut(r),
+                        v.row_slice_mut(r),
+                        g.row_slice(r),
+                    );
+                }
+            }
+            if let Some(rows_map) = grads.sparse(id) {
+                let m = slot.m.get_or_insert_with(|| Tensor::zeros(rows, cols));
+                let v = slot.v.get_or_insert_with(|| Tensor::zeros(rows, cols));
+                for (&r, g) in rows_map {
+                    let r = r as usize;
+                    assert!(r < rows, "sparse grad row {r} out of bounds for {rows}");
+                    assert_eq!(g.len(), cols, "sparse grad row width mismatch");
+                    slot.steps[r] += 1;
+                    let t = slot.steps[r];
+                    adam_row(
+                        self,
+                        t,
+                        slot.value.row_slice_mut(r),
+                        m.row_slice_mut(r),
+                        v.row_slice_mut(r),
+                        g,
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn adam_row(cfg: &Adam, t: u64, w: &mut [f32], m: &mut [f32], v: &mut [f32], g: &[f32]) {
+    let bc1 = 1.0 - cfg.beta1.powi(t as i32);
+    let bc2 = 1.0 - cfg.beta2.powi(t as i32);
+    for i in 0..w.len() {
+        m[i] = cfg.beta1 * m[i] + (1.0 - cfg.beta1) * g[i];
+        v[i] = cfg.beta2 * v[i] + (1.0 - cfg.beta2) * g[i] * g[i];
+        let m_hat = m[i] / bc1;
+        let v_hat = v[i] / bc2;
+        w[i] -= cfg.lr * m_hat / (v_hat.sqrt() + cfg.eps);
+    }
+}
+
+/// Plain SGD, mostly useful in tests to check gradient directions.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Applies a plain gradient-descent step.
+    pub fn step(&self, store: &mut ParamStore, grads: &GradStore) {
+        for (idx, slot) in store.slots.iter_mut().enumerate() {
+            let id = ParamId(idx as u32);
+            if let Some(g) = grads.dense(id) {
+                slot.value.axpy(-self.lr, g);
+            }
+            if let Some(rows_map) = grads.sparse(id) {
+                for (&r, g) in rows_map {
+                    let row = slot.value.row_slice_mut(r as usize);
+                    for (w, &gv) in row.iter_mut().zip(g) {
+                        *w -= self.lr * gv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_registration_and_lookup() {
+        let mut store = ParamStore::new();
+        let a = store.add("emb", Tensor::zeros(4, 2));
+        let b = store.add("w", Tensor::ones(2, 2));
+        assert_eq!(store.id("emb"), Some(a));
+        assert_eq!(store.id("w"), Some(b));
+        assert_eq!(store.id("missing"), None);
+        assert_eq!(store.name(a), "emb");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.num_scalars(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_name_panics() {
+        let mut store = ParamStore::new();
+        store.add("x", Tensor::zeros(1, 1));
+        store.add("x", Tensor::zeros(1, 1));
+    }
+
+    #[test]
+    fn gradstore_accumulates_dense_and_sparse() {
+        let mut g = GradStore::new();
+        let id = ParamId(0);
+        g.add_dense(id, &Tensor::ones(1, 2));
+        g.add_dense(id, &Tensor::ones(1, 2));
+        assert_eq!(g.dense(id).unwrap().data(), &[2.0, 2.0]);
+
+        g.add_row(id, 3, &[1.0, 0.0]);
+        g.add_row(id, 3, &[0.5, 1.0]);
+        let rows = g.sparse(id).unwrap();
+        assert_eq!(rows[&3], vec![1.5, 1.0]);
+        assert_eq!(g.max_abs(), 2.0);
+    }
+
+    #[test]
+    fn gradstore_merge_and_scale() {
+        let id = ParamId(1);
+        let mut a = GradStore::new();
+        a.add_dense(id, &Tensor::ones(1, 2));
+        a.add_row(id, 0, &[1.0, 2.0]);
+        let mut b = GradStore::new();
+        b.add_dense(id, &Tensor::ones(1, 2));
+        b.add_row(id, 0, &[3.0, 4.0]);
+        b.add_row(id, 1, &[5.0, 6.0]);
+        a.merge(b);
+        a.scale(0.5);
+        assert_eq!(a.dense(id).unwrap().data(), &[1.0, 1.0]);
+        assert_eq!(a.sparse(id).unwrap()[&0], vec![2.0, 3.0]);
+        assert_eq!(a.sparse(id).unwrap()[&1], vec![2.5, 3.0]);
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let mut a = ParamStore::new();
+        a.add("x", Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        a.add("y", Tensor::zeros(2, 2));
+        let exported = a.export_values();
+        let mut b = ParamStore::new();
+        b.add("x", Tensor::zeros(1, 2));
+        b.add("y", Tensor::ones(2, 2));
+        b.import_values(&exported).unwrap();
+        assert_eq!(b.value(b.id("x").unwrap()).data(), &[1.0, 2.0]);
+        assert_eq!(b.value(b.id("y").unwrap()).data(), &[0.0; 4]);
+        // Unknown name rejected.
+        let bad = vec![("z".to_string(), Tensor::zeros(1, 1))];
+        assert!(b.import_values(&bad).is_err());
+        // Shape mismatch rejected.
+        let bad = vec![("x".to_string(), Tensor::zeros(2, 2))];
+        assert!(b.import_values(&bad).unwrap_err().contains("shape mismatch"));
+    }
+
+    #[test]
+    fn adam_moves_against_gradient() {
+        let mut store = ParamStore::new();
+        let id = store.add("p", Tensor::from_vec(1, 2, vec![1.0, -1.0]));
+        let adam = Adam::with_lr(0.1);
+        let mut g = GradStore::new();
+        g.add_dense(id, &Tensor::from_vec(1, 2, vec![1.0, -1.0]));
+        adam.step(&mut store, &g);
+        let v = store.value(id).data();
+        assert!(v[0] < 1.0, "positive grad must decrease the weight");
+        assert!(v[1] > -1.0, "negative grad must increase the weight");
+    }
+
+    #[test]
+    fn adam_sparse_rows_only_touch_their_moments() {
+        let mut store = ParamStore::new();
+        let id = store.add("emb", Tensor::zeros(3, 2));
+        let adam = Adam::with_lr(0.1);
+        let mut g = GradStore::new();
+        g.add_row(id, 1, &[1.0, 1.0]);
+        adam.step(&mut store, &g);
+        let v = store.value(id);
+        assert_eq!(v.row_slice(0), &[0.0, 0.0]);
+        assert!(v.row_slice(1)[0] < 0.0);
+        assert_eq!(v.row_slice(2), &[0.0, 0.0]);
+        // Row step counters: only row 1 advanced.
+        assert_eq!(store.slots[0].steps, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // Minimise f(w) = (w - 3)^2 by feeding grad 2(w-3).
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::scalar(0.0));
+        let adam = Adam::with_lr(0.1);
+        for _ in 0..500 {
+            let w = store.value(id).item();
+            let mut g = GradStore::new();
+            g.add_dense(id, &Tensor::scalar(2.0 * (w - 3.0)));
+            adam.step(&mut store, &g);
+        }
+        assert!((store.value(id).item() - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn sgd_step() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::scalar(1.0));
+        let sgd = Sgd { lr: 0.5 };
+        let mut g = GradStore::new();
+        g.add_dense(id, &Tensor::scalar(1.0));
+        g.add_row(id, 0, &[1.0]);
+        sgd.step(&mut store, &g);
+        // 1.0 - 0.5*1.0 (dense) - 0.5*1.0 (sparse) = 0.0
+        assert_eq!(store.value(id).item(), 0.0);
+    }
+}

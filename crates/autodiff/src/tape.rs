@@ -1,0 +1,921 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records a computation as a flat list of nodes; [`Tape::backward`]
+//! walks the list in reverse, accumulating gradients into a
+//! [`GradStore`](crate::params::GradStore). The op set is exactly what the
+//! InBox model and its baselines need: elementwise arithmetic with row
+//! broadcasting, matrix products, the activations used by the paper
+//! (ReLU for box offsets, sigmoid for the shrink gate, log-sigmoid for the
+//! margin loss of Eq. (12)), axis reductions, column-wise softmax for the
+//! attention intersections (Eq. (14), (23), (24)), and embedding-row gathers
+//! with sparse gradients.
+//!
+//! Tapes are cheap and short-lived: training loops build one small tape per
+//! sample (or per user), call `backward`, and merge the resulting gradients.
+
+use crate::params::{GradStore, ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Constant,
+    Param(ParamId),
+    Gather { param: ParamId, indices: Vec<u32> },
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Neg(Var),
+    Scale(Var, f32),
+    AddScalar(Var, #[allow(dead_code)] f32),
+    MatMul(Var, Var),
+    MatMulTN(Var, Var),
+    Relu(Var),
+    Sigmoid(Var),
+    LogSigmoid(Var),
+    Tanh(Var),
+    Abs(Var),
+    Square(Var),
+    Minimum(Var, Var),
+    Maximum(Var, Var),
+    MinAxis0(Var),
+    SumAxis0(Var),
+    MeanAxis0(Var),
+    SumAxis1(Var),
+    SoftmaxAxis0(Var),
+    SumAll(Var),
+    MeanAll(Var),
+    ConcatCols(Var, Var),
+    RepeatRows(Var, usize),
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// A recorded computation graph.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+/// Numerically stable `sigmoid`.
+pub fn sigmoid_f(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable `log(sigmoid(x))`.
+pub fn log_sigmoid_f(x: f32) -> f32 {
+    if x >= 0.0 {
+        -(-x).exp().ln_1p()
+    } else {
+        x - x.exp().ln_1p()
+    }
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Records a constant (no gradient flows into it).
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Constant)
+    }
+
+    /// Records a whole dense parameter (e.g. an MLP weight matrix).
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(store.value(id).clone(), Op::Param(id))
+    }
+
+    /// Records a gather of `indices` rows from an embedding table.
+    /// The result is an `indices.len() x cols` tensor; gradients scatter-add
+    /// back into the corresponding rows.
+    pub fn gather(&mut self, store: &ParamStore, id: ParamId, indices: &[u32]) -> Var {
+        let table = store.value(id);
+        let cols = table.cols();
+        let mut data = Vec::with_capacity(indices.len() * cols);
+        for &i in indices {
+            data.extend_from_slice(table.row_slice(i as usize));
+        }
+        self.push(
+            Tensor::from_vec(indices.len(), cols, data),
+            Op::Gather {
+                param: id,
+                indices: indices.to_vec(),
+            },
+        )
+    }
+
+    fn broadcast_shapes(&self, a: Var, b: Var, what: &str) -> (usize, usize) {
+        let (ar, ac) = self.nodes[a.0].value.shape();
+        let (br, bc) = self.nodes[b.0].value.shape();
+        assert_eq!(ac, bc, "{what}: column mismatch {ar}x{ac} vs {br}x{bc}");
+        assert!(
+            ar == br || ar == 1 || br == 1,
+            "{what}: rows must match or broadcast, got {ar}x{ac} vs {br}x{bc}"
+        );
+        (ar.max(br), ac)
+    }
+
+    fn binary_elementwise(&mut self, a: Var, b: Var, f: impl Fn(f32, f32) -> f32, op: Op) -> Var {
+        let (rows, cols) = self.broadcast_shapes(a, b, "elementwise op");
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[b.0].value;
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            let ra = av.row_slice(if av.rows() == 1 { 0 } else { r });
+            let rb = bv.row_slice(if bv.rows() == 1 { 0 } else { r });
+            for c in 0..cols {
+                data.push(f(ra[c], rb[c]));
+            }
+        }
+        self.push(Tensor::from_vec(rows, cols, data), op)
+    }
+
+    /// Elementwise `a + b` (row broadcast allowed on either side).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        self.binary_elementwise(a, b, |x, y| x + y, Op::Add(a, b))
+    }
+
+    /// Elementwise `a - b` (row broadcast allowed on either side).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        self.binary_elementwise(a, b, |x, y| x - y, Op::Sub(a, b))
+    }
+
+    /// Elementwise `a * b` (row broadcast allowed on either side). The paper's
+    /// `∘` operator in Eq. (13), (15), (21), (22).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        self.binary_elementwise(a, b, |x, y| x * y, Op::Mul(a, b))
+    }
+
+    /// Elementwise minimum (row broadcast allowed); ties route gradient to `a`.
+    pub fn minimum(&mut self, a: Var, b: Var) -> Var {
+        self.binary_elementwise(a, b, f32::min, Op::Minimum(a, b))
+    }
+
+    /// Elementwise maximum (row broadcast allowed); ties route gradient to `a`.
+    pub fn maximum(&mut self, a: Var, b: Var) -> Var {
+        self.binary_elementwise(a, b, f32::max, Op::Maximum(a, b))
+    }
+
+    fn unary(&mut self, a: Var, f: impl Fn(f32) -> f32, op: Op) -> Var {
+        let v = self.nodes[a.0].value.clone().map(f);
+        self.push(v, op)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        self.unary(a, |x| -x, Op::Neg(a))
+    }
+
+    /// Multiplies by a scalar constant.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        self.unary(a, |x| x * s, Op::Scale(a, s))
+    }
+
+    /// Adds a scalar constant.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        self.unary(a, |x| x + s, Op::AddScalar(a, s))
+    }
+
+    /// Rectified linear unit — the paper's `σ` in Eq. (1), (5).
+    pub fn relu(&mut self, a: Var) -> Var {
+        self.unary(a, |x| x.max(0.0), Op::Relu(a))
+    }
+
+    /// Logistic sigmoid — the paper's `θ` in Eq. (16).
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        self.unary(a, sigmoid_f, Op::Sigmoid(a))
+    }
+
+    /// `log(sigmoid(x))`, the building block of the loss in Eq. (12).
+    pub fn log_sigmoid(&mut self, a: Var) -> Var {
+        self.unary(a, log_sigmoid_f, Op::LogSigmoid(a))
+    }
+
+    /// Hyperbolic tangent (used by the KGAT-lite baseline).
+    pub fn tanh(&mut self, a: Var) -> Var {
+        self.unary(a, f32::tanh, Op::Tanh(a))
+    }
+
+    /// Elementwise absolute value (L1 distances of Eq. (3), (6), (9)).
+    pub fn abs(&mut self, a: Var) -> Var {
+        self.unary(a, f32::abs, Op::Abs(a))
+    }
+
+    /// Elementwise square (used by L2 regularisers in the baselines).
+    pub fn square(&mut self, a: Var) -> Var {
+        self.unary(a, |x| x * x, Op::Square(a))
+    }
+
+    /// Matrix product `a (n x k) * b (k x m)`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Transposed matrix product `a^T (p x k)^T * b (k x m) -> p x m` where
+    /// `a` is `k x p`. Saves materialising the transpose as a tape node.
+    pub fn matmul_tn(&mut self, a: Var, b: Var) -> Var {
+        let at = self.nodes[a.0].value.transpose();
+        let v = at.matmul(&self.nodes[b.0].value);
+        self.push(v, Op::MatMulTN(a, b))
+    }
+
+    /// Column-wise minimum: `n x d -> 1 x d`. The `Min` of Eq. (15), (17).
+    pub fn min_axis0(&mut self, a: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let (rows, cols) = av.shape();
+        assert!(rows > 0, "min_axis0 on empty tensor");
+        let mut out = av.row_slice(0).to_vec();
+        for r in 1..rows {
+            for (o, &v) in out.iter_mut().zip(av.row_slice(r)) {
+                if v < *o {
+                    *o = v;
+                }
+            }
+        }
+        self.push(Tensor::from_vec(1, cols, out), Op::MinAxis0(a))
+    }
+
+    /// Column-wise sum: `n x d -> 1 x d`. The `Σ_i` of Eq. (13), (21), (22).
+    pub fn sum_axis0(&mut self, a: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let (rows, cols) = av.shape();
+        let mut out = vec![0.0f32; cols];
+        for r in 0..rows {
+            for (o, &v) in out.iter_mut().zip(av.row_slice(r)) {
+                *o += v;
+            }
+        }
+        self.push(Tensor::from_vec(1, cols, out), Op::SumAxis0(a))
+    }
+
+    /// Column-wise mean: `n x d -> 1 x d`. The `1/n Σ` of Eq. (16), (27), (28).
+    pub fn mean_axis0(&mut self, a: Var) -> Var {
+        let rows = self.nodes[a.0].value.rows();
+        assert!(rows > 0, "mean_axis0 on empty tensor");
+        let s = self.sum_axis0(a);
+        // Re-record as a dedicated op so backward is a single node.
+        let v = self.nodes[s.0].value.clone().map(|x| x / rows as f32);
+        self.nodes.pop();
+        self.push(v, Op::MeanAxis0(a))
+    }
+
+    /// Row-wise sum: `n x d -> n x 1` (per-sample distance totals).
+    pub fn sum_axis1(&mut self, a: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let (rows, _cols) = av.shape();
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            out.push(av.row_slice(r).iter().sum());
+        }
+        self.push(Tensor::from_vec(rows, 1, out), Op::SumAxis1(a))
+    }
+
+    /// Column-wise softmax over the rows: `n x d -> n x d` where each column
+    /// sums to 1. This is the attention normalisation of Eq. (14), (23), (24)
+    /// (one attention weight per box per dimension).
+    pub fn softmax_axis0(&mut self, a: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let (rows, cols) = av.shape();
+        assert!(rows > 0, "softmax_axis0 on empty tensor");
+        let mut out = vec![0.0f32; rows * cols];
+        for c in 0..cols {
+            let mut mx = f32::NEG_INFINITY;
+            for r in 0..rows {
+                mx = mx.max(av.at(r, c));
+            }
+            let mut denom = 0.0f32;
+            for r in 0..rows {
+                let e = (av.at(r, c) - mx).exp();
+                out[r * cols + c] = e;
+                denom += e;
+            }
+            for r in 0..rows {
+                out[r * cols + c] /= denom;
+            }
+        }
+        self.push(Tensor::from_vec(rows, cols, out), Op::SoftmaxAxis0(a))
+    }
+
+    /// Sum of all elements: `n x d -> 1 x 1`.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let s = self.nodes[a.0].value.sum();
+        self.push(Tensor::scalar(s), Op::SumAll(a))
+    }
+
+    /// Mean of all elements: `n x d -> 1 x 1`.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = &self.nodes[a.0].value;
+        let s = v.sum() / v.len() as f32;
+        self.push(Tensor::scalar(s), Op::MeanAll(a))
+    }
+
+    /// Horizontal concatenation `[a | b]` of two tensors with equal rows.
+    /// Used to feed `(Cen(b_i), u)` pairs to the user-bias MLPs (Eq. (23), (24)).
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[b.0].value;
+        assert_eq!(av.rows(), bv.rows(), "concat_cols row mismatch");
+        let rows = av.rows();
+        let mut data = Vec::with_capacity(rows * (av.cols() + bv.cols()));
+        for r in 0..rows {
+            data.extend_from_slice(av.row_slice(r));
+            data.extend_from_slice(bv.row_slice(r));
+        }
+        self.push(
+            Tensor::from_vec(rows, av.cols() + bv.cols(), data),
+            Op::ConcatCols(a, b),
+        )
+    }
+
+    /// Repeats a `1 x d` row `n` times into an `n x d` tensor.
+    pub fn repeat_rows(&mut self, a: Var, n: usize) -> Var {
+        let av = &self.nodes[a.0].value;
+        assert_eq!(av.rows(), 1, "repeat_rows requires a 1 x d input");
+        let row = av.row_slice(0);
+        let mut data = Vec::with_capacity(n * row.len());
+        for _ in 0..n {
+            data.extend_from_slice(row);
+        }
+        self.push(Tensor::from_vec(n, row.len(), data), Op::RepeatRows(a, n))
+    }
+
+    /// Affine layer `x * w + b` with `b` a `1 x d` bias row.
+    pub fn linear(&mut self, x: Var, w: Var, b: Var) -> Var {
+        let xw = self.matmul(x, w);
+        self.add(xw, b)
+    }
+
+    /// Runs reverse-mode differentiation from scalar output `out` (must be
+    /// `1 x 1`) and returns the accumulated parameter gradients.
+    pub fn backward(&mut self, out: Var) -> GradStore {
+        assert_eq!(
+            self.nodes[out.0].value.shape(),
+            (1, 1),
+            "backward requires a scalar output"
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[out.0] = Some(Tensor::scalar(1.0));
+        let mut store = GradStore::new();
+
+        for idx in (0..=out.0).rev() {
+            let g = match grads[idx].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            // Split borrows: read node, write into `grads` for parents.
+            let op = self.nodes[idx].op.clone();
+            match op {
+                Op::Constant => {}
+                Op::Param(id) => store.add_dense(id, &g),
+                Op::Gather { param, indices } => {
+                    for (r, &i) in indices.iter().enumerate() {
+                        store.add_row(param, i, g.row_slice(r));
+                    }
+                }
+                Op::Add(a, b) => {
+                    self.accumulate(&mut grads, a, reduce_to(&g, self.shape_of(a)));
+                    self.accumulate(&mut grads, b, reduce_to(&g, self.shape_of(b)));
+                }
+                Op::Sub(a, b) => {
+                    self.accumulate(&mut grads, a, reduce_to(&g, self.shape_of(a)));
+                    let neg = g.clone().map(|x| -x);
+                    self.accumulate(&mut grads, b, reduce_to(&neg, self.shape_of(b)));
+                }
+                Op::Mul(a, b) => {
+                    let ga = mul_broadcast(&g, &self.nodes[b.0].value);
+                    let gb = mul_broadcast(&g, &self.nodes[a.0].value);
+                    self.accumulate(&mut grads, a, reduce_to(&ga, self.shape_of(a)));
+                    self.accumulate(&mut grads, b, reduce_to(&gb, self.shape_of(b)));
+                }
+                Op::Neg(a) => {
+                    self.accumulate(&mut grads, a, g.map(|x| -x));
+                }
+                Op::Scale(a, s) => {
+                    self.accumulate(&mut grads, a, g.map(|x| x * s));
+                }
+                Op::AddScalar(a, _) => {
+                    self.accumulate(&mut grads, a, g);
+                }
+                Op::MatMul(a, b) => {
+                    let ga = g.matmul(&self.nodes[b.0].value.transpose());
+                    let gb = self.nodes[a.0].value.transpose().matmul(&g);
+                    self.accumulate(&mut grads, a, ga);
+                    self.accumulate(&mut grads, b, gb);
+                }
+                Op::MatMulTN(a, b) => {
+                    // out = a^T b; da = b g^T, db = a g.
+                    let ga = self.nodes[b.0].value.matmul(&g.transpose());
+                    let gb = self.nodes[a.0].value.matmul(&g);
+                    self.accumulate(&mut grads, a, ga);
+                    self.accumulate(&mut grads, b, gb);
+                }
+                Op::Relu(a) => {
+                    let ga = elementwise_mask(&g, &self.nodes[a.0].value, |x| x > 0.0);
+                    self.accumulate(&mut grads, a, ga);
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[idx].value;
+                    let ga = zip_map(&g, y, |gv, yv| gv * yv * (1.0 - yv));
+                    self.accumulate(&mut grads, a, ga);
+                }
+                Op::LogSigmoid(a) => {
+                    let x = &self.nodes[a.0].value;
+                    let ga = zip_map(&g, x, |gv, xv| gv * sigmoid_f(-xv));
+                    self.accumulate(&mut grads, a, ga);
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[idx].value;
+                    let ga = zip_map(&g, y, |gv, yv| gv * (1.0 - yv * yv));
+                    self.accumulate(&mut grads, a, ga);
+                }
+                Op::Abs(a) => {
+                    let x = &self.nodes[a.0].value;
+                    let ga = zip_map(&g, x, |gv, xv| {
+                        if xv > 0.0 {
+                            gv
+                        } else if xv < 0.0 {
+                            -gv
+                        } else {
+                            0.0
+                        }
+                    });
+                    self.accumulate(&mut grads, a, ga);
+                }
+                Op::Square(a) => {
+                    let x = &self.nodes[a.0].value;
+                    let ga = zip_map(&g, x, |gv, xv| 2.0 * gv * xv);
+                    self.accumulate(&mut grads, a, ga);
+                }
+                Op::Minimum(a, b) => {
+                    let (ga, gb) = select_grads(&g, &self.nodes[a.0].value, &self.nodes[b.0].value, true);
+                    self.accumulate(&mut grads, a, reduce_to(&ga, self.shape_of(a)));
+                    self.accumulate(&mut grads, b, reduce_to(&gb, self.shape_of(b)));
+                }
+                Op::Maximum(a, b) => {
+                    let (ga, gb) = select_grads(&g, &self.nodes[a.0].value, &self.nodes[b.0].value, false);
+                    self.accumulate(&mut grads, a, reduce_to(&ga, self.shape_of(a)));
+                    self.accumulate(&mut grads, b, reduce_to(&gb, self.shape_of(b)));
+                }
+                Op::MinAxis0(a) => {
+                    let x = &self.nodes[a.0].value;
+                    let (rows, cols) = x.shape();
+                    let mut ga = Tensor::zeros(rows, cols);
+                    for c in 0..cols {
+                        let mut best_r = 0;
+                        let mut best = x.at(0, c);
+                        for r in 1..rows {
+                            if x.at(r, c) < best {
+                                best = x.at(r, c);
+                                best_r = r;
+                            }
+                        }
+                        *ga.at_mut(best_r, c) = g.at(0, c);
+                    }
+                    self.accumulate(&mut grads, a, ga);
+                }
+                Op::SumAxis0(a) => {
+                    let (rows, cols) = self.shape_of(a);
+                    let mut ga = Tensor::zeros(rows, cols);
+                    for r in 0..rows {
+                        ga.row_slice_mut(r).copy_from_slice(g.row_slice(0));
+                    }
+                    self.accumulate(&mut grads, a, ga);
+                }
+                Op::MeanAxis0(a) => {
+                    let (rows, cols) = self.shape_of(a);
+                    let mut ga = Tensor::zeros(rows, cols);
+                    let inv = 1.0 / rows as f32;
+                    for r in 0..rows {
+                        for (o, &gv) in ga.row_slice_mut(r).iter_mut().zip(g.row_slice(0)) {
+                            *o = gv * inv;
+                        }
+                    }
+                    self.accumulate(&mut grads, a, ga);
+                }
+                Op::SumAxis1(a) => {
+                    let (rows, cols) = self.shape_of(a);
+                    let mut ga = Tensor::zeros(rows, cols);
+                    for r in 0..rows {
+                        let gv = g.at(r, 0);
+                        for o in ga.row_slice_mut(r) {
+                            *o = gv;
+                        }
+                    }
+                    self.accumulate(&mut grads, a, ga);
+                }
+                Op::SoftmaxAxis0(a) => {
+                    let y = &self.nodes[idx].value;
+                    let (rows, cols) = y.shape();
+                    let mut ga = Tensor::zeros(rows, cols);
+                    for c in 0..cols {
+                        let mut dot = 0.0f32;
+                        for r in 0..rows {
+                            dot += g.at(r, c) * y.at(r, c);
+                        }
+                        for r in 0..rows {
+                            *ga.at_mut(r, c) = y.at(r, c) * (g.at(r, c) - dot);
+                        }
+                    }
+                    self.accumulate(&mut grads, a, ga);
+                }
+                Op::SumAll(a) => {
+                    let (rows, cols) = self.shape_of(a);
+                    let ga = Tensor::full(rows, cols, g.item());
+                    self.accumulate(&mut grads, a, ga);
+                }
+                Op::MeanAll(a) => {
+                    let (rows, cols) = self.shape_of(a);
+                    let ga = Tensor::full(rows, cols, g.item() / (rows * cols) as f32);
+                    self.accumulate(&mut grads, a, ga);
+                }
+                Op::ConcatCols(a, b) => {
+                    let (rows, ca) = self.shape_of(a);
+                    let (_, cb) = self.shape_of(b);
+                    let mut ga = Tensor::zeros(rows, ca);
+                    let mut gb = Tensor::zeros(rows, cb);
+                    for r in 0..rows {
+                        let row = g.row_slice(r);
+                        ga.row_slice_mut(r).copy_from_slice(&row[..ca]);
+                        gb.row_slice_mut(r).copy_from_slice(&row[ca..]);
+                    }
+                    self.accumulate(&mut grads, a, ga);
+                    self.accumulate(&mut grads, b, gb);
+                }
+                Op::RepeatRows(a, n) => {
+                    let (_, cols) = self.shape_of(a);
+                    let mut ga = Tensor::zeros(1, cols);
+                    for r in 0..n {
+                        for (o, &gv) in ga.row_slice_mut(0).iter_mut().zip(g.row_slice(r)) {
+                            *o += gv;
+                        }
+                    }
+                    self.accumulate(&mut grads, a, ga);
+                }
+            }
+        }
+        store
+    }
+
+    fn shape_of(&self, v: Var) -> (usize, usize) {
+        self.nodes[v.0].value.shape()
+    }
+
+    fn accumulate(&self, grads: &mut [Option<Tensor>], v: Var, g: Tensor) {
+        debug_assert_eq!(g.shape(), self.shape_of(v), "gradient shape mismatch");
+        match &mut grads[v.0] {
+            Some(acc) => acc.axpy(1.0, &g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+}
+
+/// Reduces a broadcast gradient back to the operand's shape: if the operand
+/// was `1 x d` but the output was `n x d`, sums over rows.
+fn reduce_to(g: &Tensor, shape: (usize, usize)) -> Tensor {
+    if g.shape() == shape {
+        return g.clone();
+    }
+    assert_eq!(shape.0, 1, "can only reduce to a broadcast row");
+    assert_eq!(shape.1, g.cols());
+    let mut out = Tensor::zeros(1, g.cols());
+    for r in 0..g.rows() {
+        for (o, &v) in out.row_slice_mut(0).iter_mut().zip(g.row_slice(r)) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// `g * other` where `other` may be a broadcast `1 x d` row.
+fn mul_broadcast(g: &Tensor, other: &Tensor) -> Tensor {
+    let (rows, cols) = g.shape();
+    let mut out = Tensor::zeros(rows, cols);
+    for r in 0..rows {
+        let orow = other.row_slice(if other.rows() == 1 { 0 } else { r });
+        for c in 0..cols {
+            *out.at_mut(r, c) = g.at(r, c) * orow[c];
+        }
+    }
+    out
+}
+
+fn zip_map(g: &Tensor, x: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    debug_assert_eq!(g.shape(), x.shape());
+    let mut out = g.clone();
+    for (o, &xv) in out.data_mut().iter_mut().zip(x.data()) {
+        *o = f(*o, xv);
+    }
+    out
+}
+
+fn elementwise_mask(g: &Tensor, x: &Tensor, keep: impl Fn(f32) -> bool) -> Tensor {
+    zip_map(g, x, |gv, xv| if keep(xv) { gv } else { 0.0 })
+}
+
+/// Splits the output gradient of an elementwise min/max between operands.
+/// Ties route to `a` for determinism. Handles row-broadcast operands.
+fn select_grads(g: &Tensor, a: &Tensor, b: &Tensor, is_min: bool) -> (Tensor, Tensor) {
+    let (rows, cols) = g.shape();
+    let mut ga = Tensor::zeros(rows, cols);
+    let mut gb = Tensor::zeros(rows, cols);
+    for r in 0..rows {
+        let ra = a.row_slice(if a.rows() == 1 { 0 } else { r });
+        let rb = b.row_slice(if b.rows() == 1 { 0 } else { r });
+        for c in 0..cols {
+            let take_a = if is_min { ra[c] <= rb[c] } else { ra[c] >= rb[c] };
+            if take_a {
+                *ga.at_mut(r, c) = g.at(r, c);
+            } else {
+                *gb.at_mut(r, c) = g.at(r, c);
+            }
+        }
+    }
+    (ga, gb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamStore;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Finite-difference gradient check: builds the scalar function `f` twice
+    /// per perturbed parameter element and compares with the analytic grad.
+    fn gradcheck(
+        store: &mut ParamStore,
+        ids: &[crate::params::ParamId],
+        f: impl Fn(&mut Tape, &ParamStore) -> Var,
+    ) {
+        let mut tape = Tape::new();
+        let out = f(&mut tape, store);
+        let grads = tape.backward(out);
+        let eps = 1e-3f32;
+        for &id in ids {
+            let shape = store.value(id).shape();
+            for r in 0..shape.0 {
+                for c in 0..shape.1 {
+                    let orig = store.value(id).at(r, c);
+                    *store.value_mut(id).at_mut(r, c) = orig + eps;
+                    let mut tp = Tape::new();
+                    let out_hi = f(&mut tp, store);
+                    let hi = tp.value(out_hi).item();
+                    *store.value_mut(id).at_mut(r, c) = orig - eps;
+                    let mut tp = Tape::new();
+                    let out_lo = f(&mut tp, store);
+                    let lo = tp.value(out_lo).item();
+                    *store.value_mut(id).at_mut(r, c) = orig;
+                    let numeric = (hi - lo) / (2.0 * eps);
+                    let analytic = grads
+                        .dense(id)
+                        .map(|t| t.at(r, c))
+                        .or_else(|| {
+                            grads
+                                .sparse(id)
+                                .and_then(|m| m.get(&(r as u32)))
+                                .map(|row| row[c])
+                        })
+                        .unwrap_or(0.0);
+                    let denom = numeric.abs().max(analytic.abs()).max(1.0);
+                    assert!(
+                        (numeric - analytic).abs() / denom < 2e-2,
+                        "grad mismatch for param {id:?} at ({r},{c}): numeric {numeric} vs analytic {analytic}"
+                    );
+                }
+            }
+        }
+    }
+
+    fn store_with(rng: &mut StdRng, shapes: &[(&str, usize, usize)]) -> (ParamStore, Vec<crate::params::ParamId>) {
+        let mut store = ParamStore::new();
+        let ids = shapes
+            .iter()
+            .map(|&(n, r, c)| store.add(n, Tensor::rand_uniform(r, c, 0.9, rng)))
+            .collect();
+        (store, ids)
+    }
+
+    #[test]
+    fn grad_add_sub_mul_broadcast() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (mut store, ids) = store_with(&mut rng, &[("a", 3, 4), ("b", 1, 4)]);
+        gradcheck(&mut store, &ids, |t, s| {
+            let a = t.param(s, s.id("a").unwrap());
+            let b = t.param(s, s.id("b").unwrap());
+            let x = t.add(a, b);
+            let y = t.mul(x, a);
+            let z = t.sub(y, b);
+            t.sum_all(z)
+        });
+    }
+
+    #[test]
+    fn grad_matmul_linear() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (mut store, ids) = store_with(&mut rng, &[("x", 2, 3), ("w", 3, 3), ("b", 1, 3)]);
+        gradcheck(&mut store, &ids, |t, s| {
+            let x = t.param(s, s.id("x").unwrap());
+            let w = t.param(s, s.id("w").unwrap());
+            let b = t.param(s, s.id("b").unwrap());
+            let y = t.linear(x, w, b);
+            t.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn grad_activations() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (mut store, ids) = store_with(&mut rng, &[("x", 2, 5)]);
+        gradcheck(&mut store, &ids, |t, s| {
+            let x = t.param(s, s.id("x").unwrap());
+            let a = t.sigmoid(x);
+            let b = t.tanh(a);
+            let c = t.log_sigmoid(b);
+            let d = t.square(c);
+            t.mean_all(d)
+        });
+    }
+
+    #[test]
+    fn grad_relu_abs() {
+        // Keep values away from the kink at 0 for finite differences.
+        let mut store = ParamStore::new();
+        let id = store.add(
+            "x",
+            Tensor::from_vec(2, 3, vec![0.5, -0.7, 1.2, -0.3, 0.9, -1.5]),
+        );
+        gradcheck(&mut store, &[id], |t, s| {
+            let x = t.param(s, s.id("x").unwrap());
+            let r = t.relu(x);
+            let a = t.abs(x);
+            let y = t.add(r, a);
+            t.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn grad_min_max_ops() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (mut store, ids) = store_with(&mut rng, &[("a", 3, 4), ("b", 1, 4)]);
+        gradcheck(&mut store, &ids, |t, s| {
+            let a = t.param(s, s.id("a").unwrap());
+            let b = t.param(s, s.id("b").unwrap());
+            let mn = t.minimum(a, b);
+            let mx = t.maximum(a, b);
+            let c = t.add(mn, mx);
+            let m0 = t.min_axis0(c);
+            t.sum_all(m0)
+        });
+    }
+
+    #[test]
+    fn grad_softmax_attention_pattern() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (mut store, ids) = store_with(&mut rng, &[("cen", 3, 4), ("w", 4, 4), ("b", 1, 4)]);
+        gradcheck(&mut store, &ids, |t, s| {
+            let cen = t.param(s, s.id("cen").unwrap());
+            let w = t.param(s, s.id("w").unwrap());
+            let b = t.param(s, s.id("b").unwrap());
+            let h = t.linear(cen, w, b);
+            let a = t.softmax_axis0(h);
+            let weighted = t.mul(a, cen);
+            let agg = t.sum_axis0(weighted);
+            t.sum_all(agg)
+        });
+    }
+
+    #[test]
+    fn grad_reductions_concat_repeat() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (mut store, ids) = store_with(&mut rng, &[("a", 3, 2), ("u", 1, 2)]);
+        gradcheck(&mut store, &ids, |t, s| {
+            let a = t.param(s, s.id("a").unwrap());
+            let u = t.param(s, s.id("u").unwrap());
+            let ur = t.repeat_rows(u, 3);
+            let cat = t.concat_cols(a, ur);
+            let m = t.mean_axis0(cat);
+            let s1 = t.sum_axis1(m);
+            t.sum_all(s1)
+        });
+    }
+
+    #[test]
+    fn grad_matmul_tn() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (mut store, ids) = store_with(&mut rng, &[("a", 3, 2), ("b", 3, 4)]);
+        gradcheck(&mut store, &ids, |t, s| {
+            let a = t.param(s, s.id("a").unwrap());
+            let b = t.param(s, s.id("b").unwrap());
+            let y = t.matmul_tn(a, b); // 2 x 4
+            t.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn grad_gather_sparse() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let (mut store, ids) = store_with(&mut rng, &[("emb", 5, 3)]);
+        gradcheck(&mut store, &ids, |t, s| {
+            let e = t.gather(s, s.id("emb").unwrap(), &[1, 3, 1]);
+            let sq = t.square(e);
+            t.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn gather_repeated_row_accumulates() {
+        let mut store = ParamStore::new();
+        let id = store.add("emb", Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let mut t = Tape::new();
+        let e = t.gather(&store, id, &[0, 0]);
+        let out = t.sum_all(e);
+        let grads = t.backward(out);
+        // Row 0 gathered twice: its gradient must be 2.
+        assert_eq!(grads.sparse(id).unwrap()[&0], vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn stable_sigmoid_extremes() {
+        assert!((sigmoid_f(100.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid_f(-100.0) < 1e-6);
+        assert!(log_sigmoid_f(100.0).abs() < 1e-6);
+        assert!((log_sigmoid_f(-100.0) + 100.0).abs() < 1e-3);
+        assert!(log_sigmoid_f(-1000.0).is_finite());
+        assert!(sigmoid_f(0.0) == 0.5);
+    }
+
+    #[test]
+    fn forward_values_softmax_columns_sum_to_one() {
+        let mut t = Tape::new();
+        let x = t.constant(Tensor::from_vec(3, 2, vec![1.0, -2.0, 0.5, 3.0, -1.0, 0.0]));
+        let s = t.softmax_axis0(x);
+        let v = t.value(s);
+        for c in 0..2 {
+            let sum: f32 = (0..3).map(|r| v.at(r, c)).sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backward_requires_scalar() {
+        let mut t = Tape::new();
+        let x = t.constant(Tensor::zeros(2, 2));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut t2 = Tape::new();
+            let y = t2.constant(Tensor::zeros(2, 2));
+            t2.backward(y)
+        }));
+        assert!(r.is_err());
+        // the original tape is still usable
+        let _ = t.sum_all(x);
+    }
+
+    #[test]
+    fn diamond_graph_accumulates_grads() {
+        // f = sum(x*x + x) — x used by two paths; df/dx = 2x + 1.
+        let mut store = ParamStore::new();
+        let id = store.add("x", Tensor::from_vec(1, 2, vec![2.0, -3.0]));
+        let mut t = Tape::new();
+        let x = t.param(&store, id);
+        let sq = t.mul(x, x);
+        let y = t.add(sq, x);
+        let out = t.sum_all(y);
+        let grads = t.backward(out);
+        let g = grads.dense(id).unwrap();
+        assert_eq!(g.data(), &[5.0, -5.0]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests for the autodiff engine: gradient correctness on
+//! randomly composed graphs, broadcast semantics, and optimiser behaviour.
+
+use inbox_autodiff::{Adam, GradStore, ParamStore, Sgd, Tape, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(rows, cols, v))
+}
+
+/// Central-difference gradient check for a scalar function of one parameter.
+fn check_grad(
+    store: &mut ParamStore,
+    id: inbox_autodiff::ParamId,
+    f: impl Fn(&mut Tape, &ParamStore) -> inbox_autodiff::Var,
+) -> Result<(), TestCaseError> {
+    let mut tape = Tape::new();
+    let out = f(&mut tape, store);
+    let grads = tape.backward(out);
+    let (rows, cols) = store.value(id).shape();
+    let eps = 1e-2f32;
+    for r in 0..rows {
+        for c in 0..cols {
+            let orig = store.value(id).at(r, c);
+            *store.value_mut(id).at_mut(r, c) = orig + eps;
+            let mut t1 = Tape::new();
+            let o1 = f(&mut t1, store);
+            let hi = t1.value(o1).item();
+            *store.value_mut(id).at_mut(r, c) = orig - eps;
+            let mut t2 = Tape::new();
+            let o2 = f(&mut t2, store);
+            let lo = t2.value(o2).item();
+            *store.value_mut(id).at_mut(r, c) = orig;
+            let numeric = (hi - lo) / (2.0 * eps);
+            let analytic = grads
+                .dense(id)
+                .map(|t| t.at(r, c))
+                .or_else(|| {
+                    grads
+                        .sparse(id)
+                        .and_then(|m| m.get(&(r as u32)))
+                        .map(|row| row[c])
+                })
+                .unwrap_or(0.0);
+            let denom = numeric.abs().max(analytic.abs()).max(1.0);
+            prop_assert!(
+                (numeric - analytic).abs() / denom < 0.08,
+                "grad mismatch at ({r},{c}): numeric {numeric}, analytic {analytic}"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A randomly weighted smooth composite: relu(xW)·sigmoid(x) summed.
+    /// (Smooth enough for finite differences away from kinks with high
+    /// probability.)
+    #[test]
+    fn composite_graph_gradients(x in tensor_strategy(3, 4), w in tensor_strategy(4, 4)) {
+        let mut store = ParamStore::new();
+        let xid = store.add("x", x);
+        store.add("w", w);
+        check_grad(&mut store, xid, |t, s| {
+            let x = t.param(s, s.id("x").unwrap());
+            let w = t.param(s, s.id("w").unwrap());
+            let xw = t.matmul(x, w);
+            let a = t.tanh(xw);
+            let b = t.sigmoid(x);
+            // shapes: a 3x4, b 3x4
+            let prod = t.mul(a, b);
+            t.sum_all(prod)
+        })?;
+    }
+
+    /// Broadcast add/mul gradients for the 1-row operand reduce over rows.
+    #[test]
+    fn broadcast_row_gradients(x in tensor_strategy(4, 3), row in tensor_strategy(1, 3)) {
+        let mut store = ParamStore::new();
+        store.add("x", x);
+        let rid = store.add("row", row);
+        check_grad(&mut store, rid, |t, s| {
+            let x = t.param(s, s.id("x").unwrap());
+            let r = t.param(s, s.id("row").unwrap());
+            let a = t.add(x, r);
+            let m = t.mul(a, r);
+            t.sum_all(m)
+        })?;
+    }
+
+    /// Forward pass of softmax_axis0: every column sums to one and entries
+    /// lie in (0, 1], even with extreme inputs.
+    #[test]
+    fn softmax_columns_normalised(v in prop::collection::vec(-60.0f32..60.0, 12)) {
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(4, 3, v));
+        let s = tape.softmax_axis0(x);
+        let out = tape.value(s);
+        for c in 0..3 {
+            let col: f32 = (0..4).map(|r| out.at(r, c)).sum();
+            prop_assert!((col - 1.0).abs() < 1e-5);
+            for r in 0..4 {
+                let p = out.at(r, c);
+                // p may underflow to exactly 0 for ~100-unit gaps in f32.
+                prop_assert!((0.0..=1.0).contains(&p) && p.is_finite());
+            }
+        }
+    }
+
+    /// Gather forward returns exactly the selected rows; repeated indices
+    /// accumulate gradient proportionally to multiplicity.
+    #[test]
+    fn gather_rows_and_grad_multiplicity(emb in tensor_strategy(6, 3), idx in prop::collection::vec(0u32..6, 1..8)) {
+        let mut store = ParamStore::new();
+        let id = store.add("emb", emb.clone());
+        let mut tape = Tape::new();
+        let g = tape.gather(&store, id, &idx);
+        for (r, &i) in idx.iter().enumerate() {
+            prop_assert_eq!(tape.value(g).row_slice(r), emb.row_slice(i as usize));
+        }
+        let out = tape.sum_all(g);
+        let grads = tape.backward(out);
+        let sparse = grads.sparse(id).unwrap();
+        for &i in &idx {
+            let mult = idx.iter().filter(|&&j| j == i).count() as f32;
+            prop_assert!(sparse[&i].iter().all(|&v| (v - mult).abs() < 1e-5));
+        }
+    }
+
+    /// SGD with the analytic gradient reduces a convex quadratic.
+    #[test]
+    fn sgd_descends_quadratic(start in -3.0f32..3.0, target in -3.0f32..3.0) {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::scalar(start));
+        let sgd = Sgd { lr: 0.1 };
+        let loss_at = |store: &ParamStore| {
+            let w = store.value(id).item();
+            (w - target) * (w - target)
+        };
+        let before = loss_at(&store);
+        for _ in 0..100 {
+            let w = store.value(id).item();
+            let mut g = GradStore::new();
+            g.add_dense(id, &Tensor::scalar(2.0 * (w - target)));
+            sgd.step(&mut store, &g);
+        }
+        let after = loss_at(&store);
+        prop_assert!(after <= before + 1e-6);
+        prop_assert!((store.value(id).item() - target).abs() < 1e-2);
+    }
+
+    /// Adam converges to the minimum of |w - target| + 0.5 (w - target)^2
+    /// from any start, and parameters stay finite throughout.
+    #[test]
+    fn adam_converges_from_any_start(start in -5.0f32..5.0, target in -2.0f32..2.0) {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::scalar(start));
+        let adam = Adam::with_lr(0.05);
+        for _ in 0..800 {
+            let w = store.value(id).item();
+            let g = (w - target).signum() + (w - target);
+            let mut gs = GradStore::new();
+            gs.add_dense(id, &Tensor::scalar(g));
+            adam.step(&mut store, &gs);
+            prop_assert!(store.value(id).item().is_finite());
+        }
+        prop_assert!((store.value(id).item() - target).abs() < 0.1);
+    }
+
+    /// min/max axis reductions bound each other and match std computations.
+    #[test]
+    fn axis_reductions_match_reference(v in prop::collection::vec(-9.0f32..9.0, 12)) {
+        let t = Tensor::from_vec(4, 3, v.clone());
+        let mut tape = Tape::new();
+        let x = tape.constant(t);
+        let mn = tape.min_axis0(x);
+        let sum = tape.sum_axis0(x);
+        let mean = tape.mean_axis0(x);
+        for c in 0..3 {
+            let col: Vec<f32> = (0..4).map(|r| v[r * 3 + c]).collect();
+            let min_ref = col.iter().cloned().fold(f32::MAX, f32::min);
+            let sum_ref: f32 = col.iter().sum();
+            prop_assert!((tape.value(mn).at(0, c) - min_ref).abs() < 1e-5);
+            prop_assert!((tape.value(sum).at(0, c) - sum_ref).abs() < 1e-4);
+            prop_assert!((tape.value(mean).at(0, c) - sum_ref / 4.0).abs() < 1e-4);
+        }
+    }
+}

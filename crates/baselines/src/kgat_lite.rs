@@ -1,0 +1,292 @@
+//! KGAT-lite — a single-hop variant of the Knowledge Graph Attention
+//! Network (Wang et al. 2019), the paper's strongest GNN family baseline.
+//!
+//! Full KGAT stacks several attentive propagation layers over the unified
+//! user-item-entity graph and trains an auxiliary TransR objective. This
+//! lite version keeps the two components that matter at our scale:
+//!
+//! * an **attentive 1-hop aggregation**: an item's representation is its
+//!   embedding plus an attention-weighted sum of its KG neighbours' (tag)
+//!   embeddings, with attention `π(i,r,t) = softmax(e_t · tanh(W e_i + e_r))`
+//!   — the same form as KGAT's knowledge-aware attention;
+//! * an interleaved **translational KG loss** (TransE form) that keeps
+//!   entity embeddings structurally consistent.
+//!
+//! The paper's own RQ1 analysis notes one-hop neighbours carry most of the
+//! signal, so the lite variant is a faithful representative of the family.
+
+use inbox_autodiff::{Adam, GradStore, ParamId, ParamStore, Tape, Tensor, Var};
+use inbox_data::{Dataset, Interactions};
+use inbox_eval::Scorer;
+use inbox_kg::{ItemId, KnowledgeGraph, UserId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// KGAT-lite hyperparameters.
+#[derive(Debug, Clone)]
+pub struct KgatLiteConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Training epochs (each = one KG pass + one BPR pass).
+    pub epochs: usize,
+    /// Samples per optimiser step.
+    pub batch_size: usize,
+    /// Neighbours sampled per item during training.
+    pub n_neighbors: usize,
+    /// Margin for the translational KG loss.
+    pub kg_margin: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KgatLiteConfig {
+    fn default() -> Self {
+        Self {
+            dim: 32,
+            lr: 1e-2,
+            epochs: 20,
+            batch_size: 32,
+            n_neighbors: 8,
+            kg_margin: 10.0,
+            seed: 42,
+        }
+    }
+}
+
+/// A trained KGAT-lite model with precomputed final representations.
+pub struct KgatLite {
+    n_items: usize,
+    user_rep: Vec<Vec<f32>>,
+    item_rep: Vec<Vec<f32>>,
+}
+
+/// Builds the attentive item representation on the tape.
+#[allow(clippy::too_many_arguments)]
+fn item_rep(
+    tape: &mut Tape,
+    store: &ParamStore,
+    ent: ParamId,
+    rel: ParamId,
+    w_id: ParamId,
+    item: u32,
+    neighbors: &[(u32, u32)], // (relation, unified tag id)
+    dim: usize,
+) -> Var {
+    let e_i = tape.gather(store, ent, &[item]);
+    if neighbors.is_empty() {
+        return e_i;
+    }
+    let t_idx: Vec<u32> = neighbors.iter().map(|&(_, t)| t).collect();
+    let r_idx: Vec<u32> = neighbors.iter().map(|&(r, _)| r).collect();
+    let e_t = tape.gather(store, ent, &t_idx);
+    let e_r = tape.gather(store, rel, &r_idx);
+    let w = tape.param(store, w_id);
+    let wi = tape.matmul(e_i, w);
+    let q_pre = tape.add(wi, e_r);
+    let q = tape.tanh(q_pre);
+    let prod = tape.mul(q, e_t);
+    let scores = tape.sum_axis1(prod);
+    let attn = tape.softmax_axis0(scores);
+    let ones = tape.constant(Tensor::ones(1, dim));
+    let attn_full = tape.matmul(attn, ones);
+    let weighted = tape.mul(attn_full, e_t);
+    let agg = tape.sum_axis0(weighted);
+    tape.add(e_i, agg)
+}
+
+impl KgatLite {
+    /// Trains on a dataset.
+    pub fn fit(dataset: &Dataset, config: &KgatLiteConfig) -> Self {
+        Self::fit_parts(&dataset.train, &dataset.kg, config)
+    }
+
+    /// Trains from explicit parts.
+    pub fn fit_parts(train: &Interactions, kg: &KnowledgeGraph, config: &KgatLiteConfig) -> Self {
+        let d = config.dim;
+        let n_items = kg.n_items();
+        let n_entities = n_items + kg.n_tags();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut store = ParamStore::new();
+        let user = store.add(
+            "user",
+            Tensor::rand_uniform(train.n_users().max(1), d, 0.1, &mut rng),
+        );
+        let ent = store.add("ent", Tensor::rand_uniform(n_entities.max(1), d, 0.1, &mut rng));
+        let rel = store.add(
+            "rel",
+            Tensor::rand_uniform(kg.n_relations().max(1), d, 0.1, &mut rng),
+        );
+        let w = store.add("attn_w", Tensor::xavier_uniform(d, d, &mut rng));
+
+        // Neighbour lists: item -> (relation, unified entity id).
+        let neighbors: Vec<Vec<(u32, u32)>> = (0..n_items)
+            .map(|i| {
+                kg.concepts_of(ItemId(i as u32))
+                    .iter()
+                    .map(|c| (c.relation.0, n_items as u32 + c.tag.0))
+                    .collect()
+            })
+            .collect();
+
+        // Unified triples for the translational loss.
+        let mut triples: Vec<(u32, u32, u32)> = Vec::with_capacity(kg.n_triples());
+        for t in kg.iri_triples() {
+            triples.push((t.head.0, t.relation.0, t.tail.0));
+        }
+        for t in kg.trt_triples() {
+            triples.push((
+                n_items as u32 + t.head.0,
+                t.relation.0,
+                n_items as u32 + t.tail.0,
+            ));
+        }
+        for t in kg.irt_triples() {
+            triples.push((t.head.0, t.relation.0, n_items as u32 + t.tail.0));
+        }
+
+        let mut pairs: Vec<(u32, u32)> = train.pairs().map(|(u, i)| (u.0, i.0)).collect();
+        let adam = Adam::with_lr(config.lr);
+
+        for _epoch in 0..config.epochs {
+            // TransE pass.
+            triples.shuffle(&mut rng);
+            for batch in triples.chunks(config.batch_size) {
+                let mut grads = GradStore::new();
+                for &(h, r, t) in batch {
+                    let mut tape = Tape::new();
+                    let hv = tape.gather(&store, ent, &[h]);
+                    let rv = tape.gather(&store, rel, &[r]);
+                    let tv = tape.gather(&store, ent, &[t]);
+                    let pred = tape.add(hv, rv);
+                    let diff = tape.sub(pred, tv);
+                    let abs = tape.abs(diff);
+                    let d_pos = tape.sum_axis1(abs);
+                    let negs: Vec<u32> = (0..4)
+                        .map(|_| rng.gen_range(0..n_entities) as u32)
+                        .collect();
+                    let nv = tape.gather(&store, ent, &negs);
+                    let diff_n = tape.sub(pred, nv);
+                    let abs_n = tape.abs(diff_n);
+                    let d_neg = tape.sum_axis1(abs_n);
+                    let pos_arg = tape.neg(d_pos);
+                    let pos_arg = tape.add_scalar(pos_arg, config.kg_margin);
+                    let pos_ls = tape.log_sigmoid(pos_arg);
+                    let pos_term = tape.mean_all(pos_ls);
+                    let neg_arg = tape.add_scalar(d_neg, -config.kg_margin);
+                    let neg_ls = tape.log_sigmoid(neg_arg);
+                    let neg_term = tape.mean_all(neg_ls);
+                    let total = tape.add(pos_term, neg_term);
+                    let loss = tape.scale(total, -1.0);
+                    grads.merge(tape.backward(loss));
+                }
+                grads.scale(1.0 / batch.len() as f32);
+                adam.step(&mut store, &grads);
+            }
+
+            // BPR pass with attentive aggregation.
+            pairs.shuffle(&mut rng);
+            for batch in pairs.chunks(config.batch_size) {
+                let mut grads = GradStore::new();
+                for &(u, i) in batch {
+                    let mut j = rng.gen_range(0..n_items) as u32;
+                    let mut guard = 0;
+                    while train.contains(UserId(u), ItemId(j)) && guard < 50 {
+                        j = rng.gen_range(0..n_items) as u32;
+                        guard += 1;
+                    }
+                    let sample_neigh = |list: &Vec<(u32, u32)>, rng: &mut StdRng| {
+                        if list.len() <= config.n_neighbors {
+                            list.clone()
+                        } else {
+                            let mut l = list.clone();
+                            l.shuffle(rng);
+                            l.truncate(config.n_neighbors);
+                            l
+                        }
+                    };
+                    let ni = sample_neigh(&neighbors[i as usize], &mut rng);
+                    let nj = sample_neigh(&neighbors[j as usize], &mut rng);
+                    let mut tape = Tape::new();
+                    let vi = item_rep(&mut tape, &store, ent, rel, w, i, &ni, d);
+                    let vj = item_rep(&mut tape, &store, ent, rel, w, j, &nj, d);
+                    let uv = tape.gather(&store, user, &[u]);
+                    let pi = tape.mul(uv, vi);
+                    let si = tape.sum_all(pi);
+                    let pj = tape.mul(uv, vj);
+                    let sj = tape.sum_all(pj);
+                    let diff = tape.sub(si, sj);
+                    let ls = tape.log_sigmoid(diff);
+                    let loss = tape.scale(ls, -1.0);
+                    grads.merge(tape.backward(loss));
+                }
+                grads.scale(1.0 / batch.len() as f32);
+                adam.step(&mut store, &grads);
+            }
+        }
+
+        // Precompute final representations with the full neighbour sets.
+        let item_rep_vecs: Vec<Vec<f32>> = (0..n_items)
+            .map(|i| {
+                let mut tape = Tape::new();
+                let rep = item_rep(&mut tape, &store, ent, rel, w, i as u32, &neighbors[i], d);
+                tape.value(rep).row_slice(0).to_vec()
+            })
+            .collect();
+        let user_rep_vecs: Vec<Vec<f32>> = (0..train.n_users())
+            .map(|u| store.value(user).row_slice(u).to_vec())
+            .collect();
+
+        Self {
+            n_items,
+            user_rep: user_rep_vecs,
+            item_rep: item_rep_vecs,
+        }
+    }
+}
+
+impl Scorer for KgatLite {
+    fn score_items(&self, user: UserId) -> Vec<f32> {
+        let u = &self.user_rep[user.index()];
+        (0..self.n_items)
+            .map(|i| self.item_rep[i].iter().zip(u).map(|(&a, &b)| a * b).sum())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inbox_data::SyntheticConfig;
+    use inbox_eval::evaluate_with_threads;
+
+    #[test]
+    fn kgat_lite_trains_and_beats_chance() {
+        let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 101);
+        let cfg = KgatLiteConfig {
+            dim: 8,
+            epochs: 8,
+            kg_margin: 3.0,
+            ..Default::default()
+        };
+        let model = KgatLite::fit(&ds, &cfg);
+        let m = evaluate_with_threads(&model, &ds.train, &ds.test, 20, 1);
+        assert!(m.recall > 0.18, "KGAT-lite recall {} at chance", m.recall);
+    }
+
+    #[test]
+    fn scores_are_finite_and_full_length() {
+        let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 102);
+        let cfg = KgatLiteConfig {
+            dim: 8,
+            epochs: 2,
+            ..Default::default()
+        };
+        let model = KgatLite::fit(&ds, &cfg);
+        let s = model.score_items(UserId(2));
+        assert_eq!(s.len(), ds.n_items());
+        assert!(s.iter().all(|v| v.is_finite()));
+    }
+}

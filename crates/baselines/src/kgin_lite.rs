@@ -1,0 +1,241 @@
+//! KGIN-lite — an intent-disentangled variant of KGIN (Wang et al. 2021),
+//! the paper's second-strongest baseline family.
+//!
+//! KGIN models user intents as attentive combinations of KG *relations* and
+//! routes user preference through them. The lite variant keeps that core:
+//!
+//! * `P` latent **intents**, each a softmax-weighted combination of relation
+//!   embeddings (`intent_p = Σ_r α_{p,r} e_r`),
+//! * a per-user softmax over intents (`β_{u,p} ∝ u · intent_p`) producing
+//!   `u' = u + Σ_p β_{u,p} intent_p`,
+//! * relation-aware item aggregation `i' = e_i + mean_{(r,t)∈N(i)} e_r ∘ e_t`,
+//!
+//! trained with BPR on `u' · i'`.
+
+use inbox_autodiff::{Adam, GradStore, ParamId, ParamStore, Tape, Tensor, Var};
+use inbox_data::{Dataset, Interactions};
+use inbox_eval::Scorer;
+use inbox_kg::{ItemId, KnowledgeGraph, UserId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// KGIN-lite hyperparameters.
+#[derive(Debug, Clone)]
+pub struct KginLiteConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Number of latent intents `P`.
+    pub n_intents: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Samples per optimiser step.
+    pub batch_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KginLiteConfig {
+    fn default() -> Self {
+        Self {
+            dim: 32,
+            n_intents: 4,
+            lr: 1e-2,
+            epochs: 20,
+            batch_size: 32,
+            seed: 42,
+        }
+    }
+}
+
+/// A trained KGIN-lite model with precomputed final representations.
+pub struct KginLite {
+    n_items: usize,
+    user_rep: Vec<Vec<f32>>,
+    item_rep: Vec<Vec<f32>>,
+}
+
+struct Ids {
+    user: ParamId,
+    ent: ParamId,
+    rel: ParamId,
+    intent_logits: ParamId,
+}
+
+/// User representation with intent routing, on the tape.
+fn user_rep(tape: &mut Tape, store: &ParamStore, ids: &Ids, u: u32, p: usize, d: usize) -> Var {
+    let logits = tape.param(store, ids.intent_logits); // n_rel x P
+    let alpha = tape.softmax_axis0(logits); // per-intent softmax over relations
+    let rel = tape.param(store, ids.rel); // n_rel x d
+    let intents = tape.matmul_tn(alpha, rel); // P x d
+    let uv = tape.gather(store, ids.user, &[u]); // 1 x d
+    let urep = tape.repeat_rows(uv, p); // P x d
+    let prod = tape.mul(intents, urep);
+    let scores = tape.sum_axis1(prod); // P x 1
+    let beta = tape.softmax_axis0(scores); // P x 1
+    let ones = tape.constant(Tensor::ones(1, d));
+    let beta_full = tape.matmul(beta, ones); // P x d
+    let mixed = tape.mul(beta_full, intents);
+    let intent_mix = tape.sum_axis0(mixed); // 1 x d
+    tape.add(uv, intent_mix)
+}
+
+/// Relation-aware item representation, on the tape.
+fn item_rep(
+    tape: &mut Tape,
+    store: &ParamStore,
+    ids: &Ids,
+    item: u32,
+    neighbors: &[(u32, u32)],
+) -> Var {
+    let e_i = tape.gather(store, ids.ent, &[item]);
+    if neighbors.is_empty() {
+        return e_i;
+    }
+    let t_idx: Vec<u32> = neighbors.iter().map(|&(_, t)| t).collect();
+    let r_idx: Vec<u32> = neighbors.iter().map(|&(r, _)| r).collect();
+    let e_t = tape.gather(store, ids.ent, &t_idx);
+    let e_r = tape.gather(store, ids.rel, &r_idx);
+    let gated = tape.mul(e_r, e_t);
+    let agg = tape.mean_axis0(gated);
+    tape.add(e_i, agg)
+}
+
+impl KginLite {
+    /// Trains on a dataset.
+    pub fn fit(dataset: &Dataset, config: &KginLiteConfig) -> Self {
+        Self::fit_parts(&dataset.train, &dataset.kg, config)
+    }
+
+    /// Trains from explicit parts.
+    pub fn fit_parts(train: &Interactions, kg: &KnowledgeGraph, config: &KginLiteConfig) -> Self {
+        let d = config.dim;
+        let p = config.n_intents;
+        let n_items = kg.n_items();
+        let n_entities = n_items + kg.n_tags();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut store = ParamStore::new();
+        let ids = Ids {
+            user: store.add(
+                "user",
+                Tensor::rand_uniform(train.n_users().max(1), d, 0.1, &mut rng),
+            ),
+            ent: store.add("ent", Tensor::rand_uniform(n_entities.max(1), d, 0.1, &mut rng)),
+            rel: store.add(
+                "rel",
+                Tensor::rand_uniform(kg.n_relations().max(1), d, 0.1, &mut rng),
+            ),
+            intent_logits: store.add(
+                "intent_logits",
+                Tensor::rand_uniform(kg.n_relations().max(1), p, 0.1, &mut rng),
+            ),
+        };
+
+        let neighbors: Vec<Vec<(u32, u32)>> = (0..n_items)
+            .map(|i| {
+                kg.concepts_of(ItemId(i as u32))
+                    .iter()
+                    .map(|c| (c.relation.0, n_items as u32 + c.tag.0))
+                    .collect()
+            })
+            .collect();
+
+        let mut pairs: Vec<(u32, u32)> = train.pairs().map(|(u, i)| (u.0, i.0)).collect();
+        let adam = Adam::with_lr(config.lr);
+
+        for _epoch in 0..config.epochs {
+            pairs.shuffle(&mut rng);
+            for batch in pairs.chunks(config.batch_size) {
+                let mut grads = GradStore::new();
+                for &(u, i) in batch {
+                    let mut j = rng.gen_range(0..n_items) as u32;
+                    let mut guard = 0;
+                    while train.contains(UserId(u), ItemId(j)) && guard < 50 {
+                        j = rng.gen_range(0..n_items) as u32;
+                        guard += 1;
+                    }
+                    let mut tape = Tape::new();
+                    let ur = user_rep(&mut tape, &store, &ids, u, p, d);
+                    let vi = item_rep(&mut tape, &store, &ids, i, &neighbors[i as usize]);
+                    let vj = item_rep(&mut tape, &store, &ids, j, &neighbors[j as usize]);
+                    let pi = tape.mul(ur, vi);
+                    let si = tape.sum_all(pi);
+                    let pj = tape.mul(ur, vj);
+                    let sj = tape.sum_all(pj);
+                    let diff = tape.sub(si, sj);
+                    let ls = tape.log_sigmoid(diff);
+                    let loss = tape.scale(ls, -1.0);
+                    grads.merge(tape.backward(loss));
+                }
+                grads.scale(1.0 / batch.len() as f32);
+                adam.step(&mut store, &grads);
+            }
+        }
+
+        // Precompute final representations.
+        let item_rep_vecs: Vec<Vec<f32>> = (0..n_items)
+            .map(|i| {
+                let mut tape = Tape::new();
+                let rep = item_rep(&mut tape, &store, &ids, i as u32, &neighbors[i]);
+                tape.value(rep).row_slice(0).to_vec()
+            })
+            .collect();
+        let user_rep_vecs: Vec<Vec<f32>> = (0..train.n_users())
+            .map(|u| {
+                let mut tape = Tape::new();
+                let rep = user_rep(&mut tape, &store, &ids, u as u32, p, d);
+                tape.value(rep).row_slice(0).to_vec()
+            })
+            .collect();
+
+        Self {
+            n_items,
+            user_rep: user_rep_vecs,
+            item_rep: item_rep_vecs,
+        }
+    }
+}
+
+impl Scorer for KginLite {
+    fn score_items(&self, user: UserId) -> Vec<f32> {
+        let u = &self.user_rep[user.index()];
+        (0..self.n_items)
+            .map(|i| self.item_rep[i].iter().zip(u).map(|(&a, &b)| a * b).sum())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inbox_data::SyntheticConfig;
+    use inbox_eval::evaluate_with_threads;
+
+    #[test]
+    fn kgin_lite_trains_and_beats_chance() {
+        let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 103);
+        let cfg = KginLiteConfig {
+            dim: 8,
+            epochs: 8,
+            ..Default::default()
+        };
+        let model = KginLite::fit(&ds, &cfg);
+        let m = evaluate_with_threads(&model, &ds.train, &ds.test, 20, 1);
+        assert!(m.recall > 0.18, "KGIN-lite recall {} at chance", m.recall);
+    }
+
+    #[test]
+    fn intent_routing_is_deterministic() {
+        let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 104);
+        let cfg = KginLiteConfig {
+            dim: 8,
+            epochs: 2,
+            ..Default::default()
+        };
+        let a = KginLite::fit(&ds, &cfg);
+        let b = KginLite::fit(&ds, &cfg);
+        assert_eq!(a.score_items(UserId(0)), b.score_items(UserId(0)));
+    }
+}

@@ -1,0 +1,141 @@
+//! `inbox-baselines` — the comparison models of the InBox evaluation
+//! (Table 2), reimplemented from scratch.
+//!
+//! One representative per baseline family from the paper:
+//!
+//! | Paper baseline | Family | Here |
+//! |---|---|---|
+//! | MF | KG-free collaborative filtering | [`MfBpr`] |
+//! | CKE | embedding-based (TransR + MF) | [`Cke`] |
+//! | KGAT / CKAN / KGNN-LS | GNN, attentive aggregation | [`KgatLite`] |
+//! | KGIN | GNN, intent disentanglement | [`KginLite`] |
+//! | — | sanity floor (not in paper) | [`Popularity`] |
+//!
+//! Hyperbolic-space baselines (Hyper-Know, LKGR, HAKG) are *not* reproduced;
+//! they differ from their Euclidean counterparts in geometry, not family
+//! (see DESIGN.md §1). Every model implements
+//! [`inbox_eval::Scorer`], so the benchmark harness is model-agnostic.
+
+#![warn(missing_docs)]
+
+mod cke;
+mod kgat_lite;
+mod kgin_lite;
+mod mf;
+mod popularity;
+
+pub use cke::{Cke, CkeConfig};
+pub use kgat_lite::{KgatLite, KgatLiteConfig};
+pub use kgin_lite::{KginLite, KginLiteConfig};
+pub use mf::{MfBpr, MfConfig};
+pub use popularity::Popularity;
+
+use inbox_data::Dataset;
+use inbox_eval::Scorer;
+
+/// The baselines runnable by name from the benchmark harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineKind {
+    /// Most-popular sanity floor.
+    Popularity,
+    /// BPR matrix factorisation.
+    Mf,
+    /// CKE (MF + TransR).
+    Cke,
+    /// KGAT-lite attentive aggregation.
+    KgatLite,
+    /// KGIN-lite intent disentanglement.
+    KginLite,
+}
+
+impl BaselineKind {
+    /// All baselines in Table 2 row order (weakest family first).
+    pub fn table2_rows() -> [BaselineKind; 5] {
+        [
+            BaselineKind::Popularity,
+            BaselineKind::Mf,
+            BaselineKind::Cke,
+            BaselineKind::KgatLite,
+            BaselineKind::KginLite,
+        ]
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BaselineKind::Popularity => "Popularity",
+            BaselineKind::Mf => "MF",
+            BaselineKind::Cke => "CKE",
+            BaselineKind::KgatLite => "KGAT-lite",
+            BaselineKind::KginLite => "KGIN-lite",
+        }
+    }
+
+    /// Trains the baseline with defaults scaled by `dim` and `epochs`,
+    /// returning a boxed scorer.
+    pub fn fit(self, dataset: &Dataset, dim: usize, epochs: usize, seed: u64) -> Box<dyn Scorer> {
+        match self {
+            BaselineKind::Popularity => Box::new(Popularity::fit(&dataset.train)),
+            BaselineKind::Mf => Box::new(MfBpr::fit(
+                &dataset.train,
+                &MfConfig {
+                    dim,
+                    epochs,
+                    seed,
+                    ..Default::default()
+                },
+            )),
+            BaselineKind::Cke => Box::new(Cke::fit(
+                dataset,
+                &CkeConfig {
+                    dim,
+                    epochs,
+                    seed,
+                    kg_margin: dim as f32 / 3.0,
+                    ..Default::default()
+                },
+            )),
+            BaselineKind::KgatLite => Box::new(KgatLite::fit(
+                dataset,
+                &KgatLiteConfig {
+                    dim,
+                    epochs,
+                    seed,
+                    kg_margin: dim as f32 / 3.0,
+                    ..Default::default()
+                },
+            )),
+            BaselineKind::KginLite => Box::new(KginLite::fit(
+                dataset,
+                &KginLiteConfig {
+                    dim,
+                    epochs,
+                    seed,
+                    ..Default::default()
+                },
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inbox_data::SyntheticConfig;
+    use inbox_eval::evaluate_with_threads;
+
+    #[test]
+    fn all_baselines_run_via_kind_dispatch() {
+        let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 200);
+        for kind in BaselineKind::table2_rows() {
+            let model = kind.fit(&ds, 8, 2, 7);
+            let m = evaluate_with_threads(model.as_ref(), &ds.train, &ds.test, 20, 1);
+            assert!(
+                m.n_users_evaluated > 0,
+                "{} evaluated no users",
+                kind.label()
+            );
+            assert!(m.recall.is_finite() && m.ndcg.is_finite());
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Popularity baseline: rank items by global interaction count.
+//!
+//! Not part of the paper's baseline table — included as a sanity floor every
+//! learned model must clear.
+
+use inbox_data::Interactions;
+use inbox_eval::Scorer;
+use inbox_kg::UserId;
+
+/// Most-popular recommender (user-independent).
+pub struct Popularity {
+    scores: Vec<f32>,
+}
+
+impl Popularity {
+    /// "Trains" by counting interactions per item.
+    pub fn fit(train: &Interactions) -> Self {
+        let scores = train
+            .item_popularity()
+            .into_iter()
+            .map(|c| c as f32)
+            .collect();
+        Self { scores }
+    }
+}
+
+impl Scorer for Popularity {
+    fn score_items(&self, _user: UserId) -> Vec<f32> {
+        self.scores.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inbox_kg::ItemId;
+
+    #[test]
+    fn popularity_ranks_frequent_items_first() {
+        let train = Interactions::from_pairs(
+            3,
+            3,
+            vec![
+                (UserId(0), ItemId(2)),
+                (UserId(1), ItemId(2)),
+                (UserId(2), ItemId(2)),
+                (UserId(0), ItemId(1)),
+            ],
+        )
+        .unwrap();
+        let model = Popularity::fit(&train);
+        let s = model.score_items(UserId(0));
+        assert!(s[2] > s[1] && s[1] > s[0]);
+        // Same for every user.
+        assert_eq!(model.score_items(UserId(1)), s);
+    }
+}

@@ -1,0 +1,40 @@
+//! Criterion microbenches for the box-geometry primitives (Eq. (3)-(11)).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use inbox_core::geometry::{d_bb, d_pb, d_pb_weighted, d_pp, BoxEmb};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rand_vec(rng: &mut StdRng, d: usize) -> Vec<f32> {
+    (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geometry");
+    for &d in &[32usize, 128, 512] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = rand_vec(&mut rng, d);
+        let q = rand_vec(&mut rng, d);
+        let a = BoxEmb::new(rand_vec(&mut rng, d), rand_vec(&mut rng, d));
+        let b = BoxEmb::new(rand_vec(&mut rng, d), rand_vec(&mut rng, d));
+        group.bench_with_input(BenchmarkId::new("d_pp", d), &d, |bench, _| {
+            bench.iter(|| d_pp(black_box(&p), black_box(&q)))
+        });
+        group.bench_with_input(BenchmarkId::new("d_bb", d), &d, |bench, _| {
+            bench.iter(|| d_bb(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("d_pb", d), &d, |bench, _| {
+            bench.iter(|| d_pb(black_box(&p), black_box(&a)))
+        });
+        group.bench_with_input(BenchmarkId::new("d_pb_weighted", d), &d, |bench, _| {
+            bench.iter(|| d_pb_weighted(black_box(&p), black_box(&a), 0.1))
+        });
+        group.bench_with_input(BenchmarkId::new("project", d), &d, |bench, _| {
+            bench.iter(|| black_box(&a).project(black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

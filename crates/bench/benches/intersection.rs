@@ -1,0 +1,61 @@
+//! Criterion microbenches for the two intersection operators of Section 3.3
+//! (attention network vs Max-Min) at varying concept counts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use inbox_autodiff::Tape;
+use inbox_core::geometry::BoxEmb;
+use inbox_core::model::{InBoxModel, UniverseSizes};
+use inbox_core::InBoxConfig;
+use inbox_kg::{Concept, RelationId, TagId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn model() -> InBoxModel {
+    let sizes = UniverseSizes {
+        n_items: 100,
+        n_tags: 100,
+        n_relations: 10,
+        n_users: 10,
+    };
+    InBoxModel::new(sizes, &InBoxConfig::for_dim(32))
+}
+
+fn bench_intersections(c: &mut Criterion) {
+    let m = model();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("intersection");
+    for &n in &[2usize, 4, 8, 16] {
+        let concepts: Vec<Concept> = (0..n)
+            .map(|_| {
+                Concept::new(
+                    RelationId(rng.gen_range(0..10)),
+                    TagId(rng.gen_range(0..100)),
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("attention", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut tape = Tape::new();
+                let (cens, offs) = m.concept_boxes(&mut tape, black_box(&concepts));
+                let b = m.intersect_attention(&mut tape, cens, offs);
+                black_box(tape.value(b.cen).data()[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("maxmin_tape", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut tape = Tape::new();
+                let (cens, offs) = m.concept_boxes(&mut tape, black_box(&concepts));
+                let b = m.intersect_maxmin(&mut tape, cens, offs);
+                black_box(tape.value(b.cen).data()[0])
+            })
+        });
+        let boxes: Vec<BoxEmb> = concepts.iter().map(|&c| m.concept_box_f32(c)).collect();
+        group.bench_with_input(BenchmarkId::new("maxmin_plain", n), &n, |bench, _| {
+            bench.iter(|| BoxEmb::intersect_max_min(black_box(&boxes)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intersections);
+criterion_main!(benches);

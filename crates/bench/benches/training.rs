@@ -1,0 +1,52 @@
+//! Criterion microbenches for one optimiser step of each training stage.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use inbox_core::model::{InBoxModel, UniverseSizes};
+use inbox_core::sampler::{stage1_epoch, stage2_epoch, stage3_epoch, Stage1Stats};
+use inbox_core::stages::{grad_batch, stage1_loss, stage2_loss, stage3_loss};
+use inbox_core::InBoxConfig;
+use inbox_data::{Dataset, SyntheticConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_stages(c: &mut Criterion) {
+    let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 5);
+    let cfg = InBoxConfig::for_dim(32);
+    let sizes = UniverseSizes {
+        n_items: ds.kg.n_items(),
+        n_tags: ds.kg.n_tags(),
+        n_relations: ds.kg.n_relations(),
+        n_users: ds.n_users(),
+    };
+    let model = InBoxModel::new(sizes, &cfg);
+    let stats = Stage1Stats::new(&ds.kg);
+    let mut rng = StdRng::seed_from_u64(1);
+    let s1 = stage1_epoch(&ds.kg, &stats, &cfg, &mut rng);
+    let s2 = stage2_epoch(&ds.kg, &cfg, &mut rng);
+    let s3 = stage3_epoch(&ds.kg, &ds.train, &cfg, &mut rng);
+
+    c.bench_function("stage1_batch32_grads", |b| {
+        b.iter(|| {
+            grad_batch(&model, black_box(&s1[..32]), 1, &|m, t, s| {
+                stage1_loss(m, t, s, &cfg)
+            })
+        })
+    });
+    c.bench_function("stage2_batch32_grads", |b| {
+        b.iter(|| {
+            grad_batch(&model, black_box(&s2[..s2.len().min(32)]), 1, &|m, t, s| {
+                stage2_loss(m, t, s, &cfg)
+            })
+        })
+    });
+    c.bench_function("stage3_batch8_grads", |b| {
+        b.iter(|| {
+            grad_batch(&model, black_box(&s3[..s3.len().min(8)]), 1, &|m, t, s| {
+                stage3_loss(m, t, s, &cfg)
+            })
+        })
+    });
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

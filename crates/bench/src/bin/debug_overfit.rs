@@ -1,0 +1,67 @@
+//! Scratch diagnostic: overfit a single IRT triple and watch the geometry.
+
+use inbox_autodiff::{Adam, Tape};
+use inbox_core::model::{InBoxModel, UniverseSizes};
+use inbox_core::sampler::{IrtNegatives, Stage1Sample};
+use inbox_core::stages::{grad_batch, stage1_loss};
+use inbox_core::{geometry, InBoxConfig};
+use inbox_kg::{Concept, ItemId, RelationId, TagId};
+
+fn main() {
+    let sizes = UniverseSizes {
+        n_items: 50,
+        n_tags: 10,
+        n_relations: 3,
+        n_users: 2,
+    };
+    let cfg = InBoxConfig {
+        n_negatives: 8,
+        ..InBoxConfig::for_dim(16)
+    };
+    let mut model = InBoxModel::new(sizes, &cfg);
+    let adam = Adam::with_lr(1e-2);
+    let concept = Concept::new(RelationId(1), TagId(3));
+    let sample = Stage1Sample::Irt {
+        item: 7,
+        rel: 1,
+        tag: 3,
+        negatives: IrtNegatives::Items(vec![1, 2, 3, 4, 5, 6, 8, 9]),
+        weight: 1.0,
+    };
+    for step in 0..400 {
+        let (grads, loss) = grad_batch(&model, std::slice::from_ref(&sample), 1, &|m, t, s| {
+            stage1_loss(m, t, s, &cfg)
+        });
+        adam.step(&mut model.store, &grads);
+        if step % 50 == 0 || step == 399 {
+            let b = model.concept_box_f32(concept);
+            let p = model.item_point_f32(ItemId(7));
+            let neg_p = model.item_point_f32(ItemId(1));
+            println!(
+                "step {step}: loss {loss:.4} d_out(pos) {:.4} d_in(pos) {:.4} inside {} | d_out(neg) {:.4} | box size {:.3}",
+                geometry::d_out(p, &b),
+                geometry::d_in(p, &b),
+                b.contains(p),
+                geometry::d_out(neg_p, &b),
+                b.l1_size(),
+            );
+        }
+    }
+    // Gradient sanity: print a few grads on the first step of a fresh model.
+    let model2 = InBoxModel::new(sizes, &cfg);
+    let mut tape = Tape::new();
+    let loss = stage1_loss(&model2, &mut tape, &sample, &cfg);
+    println!("initial loss value: {:.4}", tape.value(loss).item());
+    let grads = tape.backward(loss);
+    for (id, name, _v) in model2.store.iter() {
+        let d = grads.dense(id).map(|t| t.max_abs());
+        let s = grads.sparse(id).map(|m| {
+            m.values()
+                .flat_map(|r| r.iter())
+                .fold(0.0f32, |a, b| a.max(b.abs()))
+        });
+        if d.is_some() || s.is_some() {
+            println!("grad {name}: dense {d:?} sparse {s:?}");
+        }
+    }
+}

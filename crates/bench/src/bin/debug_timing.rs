@@ -1,0 +1,55 @@
+//! Scratch diagnostic: wall-clock calibration of InBox on a paper-suite twin.
+
+use std::time::Instant;
+
+use inbox_core::{train, InBoxConfig};
+use inbox_data::{Dataset, SyntheticConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("lastfm");
+    let cfg_data = match which {
+        "yelp" => SyntheticConfig::yelp_like(),
+        "ifashion" => SyntheticConfig::ifashion_like(),
+        "amazon" => SyntheticConfig::amazon_like(),
+        _ => SyntheticConfig::lastfm_like(),
+    };
+    let t0 = Instant::now();
+    let ds = Dataset::synthetic(&cfg_data, 7);
+    println!(
+        "{}: {} users, {} items, {} triples, {} interactions (gen {:?})",
+        ds.name,
+        ds.n_users(),
+        ds.n_items(),
+        ds.kg_stats().n_triples(),
+        ds.train.n_interactions() + ds.test.n_interactions(),
+        t0.elapsed()
+    );
+
+    let mut cfg = InBoxConfig {
+        lr: 2e-2,
+        epochs_stage1: 40,
+        epochs_stage2: 25,
+        epochs_stage3: 100,
+        n_negatives: 16,
+        max_history: 32,
+        seed: 7,
+        ..InBoxConfig::for_dim(32)
+    };
+    if let Some(v) = args.get(2) { cfg.max_history = v.parse().unwrap(); }
+    if let Some(v) = args.get(3) { cfg.n_negatives = v.parse().unwrap(); }
+    let t1 = Instant::now();
+    let trained = train(&ds, cfg);
+    println!("train time: {:?} (early stop: {})", t1.elapsed(), trained.report.early_stopped);
+    println!("stage3 recalls: {:?}", trained.report.stage3_recalls);
+    let t2 = Instant::now();
+    let m = trained.evaluate(&ds, 20);
+    println!("eval time {:?}: {m}", t2.elapsed());
+
+    use inbox_baselines::{KginLite, KginLiteConfig};
+    use inbox_eval::evaluate_with_threads;
+    let t3 = Instant::now();
+    let kgin = KginLite::fit(&ds, &KginLiteConfig { dim: 32, epochs: 15, seed: 7, ..Default::default() });
+    let km = evaluate_with_threads(&kgin, &ds.train, &ds.test, 20, 1);
+    println!("kgin-lite d64 ({:?}): {km}", t3.elapsed());
+}

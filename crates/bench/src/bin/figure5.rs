@@ -1,0 +1,147 @@
+//! Regenerates **Figure 5**: PCA scatter of item embeddings for four
+//! sampled relation-tag concepts on the Last-FM twin. Items belonging to a
+//! concept ("red" in the paper) should cluster; equally many random items
+//! ("blue") should scatter.
+//!
+//! Emits one CSV per case (`results/figure5_caseN.csv` with columns
+//! `x,y,group`) plus a JSON summary with the quantitative tightness ratio
+//! `intra_random / intra_concept` (> 1 ⇒ concept clusters are tighter, the
+//! qualitative claim of the figure).
+//!
+//! Run: `cargo run --release -p inbox-bench --bin figure5 [--quick]`
+
+use inbox_bench::{results_dir, run_inbox, write_json, HarnessConfig};
+use inbox_core::Ablation;
+use inbox_eval::{centroid_separation, separation, Pca};
+use inbox_kg::ItemId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CaseSummary {
+    case: usize,
+    relation: String,
+    tag: u32,
+    n_items: usize,
+    intra_concept: f64,
+    intra_random: f64,
+    tightness_ratio: f64,
+    /// Centroid ratio in the 2-D projection (random/concept; >1 = clustered).
+    centroid_ratio_2d: f64,
+    /// Centroid ratio in the full embedding space.
+    centroid_ratio_full: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut harness = HarnessConfig::from_args(&args);
+    harness.dataset_filter = Some("lastfm".to_string());
+    let datasets = harness.datasets();
+    let ds = &datasets[0];
+
+    eprintln!("[figure5] training InBox on {} ...", ds.name);
+    let (trained, metrics, _t) = run_inbox(ds, &harness, Ablation::Base);
+    eprintln!("[figure5] trained: {metrics}");
+
+    // Sample four concepts with a healthy member count, as in the paper.
+    let mut rng = StdRng::seed_from_u64(harness.seed ^ 0xf16);
+    let mut candidates: Vec<_> = ds
+        .kg
+        .concepts()
+        .filter(|(_, items)| items.len() >= 15)
+        .map(|(c, items)| (*c, items.clone()))
+        .collect();
+    candidates.sort_by_key(|(c, _)| (c.relation.0, c.tag.0));
+    candidates.shuffle(&mut rng);
+    candidates.truncate(4);
+    assert!(
+        !candidates.is_empty(),
+        "no concept with enough members — regenerate with another seed"
+    );
+
+    let all_items: Vec<ItemId> = (0..ds.n_items() as u32).map(ItemId).collect();
+    let mut summaries = Vec::new();
+
+    for (case, (concept, members)) in candidates.iter().enumerate() {
+        // Equal number of random items NOT linked to the concept.
+        let mut random_items: Vec<ItemId> = all_items
+            .iter()
+            .copied()
+            .filter(|i| !members.contains(i))
+            .collect();
+        random_items.shuffle(&mut rng);
+        random_items.truncate(members.len());
+
+        // PCA fitted on the union, projected to 2-D (as in the paper).
+        let union_points: Vec<Vec<f32>> = members
+            .iter()
+            .chain(random_items.iter())
+            .map(|&i| trained.model.item_point_f32(i).to_vec())
+            .collect();
+        let pca = Pca::fit(&union_points, 2);
+        let red: Vec<Vec<f64>> = members
+            .iter()
+            .map(|&i| pca.transform(trained.model.item_point_f32(i)))
+            .collect();
+        let blue: Vec<Vec<f64>> = random_items
+            .iter()
+            .map(|&i| pca.transform(trained.model.item_point_f32(i)))
+            .collect();
+
+        let sep = separation(&red, &blue);
+        let cen2d = centroid_separation(&red, &blue);
+        // Full-dimensional centroid separation (projection-independent).
+        let red_full: Vec<Vec<f64>> = members
+            .iter()
+            .map(|&i| trained.model.item_point_f32(i).iter().map(|&v| v as f64).collect())
+            .collect();
+        let blue_full: Vec<Vec<f64>> = random_items
+            .iter()
+            .map(|&i| trained.model.item_point_f32(i).iter().map(|&v| v as f64).collect())
+            .collect();
+        let cen_full = centroid_separation(&red_full, &blue_full);
+        let rel_name = ds.kg.relation_name(concept.relation).to_string();
+        println!(
+            "case {case}: concept ({rel_name}, tag {}) — {} items; centroid ratio x{:.2} (2-D) / x{:.2} (full-D); intra tightness x{:.2}",
+            concept.tag.0,
+            members.len(),
+            cen2d.ratio,
+            cen_full.ratio,
+            sep.tightness_ratio
+        );
+
+        let mut csv = String::from("x,y,group\n");
+        for p in &red {
+            csv.push_str(&format!("{:.5},{:.5},concept\n", p[0], p[1]));
+        }
+        for p in &blue {
+            csv.push_str(&format!("{:.5},{:.5},random\n", p[0], p[1]));
+        }
+        let path = results_dir().join(format!("figure5_case{case}.csv"));
+        std::fs::write(&path, csv).expect("write CSV");
+        println!("  points written to {}", path.display());
+
+        summaries.push(CaseSummary {
+            case,
+            relation: rel_name,
+            tag: concept.tag.0,
+            n_items: members.len(),
+            intra_concept: sep.intra_concept,
+            intra_random: sep.intra_random,
+            tightness_ratio: sep.tightness_ratio,
+            centroid_ratio_2d: cen2d.ratio,
+            centroid_ratio_full: cen_full.ratio,
+        });
+    }
+
+    let mean_2d: f64 =
+        summaries.iter().map(|s| s.centroid_ratio_2d).sum::<f64>() / summaries.len() as f64;
+    let mean_full: f64 =
+        summaries.iter().map(|s| s.centroid_ratio_full).sum::<f64>() / summaries.len() as f64;
+    println!(
+        "\nmean centroid ratio: x{mean_2d:.2} (2-D) / x{mean_full:.2} (full-D) — >1 means concept items\ncluster around their centroid while random items scatter (the paper's visual claim)."
+    );
+    write_json("figure5.json", &summaries);
+}

@@ -1,0 +1,115 @@
+//! Design-choice ablations: empirical justification for the three
+//! documented deviations from the paper-as-printed (DESIGN.md §1) plus a
+//! dimension sweep.
+//!
+//! * **loss form** — Eq. (12) verbatim vs the RotatE-style negative term;
+//! * **inside weight α** — `D_out + α·D_in` for α ∈ {0, 0.1, 0.5, 1.0}
+//!   (α = 1 is the equation as printed);
+//! * **margin γ** — dimension-scaled vs the paper's absolute 12;
+//! * **dimension d** — capacity sweep at fixed epochs.
+//!
+//! Run: `cargo run --release -p inbox-bench --bin sweeps [--quick]`
+
+use inbox_bench::{write_json, HarnessConfig};
+use inbox_core::{train, InBoxConfig, LossForm};
+use inbox_data::Dataset;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepRow {
+    sweep: String,
+    setting: String,
+    recall: f64,
+    ndcg: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut harness = HarnessConfig::from_args(&args);
+    if harness.dataset_filter.is_none() {
+        harness.dataset_filter = Some("lastfm".to_string());
+    }
+    let datasets = harness.datasets();
+    let ds: &Dataset = &datasets[0];
+    // A slightly lighter budget than the main tables: the comparisons are
+    // within-sweep, so only relative ordering matters.
+    let base = InBoxConfig {
+        epochs_stage1: harness.inbox_config().epochs_stage1 * 3 / 4,
+        epochs_stage2: harness.inbox_config().epochs_stage2 * 3 / 4,
+        epochs_stage3: harness.inbox_config().epochs_stage3 / 2,
+        ..harness.inbox_config()
+    };
+
+    let mut rows: Vec<SweepRow> = Vec::new();
+    let mut run = |sweep: &str, setting: String, cfg: InBoxConfig| {
+        eprintln!("[sweeps] {sweep} = {setting} ...");
+        let trained = train(ds, cfg);
+        let m = trained.evaluate(ds, harness.k);
+        println!("{sweep:<16} {setting:<20} recall {:.4}  ndcg {:.4}", m.recall, m.ndcg);
+        rows.push(SweepRow {
+            sweep: sweep.into(),
+            setting,
+            recall: m.recall,
+            ndcg: m.ndcg,
+        });
+    };
+
+    println!("Design-choice ablations on {} (recall@{} / ndcg@{}):\n", ds.name, harness.k, harness.k);
+
+    // 1. Loss form (DESIGN.md deviation #1).
+    for form in [LossForm::Rotate, LossForm::PaperLiteral] {
+        run(
+            "loss_form",
+            format!("{form:?}"),
+            InBoxConfig {
+                loss_form: form,
+                ..base.clone()
+            },
+        );
+    }
+
+    // 2. Inside weight (deviation #2); 1.0 == Eq. (7) as printed.
+    for alpha in [0.0f32, 0.1, 0.5, 1.0] {
+        run(
+            "inside_weight",
+            format!("alpha={alpha}"),
+            InBoxConfig {
+                inside_weight: alpha,
+                ..base.clone()
+            },
+        );
+    }
+
+    // 3. Margin gamma (deviation #3); 12.0 is the paper's absolute value.
+    let d = base.dim;
+    for gamma in [d as f32 / 6.0, d as f32 / 3.0, 12.0, 2.0 * d as f32 / 3.0] {
+        run(
+            "gamma",
+            format!("gamma={gamma}"),
+            InBoxConfig {
+                gamma,
+                ..base.clone()
+            },
+        );
+    }
+
+    // 4. Dimension sweep (γ auto-scaled with d).
+    for dim in [8usize, 16, 32] {
+        run(
+            "dim",
+            format!("d={dim}"),
+            InBoxConfig {
+                dim,
+                gamma: InBoxConfig::auto_gamma(dim),
+                ..base.clone()
+            },
+        );
+    }
+
+    println!("\nReading the sweeps: Rotate beats PaperLiteral by a wide margin (deviation #1);");
+    println!("gamma must track the d/3 distance scale — d/6 collapses, 2d/3 degrades");
+    println!("(deviation #3; the paper's 12 ≈ d/3 at d=32); recall grows with d. Recall is");
+    println!("fairly tolerant of alpha because centers alone can rank, but alpha < 1 is what");
+    println!("makes *containment* trainable (see the IRT-satisfaction test and Figure 5).");
+    write_json("sweeps.json", &rows);
+}

@@ -1,0 +1,99 @@
+//! Regenerates **Table 2**: overall recall@20 / ndcg@20 of InBox against
+//! the baseline families on the four dataset twins.
+//!
+//! Absolute values differ from the paper (simulated data, CPU-scaled
+//! models); the *shape* to check is the row ordering — Popularity < MF <
+//! CKE < GNN family < InBox — and InBox's largest margin landing on the
+//! IRT-heavy Last-FM twin (Section 4.2).
+//!
+//! Run: `cargo run --release -p inbox-bench --bin table2 [--quick]`
+
+use inbox_baselines::BaselineKind;
+use inbox_bench::{cell, run_baseline, run_inbox, write_json, HarnessConfig, MeasuredRow};
+use inbox_core::Ablation;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let harness = HarnessConfig::from_args(&args);
+    let datasets = harness.datasets();
+
+    let mut rows: Vec<MeasuredRow> = Vec::new();
+    let mut table: Vec<(String, Vec<String>)> = Vec::new();
+
+    for kind in BaselineKind::table2_rows() {
+        let mut cells = Vec::new();
+        for ds in &datasets {
+            eprintln!("[table2] {} on {} ...", kind.label(), ds.name);
+            let (m, t) = run_baseline(ds, &harness, kind);
+            rows.push(MeasuredRow {
+                model: kind.label().to_string(),
+                dataset: ds.name.clone(),
+                recall: m.recall,
+                ndcg: m.ndcg,
+                train_seconds: t.as_secs_f64(),
+            });
+            cells.push(cell(&m));
+        }
+        table.push((kind.label().to_string(), cells));
+    }
+
+    let mut inbox_cells = Vec::new();
+    for ds in &datasets {
+        eprintln!("[table2] InBox on {} ...", ds.name);
+        let (_trained, m, t) = run_inbox(ds, &harness, Ablation::Base);
+        rows.push(MeasuredRow {
+            model: "InBox".to_string(),
+            dataset: ds.name.clone(),
+            recall: m.recall,
+            ndcg: m.ndcg,
+            train_seconds: t.as_secs_f64(),
+        });
+        inbox_cells.push(cell(&m));
+    }
+    table.push(("InBox".to_string(), inbox_cells));
+
+    println!("\nTable 2: Overall results (recall@20 / ndcg@20)\n");
+    print!("{:<12}", "");
+    for ds in &datasets {
+        print!("{:>22}", ds.name);
+    }
+    println!();
+    for (model, cells) in &table {
+        print!("{model:<12}");
+        for c in cells {
+            print!("{c:>22}");
+        }
+        println!();
+    }
+
+    // Relative improvement of InBox over each baseline (recall), as the
+    // bracketed percentages in the paper's Table 2.
+    println!("\nRelative recall improvement of InBox over each baseline:");
+    for (model, _) in table.iter().take(table.len() - 1) {
+        print!("{model:<12}");
+        for ds in &datasets {
+            let base = rows
+                .iter()
+                .find(|r| &r.model == model && r.dataset == ds.name)
+                .unwrap()
+                .recall;
+            let inbox = rows
+                .iter()
+                .find(|r| r.model == "InBox" && r.dataset == ds.name)
+                .unwrap()
+                .recall;
+            let imp = if base > 0.0 {
+                100.0 * (inbox - base) / base
+            } else {
+                f64::INFINITY
+            };
+            print!("{:>22}", format!("{imp:+.2}%"));
+        }
+        println!();
+    }
+
+    println!("\nPaper reference (recall@20): InBox 0.1140 (Last-FM), 0.0806 (Yelp2018),");
+    println!("0.1335 (Alibaba-iFashion), 0.1752 (Amazon-Book); strongest baseline HAKG/KGIN.");
+
+    write_json("table2.json", &rows);
+}

@@ -1,0 +1,82 @@
+//! Regenerates **Table 3**: the impact of each training step — all eight
+//! ablation rows of the paper on the four dataset twins.
+//!
+//! The shape to check (Section 4.3): `w/o B&I` collapses; `only userI`
+//! drops substantially; `w/o B`, `only IRT`, `M-M I` and `w/o userI` are
+//! mild degradations; `w/o I` sits slightly below `w/o B`; `Base` is best
+//! or near-best everywhere.
+//!
+//! Run: `cargo run --release -p inbox-bench --bin table3 [--quick]`
+
+use inbox_bench::{cell, run_inbox, write_json, HarnessConfig, MeasuredRow};
+use inbox_core::Ablation;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let harness = HarnessConfig::from_args(&args);
+    let datasets = harness.datasets();
+
+    let mut rows: Vec<MeasuredRow> = Vec::new();
+    let mut table: Vec<(String, Vec<String>)> = Vec::new();
+
+    for ablation in Ablation::table3_rows() {
+        let mut cells = Vec::new();
+        for ds in &datasets {
+            eprintln!("[table3] {} on {} ...", ablation.label(), ds.name);
+            let (_trained, m, t) = run_inbox(ds, &harness, ablation);
+            rows.push(MeasuredRow {
+                model: ablation.label().to_string(),
+                dataset: ds.name.clone(),
+                recall: m.recall,
+                ndcg: m.ndcg,
+                train_seconds: t.as_secs_f64(),
+            });
+            cells.push(cell(&m));
+        }
+        table.push((ablation.label().to_string(), cells));
+    }
+
+    println!("\nTable 3: Impact of each training step (recall@20 / ndcg@20)\n");
+    print!("{:<12}", "");
+    for ds in &datasets {
+        print!("{:>22}", ds.name);
+    }
+    println!();
+    for (label, cells) in &table {
+        print!("{label:<12}");
+        for c in cells {
+            print!("{c:>22}");
+        }
+        println!();
+    }
+
+    // Relative drop vs Base, as the bracketed percentages in the paper.
+    println!("\nRelative recall drop of each ablation vs Base:");
+    for (label, _) in table.iter().take(table.len() - 1) {
+        print!("{label:<12}");
+        for ds in &datasets {
+            let abl = rows
+                .iter()
+                .find(|r| &r.model == label && r.dataset == ds.name)
+                .unwrap()
+                .recall;
+            let base = rows
+                .iter()
+                .find(|r| r.model == "Base" && r.dataset == ds.name)
+                .unwrap()
+                .recall;
+            let drop = if abl > 0.0 {
+                100.0 * (base - abl) / abl
+            } else {
+                f64::INFINITY
+            };
+            print!("{:>22}", format!("{drop:+.2}%"));
+        }
+        println!();
+    }
+
+    println!("\nPaper reference (Last-FM recall@20): Base 0.1140, w/o B 0.1092, only IRT 0.1084,");
+    println!("w/o I 0.1069, M-M I 0.1079, w/o B&I 0.0363, w/o userI 0.1114, only userI 0.0621.");
+
+    write_json("table3.json", &rows);
+}

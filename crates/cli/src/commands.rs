@@ -1,0 +1,305 @@
+//! Subcommand implementations for the `inbox` CLI.
+
+use std::error::Error;
+use std::io::Write as _;
+
+use inbox_core::interpret::{explain, format_explanation};
+use inbox_core::{persist, InBoxConfig, IntersectionMode};
+use inbox_data::{Dataset, SyntheticConfig};
+use inbox_eval::{beyond_accuracy, Scorer};
+use inbox_kg::UserId;
+
+use crate::args::Parsed;
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+inbox — InBox interest-box recommendation (VLDB 2024 reproduction)
+
+USAGE:
+  inbox stats     (--preset P | --data DIR) [--seed N]
+  inbox export    --preset P --out DIR [--seed N]
+  inbox train     (--preset P | --data DIR) --out MODEL.json
+                  [--dim 32] [--epochs1 40] [--epochs2 25] [--epochs3 40]
+                  [--lr 0.02] [--seed 42] [--maxmin] [--quick]
+  inbox evaluate  --model MODEL.json (--preset P | --data DIR) [--k 20]
+  inbox recommend --model MODEL.json (--preset P | --data DIR) --user U
+                  [--k 10] [--explain]
+
+Presets: tiny | small | lastfm | yelp | ifashion | amazon
+Data dirs use the KGIN format: train.txt, test.txt, kg_final.txt";
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+fn preset_by_name(name: &str) -> Result<SyntheticConfig, Box<dyn Error>> {
+    Ok(match name {
+        "tiny" => SyntheticConfig::tiny(),
+        "small" => SyntheticConfig::small(),
+        "lastfm" => SyntheticConfig::lastfm_like(),
+        "yelp" => SyntheticConfig::yelp_like(),
+        "ifashion" => SyntheticConfig::ifashion_like(),
+        "amazon" => SyntheticConfig::amazon_like(),
+        other => return Err(format!("unknown preset {other:?}").into()),
+    })
+}
+
+/// Loads the dataset selected by `--preset` or `--data`.
+pub fn load_dataset(parsed: &Parsed) -> Result<Dataset, Box<dyn Error>> {
+    match (parsed.get("preset"), parsed.get("data")) {
+        (Some(p), None) => {
+            let seed = parsed.get_parsed("seed", 7u64)?;
+            Ok(Dataset::synthetic(&preset_by_name(p)?, seed))
+        }
+        (None, Some(dir)) => Ok(Dataset::from_dir(dir, dir)?),
+        _ => Err("exactly one of --preset or --data is required".into()),
+    }
+}
+
+/// `inbox stats` — Table-1-style statistics.
+pub fn stats(parsed: &Parsed) -> CmdResult {
+    let ds = load_dataset(parsed)?;
+    println!("dataset: {}", ds.name);
+    println!("#Users        {:>10}", ds.n_users());
+    println!("#Interactions {:>10}", ds.train.n_interactions() + ds.test.n_interactions());
+    println!("{}", ds.kg_stats());
+    Ok(())
+}
+
+/// `inbox export` — write a synthetic dataset in KGIN format.
+pub fn export(parsed: &Parsed) -> CmdResult {
+    let preset = parsed.require("preset")?;
+    let out = parsed.require("out")?;
+    let seed = parsed.get_parsed("seed", 7u64)?;
+    let ds = Dataset::synthetic(&preset_by_name(preset)?, seed);
+    std::fs::create_dir_all(out)?;
+    let dir = std::path::Path::new(out);
+
+    let dump = |inter: &inbox_data::Interactions, path: &std::path::Path| -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        for u in 0..inter.n_users() as u32 {
+            let items = inter.items_of(UserId(u));
+            if items.is_empty() {
+                continue;
+            }
+            write!(f, "{u}")?;
+            for i in items {
+                write!(f, " {}", i.0)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    };
+    dump(&ds.train, &dir.join("train.txt"))?;
+    dump(&ds.test, &dir.join("test.txt"))?;
+
+    let n_items = ds.kg.n_items() as u32;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(dir.join("kg_final.txt"))?);
+    for t in ds.kg.iri_triples() {
+        writeln!(f, "{} {} {}", t.head.0, t.relation.0, t.tail.0)?;
+    }
+    for t in ds.kg.trt_triples() {
+        writeln!(f, "{} {} {}", n_items + t.head.0, t.relation.0, n_items + t.tail.0)?;
+    }
+    for t in ds.kg.irt_triples() {
+        writeln!(f, "{} {} {}", t.head.0, t.relation.0, n_items + t.tail.0)?;
+    }
+    drop(f);
+    println!(
+        "exported {} ({} interactions, {} triples) to {}",
+        ds.name,
+        ds.train.n_interactions() + ds.test.n_interactions(),
+        ds.kg_stats().n_triples(),
+        out
+    );
+    Ok(())
+}
+
+/// Builds the training configuration from flags.
+pub fn config_from_flags(parsed: &Parsed) -> Result<InBoxConfig, Box<dyn Error>> {
+    let dim = parsed.get_parsed("dim", 32usize)?;
+    let mut cfg = InBoxConfig::for_dim(dim);
+    cfg.epochs_stage1 = parsed.get_parsed("epochs1", cfg.epochs_stage1)?;
+    cfg.epochs_stage2 = parsed.get_parsed("epochs2", cfg.epochs_stage2)?;
+    cfg.epochs_stage3 = parsed.get_parsed("epochs3", cfg.epochs_stage3)?;
+    cfg.lr = parsed.get_parsed("lr", cfg.lr)?;
+    cfg.seed = parsed.get_parsed("seed", cfg.seed)?;
+    cfg.gamma = parsed.get_parsed("gamma", cfg.gamma)?;
+    if parsed.has("maxmin") {
+        cfg.intersection = IntersectionMode::MaxMin;
+    }
+    if parsed.has("quick") {
+        cfg.epochs_stage1 = (cfg.epochs_stage1 / 4).max(2);
+        cfg.epochs_stage2 = (cfg.epochs_stage2 / 4).max(2);
+        cfg.epochs_stage3 = (cfg.epochs_stage3 / 4).max(2);
+    }
+    Ok(cfg)
+}
+
+/// `inbox train` — train and checkpoint a model.
+pub fn train(parsed: &Parsed) -> CmdResult {
+    let out = parsed.require("out")?;
+    let ds = load_dataset(parsed)?;
+    let cfg = config_from_flags(parsed)?;
+    eprintln!(
+        "training on {} ({} users, {} items, {} triples) with d={} ...",
+        ds.name,
+        ds.n_users(),
+        ds.n_items(),
+        ds.kg_stats().n_triples(),
+        cfg.dim
+    );
+    let t0 = std::time::Instant::now();
+    let trained = inbox_core::train(&ds, cfg);
+    eprintln!("trained in {:.1?} (early stop: {})", t0.elapsed(), trained.report.early_stopped);
+    let metrics = trained.evaluate(&ds, 20);
+    println!("test metrics: {metrics}");
+    persist::save(&trained, out)?;
+    println!("model written to {out}");
+    Ok(())
+}
+
+/// `inbox evaluate` — metrics for a checkpointed model.
+pub fn evaluate(parsed: &Parsed) -> CmdResult {
+    let model_path = parsed.require("model")?;
+    let k = parsed.get_parsed("k", 20usize)?;
+    let ds = load_dataset(parsed)?;
+    let trained = persist::load(model_path)?;
+    let metrics = inbox_eval::evaluate_with_threads(&trained, &ds.train, &ds.test, k, 1);
+    println!("recall@{k} {:.4}, ndcg@{k} {:.4} ({} users)", metrics.recall, metrics.ndcg, metrics.n_users_evaluated);
+    let beyond = beyond_accuracy(&trained, &ds.train, &ds.test, k);
+    println!(
+        "coverage {:.3}, exposure gini {:.3}, mean list length {:.1}",
+        beyond.coverage, beyond.gini, beyond.mean_list_len
+    );
+    Ok(())
+}
+
+/// `inbox recommend` — top-K for a user, optionally explained.
+pub fn recommend(parsed: &Parsed) -> CmdResult {
+    let model_path = parsed.require("model")?;
+    let user: u32 = parsed.require("user")?.parse().map_err(|e| format!("bad --user: {e}"))?;
+    let k = parsed.get_parsed("k", 10usize)?;
+    let ds = load_dataset(parsed)?;
+    let trained = persist::load(model_path)?;
+    let user = UserId(user);
+    if user.index() >= ds.n_users() {
+        return Err(format!("user {} out of range (dataset has {})", user.0, ds.n_users()).into());
+    }
+    let seen = ds.train.items_of(user);
+    println!("user {} has {} training interactions; top-{k}:", user.0, seen.len());
+    let recs = trained.recommend(user, seen, k);
+    for (rank, (item, score)) in recs.iter().enumerate() {
+        let marker = if ds.test.contains(user, *item) { "  [test hit]" } else { "" };
+        println!("{:>3}. {} score {score:.3}{marker}", rank + 1, item);
+    }
+    if parsed.has("explain") {
+        if let Some((top, _)) = recs.first() {
+            if let Some(ex) = explain(&trained, &ds.kg, user, *top) {
+                println!("\nwhy {top}?\n{}", format_explanation(&ex, &ds.kg));
+            }
+        }
+    }
+    let _ = trained.score_items(user); // exercise the Scorer path
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(tokens: &[&str]) -> Parsed {
+        let v: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        Parsed::parse(&v).unwrap()
+    }
+
+    #[test]
+    fn preset_lookup() {
+        assert!(preset_by_name("tiny").is_ok());
+        assert!(preset_by_name("lastfm").is_ok());
+        assert!(preset_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn dataset_requires_exactly_one_source() {
+        let p = parsed(&["stats"]);
+        assert!(load_dataset(&p).is_err());
+        let p = parsed(&["stats", "--preset", "tiny", "--data", "/tmp"]);
+        assert!(load_dataset(&p).is_err());
+        let p = parsed(&["stats", "--preset", "tiny"]);
+        assert!(load_dataset(&p).is_ok());
+    }
+
+    #[test]
+    fn config_flags_respected() {
+        let p = parsed(&[
+            "train", "--dim", "16", "--lr", "0.01", "--epochs1", "5", "--maxmin", "--quick",
+        ]);
+        let cfg = config_from_flags(&p).unwrap();
+        assert_eq!(cfg.dim, 16);
+        assert_eq!(cfg.lr, 0.01);
+        assert_eq!(cfg.intersection, IntersectionMode::MaxMin);
+        // --quick divides epochs (after explicit --epochs1 5 -> 5/4 max 2).
+        assert_eq!(cfg.epochs_stage1, 2);
+        // gamma auto-scaled for dim 16 unless overridden.
+        assert_eq!(cfg.gamma, InBoxConfig::auto_gamma(16));
+    }
+
+    #[test]
+    fn full_cli_train_evaluate_recommend_cycle() {
+        let dir = std::env::temp_dir().join(format!("inbox-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("model.json");
+        let model_str = model.to_str().unwrap();
+
+        // export
+        let data_dir = dir.join("data");
+        let p = parsed(&["export", "--preset", "tiny", "--out", data_dir.to_str().unwrap()]);
+        export(&p).unwrap();
+        assert!(data_dir.join("kg_final.txt").exists());
+
+        // stats from the exported dir
+        let p = parsed(&["stats", "--data", data_dir.to_str().unwrap()]);
+        stats(&p).unwrap();
+
+        // train on the exported data (quick)
+        let p = parsed(&[
+            "train",
+            "--data",
+            data_dir.to_str().unwrap(),
+            "--out",
+            model_str,
+            "--dim",
+            "8",
+            "--quick",
+        ]);
+        train(&p).unwrap();
+        assert!(model.exists());
+
+        // evaluate
+        let p = parsed(&["evaluate", "--model", model_str, "--data", data_dir.to_str().unwrap()]);
+        evaluate(&p).unwrap();
+
+        // recommend with explanation
+        let p = parsed(&[
+            "recommend",
+            "--model",
+            model_str,
+            "--data",
+            data_dir.to_str().unwrap(),
+            "--user",
+            "0",
+            "--k",
+            "5",
+            "--explain",
+        ]);
+        recommend(&p).unwrap();
+
+        // out-of-range user rejected
+        let p = parsed(&[
+            "recommend", "--model", model_str, "--data", data_dir.to_str().unwrap(),
+            "--user", "99999",
+        ]);
+        assert!(recommend(&p).is_err());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,288 @@
+//! Hyperparameters and ablation switches for InBox training.
+
+use serde::{Deserialize, Serialize};
+
+/// How stage 2/3 compute the intersection of concept boxes (Section 3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IntersectionMode {
+    /// Attention-network intersection (Eq. (13)–(16)) — the paper's *base*.
+    Attention,
+    /// Purely mathematical Max-Min intersection (Eq. (17)–(20)) — the
+    /// paper's `M-M I` ablation.
+    MaxMin,
+}
+
+/// Which per-item boxes feed the user interest box in stage 3 (Section 3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UserBoxMode {
+    /// Average of `b_interI` and `b_interU` (Eq. (25), (26)) — the base.
+    Both,
+    /// Only the stage-2 intersection box — the paper's `w/o userI`.
+    OnlyInterI,
+    /// Only the user-bias intersection box — the paper's `only userI`.
+    OnlyInterU,
+}
+
+/// Which negative-term form the margin loss of Eq. (12) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossForm {
+    /// RotatE-style `-log σ(D_neg - γ)` — bounded, pushes hard negatives;
+    /// the form the paper's equation is modelled on (default; see DESIGN.md).
+    Rotate,
+    /// Eq. (12) exactly as printed: `+log σ(γ - D_neg)` subtracted. Kept for
+    /// the design-choice ablation (`sweeps` bench): its gradient vanishes on
+    /// hard negatives and the loss is unbounded below.
+    PaperLiteral,
+}
+
+/// Full training configuration.
+///
+/// The paper trains with `d = 512`, batch 256, 256 negatives, 100/100/30
+/// epochs on an RTX 3090. The defaults here are scaled for a single CPU core
+/// (see DESIGN.md §1); every paper value remains reachable by setting the
+/// fields explicitly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InBoxConfig {
+    /// Embedding dimension `d` (paper: 512).
+    pub dim: usize,
+    /// Margin `γ` of Eq. (12) and the scoring offset of Eq. (29) (paper: 12).
+    pub gamma: f32,
+    /// Initial Adam learning rate (paper: 1e-4 at d=512; larger here because
+    /// both model and data are much smaller, so far fewer optimiser steps are
+    /// taken per epoch and Adam's per-step movement is bounded by `lr`).
+    pub lr: f32,
+    /// Whether to apply the paper's step decay (lr × 0.2 at 50% of the
+    /// epochs, × 0.2 again at 75%).
+    pub lr_decay: bool,
+    /// Epochs for the basic pretraining step (paper: 100).
+    pub epochs_stage1: usize,
+    /// Epochs for the box-intersection step (paper: 100).
+    pub epochs_stage2: usize,
+    /// Epochs for the interest-box recommendation step (paper: 30).
+    pub epochs_stage3: usize,
+    /// Negative samples per positive (paper: 256).
+    pub n_negatives: usize,
+    /// Samples per optimiser step (paper: 256).
+    pub batch_size: usize,
+    /// Negative-term form of the margin loss (see [`LossForm`]).
+    pub loss_form: LossForm,
+    /// Weight `α` of the inside term in the point-to-box distance
+    /// (`D_out + α·D_in`). Must be `< 1` for box offsets to receive any
+    /// training signal — see `geometry::d_pb_weighted`. Query2Box uses 0.02.
+    pub inside_weight: f32,
+    /// Maximum concepts per item fed to the intersection (larger concept
+    /// sets are subsampled each epoch).
+    pub max_concepts: usize,
+    /// Maximum history items per user in stage-3 training (larger histories
+    /// are subsampled each epoch).
+    pub max_history: usize,
+    /// History cap at inference time when building the final interest box.
+    pub max_history_infer: usize,
+    /// `α` in the stage-3 sample weight `w = 1/(m + α)`.
+    pub alpha: f32,
+    /// Intersection operator.
+    pub intersection: IntersectionMode,
+    /// Interest-box composition.
+    pub user_box: UserBoxMode,
+    /// Run the basic pretraining step (`false` = the paper's `w/o B`).
+    pub use_stage1: bool,
+    /// Restrict stage 1 to IRT triples (the paper's `only IRT`).
+    pub only_irt: bool,
+    /// Run the box-intersection step (`false` = the paper's `w/o I`).
+    pub use_stage2: bool,
+    /// Early-stopping patience: stop stage 3 when recall@20 has not improved
+    /// for this many consecutive epochs (paper: 2; a noisier small-scale
+    /// evaluation benefits from 3).
+    pub patience: usize,
+    /// RNG seed controlling init, shuffling and negative sampling.
+    pub seed: u64,
+    /// Worker threads for gradient computation (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for InBoxConfig {
+    fn default() -> Self {
+        Self {
+            dim: 32,
+            gamma: 12.0,
+            lr: 2e-2,
+            lr_decay: true,
+            epochs_stage1: 40,
+            epochs_stage2: 25,
+            epochs_stage3: 40,
+            n_negatives: 32,
+            batch_size: 32,
+            loss_form: LossForm::Rotate,
+            inside_weight: 0.1,
+            max_concepts: 8,
+            max_history: 48,
+            max_history_infer: 64,
+            alpha: 2.0,
+            intersection: IntersectionMode::Attention,
+            user_box: UserBoxMode::Both,
+            use_stage1: true,
+            only_irt: false,
+            use_stage2: true,
+            patience: 3,
+            seed: 42,
+            threads: 1,
+        }
+    }
+}
+
+impl InBoxConfig {
+    /// The margin `γ` that keeps Eq. (12) in its useful regime for dimension
+    /// `d`: with embeddings initialised uniform in `[-0.5, 0.5)` the expected
+    /// initial L1 distance is `d/3`, and `γ` must sit at or below that scale
+    /// or the positive-pull gradient `1 - σ(γ - D_pos)` vanishes. The paper's
+    /// `γ = 12` matches its `d = 512` the same way (initial distances ≫ γ).
+    pub fn auto_gamma(dim: usize) -> f32 {
+        (dim as f32 / 3.0).max(1.0)
+    }
+
+    /// Default configuration at an explicit dimension, with `γ` scaled via
+    /// [`Self::auto_gamma`].
+    pub fn for_dim(dim: usize) -> Self {
+        Self {
+            dim,
+            gamma: Self::auto_gamma(dim),
+            ..Self::default()
+        }
+    }
+
+    /// A very small configuration for unit tests (runs in well under a
+    /// second on the tiny synthetic dataset).
+    pub fn tiny_test() -> Self {
+        Self {
+            epochs_stage1: 4,
+            epochs_stage2: 4,
+            epochs_stage3: 5,
+            n_negatives: 4,
+            batch_size: 16,
+            max_history: 8,
+            max_history_infer: 16,
+            lr: 1e-2,
+            ..Self::for_dim(8)
+        }
+    }
+}
+
+/// The ablations of Table 3, as named in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Ablation {
+    /// Full model.
+    Base,
+    /// `w/o B`: skip the basic pretraining step.
+    WithoutB,
+    /// `only IRT`: drop TRT and IRI triples from stage 1.
+    OnlyIrt,
+    /// `w/o I`: skip the box-intersection step.
+    WithoutI,
+    /// `M-M I`: use Max-Min intersection instead of the attention network.
+    MaxMinI,
+    /// `w/o B&I`: skip both KG-only stages; train stage 3 from scratch.
+    WithoutBAndI,
+    /// `w/o userI`: interest box from `b_interI` only.
+    WithoutUserI,
+    /// `only userI`: interest box from `b_interU` only.
+    OnlyUserI,
+}
+
+impl Ablation {
+    /// All ablations in the row order of Table 3 (base last).
+    pub fn table3_rows() -> [Ablation; 8] {
+        [
+            Ablation::WithoutB,
+            Ablation::OnlyIrt,
+            Ablation::WithoutI,
+            Ablation::MaxMinI,
+            Ablation::WithoutBAndI,
+            Ablation::WithoutUserI,
+            Ablation::OnlyUserI,
+            Ablation::Base,
+        ]
+    }
+
+    /// The paper's row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Ablation::Base => "Base",
+            Ablation::WithoutB => "w/o B",
+            Ablation::OnlyIrt => "only IRT",
+            Ablation::WithoutI => "w/o I",
+            Ablation::MaxMinI => "M-M I",
+            Ablation::WithoutBAndI => "w/o B&I",
+            Ablation::WithoutUserI => "w/o userI",
+            Ablation::OnlyUserI => "only userI",
+        }
+    }
+
+    /// Applies the ablation to a base configuration.
+    pub fn configure(self, mut cfg: InBoxConfig) -> InBoxConfig {
+        match self {
+            Ablation::Base => {}
+            Ablation::WithoutB => cfg.use_stage1 = false,
+            Ablation::OnlyIrt => cfg.only_irt = true,
+            Ablation::WithoutI => cfg.use_stage2 = false,
+            Ablation::MaxMinI => cfg.intersection = IntersectionMode::MaxMin,
+            Ablation::WithoutBAndI => {
+                cfg.use_stage1 = false;
+                cfg.use_stage2 = false;
+            }
+            Ablation::WithoutUserI => cfg.user_box = UserBoxMode::OnlyInterI,
+            Ablation::OnlyUserI => cfg.user_box = UserBoxMode::OnlyInterU,
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = InBoxConfig::default();
+        assert!(c.dim > 0 && c.gamma > 0.0 && c.lr > 0.0);
+        assert!(c.use_stage1 && c.use_stage2);
+        assert_eq!(c.intersection, IntersectionMode::Attention);
+        assert_eq!(c.user_box, UserBoxMode::Both);
+    }
+
+    #[test]
+    fn ablations_configure_expected_switches() {
+        let base = InBoxConfig::default();
+        assert!(!Ablation::WithoutB.configure(base.clone()).use_stage1);
+        assert!(Ablation::OnlyIrt.configure(base.clone()).only_irt);
+        assert!(!Ablation::WithoutI.configure(base.clone()).use_stage2);
+        assert_eq!(
+            Ablation::MaxMinI.configure(base.clone()).intersection,
+            IntersectionMode::MaxMin
+        );
+        let bi = Ablation::WithoutBAndI.configure(base.clone());
+        assert!(!bi.use_stage1 && !bi.use_stage2);
+        assert_eq!(
+            Ablation::WithoutUserI.configure(base.clone()).user_box,
+            UserBoxMode::OnlyInterI
+        );
+        assert_eq!(
+            Ablation::OnlyUserI.configure(base.clone()).user_box,
+            UserBoxMode::OnlyInterU
+        );
+        // Base is a no-op.
+        let b2 = Ablation::Base.configure(base.clone());
+        assert_eq!(b2.use_stage1, base.use_stage1);
+    }
+
+    #[test]
+    fn table3_has_eight_distinct_rows() {
+        let rows = Ablation::table3_rows();
+        for (i, a) in rows.iter().enumerate() {
+            for b in &rows[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(rows[7], Ablation::Base);
+        assert_eq!(rows[0].label(), "w/o B");
+    }
+}

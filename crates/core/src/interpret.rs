@@ -1,0 +1,133 @@
+//! Interpretability utilities: explaining *why* an item matches a user's
+//! interest box.
+//!
+//! One of the paper's claims (Sections 1, 6) is that box representations
+//! make recommendations interpretable: a recommended item lies inside (or
+//! near) the user's interest box, and the item's KG concepts whose boxes
+//! contain its point tell us *which* basic concepts the match is made of.
+
+use inbox_kg::{Concept, ItemId, KnowledgeGraph, UserId};
+
+use crate::geometry::{self, BoxEmb};
+use crate::trainer::TrainedInBox;
+
+/// How strongly one concept supports an item recommendation.
+#[derive(Debug, Clone)]
+pub struct ConceptEvidence {
+    /// The relation-tag pair.
+    pub concept: Concept,
+    /// `D_PB` between the item point and the concept box (0 at the box
+    /// center).
+    pub distance: f32,
+    /// True when the item point lies inside the concept box.
+    pub contained: bool,
+}
+
+/// A scored explanation for a single (user, item) pair.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// The matching score `γ - D_PB(v_i, b_u)` (Eq. (29)).
+    pub score: f32,
+    /// `D_PB` between the item point and the user's interest box.
+    pub distance_to_interest: f32,
+    /// Whether the item point lies inside the interest box.
+    pub inside_interest_box: bool,
+    /// Evidence from each of the item's KG concepts, closest box first.
+    pub concepts: Vec<ConceptEvidence>,
+}
+
+/// Explains the match between `user` and `item` under a trained model.
+/// Returns `None` when the user has no interest box (no training history).
+pub fn explain(
+    trained: &TrainedInBox,
+    kg: &KnowledgeGraph,
+    user: UserId,
+    item: ItemId,
+) -> Option<Explanation> {
+    let user_box: &BoxEmb = trained.interest_box_of(user)?;
+    let point = trained.model.item_point_f32(item);
+    let alpha = trained.config.inside_weight;
+    let distance = geometry::d_pb_weighted(point, user_box, alpha);
+    let mut concepts: Vec<ConceptEvidence> = kg
+        .concepts_of(item)
+        .iter()
+        .map(|&c| {
+            let b = trained.model.concept_box_f32(c);
+            ConceptEvidence {
+                concept: c,
+                distance: geometry::d_pb_weighted(point, &b, alpha),
+                contained: b.contains(point),
+            }
+        })
+        .collect();
+    concepts.sort_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap());
+    Some(Explanation {
+        score: trained.config.gamma - distance,
+        distance_to_interest: distance,
+        inside_interest_box: user_box.contains(point),
+        concepts,
+    })
+}
+
+/// Renders an explanation with relation names, for CLI examples.
+pub fn format_explanation(explanation: &Explanation, kg: &KnowledgeGraph) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "score {:.3} (distance to interest box {:.3}, inside: {})",
+        explanation.score, explanation.distance_to_interest, explanation.inside_interest_box
+    );
+    for ev in &explanation.concepts {
+        let _ = writeln!(
+            out,
+            "  concept ({}, tag {}) — d_pb {:.3}{}",
+            kg.relation_name(ev.concept.relation),
+            ev.concept.tag.0,
+            ev.distance,
+            if ev.contained { " [contains item]" } else { "" }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InBoxConfig;
+    use crate::trainer::train;
+    use inbox_data::{Dataset, SyntheticConfig};
+
+    #[test]
+    fn explanations_cover_item_concepts() {
+        let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 77);
+        let trained = train(&ds, InBoxConfig::tiny_test());
+        // Find a user with history and a recommended item with concepts.
+        let user = (0..ds.n_users() as u32)
+            .map(UserId)
+            .find(|u| !ds.train.items_of(*u).is_empty())
+            .unwrap();
+        let recs = trained.recommend(user, ds.train.items_of(user), 5);
+        let (item, score) = recs[0];
+        let ex = explain(&trained, &ds.kg, user, item).expect("user has a box");
+        assert!((ex.score - score).abs() < 1e-5);
+        assert_eq!(ex.concepts.len(), ds.kg.concepts_of(item).len());
+        for w in ex.concepts.windows(2) {
+            assert!(w[0].distance <= w[1].distance, "evidence must be sorted");
+        }
+        let rendered = format_explanation(&ex, &ds.kg);
+        assert!(rendered.contains("score"));
+    }
+
+    #[test]
+    fn explain_returns_none_without_history() {
+        let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 78);
+        let trained = train(&ds, InBoxConfig::tiny_test());
+        if let Some(empty_user) = (0..ds.n_users() as u32)
+            .map(UserId)
+            .find(|u| ds.train.items_of(*u).is_empty())
+        {
+            assert!(explain(&trained, &ds.kg, empty_user, ItemId(0)).is_none());
+        }
+    }
+}

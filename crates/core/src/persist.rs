@@ -1,0 +1,210 @@
+//! Saving and loading trained InBox models.
+//!
+//! A checkpoint stores the training configuration, the universe sizes, every
+//! parameter tensor by name, and the precomputed user interest boxes, as a
+//! single JSON document. Optimiser state is not persisted — a reloaded model
+//! is ready for inference (and can be retrained from its weights).
+
+use std::path::Path;
+
+use inbox_autodiff::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::config::InBoxConfig;
+use crate::geometry::BoxEmb;
+use crate::model::{InBoxModel, UniverseSizes};
+use crate::trainer::{TrainReport, TrainedInBox};
+
+/// Errors raised while saving or loading a checkpoint.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// (De)serialisation failure.
+    Format(String),
+    /// The checkpoint does not match the model it is loaded into.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Format(e) => write!(f, "format error: {e}"),
+            PersistError::Mismatch(e) => write!(f, "checkpoint mismatch: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct SerializedBox {
+    cen: Vec<f32>,
+    off: Vec<f32>,
+}
+
+/// The on-disk checkpoint format (JSON).
+#[derive(Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version for forwards compatibility.
+    pub version: u32,
+    /// The training configuration.
+    pub config: InBoxConfig,
+    /// Number of items.
+    pub n_items: usize,
+    /// Number of tags.
+    pub n_tags: usize,
+    /// Number of relations.
+    pub n_relations: usize,
+    /// Number of users.
+    pub n_users: usize,
+    params: Vec<(String, Tensor)>,
+    boxes: Vec<Option<SerializedBox>>,
+}
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Serialises a trained model into a [`Checkpoint`].
+pub fn to_checkpoint(trained: &TrainedInBox) -> Checkpoint {
+    let sizes = trained.model.sizes();
+    Checkpoint {
+        version: CHECKPOINT_VERSION,
+        config: trained.config.clone(),
+        n_items: sizes.n_items,
+        n_tags: sizes.n_tags,
+        n_relations: sizes.n_relations,
+        n_users: sizes.n_users,
+        params: trained.model.store.export_values(),
+        boxes: trained
+            .boxes
+            .iter()
+            .map(|b| {
+                b.as_ref().map(|b| SerializedBox {
+                    cen: b.cen.clone(),
+                    off: b.off.clone(),
+                })
+            })
+            .collect(),
+    }
+}
+
+/// Reconstructs a trained model from a [`Checkpoint`].
+pub fn from_checkpoint(ckpt: Checkpoint) -> Result<TrainedInBox, PersistError> {
+    if ckpt.version != CHECKPOINT_VERSION {
+        return Err(PersistError::Mismatch(format!(
+            "unsupported checkpoint version {}",
+            ckpt.version
+        )));
+    }
+    let sizes = UniverseSizes {
+        n_items: ckpt.n_items,
+        n_tags: ckpt.n_tags,
+        n_relations: ckpt.n_relations,
+        n_users: ckpt.n_users,
+    };
+    let mut model = InBoxModel::new(sizes, &ckpt.config);
+    model
+        .store
+        .import_values(&ckpt.params)
+        .map_err(PersistError::Mismatch)?;
+    let boxes: Vec<Option<BoxEmb>> = ckpt
+        .boxes
+        .into_iter()
+        .map(|b| b.map(|b| BoxEmb::new(b.cen, b.off)))
+        .collect();
+    if boxes.len() != ckpt.n_users {
+        return Err(PersistError::Mismatch(format!(
+            "checkpoint has {} user boxes for {} users",
+            boxes.len(),
+            ckpt.n_users
+        )));
+    }
+    Ok(TrainedInBox::from_parts(
+        model,
+        ckpt.config,
+        boxes,
+        TrainReport::default(),
+    ))
+}
+
+/// Saves a trained model as pretty JSON at `path`.
+pub fn save(trained: &TrainedInBox, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let ckpt = to_checkpoint(trained);
+    let json = serde_json::to_string(&ckpt).map_err(|e| PersistError::Format(e.to_string()))?;
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads a trained model from `path`.
+pub fn load(path: impl AsRef<Path>) -> Result<TrainedInBox, PersistError> {
+    let json = std::fs::read_to_string(path)?;
+    let ckpt: Checkpoint =
+        serde_json::from_str(&json).map_err(|e| PersistError::Format(e.to_string()))?;
+    from_checkpoint(ckpt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::train;
+    use inbox_data::{Dataset, SyntheticConfig};
+    use inbox_eval::Scorer;
+    use inbox_kg::UserId;
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_scores() {
+        let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 44);
+        let trained = train(&ds, crate::config::InBoxConfig::tiny_test());
+        let path = std::env::temp_dir().join(format!("inbox-ckpt-{}.json", std::process::id()));
+        save(&trained, &path).unwrap();
+        let reloaded = load(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        for u in 0..3u32 {
+            let a = trained.score_items(UserId(u));
+            let b = reloaded.score_items(UserId(u));
+            assert_eq!(a, b, "reloaded scores must be identical for user {u}");
+        }
+        // Recommendations agree too.
+        let user = UserId(0);
+        let mask = ds.train.items_of(user);
+        assert_eq!(
+            trained.recommend(user, mask, 5),
+            reloaded.recommend(user, mask, 5)
+        );
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 45);
+        let trained = train(&ds, crate::config::InBoxConfig::tiny_test());
+        let mut ckpt = to_checkpoint(&trained);
+        ckpt.version = 99;
+        let err = match from_checkpoint(ckpt) {
+            Err(e) => e,
+            Ok(_) => panic!("version mismatch must be rejected"),
+        };
+        assert!(matches!(err, PersistError::Mismatch(_)));
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn load_rejects_garbage_file() {
+        let path = std::env::temp_dir().join(format!("inbox-garbage-{}.json", std::process::id()));
+        std::fs::write(&path, "not json at all").unwrap();
+        let err = match load(&path) {
+            Err(e) => e,
+            Ok(_) => panic!("garbage must be rejected"),
+        };
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(err, PersistError::Format(_)));
+    }
+}

@@ -1,0 +1,155 @@
+//! Inference: building interest boxes for users and scoring items
+//! (Section 3.5, Eq. (29)).
+
+use inbox_data::Interactions;
+use inbox_eval::Scorer;
+use inbox_kg::{Concept, ItemId, KnowledgeGraph, UserId};
+use inbox_autodiff::Tape;
+
+use crate::config::InBoxConfig;
+use crate::geometry::{self, BoxEmb};
+use crate::model::InBoxModel;
+
+/// Builds the interest box of a single user from their training history
+/// (forward pass only — the same tape code as training, without backward).
+/// Returns `None` for users with no history.
+pub fn user_interest_box(
+    model: &InBoxModel,
+    kg: &KnowledgeGraph,
+    train: &Interactions,
+    config: &InBoxConfig,
+    user: UserId,
+) -> Option<BoxEmb> {
+    let items = train.items_of(user);
+    if items.is_empty() {
+        return None;
+    }
+    let capped: &[ItemId] = if items.len() > config.max_history_infer {
+        &items[..config.max_history_infer]
+    } else {
+        items
+    };
+    let history: Vec<(ItemId, Vec<Concept>)> = capped
+        .iter()
+        .map(|&i| {
+            let cs = kg.concepts_of(i);
+            let take = cs.len().min(config.max_concepts);
+            (i, cs[..take].to_vec())
+        })
+        .collect();
+    let mut tape = Tape::new();
+    let b = model.interest_box(&mut tape, user, &history, config.intersection, config.user_box);
+    Some(model.box_values(&tape, b))
+}
+
+/// Builds interest boxes for every user.
+pub fn all_user_boxes(
+    model: &InBoxModel,
+    kg: &KnowledgeGraph,
+    train: &Interactions,
+    config: &InBoxConfig,
+) -> Vec<Option<BoxEmb>> {
+    (0..train.n_users() as u32)
+        .map(|u| user_interest_box(model, kg, train, config, UserId(u)))
+        .collect()
+}
+
+/// A scorer over precomputed user interest boxes. Scores are
+/// `γ - D_PB(v_i, b_u)` (Eq. (29)); users without a box (no history) score
+/// every item at `-∞`-like constant so they rank arbitrarily but harmlessly.
+pub struct InBoxScorer<'a> {
+    model: &'a InBoxModel,
+    boxes: &'a [Option<BoxEmb>],
+    gamma: f32,
+    inside_weight: f32,
+    n_items: usize,
+}
+
+impl<'a> InBoxScorer<'a> {
+    /// Creates a scorer over precomputed boxes.
+    pub fn new(
+        model: &'a InBoxModel,
+        boxes: &'a [Option<BoxEmb>],
+        config: &InBoxConfig,
+        n_items: usize,
+    ) -> Self {
+        Self {
+            model,
+            boxes,
+            gamma: config.gamma,
+            inside_weight: config.inside_weight,
+            n_items,
+        }
+    }
+}
+
+impl Scorer for InBoxScorer<'_> {
+    fn score_items(&self, user: UserId) -> Vec<f32> {
+        match &self.boxes[user.index()] {
+            Some(b) => (0..self.n_items)
+                .map(|i| {
+                    let p = self.model.item_point_f32(ItemId(i as u32));
+                    self.gamma - geometry::d_pb_weighted(p, b, self.inside_weight)
+                })
+                .collect(),
+            None => vec![f32::MIN / 2.0; self.n_items],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InBoxConfig;
+    use crate::model::UniverseSizes;
+    use inbox_data::{Dataset, SyntheticConfig};
+
+    fn setup() -> (Dataset, InBoxModel, InBoxConfig) {
+        let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 33);
+        let cfg = InBoxConfig::tiny_test();
+        let sizes = UniverseSizes {
+            n_items: ds.kg.n_items(),
+            n_tags: ds.kg.n_tags(),
+            n_relations: ds.kg.n_relations(),
+            n_users: ds.n_users(),
+        };
+        let model = InBoxModel::new(sizes, &cfg);
+        (ds, model, cfg)
+    }
+
+    #[test]
+    fn user_boxes_built_for_active_users() {
+        let (ds, model, cfg) = setup();
+        let boxes = all_user_boxes(&model, &ds.kg, &ds.train, &cfg);
+        assert_eq!(boxes.len(), ds.n_users());
+        for (u, b) in boxes.iter().enumerate() {
+            let has_history = !ds.train.items_of(UserId(u as u32)).is_empty();
+            assert_eq!(b.is_some(), has_history, "user {u}");
+            if let Some(b) = b {
+                assert_eq!(b.dim(), model.dim);
+                assert!(b.cen.iter().all(|v| v.is_finite()));
+                assert!(b.off.iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn scorer_returns_full_score_vectors() {
+        let (ds, model, cfg) = setup();
+        let boxes = all_user_boxes(&model, &ds.kg, &ds.train, &cfg);
+        let scorer = InBoxScorer::new(&model, &boxes, &cfg, ds.n_items());
+        let scores = scorer.score_items(UserId(0));
+        assert_eq!(scores.len(), ds.n_items());
+        assert!(scores.iter().all(|s| s.is_finite()));
+        // Scores are bounded above by gamma (distance >= 0).
+        assert!(scores.iter().all(|&s| s <= cfg.gamma));
+    }
+
+    #[test]
+    fn inference_is_deterministic() {
+        let (ds, model, cfg) = setup();
+        let a = user_interest_box(&model, &ds.kg, &ds.train, &cfg, UserId(1)).unwrap();
+        let b = user_interest_box(&model, &ds.kg, &ds.train, &cfg, UserId(1)).unwrap();
+        assert_eq!(a, b);
+    }
+}

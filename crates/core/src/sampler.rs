@@ -1,0 +1,446 @@
+//! Epoch construction and negative sampling for the three training stages.
+//!
+//! Each epoch visits every triple (stage 1), every item with concepts
+//! (stage 2), or every user with history (stage 3) exactly once, in shuffled
+//! order, with negatives drawn fresh. Visiting all triples per epoch matches
+//! the paper's "sample a triplet type with probability proportional to its
+//! share" in expectation, while guaranteeing full coverage.
+//!
+//! Sample weights follow Section 3.2: *"the more correct answers that exist,
+//! the smaller `w` is"* — so `w = 1 / #answers` for stage 1 queries,
+//! `w = 1/(n+1)` for stage 2 (n = concepts of the item), and
+//! `w = 1/(m+α)` for stage 3 (m = history size).
+
+use std::collections::HashMap;
+
+use inbox_data::Interactions;
+use inbox_kg::{Concept, ItemId, KnowledgeGraph, UserId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::config::InBoxConfig;
+
+/// Negative candidates for an IRT triple: either corrupted items or
+/// corrupted tags (the paper uses both, Section 3.2).
+#[derive(Debug, Clone)]
+pub enum IrtNegatives {
+    /// Replace the item: negatives are item ids.
+    Items(Vec<u32>),
+    /// Replace the tag: negatives are tag ids (the relation is kept).
+    Tags(Vec<u32>),
+}
+
+/// One stage-1 training sample.
+#[derive(Debug, Clone)]
+pub enum Stage1Sample {
+    /// (item, relation, item) with corrupted heads.
+    Iri {
+        /// Head item.
+        head: u32,
+        /// Relation.
+        rel: u32,
+        /// Tail item.
+        tail: u32,
+        /// Corrupted head items.
+        neg_heads: Vec<u32>,
+        /// Sample weight (Eq. (12)).
+        weight: f32,
+    },
+    /// (tag, relation, tag) with corrupted heads.
+    Trt {
+        /// Head tag.
+        head: u32,
+        /// Relation.
+        rel: u32,
+        /// Tail tag.
+        tail: u32,
+        /// Corrupted head tags.
+        neg_heads: Vec<u32>,
+        /// Sample weight.
+        weight: f32,
+    },
+    /// (item, relation, tag) with corrupted items or tags.
+    Irt {
+        /// Head item.
+        item: u32,
+        /// Relation.
+        rel: u32,
+        /// Tail tag.
+        tag: u32,
+        /// Negatives.
+        negatives: IrtNegatives,
+        /// Sample weight.
+        weight: f32,
+    },
+}
+
+/// One stage-2 sample: an item and (a subsample of) its concepts.
+#[derive(Debug, Clone)]
+pub struct Stage2Sample {
+    /// The positive item.
+    pub item: ItemId,
+    /// Concepts whose intersection must contain the item.
+    pub concepts: Vec<Concept>,
+    /// Negative items (not carrying all these concepts).
+    pub neg_items: Vec<u32>,
+    /// Sample weight `1/(n+1)`.
+    pub weight: f32,
+}
+
+/// One stage-3 sample: a user, their (capped) history with per-item concept
+/// subsets, and positives/negatives.
+#[derive(Debug, Clone)]
+pub struct Stage3Sample {
+    /// The user.
+    pub user: UserId,
+    /// History items with their (capped) concept sets.
+    pub history: Vec<(ItemId, Vec<Concept>)>,
+    /// Positive items (the interacted history).
+    pub pos_items: Vec<u32>,
+    /// Negative items (never interacted in train).
+    pub neg_items: Vec<u32>,
+    /// Sample weight `1/(m+α)`.
+    pub weight: f32,
+}
+
+/// Precomputed answer counts for stage-1 weights and negative filtering.
+pub struct Stage1Stats {
+    /// (rel, tail item) -> #heads, for IRI.
+    iri_heads: HashMap<(u32, u32), u32>,
+    /// (rel, tail tag) -> #heads, for TRT.
+    trt_heads: HashMap<(u32, u32), u32>,
+}
+
+impl Stage1Stats {
+    /// Scans the KG once.
+    pub fn new(kg: &KnowledgeGraph) -> Self {
+        let mut iri_heads: HashMap<(u32, u32), u32> = HashMap::new();
+        for t in kg.iri_triples() {
+            *iri_heads.entry((t.relation.0, t.tail.0)).or_insert(0) += 1;
+        }
+        let mut trt_heads: HashMap<(u32, u32), u32> = HashMap::new();
+        for t in kg.trt_triples() {
+            *trt_heads.entry((t.relation.0, t.tail.0)).or_insert(0) += 1;
+        }
+        Self {
+            iri_heads,
+            trt_heads,
+        }
+    }
+}
+
+fn sample_distinct(rng: &mut StdRng, n_universe: usize, n: usize, mut reject: impl FnMut(u32) -> bool) -> Vec<u32> {
+    let mut out = Vec::with_capacity(n);
+    let mut guard = 0usize;
+    let max_attempts = n * 50 + 100;
+    while out.len() < n && guard < max_attempts {
+        guard += 1;
+        let cand = rng.gen_range(0..n_universe) as u32;
+        if reject(cand) || out.contains(&cand) {
+            continue;
+        }
+        out.push(cand);
+    }
+    out
+}
+
+/// Builds one shuffled stage-1 epoch over the whole KG.
+///
+/// With `only_irt` (the paper's `only IRT` ablation) IRI and TRT triples are
+/// skipped entirely.
+pub fn stage1_epoch(
+    kg: &KnowledgeGraph,
+    stats: &Stage1Stats,
+    config: &InBoxConfig,
+    rng: &mut StdRng,
+) -> Vec<Stage1Sample> {
+    let n_neg = config.n_negatives;
+    let mut samples: Vec<Stage1Sample> = Vec::with_capacity(kg.n_triples());
+
+    if !config.only_irt {
+        for t in kg.iri_triples() {
+            let count = stats.iri_heads[&(t.relation.0, t.tail.0)];
+            let neg_heads = sample_distinct(rng, kg.n_items(), n_neg, |c| c == t.head.0);
+            samples.push(Stage1Sample::Iri {
+                head: t.head.0,
+                rel: t.relation.0,
+                tail: t.tail.0,
+                neg_heads,
+                weight: 1.0 / count as f32,
+            });
+        }
+        for t in kg.trt_triples() {
+            let count = stats.trt_heads[&(t.relation.0, t.tail.0)];
+            let neg_heads = sample_distinct(rng, kg.n_tags(), n_neg, |c| c == t.head.0);
+            samples.push(Stage1Sample::Trt {
+                head: t.head.0,
+                rel: t.relation.0,
+                tail: t.tail.0,
+                neg_heads,
+                weight: 1.0 / count as f32,
+            });
+        }
+    }
+
+    for t in kg.irt_triples() {
+        let concept = t.concept();
+        let replace_item = rng.gen_bool(0.5);
+        let (negatives, weight) = if replace_item {
+            let members = kg.items_of(concept);
+            let negs = sample_distinct(rng, kg.n_items(), n_neg, |c| {
+                members.contains(&ItemId(c))
+            });
+            (IrtNegatives::Items(negs), 1.0 / members.len().max(1) as f32)
+        } else {
+            let item = t.head;
+            let rel = t.relation;
+            let negs = sample_distinct(rng, kg.n_tags(), n_neg, |c| {
+                kg.item_has_concept(item, Concept::new(rel, inbox_kg::TagId(c)))
+            });
+            let n_concepts = kg.concepts_of(item).len().max(1);
+            (IrtNegatives::Tags(negs), 1.0 / n_concepts as f32)
+        };
+        samples.push(Stage1Sample::Irt {
+            item: t.head.0,
+            rel: t.relation.0,
+            tag: t.tail.0,
+            negatives,
+            weight,
+        });
+    }
+
+    samples.shuffle(rng);
+    samples
+}
+
+/// Caps a concept list at `max`, subsampling uniformly when necessary.
+pub fn cap_concepts(concepts: &[Concept], max: usize, rng: &mut StdRng) -> Vec<Concept> {
+    if concepts.len() <= max {
+        concepts.to_vec()
+    } else {
+        let mut c = concepts.to_vec();
+        c.shuffle(rng);
+        c.truncate(max);
+        c
+    }
+}
+
+/// Builds one shuffled stage-2 epoch: every item with at least one concept.
+pub fn stage2_epoch(
+    kg: &KnowledgeGraph,
+    config: &InBoxConfig,
+    rng: &mut StdRng,
+) -> Vec<Stage2Sample> {
+    let mut samples = Vec::new();
+    for item_idx in 0..kg.n_items() {
+        let item = ItemId(item_idx as u32);
+        let all = kg.concepts_of(item);
+        if all.is_empty() {
+            continue;
+        }
+        let concepts = cap_concepts(all, config.max_concepts, rng);
+        // Negatives: items that do NOT carry all of these concepts.
+        let neg_items = sample_distinct(rng, kg.n_items(), config.n_negatives, |c| {
+            let cand = ItemId(c);
+            cand == item || concepts.iter().all(|&cc| kg.item_has_concept(cand, cc))
+        });
+        let weight = 1.0 / (all.len() as f32 + 1.0);
+        samples.push(Stage2Sample {
+            item,
+            concepts,
+            neg_items,
+            weight,
+        });
+    }
+    samples.shuffle(rng);
+    samples
+}
+
+/// Builds one shuffled stage-3 epoch: every user with training history.
+pub fn stage3_epoch(
+    kg: &KnowledgeGraph,
+    train: &Interactions,
+    config: &InBoxConfig,
+    rng: &mut StdRng,
+) -> Vec<Stage3Sample> {
+    let mut samples = Vec::new();
+    for user_idx in 0..train.n_users() {
+        let user = UserId(user_idx as u32);
+        let items = train.items_of(user);
+        if items.is_empty() {
+            continue;
+        }
+        let m = items.len();
+        let mut hist: Vec<ItemId> = items.to_vec();
+        hist.shuffle(rng);
+        hist.truncate(config.max_history);
+        let history: Vec<(ItemId, Vec<Concept>)> = hist
+            .iter()
+            .map(|&i| (i, cap_concepts(kg.concepts_of(i), config.max_concepts, rng)))
+            .collect();
+        let pos_items: Vec<u32> = hist.iter().map(|i| i.0).collect();
+        let neg_items = sample_distinct(rng, train.n_items(), config.n_negatives, |c| {
+            train.contains(user, ItemId(c))
+        });
+        let weight = 1.0 / (m as f32 + config.alpha);
+        samples.push(Stage3Sample {
+            user,
+            history,
+            pos_items,
+            neg_items,
+            weight,
+        });
+    }
+    samples.shuffle(rng);
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inbox_data::{Dataset, SyntheticConfig};
+    use inbox_kg::RelationId;
+    use rand::SeedableRng;
+
+    fn tiny() -> Dataset {
+        Dataset::synthetic(&SyntheticConfig::tiny(), 11)
+    }
+
+    #[test]
+    fn stage1_epoch_covers_all_triples() {
+        let ds = tiny();
+        let stats = Stage1Stats::new(&ds.kg);
+        let cfg = InBoxConfig::tiny_test();
+        let mut rng = StdRng::seed_from_u64(1);
+        let epoch = stage1_epoch(&ds.kg, &stats, &cfg, &mut rng);
+        assert_eq!(epoch.len(), ds.kg.n_triples());
+        let irt_count = epoch
+            .iter()
+            .filter(|s| matches!(s, Stage1Sample::Irt { .. }))
+            .count();
+        assert_eq!(irt_count, ds.kg.irt_triples().len());
+    }
+
+    #[test]
+    fn stage1_only_irt_drops_other_types() {
+        let ds = tiny();
+        let stats = Stage1Stats::new(&ds.kg);
+        let cfg = InBoxConfig {
+            only_irt: true,
+            ..InBoxConfig::tiny_test()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let epoch = stage1_epoch(&ds.kg, &stats, &cfg, &mut rng);
+        assert_eq!(epoch.len(), ds.kg.irt_triples().len());
+        assert!(epoch.iter().all(|s| matches!(s, Stage1Sample::Irt { .. })));
+    }
+
+    #[test]
+    fn stage1_irt_negatives_are_filtered() {
+        let ds = tiny();
+        let stats = Stage1Stats::new(&ds.kg);
+        let cfg = InBoxConfig::tiny_test();
+        let mut rng = StdRng::seed_from_u64(3);
+        for s in stage1_epoch(&ds.kg, &stats, &cfg, &mut rng) {
+            if let Stage1Sample::Irt {
+                item,
+                rel,
+                tag,
+                negatives,
+                weight,
+            } = s
+            {
+                assert!(weight > 0.0 && weight <= 1.0);
+                match negatives {
+                    IrtNegatives::Items(negs) => {
+                        let concept =
+                            Concept::new(RelationId(rel), inbox_kg::TagId(tag));
+                        for n in negs {
+                            assert!(
+                                !ds.kg.item_has_concept(ItemId(n), concept),
+                                "negative item {n} actually has the concept"
+                            );
+                        }
+                    }
+                    IrtNegatives::Tags(negs) => {
+                        for n in negs {
+                            let c = Concept::new(RelationId(rel), inbox_kg::TagId(n));
+                            assert!(!ds.kg.item_has_concept(ItemId(item), c));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stage2_negatives_lack_some_concept() {
+        let ds = tiny();
+        let cfg = InBoxConfig::tiny_test();
+        let mut rng = StdRng::seed_from_u64(5);
+        let epoch = stage2_epoch(&ds.kg, &cfg, &mut rng);
+        assert!(!epoch.is_empty());
+        for s in &epoch {
+            assert!(!s.concepts.is_empty());
+            assert!(s.concepts.len() <= cfg.max_concepts);
+            let expected_w = 1.0 / (ds.kg.concepts_of(s.item).len() as f32 + 1.0);
+            assert!((s.weight - expected_w).abs() < 1e-6);
+            for &n in &s.neg_items {
+                assert_ne!(n, s.item.0);
+                assert!(
+                    !s.concepts.iter().all(|&c| ds.kg.item_has_concept(ItemId(n), c)),
+                    "negative {n} carries all concepts of item {}",
+                    s.item
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stage3_history_capped_and_negatives_unseen() {
+        let ds = tiny();
+        let cfg = InBoxConfig::tiny_test();
+        let mut rng = StdRng::seed_from_u64(9);
+        let epoch = stage3_epoch(&ds.kg, &ds.train, &cfg, &mut rng);
+        assert!(!epoch.is_empty());
+        for s in &epoch {
+            assert!(s.history.len() <= cfg.max_history);
+            assert_eq!(s.history.len(), s.pos_items.len());
+            let m = ds.train.items_of(s.user).len() as f32;
+            assert!((s.weight - 1.0 / (m + cfg.alpha)).abs() < 1e-6);
+            for &p in &s.pos_items {
+                assert!(ds.train.contains(s.user, ItemId(p)));
+            }
+            for &n in &s.neg_items {
+                assert!(!ds.train.contains(s.user, ItemId(n)));
+            }
+        }
+    }
+
+    #[test]
+    fn cap_concepts_subsamples() {
+        let concepts: Vec<Concept> = (0..10)
+            .map(|i| Concept::new(RelationId(0), inbox_kg::TagId(i)))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let capped = cap_concepts(&concepts, 4, &mut rng);
+        assert_eq!(capped.len(), 4);
+        for c in &capped {
+            assert!(concepts.contains(c));
+        }
+        let untouched = cap_concepts(&concepts[..3], 4, &mut rng);
+        assert_eq!(untouched.len(), 3);
+    }
+
+    #[test]
+    fn sample_distinct_respects_filter_and_gives_up() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let negs = sample_distinct(&mut rng, 10, 5, |c| c % 2 == 0);
+        assert_eq!(negs.len(), 5);
+        assert!(negs.iter().all(|&c| c % 2 == 1));
+        // Impossible filter: returns fewer than requested instead of hanging.
+        let none = sample_distinct(&mut rng, 10, 5, |_| true);
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,325 @@
+//! Per-sample loss graphs for the three training stages (Sections 3.2–3.4)
+//! and the batched gradient runner shared by all of them.
+
+use inbox_autodiff::{GradStore, Tape, Var};
+use inbox_kg::{ItemId, TagId};
+
+use crate::config::InBoxConfig;
+use crate::model::{InBoxModel, TapeBox};
+use crate::sampler::{IrtNegatives, Stage1Sample, Stage2Sample, Stage3Sample};
+
+/// Builds the stage-1 loss (basic pretraining, Section 3.2) for one sample.
+pub fn stage1_loss(model: &InBoxModel, tape: &mut Tape, s: &Stage1Sample, config: &InBoxConfig) -> Var {
+    let gamma = config.gamma;
+    match s {
+        Stage1Sample::Iri {
+            head,
+            rel,
+            tail,
+            neg_heads,
+            weight,
+        } => {
+            // Eq. (2): v'_h = v_t + Cen(b_r); Eq. (3): D_PP = |v_h - v'_h|_1.
+            let v_t = model.item_points(tape, &[ItemId(*tail)]);
+            let r_cen = model.relation_centers(tape, &[*rel]);
+            let pred = tape.add(v_t, r_cen);
+            let v_h = model.item_points(tape, &[ItemId(*head)]);
+            let d_pos = l1_rows(tape, v_h, pred);
+            let negs: Vec<ItemId> = neg_heads.iter().map(|&i| ItemId(i)).collect();
+            let v_neg = model.item_points(tape, &negs);
+            let d_neg = l1_rows(tape, v_neg, pred);
+            model.margin_loss_with(tape, d_pos, d_neg, gamma, *weight, config.loss_form)
+        }
+        Stage1Sample::Trt {
+            head,
+            rel,
+            tail,
+            neg_heads,
+            weight,
+        } => {
+            // Eq. (4)/(5): project the tail tag box through the relation;
+            // Eq. (6): D_BB against the head tag box.
+            let (t_cen, t_off) = model.tag_boxes(tape, &[*tail]);
+            let r_cen = model.relation_centers(tape, &[*rel]);
+            let r_off = model.relation_offsets(tape, &[*rel]);
+            let pred_cen = tape.add(t_cen, r_cen);
+            let t_off_pos = tape.relu(t_off);
+            let pred_off_raw = tape.add(t_off_pos, r_off);
+            let pred_off = tape.relu(pred_off_raw);
+
+            let (h_cen, h_off) = model.tag_boxes(tape, &[*head]);
+            let h_off_pos = tape.relu(h_off);
+            let cen_term = l1_rows(tape, h_cen, pred_cen);
+            let off_term = l1_rows(tape, h_off_pos, pred_off);
+            let d_pos = tape.add(cen_term, off_term);
+
+            let (n_cen, n_off) = model.tag_boxes(tape, neg_heads);
+            let n_off_pos = tape.relu(n_off);
+            let cen_term_n = l1_rows(tape, n_cen, pred_cen);
+            let off_term_n = l1_rows(tape, n_off_pos, pred_off);
+            let d_neg = tape.add(cen_term_n, off_term_n);
+            model.margin_loss_with(tape, d_pos, d_neg, gamma, *weight, config.loss_form)
+        }
+        Stage1Sample::Irt {
+            item,
+            rel,
+            tag,
+            negatives,
+            weight,
+        } => {
+            use inbox_kg::{Concept, RelationId};
+            // Eq. (7)–(9): point-to-box distance between the item point and
+            // the concept box projected from (rel, tag).
+            let concept = Concept::new(RelationId(*rel), TagId(*tag));
+            let (cen, off) = model.concept_boxes(tape, &[concept]);
+            let b = TapeBox { cen, off };
+            let v = model.item_points(tape, &[ItemId(*item)]);
+            let d_pos = model.point_to_box_weighted(tape, v, b, config.inside_weight);
+            let d_neg = match negatives {
+                IrtNegatives::Items(neg) => {
+                    let negs: Vec<ItemId> = neg.iter().map(|&i| ItemId(i)).collect();
+                    let pts = model.item_points(tape, &negs);
+                    model.point_to_box_weighted(tape, pts, b, config.inside_weight)
+                }
+                IrtNegatives::Tags(neg_tags) => {
+                    // Corrupt the tag: n concept boxes against the same point.
+                    let concepts: Vec<Concept> = neg_tags
+                        .iter()
+                        .map(|&t| Concept::new(RelationId(*rel), TagId(t)))
+                        .collect();
+                    let (ncen, noff) = model.concept_boxes(tape, &concepts);
+                    let nb = TapeBox {
+                        cen: ncen,
+                        off: noff,
+                    };
+                    model.point_to_box_weighted(tape, v, nb, config.inside_weight)
+                }
+            };
+            model.margin_loss_with(tape, d_pos, d_neg, gamma, *weight, config.loss_form)
+        }
+    }
+}
+
+/// Builds the stage-2 loss (box intersection, Section 3.3) for one sample.
+pub fn stage2_loss(
+    model: &InBoxModel,
+    tape: &mut Tape,
+    s: &Stage2Sample,
+    config: &InBoxConfig,
+) -> Var {
+    use crate::config::IntersectionMode;
+    let (cens, offs) = model.concept_boxes(tape, &s.concepts);
+    let b = match config.intersection {
+        IntersectionMode::Attention => model.intersect_attention(tape, cens, offs),
+        IntersectionMode::MaxMin => model.intersect_maxmin(tape, cens, offs),
+    };
+    let v = model.item_points(tape, &[s.item]);
+    let d_pos = model.point_to_box_weighted(tape, v, b, config.inside_weight);
+    let negs: Vec<ItemId> = s.neg_items.iter().map(|&i| ItemId(i)).collect();
+    let pts = model.item_points(tape, &negs);
+    let d_neg = model.point_to_box_weighted(tape, pts, b, config.inside_weight);
+    model.margin_loss_with(tape, d_pos, d_neg, config.gamma, s.weight, config.loss_form)
+}
+
+/// Builds the stage-3 loss (interest-box recommendation, Section 3.4) for
+/// one user sample.
+pub fn stage3_loss(
+    model: &InBoxModel,
+    tape: &mut Tape,
+    s: &Stage3Sample,
+    config: &InBoxConfig,
+) -> Var {
+    let b_u = model.interest_box(
+        tape,
+        s.user,
+        &s.history,
+        config.intersection,
+        config.user_box,
+    );
+    let pos: Vec<ItemId> = s.pos_items.iter().map(|&i| ItemId(i)).collect();
+    let pos_pts = model.item_points(tape, &pos);
+    let d_pos = model.point_to_box_weighted(tape, pos_pts, b_u, config.inside_weight);
+    let negs: Vec<ItemId> = s.neg_items.iter().map(|&i| ItemId(i)).collect();
+    let neg_pts = model.item_points(tape, &negs);
+    let d_neg = model.point_to_box_weighted(tape, neg_pts, b_u, config.inside_weight);
+    model.margin_loss_with(tape, d_pos, d_neg, config.gamma, s.weight, config.loss_form)
+}
+
+/// Row-wise L1 distance `|a - b|_1` between `n x d` (or broadcastable)
+/// variables, as an `n x 1` column.
+fn l1_rows(tape: &mut Tape, a: Var, b: Var) -> Var {
+    let diff = tape.sub(a, b);
+    let abs = tape.abs(diff);
+    tape.sum_axis1(abs)
+}
+
+/// Accumulates gradients over a slice of samples, optionally across worker
+/// threads, returning the merged gradients (scaled by `1/len`) and the mean
+/// loss.
+pub fn grad_batch<S: Sync>(
+    model: &InBoxModel,
+    samples: &[S],
+    threads: usize,
+    build: &(dyn Fn(&InBoxModel, &mut Tape, &S) -> Var + Sync),
+) -> (GradStore, f64) {
+    let run_chunk = |chunk: &[S]| -> (GradStore, f64) {
+        let mut grads = GradStore::new();
+        let mut loss_sum = 0.0f64;
+        for s in chunk {
+            let mut tape = Tape::new();
+            let loss = build(model, &mut tape, s);
+            loss_sum += tape.value(loss).item() as f64;
+            grads.merge(tape.backward(loss));
+        }
+        (grads, loss_sum)
+    };
+
+    let (mut grads, loss_sum) = if threads <= 1 || samples.len() < threads * 4 {
+        run_chunk(samples)
+    } else {
+        let chunk = samples.len().div_ceil(threads);
+        let partials: Vec<(GradStore, f64)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = samples
+                .chunks(chunk)
+                .map(|c| scope.spawn(move |_| run_chunk(c)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("gradient worker panicked");
+        let mut grads = GradStore::new();
+        let mut loss = 0.0f64;
+        for (g, l) in partials {
+            grads.merge(g);
+            loss += l;
+        }
+        (grads, loss)
+    };
+
+    let n = samples.len().max(1);
+    grads.scale(1.0 / n as f32);
+    (grads, loss_sum / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InBoxConfig;
+    use crate::model::UniverseSizes;
+    use crate::sampler::{stage1_epoch, stage2_epoch, stage3_epoch, Stage1Stats};
+    use inbox_autodiff::Adam;
+    use inbox_data::{Dataset, SyntheticConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Dataset, InBoxModel, InBoxConfig) {
+        let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 21);
+        let cfg = InBoxConfig::tiny_test();
+        let sizes = UniverseSizes {
+            n_items: ds.kg.n_items(),
+            n_tags: ds.kg.n_tags(),
+            n_relations: ds.kg.n_relations(),
+            n_users: ds.n_users(),
+        };
+        let model = InBoxModel::new(sizes, &cfg);
+        (ds, model, cfg)
+    }
+
+    #[test]
+    fn stage1_losses_are_finite_scalars() {
+        let (ds, model, cfg) = setup();
+        let stats = Stage1Stats::new(&ds.kg);
+        let mut rng = StdRng::seed_from_u64(1);
+        let epoch = stage1_epoch(&ds.kg, &stats, &cfg, &mut rng);
+        for s in epoch.iter().take(50) {
+            let mut tape = Tape::new();
+            let loss = stage1_loss(&model, &mut tape, s, &cfg);
+            let v = tape.value(loss);
+            assert_eq!(v.shape(), (1, 1));
+            assert!(v.item().is_finite(), "loss must be finite");
+            let grads = tape.backward(loss);
+            assert!(!grads.is_empty());
+            assert!(grads.max_abs().is_finite());
+        }
+    }
+
+    #[test]
+    fn stage1_training_reduces_loss() {
+        let (ds, mut model, mut cfg) = setup();
+        cfg.n_negatives = 8;
+        let stats = Stage1Stats::new(&ds.kg);
+        let adam = Adam::with_lr(5e-3);
+        let mut first = None;
+        let mut last = 0.0;
+        for epoch in 0..5 {
+            let mut rng = StdRng::seed_from_u64(epoch);
+            let samples = stage1_epoch(&ds.kg, &stats, &cfg, &mut rng);
+            let (grads, loss) = grad_batch(&model, &samples, 1, &|m, t, s| {
+                stage1_loss(m, t, s, &cfg)
+            });
+            adam.step(&mut model.store, &grads);
+            if first.is_none() {
+                first = Some(loss);
+            }
+            last = loss;
+        }
+        assert!(
+            last < first.unwrap(),
+            "stage-1 loss should fall: {first:?} -> {last}"
+        );
+    }
+
+    #[test]
+    fn stage2_and_stage3_losses_backprop() {
+        let (ds, model, cfg) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let s2 = stage2_epoch(&ds.kg, &cfg, &mut rng);
+        let mut tape = Tape::new();
+        let loss = stage2_loss(&model, &mut tape, &s2[0], &cfg);
+        assert!(tape.value(loss).item().is_finite());
+        let g = tape.backward(loss);
+        assert!(!g.is_empty());
+
+        let s3 = stage3_epoch(&ds.kg, &ds.train, &cfg, &mut rng);
+        let mut tape = Tape::new();
+        let loss = stage3_loss(&model, &mut tape, &s3[0], &cfg);
+        assert!(tape.value(loss).item().is_finite());
+        let g = tape.backward(loss);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn stage3_maxmin_and_useri_modes_work() {
+        use crate::config::{IntersectionMode, UserBoxMode};
+        let (ds, model, mut cfg) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let s3 = stage3_epoch(&ds.kg, &ds.train, &cfg, &mut rng);
+        for (inter, ub) in [
+            (IntersectionMode::MaxMin, UserBoxMode::Both),
+            (IntersectionMode::Attention, UserBoxMode::OnlyInterI),
+            (IntersectionMode::Attention, UserBoxMode::OnlyInterU),
+        ] {
+            cfg.intersection = inter;
+            cfg.user_box = ub;
+            let mut tape = Tape::new();
+            let loss = stage3_loss(&model, &mut tape, &s3[0], &cfg);
+            assert!(tape.value(loss).item().is_finite(), "{inter:?}/{ub:?}");
+            let g = tape.backward(loss);
+            assert!(!g.is_empty());
+        }
+    }
+
+    #[test]
+    fn grad_batch_threads_match_sequential_loss() {
+        let (ds, model, cfg) = setup();
+        let stats = Stage1Stats::new(&ds.kg);
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples = stage1_epoch(&ds.kg, &stats, &cfg, &mut rng);
+        let build = |m: &InBoxModel, t: &mut Tape, s: &Stage1Sample| {
+            stage1_loss(m, t, s, &cfg)
+        };
+        let (g1, l1) = grad_batch(&model, &samples, 1, &build);
+        let (g2, l2) = grad_batch(&model, &samples, 4, &build);
+        assert!((l1 - l2).abs() < 1e-9);
+        assert!((g1.max_abs() - g2.max_abs()).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,234 @@
+//! The user-item interaction graph `G_u` of Section 2 and its train/test
+//! split.
+//!
+//! Interactions are implicit feedback: a `(user, item)` pair means the user
+//! engaged with the item; behaviour types (click vs purchase) are not
+//! distinguished, matching the paper's datasets.
+
+use inbox_kg::{ItemId, UserId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// A set of user→item interactions over fixed user/item universes.
+///
+/// Per-user item lists are kept sorted and deduplicated so membership tests
+/// are `O(log n)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interactions {
+    n_items: usize,
+    by_user: Vec<Vec<ItemId>>,
+}
+
+impl Interactions {
+    /// Builds from raw pairs. Items and users outside the given universes are
+    /// rejected.
+    pub fn from_pairs(
+        n_users: usize,
+        n_items: usize,
+        pairs: impl IntoIterator<Item = (UserId, ItemId)>,
+    ) -> Result<Self, InteractionError> {
+        let mut by_user: Vec<Vec<ItemId>> = vec![Vec::new(); n_users];
+        for (u, i) in pairs {
+            if u.index() >= n_users {
+                return Err(InteractionError::UserOutOfRange(u));
+            }
+            if i.index() >= n_items {
+                return Err(InteractionError::ItemOutOfRange(i));
+            }
+            by_user[u.index()].push(i);
+        }
+        for items in &mut by_user {
+            items.sort_unstable();
+            items.dedup();
+        }
+        Ok(Self { n_items, by_user })
+    }
+
+    /// Number of users (including users with no interactions).
+    pub fn n_users(&self) -> usize {
+        self.by_user.len()
+    }
+
+    /// Number of items in the universe.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Total number of (user, item) interaction pairs.
+    pub fn n_interactions(&self) -> usize {
+        self.by_user.iter().map(Vec::len).sum()
+    }
+
+    /// The sorted items of a user.
+    pub fn items_of(&self, u: UserId) -> &[ItemId] {
+        &self.by_user[u.index()]
+    }
+
+    /// True if `u` interacted with `i`.
+    pub fn contains(&self, u: UserId, i: ItemId) -> bool {
+        self.by_user[u.index()].binary_search(&i).is_ok()
+    }
+
+    /// Iterates all `(user, item)` pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (UserId, ItemId)> + '_ {
+        self.by_user
+            .iter()
+            .enumerate()
+            .flat_map(|(u, items)| items.iter().map(move |&i| (UserId(u as u32), i)))
+    }
+
+    /// Per-item interaction counts (popularity).
+    pub fn item_popularity(&self) -> Vec<usize> {
+        let mut pop = vec![0usize; self.n_items];
+        for items in &self.by_user {
+            for i in items {
+                pop[i.index()] += 1;
+            }
+        }
+        pop
+    }
+
+    /// Splits into train/test per user: each user's items are shuffled and
+    /// `test_ratio` of them (rounded down, at least one when the user has two
+    /// or more interactions) go to the test set. Users with a single
+    /// interaction keep it in train. This matches the standard protocol used
+    /// by KGIN/HAKG on these datasets.
+    pub fn split(&self, test_ratio: f64, rng: &mut StdRng) -> (Interactions, Interactions) {
+        assert!((0.0..1.0).contains(&test_ratio), "test_ratio must be in [0,1)");
+        let mut train: Vec<Vec<ItemId>> = Vec::with_capacity(self.by_user.len());
+        let mut test: Vec<Vec<ItemId>> = Vec::with_capacity(self.by_user.len());
+        for items in &self.by_user {
+            let mut shuffled = items.clone();
+            shuffled.shuffle(rng);
+            let n_test = if shuffled.len() >= 2 {
+                ((shuffled.len() as f64 * test_ratio) as usize).max(1)
+            } else {
+                0
+            };
+            let split_at = shuffled.len() - n_test;
+            let (tr, te) = shuffled.split_at(split_at);
+            let mut tr = tr.to_vec();
+            let mut te = te.to_vec();
+            tr.sort_unstable();
+            te.sort_unstable();
+            train.push(tr);
+            test.push(te);
+        }
+        (
+            Interactions {
+                n_items: self.n_items,
+                by_user: train,
+            },
+            Interactions {
+                n_items: self.n_items,
+                by_user: test,
+            },
+        )
+    }
+}
+
+/// Errors raised while building an [`Interactions`] set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InteractionError {
+    /// A user id fell outside `0..n_users`.
+    UserOutOfRange(UserId),
+    /// An item id fell outside `0..n_items`.
+    ItemOutOfRange(ItemId),
+}
+
+impl std::fmt::Display for InteractionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InteractionError::UserOutOfRange(u) => write!(f, "user {u} out of range"),
+            InteractionError::ItemOutOfRange(i) => write!(f, "item {i} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for InteractionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sample() -> Interactions {
+        Interactions::from_pairs(
+            3,
+            5,
+            vec![
+                (UserId(0), ItemId(1)),
+                (UserId(0), ItemId(3)),
+                (UserId(0), ItemId(1)), // duplicate removed
+                (UserId(1), ItemId(0)),
+                (UserId(1), ItemId(2)),
+                (UserId(1), ItemId(4)),
+                (UserId(2), ItemId(4)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_dedup_and_query() {
+        let g = sample();
+        assert_eq!(g.n_users(), 3);
+        assert_eq!(g.n_items(), 5);
+        assert_eq!(g.n_interactions(), 6);
+        assert_eq!(g.items_of(UserId(0)), &[ItemId(1), ItemId(3)]);
+        assert!(g.contains(UserId(1), ItemId(2)));
+        assert!(!g.contains(UserId(2), ItemId(0)));
+        assert_eq!(g.pairs().count(), 6);
+    }
+
+    #[test]
+    fn popularity_counts() {
+        let pop = sample().item_popularity();
+        assert_eq!(pop, vec![1, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let err = Interactions::from_pairs(1, 1, vec![(UserId(0), ItemId(9))]).unwrap_err();
+        assert_eq!(err, InteractionError::ItemOutOfRange(ItemId(9)));
+        let err = Interactions::from_pairs(1, 1, vec![(UserId(3), ItemId(0))]).unwrap_err();
+        assert_eq!(err, InteractionError::UserOutOfRange(UserId(3)));
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let g = sample();
+        let mut rng = StdRng::seed_from_u64(42);
+        let (train, test) = g.split(0.3, &mut rng);
+        for u in 0..g.n_users() {
+            let u = UserId(u as u32);
+            let mut all: Vec<_> = train
+                .items_of(u)
+                .iter()
+                .chain(test.items_of(u))
+                .copied()
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, g.items_of(u), "split must partition each user's items");
+            for i in test.items_of(u) {
+                assert!(!train.contains(u, *i));
+            }
+        }
+        // Users with >= 2 interactions contribute at least one test item.
+        assert!(!test.items_of(UserId(0)).is_empty());
+        assert!(!test.items_of(UserId(1)).is_empty());
+        // Single-interaction users stay entirely in train.
+        assert!(test.items_of(UserId(2)).is_empty());
+        assert_eq!(train.items_of(UserId(2)), &[ItemId(4)]);
+    }
+
+    #[test]
+    fn split_deterministic_for_same_seed() {
+        let g = sample();
+        let (t1, e1) = g.split(0.2, &mut StdRng::seed_from_u64(7));
+        let (t2, e2) = g.split(0.2, &mut StdRng::seed_from_u64(7));
+        assert_eq!(t1, t2);
+        assert_eq!(e1, e2);
+    }
+}

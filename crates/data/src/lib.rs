@@ -1,0 +1,20 @@
+//! `inbox-data` — dataset tooling for the InBox reproduction.
+//!
+//! Provides the user-item interaction graph of Section 2
+//! ([`Interactions`]), train/test splitting, loaders for the KGIN/HAKG
+//! plain-text dataset format used by the paper's real datasets
+//! ([`loader`]), and a latent-concept synthetic generator
+//! ([`synthetic`]) producing scaled-down twins of Last-FM, Yelp2018,
+//! Alibaba-iFashion and Amazon-Book whose triplet-type mix matches the
+//! paper's Table 1.
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod interactions;
+pub mod loader;
+pub mod synthetic;
+
+pub use dataset::Dataset;
+pub use interactions::{InteractionError, Interactions};
+pub use synthetic::{generate, Generated, SyntheticConfig};

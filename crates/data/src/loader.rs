@@ -1,0 +1,252 @@
+//! Loaders for the KGIN/HAKG dataset file format.
+//!
+//! The public datasets used by the paper (Last-FM, Yelp2018,
+//! Alibaba-iFashion, Amazon-Book) are distributed by the KGIN and HAKG
+//! repositories in a common plain-text format:
+//!
+//! * `train.txt` / `test.txt` — one line per user: `user item item item …`
+//!   (all ids remapped to dense integers),
+//! * `kg_final.txt` — one triple per line: `head relation tail`, where
+//!   entity ids `< n_items` denote items and the rest denote non-item
+//!   entities (tags, in the paper's terminology).
+//!
+//! These loaders accept that format unchanged, so the real datasets can be
+//! dropped in when available; the synthetic twins (see
+//! [`crate::synthetic`]) are used otherwise.
+
+use std::io::BufRead;
+use std::path::Path;
+
+use inbox_kg::{ItemId, KgBuilder, KnowledgeGraph, RelationId, TagId, UserId};
+
+use crate::interactions::Interactions;
+
+/// Errors raised by the dataset loaders.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Raw interaction lines: `(user, items)` pairs as parsed, before universe
+/// sizes are fixed.
+#[derive(Debug)]
+pub struct RawInteractions {
+    /// Parsed `(user, item)` pairs.
+    pub pairs: Vec<(UserId, ItemId)>,
+    /// Highest user id seen plus one.
+    pub max_user: usize,
+    /// Highest item id seen plus one.
+    pub max_item: usize,
+}
+
+/// Parses a `train.txt`/`test.txt`-style stream.
+pub fn parse_interactions(reader: impl BufRead) -> Result<RawInteractions, LoadError> {
+    let mut pairs = Vec::new();
+    let mut max_user = 0usize;
+    let mut max_item = 0usize;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_ascii_whitespace();
+        let user: u32 = it
+            .next()
+            .unwrap()
+            .parse()
+            .map_err(|e| LoadError::Parse {
+                line: idx + 1,
+                message: format!("bad user id: {e}"),
+            })?;
+        max_user = max_user.max(user as usize + 1);
+        for tok in it {
+            let item: u32 = tok.parse().map_err(|e| LoadError::Parse {
+                line: idx + 1,
+                message: format!("bad item id: {e}"),
+            })?;
+            max_item = max_item.max(item as usize + 1);
+            pairs.push((UserId(user), ItemId(item)));
+        }
+    }
+    Ok(RawInteractions {
+        pairs,
+        max_user,
+        max_item,
+    })
+}
+
+/// Parses a `kg_final.txt`-style stream into a [`KnowledgeGraph`].
+///
+/// Entity ids `< n_items` are items; ids `>= n_items` are tags (shifted into
+/// the dense tag space). Triples are classified into IRI/TRT/IRT; a
+/// (tag, relation, item) triple is canonicalised through the relation's
+/// inverse, per Section 2 of the paper.
+pub fn parse_kg(reader: impl BufRead, n_items: usize) -> Result<KnowledgeGraph, LoadError> {
+    struct Raw {
+        h: u32,
+        r: u32,
+        t: u32,
+    }
+    let mut raws = Vec::new();
+    let mut max_entity = 0usize;
+    let mut max_rel = 0usize;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_ascii_whitespace();
+        let mut next = |what: &str| -> Result<u32, LoadError> {
+            it.next()
+                .ok_or_else(|| LoadError::Parse {
+                    line: idx + 1,
+                    message: format!("missing {what}"),
+                })?
+                .parse()
+                .map_err(|e| LoadError::Parse {
+                    line: idx + 1,
+                    message: format!("bad {what}: {e}"),
+                })
+        };
+        let h = next("head")?;
+        let r = next("relation")?;
+        let t = next("tail")?;
+        max_entity = max_entity.max(h as usize + 1).max(t as usize + 1);
+        max_rel = max_rel.max(r as usize + 1);
+        raws.push(Raw { h, r, t });
+    }
+    let n_tags = max_entity.saturating_sub(n_items);
+    let mut b = KgBuilder::new(n_items, n_tags);
+    let rels: Vec<RelationId> = (0..max_rel)
+        .map(|i| b.add_relation(format!("r{i}")))
+        .collect();
+    for raw in raws {
+        let r = rels[raw.r as usize];
+        let head_is_item = (raw.h as usize) < n_items;
+        let tail_is_item = (raw.t as usize) < n_items;
+        let res = match (head_is_item, tail_is_item) {
+            (true, true) => b.add_iri(ItemId(raw.h), r, ItemId(raw.t)),
+            (false, false) => b.add_trt(
+                TagId(raw.h - n_items as u32),
+                r,
+                TagId(raw.t - n_items as u32),
+            ),
+            (true, false) => b.add_irt(ItemId(raw.h), r, TagId(raw.t - n_items as u32)),
+            (false, true) => b.add_tri(TagId(raw.h - n_items as u32), r, ItemId(raw.t)),
+        };
+        res.expect("ids bounded by construction");
+    }
+    Ok(b.build())
+}
+
+/// Loads a full KGIN-format dataset directory (`train.txt`, `test.txt`,
+/// `kg_final.txt`), returning `(train, test, kg)`.
+pub fn load_dir(dir: impl AsRef<Path>) -> Result<(Interactions, Interactions, KnowledgeGraph), LoadError> {
+    let dir = dir.as_ref();
+    let open = |name: &str| -> Result<std::io::BufReader<std::fs::File>, LoadError> {
+        Ok(std::io::BufReader::new(std::fs::File::open(dir.join(name))?))
+    };
+    let train_raw = parse_interactions(open("train.txt")?)?;
+    let test_raw = parse_interactions(open("test.txt")?)?;
+    let n_users = train_raw.max_user.max(test_raw.max_user);
+    let n_items = train_raw.max_item.max(test_raw.max_item);
+    let train = Interactions::from_pairs(n_users, n_items, train_raw.pairs)
+        .expect("ids bounded by max scan");
+    let test = Interactions::from_pairs(n_users, n_items, test_raw.pairs)
+        .expect("ids bounded by max scan");
+    let kg = parse_kg(open("kg_final.txt")?, n_items)?;
+    Ok((train, test, kg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inbox_kg::KgStats;
+
+    #[test]
+    fn parse_interactions_basic() {
+        let text = "0 1 2 3\n1 0\n\n2 4 4\n";
+        let raw = parse_interactions(text.as_bytes()).unwrap();
+        assert_eq!(raw.max_user, 3);
+        assert_eq!(raw.max_item, 5);
+        assert_eq!(raw.pairs.len(), 6);
+        let inter = Interactions::from_pairs(raw.max_user, raw.max_item, raw.pairs).unwrap();
+        assert_eq!(inter.items_of(UserId(0)), &[ItemId(1), ItemId(2), ItemId(3)]);
+        // duplicate (2,4) deduplicated
+        assert_eq!(inter.items_of(UserId(2)), &[ItemId(4)]);
+    }
+
+    #[test]
+    fn parse_interactions_rejects_garbage() {
+        let err = parse_interactions("0 x\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, LoadError::Parse { line: 1, .. }), "{err}");
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn parse_kg_classifies_triple_types() {
+        // 2 items (ids 0,1); entities 2,3 are tags 0,1.
+        let text = "0 0 1\n2 1 3\n0 1 2\n3 0 1\n";
+        let kg = parse_kg(text.as_bytes(), 2).unwrap();
+        let s = KgStats::of(&kg);
+        assert_eq!(s.n_iri, 1);
+        assert_eq!(s.n_trt, 1);
+        // (item 0, r1, tag 0) plus the canonicalised (tag 1, r0, item 1).
+        assert_eq!(s.n_irt, 2);
+        assert_eq!(kg.n_tags(), 2);
+        // The TRI triple allocated an inverse relation.
+        assert_eq!(kg.n_relations(), 3);
+    }
+
+    #[test]
+    fn parse_kg_rejects_short_lines() {
+        let err = parse_kg("0 1\n".as_bytes(), 1).unwrap_err();
+        assert!(matches!(err, LoadError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn load_dir_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("inbox-loader-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("train.txt"), "0 0 1\n1 2\n").unwrap();
+        std::fs::write(dir.join("test.txt"), "0 2\n1 0\n").unwrap();
+        std::fs::write(dir.join("kg_final.txt"), "0 0 3\n1 0 3\n2 0 4\n3 1 4\n").unwrap();
+        let (train, test, kg) = load_dir(&dir).unwrap();
+        assert_eq!(train.n_users(), 2);
+        assert_eq!(train.n_items(), 3);
+        assert_eq!(train.n_interactions(), 3);
+        assert_eq!(test.n_interactions(), 2);
+        assert_eq!(kg.n_items(), 3);
+        assert_eq!(kg.n_tags(), 2);
+        assert_eq!(KgStats::of(&kg).n_irt, 3);
+        assert_eq!(KgStats::of(&kg).n_trt, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

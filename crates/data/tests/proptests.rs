@@ -1,0 +1,133 @@
+//! Property-based tests for dataset tooling: split laws, loader robustness,
+//! and generator contracts.
+
+use inbox_data::{loader, Interactions, SyntheticConfig};
+use inbox_kg::{ItemId, UserId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pairs_strategy() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0u32..8, 0u32..20), 0..120)
+}
+
+proptest! {
+    /// Splitting partitions every user's items exactly, for any ratio.
+    #[test]
+    fn split_partitions_exactly(pairs in pairs_strategy(), ratio in 0.0f64..0.9, seed in 0u64..50) {
+        let inter = Interactions::from_pairs(
+            8,
+            20,
+            pairs.iter().map(|&(u, i)| (UserId(u), ItemId(i))),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (train, test) = inter.split(ratio, &mut rng);
+        prop_assert_eq!(
+            train.n_interactions() + test.n_interactions(),
+            inter.n_interactions()
+        );
+        for u in 0..8u32 {
+            let user = UserId(u);
+            let mut merged: Vec<ItemId> = train
+                .items_of(user)
+                .iter()
+                .chain(test.items_of(user))
+                .copied()
+                .collect();
+            merged.sort_unstable();
+            prop_assert_eq!(merged.as_slice(), inter.items_of(user));
+            // Disjointness.
+            for i in test.items_of(user) {
+                prop_assert!(!train.contains(user, *i));
+            }
+            // A user with >= 2 items keeps at least one in train and, when
+            // ratio > 0, sends at least one to test.
+            if inter.items_of(user).len() >= 2 && ratio > 0.0 {
+                prop_assert!(!train.items_of(user).is_empty());
+                prop_assert!(!test.items_of(user).is_empty());
+            }
+        }
+    }
+
+    /// Popularity counts always sum to the interaction count.
+    #[test]
+    fn popularity_sums(pairs in pairs_strategy()) {
+        let inter = Interactions::from_pairs(
+            8,
+            20,
+            pairs.iter().map(|&(u, i)| (UserId(u), ItemId(i))),
+        )
+        .unwrap();
+        let pop = inter.item_popularity();
+        prop_assert_eq!(pop.iter().sum::<usize>(), inter.n_interactions());
+        prop_assert_eq!(pop.len(), 20);
+    }
+
+    /// The interaction loader never panics on arbitrary text and, when it
+    /// succeeds, ids are bounded by the reported maxima.
+    #[test]
+    fn interaction_loader_total(text in "[ 0-9a-z\n]{0,200}") {
+        if let Ok(raw) = loader::parse_interactions(text.as_bytes()) {
+            for (u, i) in &raw.pairs {
+                prop_assert!((u.0 as usize) < raw.max_user);
+                prop_assert!((i.0 as usize) < raw.max_item);
+            }
+        }
+    }
+
+    /// The KG loader never panics on arbitrary numeric-ish text.
+    #[test]
+    fn kg_loader_total(text in "[ 0-9\n]{0,200}", n_items in 1usize..6) {
+        if let Ok(kg) = loader::parse_kg(text.as_bytes(), n_items) {
+            prop_assert_eq!(kg.n_items(), n_items);
+        }
+    }
+
+    /// The synthetic generator keeps every promised contract for arbitrary
+    /// small configurations.
+    #[test]
+    fn generator_contracts(
+        n_users in 5usize..25,
+        n_items in 20usize..80,
+        n_rels in 2usize..5,
+        tags_per in 3usize..8,
+        seed in 0u64..20,
+    ) {
+        let cfg = SyntheticConfig {
+            name: "prop".into(),
+            n_users,
+            n_items,
+            n_attr_relations: n_rels,
+            tags_per_relation: tags_per,
+            concepts_per_item: 2.min(n_rels),
+            irt_dropout: 0.1,
+            trt_per_irt: 0.7,
+            iri_per_irt: 0.02,
+            interactions_per_user: (3, 8),
+            interest_noise: 0.2,
+            items_per_archetype: 10,
+        };
+        let g = inbox_data::generate(&cfg, seed);
+        prop_assert_eq!(g.kg.n_items(), n_items);
+        prop_assert_eq!(g.interactions.n_users(), n_users);
+        prop_assert_eq!(g.interests.len(), n_users);
+        // Every interaction in range (from_pairs checked it, but assert the
+        // public view too).
+        for (u, i) in g.interactions.pairs() {
+            prop_assert!(u.index() < n_users);
+            prop_assert!(i.index() < n_items);
+        }
+        // Interests are non-empty concept sets referencing real tags.
+        for user_interests in &g.interests {
+            prop_assert!(!user_interests.is_empty());
+            for interest in user_interests {
+                prop_assert!(!interest.is_empty() && interest.len() <= 2);
+                for c in interest {
+                    prop_assert!(c.tag.index() < g.kg.n_tags());
+                    prop_assert!(c.relation.index() < g.kg.n_relations());
+                }
+            }
+        }
+    }
+}

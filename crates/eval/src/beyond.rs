@@ -1,0 +1,168 @@
+//! Beyond-accuracy metrics: catalogue coverage and recommendation
+//! concentration.
+//!
+//! The paper's conclusion claims box representations yield "more accurate,
+//! diverse, and interpretable" recommendations; these metrics make the
+//! *diverse* part measurable. They operate on the top-K lists produced for
+//! each user under the same all-ranking protocol as
+//! [`evaluate`](crate::evaluate).
+
+use inbox_data::Interactions;
+use inbox_kg::{ItemId, UserId};
+
+use crate::metrics::{top_k_masked, Scorer};
+
+/// Aggregate beyond-accuracy statistics over all users' top-K lists.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeyondAccuracy {
+    /// Fraction of the catalogue that appears in at least one user's top-K.
+    pub coverage: f64,
+    /// Gini coefficient of recommendation counts across items
+    /// (0 = perfectly even exposure, → 1 = all exposure on few items).
+    pub gini: f64,
+    /// Mean number of *distinct* items per user list (== K unless the
+    /// catalogue is exhausted).
+    pub mean_list_len: f64,
+}
+
+/// Computes coverage and exposure concentration of a scorer's top-K lists.
+pub fn beyond_accuracy(
+    scorer: &dyn Scorer,
+    train: &Interactions,
+    test: &Interactions,
+    k: usize,
+) -> BeyondAccuracy {
+    let n_items = train.n_items();
+    let mut counts = vec![0usize; n_items];
+    let mut lists = 0usize;
+    let mut total_len = 0usize;
+    for u in 0..test.n_users() as u32 {
+        let user = UserId(u);
+        if test.items_of(user).is_empty() {
+            continue;
+        }
+        let scores = scorer.score_items(user);
+        let top = top_k_masked(&scores, train.items_of(user), k);
+        total_len += top.len();
+        lists += 1;
+        for item in top {
+            counts[item.index()] += 1;
+        }
+    }
+    if lists == 0 {
+        return BeyondAccuracy {
+            coverage: 0.0,
+            gini: 0.0,
+            mean_list_len: 0.0,
+        };
+    }
+    let covered = counts.iter().filter(|&&c| c > 0).count();
+    BeyondAccuracy {
+        coverage: covered as f64 / n_items as f64,
+        gini: gini(&counts),
+        mean_list_len: total_len as f64 / lists as f64,
+    }
+}
+
+/// Gini coefficient of a non-negative count distribution.
+pub fn gini(counts: &[usize]) -> f64 {
+    let n = counts.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<usize> = counts.to_vec();
+    sorted.sort_unstable();
+    // G = (2 * Σ_i i*x_i) / (n * Σ x) - (n + 1) / n with 1-based ranks.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i + 1) as f64 * x as f64)
+        .sum();
+    (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+}
+
+/// Mean pairwise concept-overlap within a recommendation list: 1 when every
+/// pair of recommended items shares all concepts, 0 when no pair shares any.
+/// Lower = more diverse lists.
+pub fn intra_list_similarity(
+    lists: &[Vec<ItemId>],
+    concepts_of: impl Fn(ItemId) -> Vec<(u32, u32)>,
+) -> f64 {
+    let mut total = 0.0f64;
+    let mut n_pairs = 0usize;
+    for list in lists {
+        for i in 0..list.len() {
+            let ci = concepts_of(list[i]);
+            for j in (i + 1)..list.len() {
+                let cj = concepts_of(list[j]);
+                let inter = ci.iter().filter(|c| cj.contains(c)).count();
+                let union = ci.len() + cj.len() - inter;
+                total += if union == 0 {
+                    0.0
+                } else {
+                    inter as f64 / union as f64
+                };
+                n_pairs += 1;
+            }
+        }
+    }
+    if n_pairs == 0 {
+        0.0
+    } else {
+        total / n_pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0, 0]), 0.0);
+        // Perfectly even.
+        assert!(gini(&[5, 5, 5, 5]).abs() < 1e-12);
+        // All mass on one of many items -> close to 1.
+        let mut concentrated = vec![0usize; 100];
+        concentrated[0] = 1000;
+        assert!(gini(&concentrated) > 0.95);
+        // Monotone: more concentration, higher gini.
+        assert!(gini(&[1, 1, 1, 9]) > gini(&[3, 3, 3, 3]));
+    }
+
+    #[test]
+    fn coverage_counts_distinct_items() {
+        let train = Interactions::from_pairs(2, 5, vec![(UserId(0), ItemId(0))]).unwrap();
+        let test = Interactions::from_pairs(
+            2,
+            5,
+            vec![(UserId(0), ItemId(1)), (UserId(1), ItemId(2))],
+        )
+        .unwrap();
+        // Constant scorer: each user gets the lowest-id unmasked items.
+        let scorer = |_: UserId| vec![0.0f32; 5];
+        let b = beyond_accuracy(&scorer, &train, &test, 2);
+        // User 0 (mask {0}) -> items 1,2; user 1 -> items 0,1. Covered: {0,1,2}.
+        assert!((b.coverage - 3.0 / 5.0).abs() < 1e-12);
+        assert_eq!(b.mean_list_len, 2.0);
+        assert!(b.gini > 0.0);
+    }
+
+    #[test]
+    fn intra_list_similarity_extremes() {
+        let lists = vec![vec![ItemId(0), ItemId(1)]];
+        // Identical concept sets -> similarity 1.
+        let same = intra_list_similarity(&lists, |_| vec![(0, 0), (1, 1)]);
+        assert!((same - 1.0).abs() < 1e-12);
+        // Disjoint concept sets -> similarity 0.
+        let disjoint = intra_list_similarity(&lists, |i| vec![(i.0, i.0)]);
+        assert_eq!(disjoint, 0.0);
+        // Empty lists -> 0.
+        assert_eq!(intra_list_similarity(&[], |_| vec![]), 0.0);
+    }
+}

@@ -1,0 +1,20 @@
+//! `inbox-eval` — evaluation protocol and analysis tooling for the InBox
+//! reproduction.
+//!
+//! Implements the all-ranking protocol of Section 4.1.2 (`recall@K`,
+//! `ndcg@K` with train-item masking, averaged over test users), a
+//! model-agnostic [`Scorer`] trait shared by InBox and every baseline, and
+//! the PCA + cluster-separation analysis behind Figure 5.
+
+#![warn(missing_docs)]
+
+mod beyond;
+mod metrics;
+pub mod pca;
+
+pub use beyond::{beyond_accuracy, gini, intra_list_similarity, BeyondAccuracy};
+pub use metrics::{
+    default_threads, evaluate, evaluate_with_threads, top_k_masked, user_metrics, RankingMetrics,
+    Scorer,
+};
+pub use pca::{centroid_separation, mean_pairwise_distance, separation, CentroidSeparation, Pca, Separation};

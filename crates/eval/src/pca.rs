@@ -1,0 +1,329 @@
+//! Principal component analysis and cluster-separation statistics for the
+//! Figure 5 reproduction.
+//!
+//! The paper projects learned item embeddings to 2-D with PCA and shows that
+//! items sharing a relation-tag concept cluster together while random items
+//! scatter. This module provides a dependency-free PCA (covariance matrix +
+//! cyclic Jacobi eigendecomposition) plus a quantitative separation score so
+//! the "clusters are tighter than random" claim is testable, not just
+//! eyeballable.
+
+/// Result of a PCA fit: the top principal axes and data mean.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// `components[k]` is the k-th principal axis (unit length, d entries).
+    components: Vec<Vec<f64>>,
+    /// Eigenvalue (explained variance) of each kept component.
+    eigenvalues: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits a PCA on `points` (each of dimension `d`) keeping `n_components`
+    /// axes. Panics if `points` is empty or dimensions are inconsistent.
+    pub fn fit(points: &[Vec<f32>], n_components: usize) -> Self {
+        assert!(!points.is_empty(), "PCA requires at least one point");
+        let d = points[0].len();
+        assert!(points.iter().all(|p| p.len() == d), "inconsistent dims");
+        let n = points.len() as f64;
+        let mut mean = vec![0.0f64; d];
+        for p in points {
+            for (m, &x) in mean.iter_mut().zip(p) {
+                *m += x as f64;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        // Covariance matrix (d x d, symmetric).
+        let mut cov = vec![vec![0.0f64; d]; d];
+        for p in points {
+            for i in 0..d {
+                let di = p[i] as f64 - mean[i];
+                for j in i..d {
+                    let dj = p[j] as f64 - mean[j];
+                    cov[i][j] += di * dj;
+                }
+            }
+        }
+        let denom = if points.len() > 1 { n - 1.0 } else { 1.0 };
+        for i in 0..d {
+            for j in i..d {
+                cov[i][j] /= denom;
+                cov[j][i] = cov[i][j];
+            }
+        }
+        let (eigenvalues, eigenvectors) = jacobi_eigen(cov);
+        let keep = n_components.min(d);
+        let components = (0..keep).map(|k| eigenvectors[k].clone()).collect();
+        let eigenvalues = eigenvalues.into_iter().take(keep).collect();
+        Self {
+            mean,
+            components,
+            eigenvalues,
+        }
+    }
+
+    /// Projects a point onto the kept components.
+    pub fn transform(&self, point: &[f32]) -> Vec<f64> {
+        assert_eq!(point.len(), self.mean.len(), "dimension mismatch");
+        self.components
+            .iter()
+            .map(|axis| {
+                axis.iter()
+                    .zip(point.iter().zip(&self.mean))
+                    .map(|(&a, (&x, &m))| a * (x as f64 - m))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Projects a batch of points.
+    pub fn transform_all(&self, points: &[Vec<f32>]) -> Vec<Vec<f64>> {
+        points.iter().map(|p| self.transform(p)).collect()
+    }
+
+    /// Explained variance of each kept component, largest first.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix. Returns
+/// `(eigenvalues, eigenvectors)` sorted by descending eigenvalue; each
+/// eigenvector is a row.
+fn jacobi_eigen(mut a: Vec<Vec<f64>>) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let d = a.len();
+    let mut v = vec![vec![0.0f64; d]; d];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for _sweep in 0..100 {
+        let mut off = 0.0f64;
+        for i in 0..d {
+            for j in (i + 1)..d {
+                off += a[i][j] * a[i][j];
+            }
+        }
+        if off < 1e-20 {
+            break;
+        }
+        for p in 0..d {
+            for q in (p + 1)..d {
+                if a[p][q].abs() < 1e-30 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..d {
+                    let akp = a[k][p];
+                    let akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..d {
+                    let apk = a[p][k];
+                    let aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for k in 0..d {
+                    let vkp = v[k][p];
+                    let vkq = v[k][q];
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..d).collect();
+    order.sort_by(|&i, &j| a[j][j].partial_cmp(&a[i][i]).unwrap());
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| a[i][i]).collect();
+    let eigenvectors: Vec<Vec<f64>> = order
+        .iter()
+        .map(|&col| (0..d).map(|row| v[row][col]).collect())
+        .collect();
+    (eigenvalues, eigenvectors)
+}
+
+/// Mean pairwise Euclidean distance within a point set (0 for fewer than 2
+/// points).
+pub fn mean_pairwise_distance(points: &[Vec<f64>]) -> f64 {
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            total += euclidean(&points[i], &points[j]);
+            count += 1;
+        }
+    }
+    total / count as f64
+}
+
+fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Separation statistics between a concept cluster ("red" points in
+/// Figure 5) and a random background ("blue" points).
+#[derive(Debug, Clone, Copy)]
+pub struct Separation {
+    /// Mean pairwise distance within the concept cluster.
+    pub intra_concept: f64,
+    /// Mean pairwise distance within the random background.
+    pub intra_random: f64,
+    /// `intra_random / intra_concept` — above 1 means the concept cluster is
+    /// tighter than random, which is the qualitative claim of Figure 5.
+    pub tightness_ratio: f64,
+}
+
+/// Computes the [`Separation`] between projected concept items and random
+/// items.
+pub fn separation(concept_points: &[Vec<f64>], random_points: &[Vec<f64>]) -> Separation {
+    let intra_concept = mean_pairwise_distance(concept_points);
+    let intra_random = mean_pairwise_distance(random_points);
+    let tightness_ratio = if intra_concept > 0.0 {
+        intra_random / intra_concept
+    } else {
+        f64::INFINITY
+    };
+    Separation {
+        intra_concept,
+        intra_random,
+        tightness_ratio,
+    }
+}
+
+/// Centroid-based separation — the statistic matching Figure 5's visual
+/// claim directly: concept items ("red") form a blob around their own
+/// centroid while random items ("blue") scatter *relative to that blob*.
+#[derive(Debug, Clone, Copy)]
+pub struct CentroidSeparation {
+    /// Mean distance of concept items to the concept centroid.
+    pub concept_to_centroid: f64,
+    /// Mean distance of random items to the *concept* centroid.
+    pub random_to_centroid: f64,
+    /// `random_to_centroid / concept_to_centroid` — above 1 means the
+    /// concept items cluster around their centroid more than background
+    /// items do.
+    pub ratio: f64,
+}
+
+/// Computes [`CentroidSeparation`] between concept and random point sets.
+/// Panics if `concept_points` is empty.
+pub fn centroid_separation(
+    concept_points: &[Vec<f64>],
+    random_points: &[Vec<f64>],
+) -> CentroidSeparation {
+    assert!(!concept_points.is_empty(), "need at least one concept point");
+    let dim = concept_points[0].len();
+    let mut centroid = vec![0.0f64; dim];
+    for p in concept_points {
+        for (c, &x) in centroid.iter_mut().zip(p) {
+            *c += x;
+        }
+    }
+    for c in &mut centroid {
+        *c /= concept_points.len() as f64;
+    }
+    let mean_dist = |points: &[Vec<f64>]| -> f64 {
+        if points.is_empty() {
+            return 0.0;
+        }
+        points.iter().map(|p| euclidean(p, &centroid)).sum::<f64>() / points.len() as f64
+    };
+    let concept_to_centroid = mean_dist(concept_points);
+    let random_to_centroid = mean_dist(random_points);
+    let ratio = if concept_to_centroid > 0.0 {
+        random_to_centroid / concept_to_centroid
+    } else {
+        f64::INFINITY
+    };
+    CentroidSeparation {
+        concept_to_centroid,
+        random_to_centroid,
+        ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn pca_recovers_dominant_axis() {
+        // Points along the direction (1, 1, 0) with small noise.
+        let mut rng = StdRng::seed_from_u64(1);
+        let points: Vec<Vec<f32>> = (0..200)
+            .map(|_| {
+                let t: f32 = rng.gen_range(-5.0..5.0);
+                vec![
+                    t + rng.gen_range(-0.01..0.01),
+                    t + rng.gen_range(-0.01..0.01),
+                    rng.gen_range(-0.01..0.01),
+                ]
+            })
+            .collect();
+        let pca = Pca::fit(&points, 2);
+        let axis = &pca.components[0];
+        // First axis ~ (1,1,0)/sqrt(2): |x| == |y| >> |z|.
+        assert!((axis[0].abs() - axis[1].abs()).abs() < 0.05, "{axis:?}");
+        assert!(axis[2].abs() < 0.05, "{axis:?}");
+        assert!(pca.eigenvalues()[0] > 10.0 * pca.eigenvalues()[1]);
+    }
+
+    #[test]
+    fn pca_projection_centers_data() {
+        let points = vec![vec![1.0f32, 0.0], vec![3.0, 0.0]];
+        let pca = Pca::fit(&points, 1);
+        let proj = pca.transform_all(&points);
+        // Projections are symmetric around 0 with distance 2 between them.
+        assert!((proj[0][0] + proj[1][0]).abs() < 1e-9);
+        assert!(((proj[0][0] - proj[1][0]).abs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jacobi_diagonalises_known_matrix() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let (vals, vecs) = jacobi_eigen(vec![vec![2.0, 1.0], vec![1.0, 2.0]]);
+        assert!((vals[0] - 3.0).abs() < 1e-9);
+        assert!((vals[1] - 1.0).abs() < 1e-9);
+        // Eigenvector of 3 is (1,1)/sqrt(2).
+        let v = &vecs[0];
+        assert!((v[0].abs() - v[1].abs()).abs() < 1e-9);
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn separation_detects_tight_cluster() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let tight: Vec<Vec<f64>> = (0..30)
+            .map(|_| vec![rng.gen_range(-0.1..0.1), rng.gen_range(-0.1..0.1)])
+            .collect();
+        let spread: Vec<Vec<f64>> = (0..30)
+            .map(|_| vec![rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)])
+            .collect();
+        let sep = separation(&tight, &spread);
+        assert!(sep.tightness_ratio > 5.0, "{sep:?}");
+    }
+
+    #[test]
+    fn mean_pairwise_edge_cases() {
+        assert_eq!(mean_pairwise_distance(&[]), 0.0);
+        assert_eq!(mean_pairwise_distance(&[vec![1.0, 2.0]]), 0.0);
+        let two = vec![vec![0.0, 0.0], vec![3.0, 4.0]];
+        assert!((mean_pairwise_distance(&two) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,474 @@
+//! The auxiliary knowledge graph `G_k` and its triplet-type partition.
+//!
+//! Section 2 of the paper classifies every KG triple into one of three
+//! groups, each handled by a different distance function during basic
+//! pretraining (Section 3.2):
+//!
+//! * **IRI** — (item, relation, item), e.g. `(Avatar2, sequel_of, Avatar)`;
+//!   trained with point-to-point distance (Eq. (3)).
+//! * **TRT** — (tag, relation, tag), e.g. `(Cameron, citizen_of, America)`;
+//!   trained with box-to-box distance (Eq. (6)).
+//! * **IRT** — (item, relation, tag), e.g. `(Avatar, directed_by, Cameron)`;
+//!   trained with point-to-box distance (Eq. (7)).
+//!
+//! A (tag, relation, item) triple is canonicalised to IRT through the
+//! relation's inverse, exactly as the paper prescribes.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{Concept, ItemId, RelationId, TagId};
+
+/// The three triplet groups of Section 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TripleType {
+    /// (item, relation, item)
+    Iri,
+    /// (tag, relation, tag)
+    Trt,
+    /// (item, relation, tag)
+    Irt,
+}
+
+/// An (item, relation, item) triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IriTriple {
+    /// Head item.
+    pub head: ItemId,
+    /// Relation.
+    pub relation: RelationId,
+    /// Tail item.
+    pub tail: ItemId,
+}
+
+/// A (tag, relation, tag) triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TrtTriple {
+    /// Head tag.
+    pub head: TagId,
+    /// Relation.
+    pub relation: RelationId,
+    /// Tail tag.
+    pub tail: TagId,
+}
+
+/// An (item, relation, tag) triple. The `(relation, tag)` pair is the
+/// *concept* the item belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IrtTriple {
+    /// Head item.
+    pub head: ItemId,
+    /// Relation.
+    pub relation: RelationId,
+    /// Tail tag.
+    pub tail: TagId,
+}
+
+impl IrtTriple {
+    /// The concept (relation-tag pair) this triple attaches to its item.
+    pub fn concept(&self) -> Concept {
+        Concept::new(self.relation, self.tail)
+    }
+}
+
+/// Errors raised while building a [`KnowledgeGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KgError {
+    /// An id referenced an item outside `0..n_items`.
+    ItemOutOfRange(ItemId),
+    /// An id referenced a tag outside `0..n_tags`.
+    TagOutOfRange(TagId),
+    /// An id referenced a relation outside the registered set.
+    RelationOutOfRange(RelationId),
+}
+
+impl std::fmt::Display for KgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KgError::ItemOutOfRange(i) => write!(f, "item id {i} out of range"),
+            KgError::TagOutOfRange(t) => write!(f, "tag id {t} out of range"),
+            KgError::RelationOutOfRange(r) => write!(f, "relation id {r} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for KgError {}
+
+/// Incremental builder for a [`KnowledgeGraph`].
+pub struct KgBuilder {
+    n_items: usize,
+    n_tags: usize,
+    relation_names: Vec<String>,
+    /// `inverse[r]` is the inverse relation of `r`, allocated lazily.
+    inverse: HashMap<u32, u32>,
+    iri: Vec<IriTriple>,
+    trt: Vec<TrtTriple>,
+    irt: Vec<IrtTriple>,
+}
+
+impl KgBuilder {
+    /// Starts a builder over fixed item/tag universes.
+    pub fn new(n_items: usize, n_tags: usize) -> Self {
+        Self {
+            n_items,
+            n_tags,
+            relation_names: Vec::new(),
+            inverse: HashMap::new(),
+            iri: Vec::new(),
+            trt: Vec::new(),
+            irt: Vec::new(),
+        }
+    }
+
+    /// Registers a relation and returns its id.
+    pub fn add_relation(&mut self, name: impl Into<String>) -> RelationId {
+        let id = RelationId(self.relation_names.len() as u32);
+        self.relation_names.push(name.into());
+        id
+    }
+
+    /// The inverse of `r`, allocating `<name>^-1` on first use. Used to
+    /// canonicalise (tag, r, item) triples into IRT form (Section 2).
+    pub fn inverse_relation(&mut self, r: RelationId) -> RelationId {
+        if let Some(&inv) = self.inverse.get(&r.0) {
+            return RelationId(inv);
+        }
+        let name = format!("{}^-1", self.relation_names[r.index()]);
+        let inv = self.add_relation(name);
+        self.inverse.insert(r.0, inv.0);
+        // The inverse of the inverse is the original.
+        self.inverse.insert(inv.0, r.0);
+        inv
+    }
+
+    fn check_item(&self, i: ItemId) -> Result<(), KgError> {
+        if i.index() < self.n_items {
+            Ok(())
+        } else {
+            Err(KgError::ItemOutOfRange(i))
+        }
+    }
+
+    fn check_tag(&self, t: TagId) -> Result<(), KgError> {
+        if t.index() < self.n_tags {
+            Ok(())
+        } else {
+            Err(KgError::TagOutOfRange(t))
+        }
+    }
+
+    fn check_rel(&self, r: RelationId) -> Result<(), KgError> {
+        if r.index() < self.relation_names.len() {
+            Ok(())
+        } else {
+            Err(KgError::RelationOutOfRange(r))
+        }
+    }
+
+    /// Adds an (item, relation, item) triple.
+    pub fn add_iri(&mut self, head: ItemId, r: RelationId, tail: ItemId) -> Result<(), KgError> {
+        self.check_item(head)?;
+        self.check_rel(r)?;
+        self.check_item(tail)?;
+        self.iri.push(IriTriple {
+            head,
+            relation: r,
+            tail,
+        });
+        Ok(())
+    }
+
+    /// Adds a (tag, relation, tag) triple.
+    pub fn add_trt(&mut self, head: TagId, r: RelationId, tail: TagId) -> Result<(), KgError> {
+        self.check_tag(head)?;
+        self.check_rel(r)?;
+        self.check_tag(tail)?;
+        self.trt.push(TrtTriple {
+            head,
+            relation: r,
+            tail,
+        });
+        Ok(())
+    }
+
+    /// Adds an (item, relation, tag) triple.
+    pub fn add_irt(&mut self, head: ItemId, r: RelationId, tail: TagId) -> Result<(), KgError> {
+        self.check_item(head)?;
+        self.check_rel(r)?;
+        self.check_tag(tail)?;
+        self.irt.push(IrtTriple {
+            head,
+            relation: r,
+            tail,
+        });
+        Ok(())
+    }
+
+    /// Adds a (tag, relation, item) triple by canonicalising it to
+    /// (item, relation^-1, tag), per Section 2.
+    pub fn add_tri(&mut self, head: TagId, r: RelationId, tail: ItemId) -> Result<(), KgError> {
+        self.check_tag(head)?;
+        self.check_rel(r)?;
+        self.check_item(tail)?;
+        let inv = self.inverse_relation(r);
+        self.add_irt(tail, inv, head)
+    }
+
+    /// Finalises the graph, building all derived indexes.
+    pub fn build(self) -> KnowledgeGraph {
+        let mut concepts_of_item: Vec<Vec<Concept>> = vec![Vec::new(); self.n_items];
+        let mut items_of_concept: HashMap<Concept, Vec<ItemId>> = HashMap::new();
+        for t in &self.irt {
+            let c = t.concept();
+            let list = &mut concepts_of_item[t.head.index()];
+            if !list.contains(&c) {
+                list.push(c);
+                items_of_concept.entry(c).or_default().push(t.head);
+            }
+        }
+
+        let mut tag_neighbors: Vec<Vec<(RelationId, TagId)>> = vec![Vec::new(); self.n_tags];
+        for t in &self.trt {
+            tag_neighbors[t.head.index()].push((t.relation, t.tail));
+            tag_neighbors[t.tail.index()].push((t.relation, t.head));
+        }
+
+        let mut item_item_neighbors: Vec<Vec<(RelationId, ItemId)>> = vec![Vec::new(); self.n_items];
+        for t in &self.iri {
+            item_item_neighbors[t.head.index()].push((t.relation, t.tail));
+            item_item_neighbors[t.tail.index()].push((t.relation, t.head));
+        }
+
+        KnowledgeGraph {
+            n_items: self.n_items,
+            n_tags: self.n_tags,
+            relation_names: self.relation_names,
+            inverse: self.inverse,
+            iri: self.iri,
+            trt: self.trt,
+            irt: self.irt,
+            concepts_of_item,
+            items_of_concept,
+            tag_neighbors,
+            item_item_neighbors,
+        }
+    }
+}
+
+/// An immutable, index-accelerated knowledge graph.
+#[derive(Debug, Clone)]
+pub struct KnowledgeGraph {
+    n_items: usize,
+    n_tags: usize,
+    relation_names: Vec<String>,
+    inverse: HashMap<u32, u32>,
+    iri: Vec<IriTriple>,
+    trt: Vec<TrtTriple>,
+    irt: Vec<IrtTriple>,
+    concepts_of_item: Vec<Vec<Concept>>,
+    items_of_concept: HashMap<Concept, Vec<ItemId>>,
+    tag_neighbors: Vec<Vec<(RelationId, TagId)>>,
+    item_item_neighbors: Vec<Vec<(RelationId, ItemId)>>,
+}
+
+impl KnowledgeGraph {
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Number of tags.
+    pub fn n_tags(&self) -> usize {
+        self.n_tags
+    }
+
+    /// Number of relations (including allocated inverses).
+    pub fn n_relations(&self) -> usize {
+        self.relation_names.len()
+    }
+
+    /// Name of a relation.
+    pub fn relation_name(&self, r: RelationId) -> &str {
+        &self.relation_names[r.index()]
+    }
+
+    /// The inverse relation of `r`, if one was allocated.
+    pub fn inverse_of(&self, r: RelationId) -> Option<RelationId> {
+        self.inverse.get(&r.0).map(|&i| RelationId(i))
+    }
+
+    /// All IRI triples.
+    pub fn iri_triples(&self) -> &[IriTriple] {
+        &self.iri
+    }
+
+    /// All TRT triples.
+    pub fn trt_triples(&self) -> &[TrtTriple] {
+        &self.trt
+    }
+
+    /// All IRT triples.
+    pub fn irt_triples(&self) -> &[IrtTriple] {
+        &self.irt
+    }
+
+    /// Total triple count.
+    pub fn n_triples(&self) -> usize {
+        self.iri.len() + self.trt.len() + self.irt.len()
+    }
+
+    /// The concepts (relation-tag pairs) attached to an item, deduplicated,
+    /// in insertion order. This is the set intersected in stage 2.
+    pub fn concepts_of(&self, item: ItemId) -> &[Concept] {
+        &self.concepts_of_item[item.index()]
+    }
+
+    /// All items belonging to a concept (used for Figure 5 and stage-2
+    /// negative filtering). Empty slice if the concept never occurs.
+    pub fn items_of(&self, concept: Concept) -> &[ItemId] {
+        self.items_of_concept
+            .get(&concept)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Every concept present in the graph.
+    pub fn concepts(&self) -> impl Iterator<Item = (&Concept, &Vec<ItemId>)> {
+        self.items_of_concept.iter()
+    }
+
+    /// Number of distinct concepts.
+    pub fn n_concepts(&self) -> usize {
+        self.items_of_concept.len()
+    }
+
+    /// Undirected TRT neighbours of a tag.
+    pub fn tag_neighbors(&self, t: TagId) -> &[(RelationId, TagId)] {
+        &self.tag_neighbors[t.index()]
+    }
+
+    /// Undirected IRI neighbours of an item.
+    pub fn item_item_neighbors(&self, i: ItemId) -> &[(RelationId, ItemId)] {
+        &self.item_item_neighbors[i.index()]
+    }
+
+    /// True if `item` is linked to `concept` by an IRT triple.
+    pub fn item_has_concept(&self, item: ItemId, concept: Concept) -> bool {
+        self.concepts_of_item[item.index()].contains(&concept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_graph() -> KnowledgeGraph {
+        // Items: 0=Avatar, 1=Avatar2, 2=Titanic. Tags: 0=Cameron, 1=America, 2=SciFi.
+        let mut b = KgBuilder::new(3, 3);
+        let sequel = b.add_relation("sequel_of");
+        let directed = b.add_relation("directed_by");
+        let citizen = b.add_relation("citizen_of");
+        let genre = b.add_relation("has_genre");
+        b.add_iri(ItemId(1), sequel, ItemId(0)).unwrap();
+        b.add_trt(TagId(0), citizen, TagId(1)).unwrap();
+        b.add_irt(ItemId(0), directed, TagId(0)).unwrap();
+        b.add_irt(ItemId(1), directed, TagId(0)).unwrap();
+        b.add_irt(ItemId(2), directed, TagId(0)).unwrap();
+        b.add_irt(ItemId(0), genre, TagId(2)).unwrap();
+        b.add_irt(ItemId(1), genre, TagId(2)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_partition() {
+        let g = small_graph();
+        assert_eq!(g.n_items(), 3);
+        assert_eq!(g.n_tags(), 3);
+        assert_eq!(g.iri_triples().len(), 1);
+        assert_eq!(g.trt_triples().len(), 1);
+        assert_eq!(g.irt_triples().len(), 5);
+        assert_eq!(g.n_triples(), 7);
+        assert_eq!(g.n_relations(), 4);
+    }
+
+    #[test]
+    fn concepts_of_item_deduplicated() {
+        let g = small_graph();
+        let c = g.concepts_of(ItemId(0));
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(&Concept::new(RelationId(1), TagId(0))));
+        assert!(c.contains(&Concept::new(RelationId(3), TagId(2))));
+    }
+
+    #[test]
+    fn items_of_concept_lists_members() {
+        let g = small_graph();
+        let directed_by_cameron = Concept::new(RelationId(1), TagId(0));
+        let items = g.items_of(directed_by_cameron);
+        assert_eq!(items.len(), 3);
+        let scifi = Concept::new(RelationId(3), TagId(2));
+        assert_eq!(g.items_of(scifi).len(), 2);
+        assert!(g.item_has_concept(ItemId(0), scifi));
+        assert!(!g.item_has_concept(ItemId(2), scifi));
+        // Unknown concepts give an empty slice, not a panic.
+        assert!(g.items_of(Concept::new(RelationId(0), TagId(0))).is_empty());
+    }
+
+    #[test]
+    fn tri_triples_are_canonicalised_via_inverse() {
+        let mut b = KgBuilder::new(2, 2);
+        let starring = b.add_relation("starring");
+        // (tag 1, starring, item 0) => (item 0, starring^-1, tag 1)
+        b.add_tri(TagId(1), starring, ItemId(0)).unwrap();
+        let g = b.build();
+        assert_eq!(g.irt_triples().len(), 1);
+        let t = g.irt_triples()[0];
+        assert_eq!(t.head, ItemId(0));
+        assert_eq!(t.tail, TagId(1));
+        assert_eq!(g.relation_name(t.relation), "starring^-1");
+        assert_eq!(g.inverse_of(t.relation), Some(starring));
+        assert_eq!(g.inverse_of(starring), Some(t.relation));
+    }
+
+    #[test]
+    fn inverse_relation_is_idempotent() {
+        let mut b = KgBuilder::new(1, 1);
+        let r = b.add_relation("r");
+        let inv1 = b.inverse_relation(r);
+        let inv2 = b.inverse_relation(r);
+        assert_eq!(inv1, inv2);
+        assert_eq!(b.inverse_relation(inv1), r);
+        assert_eq!(b.relation_names.len(), 2);
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        let mut b = KgBuilder::new(1, 1);
+        let r = b.add_relation("r");
+        assert_eq!(
+            b.add_iri(ItemId(5), r, ItemId(0)),
+            Err(KgError::ItemOutOfRange(ItemId(5)))
+        );
+        assert_eq!(
+            b.add_trt(TagId(0), r, TagId(9)),
+            Err(KgError::TagOutOfRange(TagId(9)))
+        );
+        assert_eq!(
+            b.add_irt(ItemId(0), RelationId(7), TagId(0)),
+            Err(KgError::RelationOutOfRange(RelationId(7)))
+        );
+        let e = KgError::ItemOutOfRange(ItemId(5));
+        assert!(e.to_string().contains("item id"));
+    }
+
+    #[test]
+    fn neighbors_are_undirected() {
+        let g = small_graph();
+        assert_eq!(g.tag_neighbors(TagId(0)), &[(RelationId(2), TagId(1))]);
+        assert_eq!(g.tag_neighbors(TagId(1)), &[(RelationId(2), TagId(0))]);
+        assert_eq!(g.item_item_neighbors(ItemId(0)), &[(RelationId(0), ItemId(1))]);
+        assert_eq!(g.item_item_neighbors(ItemId(1)), &[(RelationId(0), ItemId(0))]);
+        assert!(g.item_item_neighbors(ItemId(2)).is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Strongly-typed identifiers for the entities of a knowledge-aware
+//! recommendation problem.
+//!
+//! Following Section 2 of the paper, the entity set `E` of the auxiliary
+//! knowledge graph is partitioned into the **item set** `I` (entities users
+//! interact with) and the **tag set** `T` (all non-item entities). Items and
+//! tags live in separate dense id spaces so they can index separate embedding
+//! tables (items are points, tags are boxes).
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// An item — an entity users interact with (a movie, song, business, book…).
+    /// Items are embedded as **points** in the InBox model.
+    ItemId
+);
+id_type!(
+    /// A tag — a non-item KG entity (a director, genre, city…). Tags are
+    /// embedded as **boxes**.
+    TagId
+);
+id_type!(
+    /// A KG relation. Relations are embedded as boxes whose center translates
+    /// a tag box and whose offset resizes it (Eq. (4), (5)).
+    RelationId
+);
+id_type!(
+    /// A user from the interaction graph.
+    UserId
+);
+
+/// Either side of a KG triple: an item or a tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Entity {
+    /// An item entity.
+    Item(ItemId),
+    /// A tag (non-item) entity.
+    Tag(TagId),
+}
+
+impl Entity {
+    /// True if this entity is an item.
+    pub fn is_item(self) -> bool {
+        matches!(self, Entity::Item(_))
+    }
+
+    /// The item id, if this entity is an item.
+    pub fn as_item(self) -> Option<ItemId> {
+        match self {
+            Entity::Item(i) => Some(i),
+            Entity::Tag(_) => None,
+        }
+    }
+
+    /// The tag id, if this entity is a tag.
+    pub fn as_tag(self) -> Option<TagId> {
+        match self {
+            Entity::Tag(t) => Some(t),
+            Entity::Item(_) => None,
+        }
+    }
+}
+
+/// A *concept*: a relation-tag pair such as `(directed_by, James Cameron)`.
+///
+/// The paper's key observation is that the same tag under different relations
+/// expresses different concepts, and that a user interest is the
+/// *intersection* of several concepts (Figure 1). Concepts are the unit that
+/// stage 2 (box intersection) and stage 3 (interest boxes) operate on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Concept {
+    /// The relation of the pair.
+    pub relation: RelationId,
+    /// The tag of the pair.
+    pub tag: TagId,
+}
+
+impl Concept {
+    /// Creates a concept from a relation-tag pair.
+    pub fn new(relation: RelationId, tag: TagId) -> Self {
+        Self { relation, tag }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip_and_display() {
+        let i = ItemId(7);
+        assert_eq!(i.index(), 7);
+        assert_eq!(ItemId::from(7u32), i);
+        assert_eq!(format!("{i}"), "ItemId(7)");
+    }
+
+    #[test]
+    fn entity_accessors() {
+        let e = Entity::Item(ItemId(1));
+        assert!(e.is_item());
+        assert_eq!(e.as_item(), Some(ItemId(1)));
+        assert_eq!(e.as_tag(), None);
+        let t = Entity::Tag(TagId(2));
+        assert!(!t.is_item());
+        assert_eq!(t.as_tag(), Some(TagId(2)));
+        assert_eq!(t.as_item(), None);
+    }
+
+    #[test]
+    fn concept_equality_distinguishes_relations() {
+        // (directed_by, Cameron) != (written_by, Cameron): same tag, two concepts.
+        let directed = Concept::new(RelationId(0), TagId(5));
+        let written = Concept::new(RelationId(1), TagId(5));
+        assert_ne!(directed, written);
+        assert_eq!(directed, Concept::new(RelationId(0), TagId(5)));
+    }
+}

@@ -1,0 +1,24 @@
+//! `inbox-kg` — the knowledge-graph substrate of the InBox reproduction.
+//!
+//! Implements the data model of Section 2 of *InBox: Recommendation with
+//! Knowledge Graph using Interest Box Embedding* (VLDB 2024):
+//!
+//! * typed ids partitioning KG entities into **items** (embedded as points)
+//!   and **tags** (embedded as boxes),
+//! * the **IRI / TRT / IRT** triplet classification that selects the distance
+//!   function used during basic pretraining,
+//! * canonicalisation of (tag, relation, item) triples into IRT form via
+//!   inverse relations,
+//! * **concepts** — relation-tag pairs — with item↔concept indexes used by
+//!   the box-intersection and interest-box training stages, and
+//! * Table-1-style dataset statistics.
+
+#![warn(missing_docs)]
+
+mod graph;
+mod ids;
+mod stats;
+
+pub use graph::{IriTriple, IrtTriple, KgBuilder, KgError, KnowledgeGraph, TripleType, TrtTriple};
+pub use ids::{Concept, Entity, ItemId, RelationId, TagId, UserId};
+pub use stats::KgStats;

@@ -1,0 +1,115 @@
+//! Dataset statistics in the shape of the paper's Table 1.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::KnowledgeGraph;
+
+/// Knowledge-graph statistics: the lower half of Table 1, including the
+/// triplet-type proportions the paper uses to explain why InBox gains most
+/// on IRT-heavy datasets (Section 4.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KgStats {
+    /// Number of items.
+    pub n_items: usize,
+    /// Number of tags.
+    pub n_tags: usize,
+    /// Number of relations (including allocated inverses).
+    pub n_relations: usize,
+    /// Count of (item, relation, item) triples.
+    pub n_iri: usize,
+    /// Count of (tag, relation, tag) triples.
+    pub n_trt: usize,
+    /// Count of (item, relation, tag) triples.
+    pub n_irt: usize,
+}
+
+impl KgStats {
+    /// Computes statistics for a graph.
+    pub fn of(g: &KnowledgeGraph) -> Self {
+        Self {
+            n_items: g.n_items(),
+            n_tags: g.n_tags(),
+            n_relations: g.n_relations(),
+            n_iri: g.iri_triples().len(),
+            n_trt: g.trt_triples().len(),
+            n_irt: g.irt_triples().len(),
+        }
+    }
+
+    /// Total triple count.
+    pub fn n_triples(&self) -> usize {
+        self.n_iri + self.n_trt + self.n_irt
+    }
+
+    /// IRI share of all triples, in percent (0 when the KG is empty).
+    pub fn iri_pct(&self) -> f64 {
+        self.pct(self.n_iri)
+    }
+
+    /// TRT share of all triples, in percent.
+    pub fn trt_pct(&self) -> f64 {
+        self.pct(self.n_trt)
+    }
+
+    /// IRT share of all triples, in percent.
+    pub fn irt_pct(&self) -> f64 {
+        self.pct(self.n_irt)
+    }
+
+    fn pct(&self, n: usize) -> f64 {
+        let total = self.n_triples();
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * n as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for KgStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "#Items        {:>10}", self.n_items)?;
+        writeln!(f, "#Tags         {:>10}", self.n_tags)?;
+        writeln!(f, "#Relations    {:>10}", self.n_relations)?;
+        writeln!(f, "#IRI Triplets {:>10}", self.n_iri)?;
+        writeln!(f, "#TRT Triplets {:>10}", self.n_trt)?;
+        writeln!(f, "#IRT Triplets {:>10}", self.n_irt)?;
+        writeln!(f, "IRI (%)       {:>9.2}%", self.iri_pct())?;
+        writeln!(f, "TRT (%)       {:>9.2}%", self.trt_pct())?;
+        write!(f, "IRT (%)       {:>9.2}%", self.irt_pct())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::KgBuilder;
+    use crate::ids::{ItemId, TagId};
+
+    #[test]
+    fn stats_and_percentages() {
+        let mut b = KgBuilder::new(2, 2);
+        let r = b.add_relation("r");
+        b.add_iri(ItemId(0), r, ItemId(1)).unwrap();
+        b.add_trt(TagId(0), r, TagId(1)).unwrap();
+        b.add_irt(ItemId(0), r, TagId(0)).unwrap();
+        b.add_irt(ItemId(1), r, TagId(1)).unwrap();
+        let s = KgStats::of(&b.build());
+        assert_eq!(s.n_triples(), 4);
+        assert!((s.iri_pct() - 25.0).abs() < 1e-9);
+        assert!((s.trt_pct() - 25.0).abs() < 1e-9);
+        assert!((s.irt_pct() - 50.0).abs() < 1e-9);
+        let shown = s.to_string();
+        assert!(shown.contains("#IRT Triplets"));
+        assert!(shown.contains("50.00%"));
+    }
+
+    #[test]
+    fn empty_graph_has_zero_percentages() {
+        let s = KgStats::of(&KgBuilder::new(0, 0).build());
+        assert_eq!(s.n_triples(), 0);
+        assert_eq!(s.iri_pct(), 0.0);
+        assert_eq!(s.trt_pct(), 0.0);
+        assert_eq!(s.irt_pct(), 0.0);
+    }
+}

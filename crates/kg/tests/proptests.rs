@@ -1,0 +1,130 @@
+//! Property-based tests for the knowledge-graph store: index consistency
+//! under arbitrary build sequences.
+
+use inbox_kg::{Concept, ItemId, KgBuilder, KgStats, RelationId, TagId};
+use proptest::prelude::*;
+
+const N_ITEMS: usize = 12;
+const N_TAGS: usize = 10;
+const N_RELS: usize = 4;
+
+#[derive(Debug, Clone)]
+enum Add {
+    Iri(u32, u32, u32),
+    Trt(u32, u32, u32),
+    Irt(u32, u32, u32),
+    Tri(u32, u32, u32),
+}
+
+fn add_strategy() -> impl Strategy<Value = Add> {
+    prop_oneof![
+        (0..N_ITEMS as u32, 0..N_RELS as u32, 0..N_ITEMS as u32).prop_map(|(h, r, t)| Add::Iri(h, r, t)),
+        (0..N_TAGS as u32, 0..N_RELS as u32, 0..N_TAGS as u32).prop_map(|(h, r, t)| Add::Trt(h, r, t)),
+        (0..N_ITEMS as u32, 0..N_RELS as u32, 0..N_TAGS as u32).prop_map(|(h, r, t)| Add::Irt(h, r, t)),
+        (0..N_TAGS as u32, 0..N_RELS as u32, 0..N_ITEMS as u32).prop_map(|(h, r, t)| Add::Tri(h, r, t)),
+    ]
+}
+
+fn build(adds: &[Add]) -> inbox_kg::KnowledgeGraph {
+    let mut b = KgBuilder::new(N_ITEMS, N_TAGS);
+    for r in 0..N_RELS {
+        b.add_relation(format!("r{r}"));
+    }
+    for a in adds {
+        match *a {
+            Add::Iri(h, r, t) => b.add_iri(ItemId(h), RelationId(r), ItemId(t)).unwrap(),
+            Add::Trt(h, r, t) => b.add_trt(TagId(h), RelationId(r), TagId(t)).unwrap(),
+            Add::Irt(h, r, t) => b.add_irt(ItemId(h), RelationId(r), TagId(t)).unwrap(),
+            Add::Tri(h, r, t) => b.add_tri(TagId(h), RelationId(r), ItemId(t)).unwrap(),
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    /// The item↔concept indexes are mutually consistent and deduplicated.
+    #[test]
+    fn concept_indexes_consistent(adds in prop::collection::vec(add_strategy(), 0..80)) {
+        let g = build(&adds);
+        // Every concept listed for an item lists the item back.
+        for i in 0..N_ITEMS as u32 {
+            let item = ItemId(i);
+            let concepts = g.concepts_of(item);
+            // Deduplicated.
+            for (a, c1) in concepts.iter().enumerate() {
+                for c2 in &concepts[a + 1..] {
+                    prop_assert_ne!(c1, c2, "duplicate concept for {}", item);
+                }
+            }
+            for c in concepts {
+                prop_assert!(g.items_of(*c).contains(&item));
+                prop_assert!(g.item_has_concept(item, *c));
+            }
+        }
+        // Every item listed for a concept lists the concept back.
+        for (c, items) in g.concepts() {
+            for i in items {
+                prop_assert!(g.concepts_of(*i).contains(c));
+            }
+        }
+    }
+
+    /// Statistics always sum and bound correctly.
+    #[test]
+    fn stats_are_consistent(adds in prop::collection::vec(add_strategy(), 0..60)) {
+        let g = build(&adds);
+        let s = KgStats::of(&g);
+        prop_assert_eq!(s.n_triples(), g.n_triples());
+        prop_assert_eq!(s.n_triples(), adds.len());
+        let pct = s.iri_pct() + s.trt_pct() + s.irt_pct();
+        if s.n_triples() > 0 {
+            prop_assert!((pct - 100.0).abs() < 1e-9);
+        } else {
+            prop_assert_eq!(pct, 0.0);
+        }
+        // TRI triples become IRT.
+        let tri_count = adds.iter().filter(|a| matches!(a, Add::Tri(..))).count();
+        let irt_count = adds.iter().filter(|a| matches!(a, Add::Irt(..))).count();
+        prop_assert_eq!(s.n_irt, tri_count + irt_count);
+    }
+
+    /// Inverse relations are involutive and only allocated when needed.
+    #[test]
+    fn inverse_relations_involutive(adds in prop::collection::vec(add_strategy(), 0..40)) {
+        let g = build(&adds);
+        let had_tri = adds.iter().any(|a| matches!(a, Add::Tri(..)));
+        if !had_tri {
+            prop_assert_eq!(g.n_relations(), N_RELS);
+        }
+        for r in 0..g.n_relations() as u32 {
+            if let Some(inv) = g.inverse_of(RelationId(r)) {
+                prop_assert_eq!(g.inverse_of(inv), Some(RelationId(r)));
+                prop_assert_ne!(inv, RelationId(r));
+            }
+        }
+    }
+
+    /// TRT/IRI neighbour lists are symmetric.
+    #[test]
+    fn neighbour_lists_symmetric(adds in prop::collection::vec(add_strategy(), 0..60)) {
+        let g = build(&adds);
+        for t in 0..N_TAGS as u32 {
+            for &(r, other) in g.tag_neighbors(TagId(t)) {
+                prop_assert!(g.tag_neighbors(other).contains(&(r, TagId(t))));
+            }
+        }
+        for i in 0..N_ITEMS as u32 {
+            for &(r, other) in g.item_item_neighbors(ItemId(i)) {
+                prop_assert!(g.item_item_neighbors(other).contains(&(r, ItemId(i))));
+            }
+        }
+    }
+
+    /// Unknown concepts yield empty member lists, never panics.
+    #[test]
+    fn unknown_concept_is_empty(rel in 0..N_RELS as u32, tag in 0..N_TAGS as u32) {
+        let g = build(&[]);
+        prop_assert!(g.items_of(Concept::new(RelationId(rel), TagId(tag))).is_empty());
+        prop_assert_eq!(g.n_concepts(), 0);
+    }
+}

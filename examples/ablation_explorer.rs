@@ -1,0 +1,60 @@
+//! Ablation explorer: runs the paper's Table-3 ablations on a small dataset
+//! and prints their relative effect — a miniature of the `table3` benchmark
+//! binary that finishes in seconds.
+//!
+//! Run: `cargo run --release --example ablation_explorer`
+
+use inbox_repro::core::{train, Ablation, InBoxConfig};
+use inbox_repro::data::{Dataset, SyntheticConfig};
+
+fn main() {
+    let dataset = Dataset::synthetic(&SyntheticConfig::small(), 3);
+    println!(
+        "dataset `{}`: {} users, {} items, {} KG triples\n",
+        dataset.name,
+        dataset.n_users(),
+        dataset.n_items(),
+        dataset.kg_stats().n_triples()
+    );
+
+    let base_cfg = InBoxConfig {
+        epochs_stage1: 25,
+        epochs_stage2: 15,
+        epochs_stage3: 20,
+        n_negatives: 16,
+        max_history: 24,
+        lr: 1.5e-2,
+        ..InBoxConfig::for_dim(16)
+    };
+
+    println!("{:<12}{:>12}{:>12}{:>14}", "ablation", "recall@20", "ndcg@20", "vs Base");
+    let mut base_recall = None;
+    // Run Base first so the deltas are available immediately.
+    let mut rows: Vec<Ablation> = vec![Ablation::Base];
+    rows.extend(
+        Ablation::table3_rows()
+            .into_iter()
+            .filter(|a| *a != Ablation::Base),
+    );
+    for ablation in rows {
+        let cfg = ablation.configure(base_cfg.clone());
+        let trained = train(&dataset, cfg);
+        let m = trained.evaluate(&dataset, 20);
+        let delta = match base_recall {
+            None => {
+                base_recall = Some(m.recall);
+                "—".to_string()
+            }
+            Some(base) => format!("{:+.1}%", 100.0 * (m.recall - base) / base),
+        };
+        println!(
+            "{:<12}{:>12.4}{:>12.4}{:>14}",
+            ablation.label(),
+            m.recall,
+            m.ndcg,
+            delta
+        );
+    }
+    println!("\nExpected shape (paper Table 3): `w/o B&I` collapses, `only userI` drops");
+    println!("substantially, the other ablations degrade mildly.");
+}

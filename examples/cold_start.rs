@@ -1,0 +1,118 @@
+//! Item cold start — the introduction's motivation for KG-enhanced
+//! recommendation: brand-new items have *no* interaction history, so
+//! collaborative filtering cannot rank them, but their KG concepts place
+//! them inside the right interest boxes immediately.
+//!
+//! We train InBox and MF-BPR on the same dataset from which a slice of
+//! "new" items' interactions were entirely removed, then measure how often
+//! each model can surface a new item that matches a user's interests.
+//!
+//! Run: `cargo run --release --example cold_start`
+
+use inbox_repro::baselines::{MfBpr, MfConfig};
+use inbox_repro::core::{train, InBoxConfig};
+use inbox_repro::data::{Dataset, Interactions, SyntheticConfig};
+use inbox_repro::eval::Scorer;
+use inbox_repro::kg::{ItemId, UserId};
+
+fn main() {
+    // Generate, then freeze the last 15% of items as "cold": strip every
+    // interaction with them from BOTH splits; their KG triples remain.
+    let base = Dataset::synthetic(&SyntheticConfig::small(), 13);
+    let n_items = base.n_items();
+    let cold_from = (n_items as f64 * 0.85) as u32;
+    let is_cold = |i: ItemId| i.0 >= cold_from;
+
+    let strip = |inter: &Interactions, keep_cold: bool| {
+        let pairs: Vec<(UserId, ItemId)> = inter
+            .pairs()
+            .filter(|&(_, i)| keep_cold || !is_cold(i))
+            .collect();
+        Interactions::from_pairs(inter.n_users(), n_items, pairs).unwrap()
+    };
+    let dataset = Dataset {
+        name: "small-coldstart".into(),
+        kg: base.kg.clone(),
+        train: strip(&base.train, false),
+        // Test set: ONLY interactions with cold items (the ones CF can't see).
+        test: {
+            let pairs: Vec<(UserId, ItemId)> = base
+                .train
+                .pairs()
+                .chain(base.test.pairs())
+                .filter(|&(_, i)| is_cold(i))
+                .collect();
+            Interactions::from_pairs(base.n_users(), n_items, pairs).unwrap()
+        },
+    };
+    let n_cold = (n_items as u32 - cold_from) as usize;
+    println!(
+        "{} items total, {} cold (never interacted in training); {} held-out cold interactions",
+        n_items,
+        n_cold,
+        dataset.test.n_interactions()
+    );
+
+    // InBox: cold items still live in the KG, so stages 1-2 position their
+    // points inside their concept boxes.
+    println!("\ntraining InBox ...");
+    let trained = train(
+        &dataset,
+        InBoxConfig {
+            epochs_stage1: 25,
+            epochs_stage2: 15,
+            epochs_stage3: 20,
+            n_negatives: 16,
+            max_history: 24,
+            lr: 1.5e-2,
+            ..InBoxConfig::for_dim(16)
+        },
+    );
+    let inbox = trained.evaluate(&dataset, 20);
+
+    println!("training MF-BPR ...");
+    let mf = MfBpr::fit(
+        &dataset.train,
+        &MfConfig {
+            dim: 16,
+            epochs: 40,
+            ..Default::default()
+        },
+    );
+    let mf_m = inbox_repro::eval::evaluate_with_threads(&mf, &dataset.train, &dataset.test, 20, 1);
+
+    println!("\ncold-item recall@20 / ndcg@20:");
+    println!("  InBox   {:.4} / {:.4}", inbox.recall, inbox.ndcg);
+    println!("  MF-BPR  {:.4} / {:.4}", mf_m.recall, mf_m.ndcg);
+    if mf_m.recall > 0.0 {
+        println!(
+            "\nInBox surfaces cold items {:.1}x better than pure CF —",
+            inbox.recall / mf_m.recall
+        );
+    } else {
+        println!("\nInBox surfaces cold items while pure CF finds none —");
+    }
+    println!("MF has never seen them, while the KG places their points inside");
+    println!("the concept boxes that form matching users' interest boxes.");
+
+    // Show one concrete case: a user whose top-20 contains a cold item.
+    'outer: for u in 0..dataset.n_users() as u32 {
+        let user = UserId(u);
+        if dataset.test.items_of(user).is_empty() {
+            continue;
+        }
+        for (item, score) in trained.recommend(user, dataset.train.items_of(user), 20) {
+            if is_cold(item) && dataset.test.contains(user, item) {
+                println!("\nexample: user {user} gets never-seen {item} at score {score:.3} (a true cold hit)");
+                let mf_scores = mf.score_items(user);
+                let better = mf_scores
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, &s)| s > mf_scores[item.index()] && !dataset.train.contains(user, ItemId(j as u32)))
+                    .count();
+                println!("         MF ranks the same item #{better} of {n_items}.");
+                break 'outer;
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Cross-crate integration tests: the full pipeline from dataset generation
+//! through three-stage training to ranked evaluation, plus model-vs-baseline
+//! ordering and the KGIN-format loader round trip.
+
+use inbox_repro::baselines::{BaselineKind, MfBpr, MfConfig, Popularity};
+use inbox_repro::core::interpret::explain;
+use inbox_repro::core::{train, Ablation, InBoxConfig};
+use inbox_repro::data::{loader, Dataset, SyntheticConfig};
+use inbox_repro::eval::evaluate_with_threads;
+use inbox_repro::kg::{KgStats, UserId};
+
+fn small_dataset(seed: u64) -> Dataset {
+    Dataset::synthetic(&SyntheticConfig::small(), seed)
+}
+
+#[test]
+fn inbox_beats_popularity_and_mf_on_concept_driven_data() {
+    let ds = small_dataset(17);
+    let cfg = InBoxConfig {
+        epochs_stage1: 20,
+        epochs_stage2: 12,
+        epochs_stage3: 15,
+        n_negatives: 16,
+        max_history: 24,
+        lr: 1.5e-2,
+        ..InBoxConfig::for_dim(16)
+    };
+    let trained = train(&ds, cfg);
+    let inbox = trained.evaluate(&ds, 20);
+
+    let pop = Popularity::fit(&ds.train);
+    let pop_m = evaluate_with_threads(&pop, &ds.train, &ds.test, 20, 1);
+
+    let mf = MfBpr::fit(
+        &ds.train,
+        &MfConfig {
+            dim: 16,
+            epochs: 30,
+            ..Default::default()
+        },
+    );
+    let mf_m = evaluate_with_threads(&mf, &ds.train, &ds.test, 20, 1);
+
+    assert!(
+        inbox.recall > pop_m.recall,
+        "InBox {:.4} must beat Popularity {:.4}",
+        inbox.recall,
+        pop_m.recall
+    );
+    assert!(
+        inbox.recall > mf_m.recall,
+        "InBox {:.4} must beat MF {:.4}",
+        inbox.recall,
+        mf_m.recall
+    );
+}
+
+#[test]
+fn removing_both_kg_stages_collapses_performance() {
+    // The paper's strongest ablation signal (Table 3): w/o B&I collapses.
+    let ds = small_dataset(18);
+    let mk = |ablation: Ablation| {
+        let cfg = ablation.configure(InBoxConfig {
+            epochs_stage1: 15,
+            epochs_stage2: 10,
+            epochs_stage3: 12,
+            n_negatives: 16,
+            max_history: 24,
+            lr: 1.5e-2,
+            ..InBoxConfig::for_dim(16)
+        });
+        train(&ds, cfg).evaluate(&ds, 20).recall
+    };
+    let base = mk(Ablation::Base);
+    let without_bi = mk(Ablation::WithoutBAndI);
+    assert!(
+        base > without_bi * 1.5,
+        "base {base:.4} should far exceed w/o B&I {without_bi:.4}"
+    );
+}
+
+#[test]
+fn every_table2_model_produces_valid_rankings() {
+    let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 19);
+    for kind in BaselineKind::table2_rows() {
+        let model = kind.fit(&ds, 8, 3, 5);
+        let scores = model.score_items(UserId(0));
+        assert_eq!(scores.len(), ds.n_items(), "{}", kind.label());
+        assert!(scores.iter().all(|s| s.is_finite()), "{}", kind.label());
+    }
+}
+
+#[test]
+fn explanations_agree_with_ranking_scores() {
+    let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 20);
+    let trained = train(&ds, InBoxConfig::tiny_test());
+    for u in 0..5u32 {
+        let user = UserId(u);
+        let seen = ds.train.items_of(user);
+        if seen.is_empty() {
+            continue;
+        }
+        for (item, score) in trained.recommend(user, seen, 3) {
+            let ex = explain(&trained, &ds.kg, user, item).unwrap();
+            assert!(
+                (ex.score - score).abs() < 1e-4,
+                "explanation score must match ranking score"
+            );
+        }
+    }
+}
+
+#[test]
+fn kgin_format_roundtrip_through_filesystem() {
+    // Export a synthetic dataset in the KGIN plain-text format, reload it,
+    // and check the statistics survive.
+    let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 21);
+    let dir = std::env::temp_dir().join(format!("inbox-roundtrip-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let dump = |inter: &inbox_repro::data::Interactions| -> String {
+        let mut out = String::new();
+        for u in 0..inter.n_users() as u32 {
+            let items = inter.items_of(UserId(u));
+            if items.is_empty() {
+                continue;
+            }
+            out.push_str(&u.to_string());
+            for i in items {
+                out.push(' ');
+                out.push_str(&i.0.to_string());
+            }
+            out.push('\n');
+        }
+        out
+    };
+    std::fs::write(dir.join("train.txt"), dump(&ds.train)).unwrap();
+    std::fs::write(dir.join("test.txt"), dump(&ds.test)).unwrap();
+
+    let n_items = ds.kg.n_items() as u32;
+    let mut kg_txt = String::new();
+    for t in ds.kg.iri_triples() {
+        kg_txt.push_str(&format!("{} {} {}\n", t.head.0, t.relation.0, t.tail.0));
+    }
+    for t in ds.kg.trt_triples() {
+        kg_txt.push_str(&format!(
+            "{} {} {}\n",
+            n_items + t.head.0,
+            t.relation.0,
+            n_items + t.tail.0
+        ));
+    }
+    for t in ds.kg.irt_triples() {
+        kg_txt.push_str(&format!(
+            "{} {} {}\n",
+            t.head.0,
+            t.relation.0,
+            n_items + t.tail.0
+        ));
+    }
+    std::fs::write(dir.join("kg_final.txt"), kg_txt).unwrap();
+
+    let (train2, test2, kg2) = loader::load_dir(&dir).unwrap();
+    assert_eq!(train2.n_interactions(), ds.train.n_interactions());
+    assert_eq!(test2.n_interactions(), ds.test.n_interactions());
+    let s1 = KgStats::of(&ds.kg);
+    let s2 = KgStats::of(&kg2);
+    assert_eq!(s1.n_iri, s2.n_iri);
+    assert_eq!(s1.n_trt, s2.n_trt);
+    assert_eq!(s1.n_irt, s2.n_irt);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn training_is_reproducible_end_to_end() {
+    let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 22);
+    let a = train(&ds, InBoxConfig::tiny_test());
+    let b = train(&ds, InBoxConfig::tiny_test());
+    let user = UserId(1);
+    let seen = ds.train.items_of(user);
+    assert_eq!(a.recommend(user, seen, 10), b.recommend(user, seen, 10));
+    assert_eq!(a.report.stage3_losses, b.report.stage3_losses);
+}

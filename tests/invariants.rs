@@ -1,0 +1,163 @@
+//! Property-based invariants spanning the geometry, evaluation, and model
+//! crates, checked with proptest.
+
+use inbox_repro::core::geometry::{self, BoxEmb};
+use inbox_repro::core::model::{InBoxModel, TapeBox, UniverseSizes};
+use inbox_repro::core::InBoxConfig;
+use inbox_repro::eval::{top_k_masked, user_metrics};
+use inbox_repro::kg::{Concept, ItemId, RelationId, TagId};
+use proptest::prelude::*;
+
+const DIM: usize = 6;
+
+fn vec_strategy() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-5.0f32..5.0, DIM)
+}
+
+fn box_strategy() -> impl Strategy<Value = BoxEmb> {
+    (vec_strategy(), vec_strategy()).prop_map(|(cen, off)| BoxEmb::new(cen, off))
+}
+
+proptest! {
+    /// `D_out` is zero exactly when the point lies inside the box.
+    #[test]
+    fn d_out_zero_iff_contained(point in vec_strategy(), b in box_strategy()) {
+        let outside = geometry::d_out(&point, &b);
+        prop_assert_eq!(outside == 0.0, b.contains(&point));
+        prop_assert!(outside >= 0.0);
+    }
+
+    /// `D_in` is bounded by the box half-widths and is exactly the
+    /// center distance for interior points.
+    #[test]
+    fn d_in_bounds(point in vec_strategy(), b in box_strategy()) {
+        let inside = geometry::d_in(&point, &b);
+        prop_assert!(inside >= 0.0);
+        prop_assert!(inside <= b.l1_size() + 1e-4);
+        if b.contains(&point) {
+            prop_assert!((inside - geometry::d_pp(&point, &b.cen)).abs() < 1e-4);
+        }
+    }
+
+    /// The weighted distance interpolates: alpha=0 gives D_out,
+    /// alpha=1 gives D_PB, monotone in alpha.
+    #[test]
+    fn weighted_distance_interpolates(point in vec_strategy(), b in box_strategy()) {
+        let d0 = geometry::d_pb_weighted(&point, &b, 0.0);
+        let dh = geometry::d_pb_weighted(&point, &b, 0.5);
+        let d1 = geometry::d_pb_weighted(&point, &b, 1.0);
+        prop_assert!((d0 - geometry::d_out(&point, &b)).abs() < 1e-4);
+        prop_assert!((d1 - geometry::d_pb(&point, &b)).abs() < 1e-4);
+        prop_assert!(d0 <= dh + 1e-5 && dh <= d1 + 1e-5);
+    }
+
+    /// The Max-Min intersection region is contained in every operand box.
+    #[test]
+    fn maxmin_intersection_contained(boxes in prop::collection::vec(box_strategy(), 1..5)) {
+        let inter = BoxEmb::intersect_max_min(&boxes);
+        let upper = inter.upper();
+        let lower = inter.lower();
+        // A degenerate (empty) intersection has zero width; its corners may
+        // sit in the gap between boxes, so only check non-degenerate dims.
+        for b in &boxes {
+            let bu = b.upper();
+            let bl = b.lower();
+            for k in 0..DIM {
+                if inter.off[k] > 0.0 {
+                    prop_assert!(upper[k] <= bu[k] + 1e-4);
+                    prop_assert!(lower[k] >= bl[k] - 1e-4);
+                }
+            }
+        }
+    }
+
+    /// Intersection is idempotent: intersecting a box with itself gives the
+    /// same region.
+    #[test]
+    fn maxmin_idempotent(b in box_strategy()) {
+        let inter = BoxEmb::intersect_max_min(&[b.clone(), b.clone()]);
+        for k in 0..DIM {
+            prop_assert!((inter.upper()[k] - b.upper()[k]).abs() < 1e-5);
+            prop_assert!((inter.lower()[k] - b.lower()[k]).abs() < 1e-5);
+        }
+    }
+
+    /// D_BB is a pseudometric on boxes: symmetric, zero on identical boxes.
+    #[test]
+    fn d_bb_symmetric(a in box_strategy(), b in box_strategy()) {
+        prop_assert!((geometry::d_bb(&a, &b) - geometry::d_bb(&b, &a)).abs() < 1e-4);
+        prop_assert_eq!(geometry::d_bb(&a, &a), 0.0);
+    }
+
+    /// Projection through a zero relation box is the identity on the
+    /// effective region.
+    #[test]
+    fn projection_by_zero_relation_is_identity(t in box_strategy()) {
+        let zero = BoxEmb::new(vec![0.0; DIM], vec![0.0; DIM]);
+        let p = t.project(&zero);
+        for k in 0..DIM {
+            prop_assert!((p.upper()[k] - t.upper()[k]).abs() < 1e-5);
+            prop_assert!((p.lower()[k] - t.lower()[k]).abs() < 1e-5);
+        }
+    }
+
+    /// top_k returns at most k items, all unmasked, in descending score
+    /// order, with deterministic tie-breaks.
+    #[test]
+    fn top_k_properties(
+        scores in prop::collection::vec(-10.0f32..10.0, 1..50),
+        k in 1usize..25,
+        mask_seed in 0u32..4,
+    ) {
+        let mask: Vec<ItemId> = (0..scores.len() as u32)
+            .filter(|i| i % 4 == mask_seed)
+            .map(ItemId)
+            .collect();
+        let top = top_k_masked(&scores, &mask, k);
+        prop_assert!(top.len() <= k);
+        prop_assert!(top.len() <= scores.len());
+        for w in top.windows(2) {
+            let (s0, s1) = (scores[w[0].index()], scores[w[1].index()]);
+            prop_assert!(s0 > s1 || (s0 == s1 && w[0] < w[1]));
+        }
+        for i in &top {
+            prop_assert!(mask.binary_search(i).is_err(), "masked item returned");
+        }
+    }
+
+    /// recall and ndcg live in [0, 1]; perfect prefix ranking gives 1.
+    #[test]
+    fn metric_ranges(n_test in 1usize..10, n_top in 1usize..30) {
+        let test_items: Vec<ItemId> = (0..n_test as u32).map(ItemId).collect();
+        let top: Vec<ItemId> = (0..n_top as u32).map(ItemId).collect();
+        let (recall, ndcg) = user_metrics(&top, &test_items);
+        prop_assert!((0.0..=1.0).contains(&recall));
+        prop_assert!((0.0..=1.0).contains(&ndcg));
+        if n_top >= n_test {
+            prop_assert!((recall - 1.0).abs() < 1e-12);
+            prop_assert!((ndcg - 1.0).abs() < 1e-9);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tape point-to-box distance agrees with the plain-geometry one for
+    /// arbitrary concepts and items of a freshly initialised model.
+    #[test]
+    fn tape_distance_matches_geometry(seed in 0u64..50, rel in 0u32..3, tag in 0u32..8, item in 0u32..10) {
+        let sizes = UniverseSizes { n_items: 10, n_tags: 8, n_relations: 3, n_users: 2 };
+        let cfg = InBoxConfig { seed, ..InBoxConfig::tiny_test() };
+        let model = InBoxModel::new(sizes, &cfg);
+        let concept = Concept::new(RelationId(rel), TagId(tag));
+        let mut tape = inbox_repro::autodiff::Tape::new();
+        let (cen, off) = model.concept_boxes(&mut tape, &[concept]);
+        let b = TapeBox { cen, off };
+        let pts = model.item_points(&mut tape, &[ItemId(item)]);
+        let d = model.point_to_box(&mut tape, pts, b);
+        let tape_val = tape.value(d).item();
+        let plain = geometry::d_pb(model.item_point_f32(ItemId(item)), &model.concept_box_f32(concept));
+        prop_assert!((tape_val - plain).abs() < 1e-4, "tape {tape_val} vs plain {plain}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Integration tests for the online-serving path: refreshing a single
+//! user's interest box after new interactions, without retraining.
+
+use inbox_repro::core::{train, InBoxConfig};
+use inbox_repro::data::{Dataset, Interactions, SyntheticConfig};
+use inbox_repro::kg::{ItemId, UserId};
+
+#[test]
+fn refreshing_with_same_history_is_a_noop() {
+    let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 61);
+    let mut trained = train(&ds, InBoxConfig::tiny_test());
+    let user = (0..ds.n_users() as u32)
+        .map(UserId)
+        .find(|u| !ds.train.items_of(*u).is_empty())
+        .unwrap();
+    let before = trained.interest_box_of(user).unwrap().clone();
+    assert!(trained.refresh_user_box(&ds.kg, &ds.train, user));
+    assert_eq!(trained.interest_box_of(user).unwrap(), &before);
+}
+
+#[test]
+fn new_interactions_move_the_box_and_the_ranking() {
+    let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 62);
+    let mut trained = train(&ds, InBoxConfig::tiny_test());
+    let user = (0..ds.n_users() as u32)
+        .map(UserId)
+        .find(|u| ds.train.items_of(*u).len() >= 3)
+        .unwrap();
+    let before = trained.interest_box_of(user).unwrap().clone();
+
+    // Extend the user's history with several items they never touched.
+    let mut pairs: Vec<(UserId, ItemId)> = ds.train.pairs().collect();
+    let mut added = 0;
+    for i in 0..ds.n_items() as u32 {
+        if !ds.train.contains(user, ItemId(i)) && !ds.test.contains(user, ItemId(i)) {
+            pairs.push((user, ItemId(i)));
+            added += 1;
+            if added == 5 {
+                break;
+            }
+        }
+    }
+    let updated = Interactions::from_pairs(ds.n_users(), ds.n_items(), pairs).unwrap();
+
+    assert!(trained.refresh_user_box(&ds.kg, &updated, user));
+    let after = trained.interest_box_of(user).unwrap();
+    assert_ne!(after, &before, "added interactions must reshape the box");
+    // Other users' boxes are untouched.
+    for u in 0..ds.n_users() as u32 {
+        let other = UserId(u);
+        if other == user || ds.train.items_of(other).is_empty() {
+            continue;
+        }
+        assert!(trained.interest_box_of(other).is_some());
+    }
+}
+
+#[test]
+fn cold_user_gains_a_box_after_first_interaction() {
+    let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 63);
+    let mut trained = train(&ds, InBoxConfig::tiny_test());
+    // Manufacture a user with empty history by clearing one user's items.
+    let user = UserId(0);
+    let without: Vec<(UserId, ItemId)> =
+        ds.train.pairs().filter(|&(u, _)| u != user).collect();
+    let empty_hist = Interactions::from_pairs(ds.n_users(), ds.n_items(), without).unwrap();
+    assert!(!trained.refresh_user_box(&ds.kg, &empty_hist, user));
+    assert!(trained.interest_box_of(user).is_none());
+
+    // First interaction arrives: the box comes back.
+    let mut pairs: Vec<(UserId, ItemId)> = empty_hist.pairs().collect();
+    pairs.push((user, ItemId(3)));
+    let one = Interactions::from_pairs(ds.n_users(), ds.n_items(), pairs).unwrap();
+    assert!(trained.refresh_user_box(&ds.kg, &one, user));
+    assert!(trained.interest_box_of(user).is_some());
+}
