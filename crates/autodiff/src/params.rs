@@ -243,6 +243,26 @@ impl GradStore {
         }
     }
 
+    /// Global L2 norm of all stored gradients (dense and sparse rows
+    /// combined), accumulated in `f64` for stability. Useful as a
+    /// per-batch training health signal.
+    pub fn l2_norm(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for g in self.dense.values() {
+            for &v in g.data() {
+                acc += (v as f64) * (v as f64);
+            }
+        }
+        for rows in self.sparse.values() {
+            for g in rows.values() {
+                for &v in g {
+                    acc += (v as f64) * (v as f64);
+                }
+            }
+        }
+        acc.sqrt()
+    }
+
     /// Largest absolute gradient component across all parameters.
     pub fn max_abs(&self) -> f32 {
         let mut m = 0.0f32;
@@ -458,7 +478,10 @@ mod tests {
         assert!(b.import_values(&bad).is_err());
         // Shape mismatch rejected.
         let bad = vec![("x".to_string(), Tensor::zeros(2, 2))];
-        assert!(b.import_values(&bad).unwrap_err().contains("shape mismatch"));
+        assert!(b
+            .import_values(&bad)
+            .unwrap_err()
+            .contains("shape mismatch"));
     }
 
     #[test]

@@ -481,12 +481,14 @@ impl Tape {
                     self.accumulate(&mut grads, a, ga);
                 }
                 Op::Minimum(a, b) => {
-                    let (ga, gb) = select_grads(&g, &self.nodes[a.0].value, &self.nodes[b.0].value, true);
+                    let (ga, gb) =
+                        select_grads(&g, &self.nodes[a.0].value, &self.nodes[b.0].value, true);
                     self.accumulate(&mut grads, a, reduce_to(&ga, self.shape_of(a)));
                     self.accumulate(&mut grads, b, reduce_to(&gb, self.shape_of(b)));
                 }
                 Op::Maximum(a, b) => {
-                    let (ga, gb) = select_grads(&g, &self.nodes[a.0].value, &self.nodes[b.0].value, false);
+                    let (ga, gb) =
+                        select_grads(&g, &self.nodes[a.0].value, &self.nodes[b.0].value, false);
                     self.accumulate(&mut grads, a, reduce_to(&ga, self.shape_of(a)));
                     self.accumulate(&mut grads, b, reduce_to(&gb, self.shape_of(b)));
                 }
@@ -626,8 +628,8 @@ fn mul_broadcast(g: &Tensor, other: &Tensor) -> Tensor {
     let mut out = Tensor::zeros(rows, cols);
     for r in 0..rows {
         let orow = other.row_slice(if other.rows() == 1 { 0 } else { r });
-        for c in 0..cols {
-            *out.at_mut(r, c) = g.at(r, c) * orow[c];
+        for (c, &ov) in orow.iter().enumerate().take(cols) {
+            *out.at_mut(r, c) = g.at(r, c) * ov;
         }
     }
     out
@@ -656,7 +658,11 @@ fn select_grads(g: &Tensor, a: &Tensor, b: &Tensor, is_min: bool) -> (Tensor, Te
         let ra = a.row_slice(if a.rows() == 1 { 0 } else { r });
         let rb = b.row_slice(if b.rows() == 1 { 0 } else { r });
         for c in 0..cols {
-            let take_a = if is_min { ra[c] <= rb[c] } else { ra[c] >= rb[c] };
+            let take_a = if is_min {
+                ra[c] <= rb[c]
+            } else {
+                ra[c] >= rb[c]
+            };
             if take_a {
                 *ga.at_mut(r, c) = g.at(r, c);
             } else {
@@ -720,7 +726,10 @@ mod tests {
         }
     }
 
-    fn store_with(rng: &mut StdRng, shapes: &[(&str, usize, usize)]) -> (ParamStore, Vec<crate::params::ParamId>) {
+    fn store_with(
+        rng: &mut StdRng,
+        shapes: &[(&str, usize, usize)],
+    ) -> (ParamStore, Vec<crate::params::ParamId>) {
         let mut store = ParamStore::new();
         let ids = shapes
             .iter()

@@ -87,7 +87,10 @@ impl Cke {
             "mf_user",
             Tensor::rand_uniform(train.n_users().max(1), d, 0.1, &mut rng),
         );
-        let mf_item = store.add("mf_item", Tensor::rand_uniform(n_items.max(1), d, 0.1, &mut rng));
+        let mf_item = store.add(
+            "mf_item",
+            Tensor::rand_uniform(n_items.max(1), d, 0.1, &mut rng),
+        );
         let kg_ent = store.add(
             "kg_ent",
             Tensor::rand_uniform(n_entities.max(1), d, 0.5, &mut rng),
@@ -246,13 +249,7 @@ impl Scorer for Cke {
     fn score_items(&self, user: UserId) -> Vec<f32> {
         let u = self.store.value(self.mf_user).row_slice(user.index());
         (0..self.n_items)
-            .map(|i| {
-                self.item_vec(i)
-                    .iter()
-                    .zip(u)
-                    .map(|(&v, &uu)| v * uu)
-                    .sum()
-            })
+            .map(|i| self.item_vec(i).iter().zip(u).map(|(&v, &uu)| v * uu).sum())
             .collect()
     }
 }

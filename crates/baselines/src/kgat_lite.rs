@@ -114,7 +114,10 @@ impl KgatLite {
             "user",
             Tensor::rand_uniform(train.n_users().max(1), d, 0.1, &mut rng),
         );
-        let ent = store.add("ent", Tensor::rand_uniform(n_entities.max(1), d, 0.1, &mut rng));
+        let ent = store.add(
+            "ent",
+            Tensor::rand_uniform(n_entities.max(1), d, 0.1, &mut rng),
+        );
         let rel = store.add(
             "rel",
             Tensor::rand_uniform(kg.n_relations().max(1), d, 0.1, &mut rng),

@@ -122,7 +122,10 @@ impl KginLite {
                 "user",
                 Tensor::rand_uniform(train.n_users().max(1), d, 0.1, &mut rng),
             ),
-            ent: store.add("ent", Tensor::rand_uniform(n_entities.max(1), d, 0.1, &mut rng)),
+            ent: store.add(
+                "ent",
+                Tensor::rand_uniform(n_entities.max(1), d, 0.1, &mut rng),
+            ),
             rel: store.add(
                 "rel",
                 Tensor::rand_uniform(kg.n_relations().max(1), d, 0.1, &mut rng),

@@ -58,9 +58,8 @@ impl MfBpr {
         let n_users = train.n_users();
         let n_items = train.n_items();
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut init = |n: usize| -> Vec<f32> {
-            (0..n * d).map(|_| rng.gen_range(-0.1..0.1)).collect()
-        };
+        let mut init =
+            |n: usize| -> Vec<f32> { (0..n * d).map(|_| rng.gen_range(-0.1..0.1)).collect() };
         let mut user = init(n_users);
         let mut item = init(n_items);
         let mut item_bias = vec![0.0f32; n_items];
@@ -107,7 +106,11 @@ impl MfBpr {
         let d = self.dim;
         let u = user.index();
         let i = item.index();
-        self.item_bias[i] + dot(&self.user[u * d..(u + 1) * d], &self.item[i * d..(i + 1) * d])
+        self.item_bias[i]
+            + dot(
+                &self.user[u * d..(u + 1) * d],
+                &self.item[i * d..(i + 1) * d],
+            )
     }
 }
 

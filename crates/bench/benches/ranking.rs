@@ -2,8 +2,8 @@
 //! full-catalogue scoring (Eq. (29)).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use inbox_core::predict::{all_user_boxes, user_interest_box, InBoxScorer};
 use inbox_core::model::{InBoxModel, UniverseSizes};
+use inbox_core::predict::{all_user_boxes, user_interest_box, InBoxScorer};
 use inbox_core::InBoxConfig;
 use inbox_data::{Dataset, SyntheticConfig};
 use inbox_eval::{top_k_masked, Scorer};

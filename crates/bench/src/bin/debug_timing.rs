@@ -1,7 +1,5 @@
 //! Scratch diagnostic: wall-clock calibration of InBox on a paper-suite twin.
 
-use std::time::Instant;
-
 use inbox_core::{train, InBoxConfig};
 use inbox_data::{Dataset, SyntheticConfig};
 
@@ -14,8 +12,7 @@ fn main() {
         "amazon" => SyntheticConfig::amazon_like(),
         _ => SyntheticConfig::lastfm_like(),
     };
-    let t0 = Instant::now();
-    let ds = Dataset::synthetic(&cfg_data, 7);
+    let (ds, gen_time) = inbox_obs::time("debug.datagen", || Dataset::synthetic(&cfg_data, 7));
     println!(
         "{}: {} users, {} items, {} triples, {} interactions (gen {:?})",
         ds.name,
@@ -23,7 +20,7 @@ fn main() {
         ds.n_items(),
         ds.kg_stats().n_triples(),
         ds.train.n_interactions() + ds.test.n_interactions(),
-        t0.elapsed()
+        gen_time
     );
 
     let mut cfg = InBoxConfig {
@@ -36,20 +33,43 @@ fn main() {
         seed: 7,
         ..InBoxConfig::for_dim(32)
     };
-    if let Some(v) = args.get(2) { cfg.max_history = v.parse().unwrap(); }
-    if let Some(v) = args.get(3) { cfg.n_negatives = v.parse().unwrap(); }
-    let t1 = Instant::now();
-    let trained = train(&ds, cfg);
-    println!("train time: {:?} (early stop: {})", t1.elapsed(), trained.report.early_stopped);
+    if let Some(v) = args.get(2) {
+        cfg.max_history = v.parse().unwrap();
+    }
+    if let Some(v) = args.get(3) {
+        cfg.n_negatives = v.parse().unwrap();
+    }
+    let (trained, train_time) = inbox_obs::time("debug.train", || train(&ds, cfg));
+    println!(
+        "train time: {:?} (early stop: {})",
+        train_time, trained.report.early_stopped
+    );
     println!("stage3 recalls: {:?}", trained.report.stage3_recalls);
-    let t2 = Instant::now();
-    let m = trained.evaluate(&ds, 20);
-    println!("eval time {:?}: {m}", t2.elapsed());
+    let (m, eval_time) = inbox_obs::time("debug.eval", || trained.evaluate(&ds, 20));
+    println!("eval time {:?}: {m}", eval_time);
 
     use inbox_baselines::{KginLite, KginLiteConfig};
     use inbox_eval::evaluate_with_threads;
-    let t3 = Instant::now();
-    let kgin = KginLite::fit(&ds, &KginLiteConfig { dim: 32, epochs: 15, seed: 7, ..Default::default() });
-    let km = evaluate_with_threads(&kgin, &ds.train, &ds.test, 20, 1);
-    println!("kgin-lite d64 ({:?}): {km}", t3.elapsed());
+    let (km, baseline_time) = inbox_obs::time("debug.baseline", || {
+        let kgin = KginLite::fit(
+            &ds,
+            &KginLiteConfig {
+                dim: 32,
+                epochs: 15,
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        evaluate_with_threads(&kgin, &ds.train, &ds.test, 20, 1)
+    });
+    println!("kgin-lite d64 ({:?}): {km}", baseline_time);
+
+    // Per-span percentiles for everything recorded above (sampler, gradient
+    // batches, ranking workers) straight from the obs registry.
+    for (name, s) in inbox_obs::all_spans() {
+        println!(
+            "span {:<20} n {:>8}  mean {:>12}ns  p50 {:>12}ns  p95 {:>12}ns",
+            name, s.count, s.mean, s.p50, s.p95
+        );
+    }
 }

@@ -8,7 +8,12 @@ use inbox_kg::{ItemId, UserId};
 
 fn main() {
     let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 55);
-    println!("dataset: {} users {} items, kg: {:?}", ds.n_users(), ds.n_items(), ds.kg_stats().n_triples());
+    println!(
+        "dataset: {} users {} items, kg: {:?}",
+        ds.n_users(),
+        ds.n_items(),
+        ds.kg_stats().n_triples()
+    );
 
     let cfg = InBoxConfig {
         epochs_stage1: 40,
@@ -52,7 +57,9 @@ fn main() {
     }
     for i in (0..items.len()).step_by(7) {
         for j in (0..items.len()).step_by(11) {
-            if i == j { continue; }
+            if i == j {
+                continue;
+            }
             rand_d += geometry::d_pp(
                 trained.model.item_point_f32(items[i]),
                 trained.model.item_point_f32(items[j]),
@@ -60,7 +67,11 @@ fn main() {
             rand_n += 1;
         }
     }
-    println!("mean same-concept dist {:.3}, random dist {:.3}", same / same_n as f64, rand_d / rand_n as f64);
+    println!(
+        "mean same-concept dist {:.3}, random dist {:.3}",
+        same / same_n as f64,
+        rand_d / rand_n as f64
+    );
 
     // Are IRT triples satisfied? d_pb of item in its concept box.
     let mut inside = 0;
@@ -69,27 +80,48 @@ fn main() {
     for t in ds.kg.irt_triples().iter().take(300) {
         let b = trained.model.concept_box_f32(t.concept());
         let p = trained.model.item_point_f32(t.head);
-        if b.contains(p) { inside += 1; }
+        if b.contains(p) {
+            inside += 1;
+        }
         dsum += geometry::d_out(p, &b) as f64;
         total += 1;
     }
-    println!("IRT satisfied: {inside}/{total} inside, mean d_out {:.4}", dsum / total as f64);
+    println!(
+        "IRT satisfied: {inside}/{total} inside, mean d_out {:.4}",
+        dsum / total as f64
+    );
 
     // Per-user: is the mean d_pb of test items lower than of random non-interacted items?
     let mut better = 0;
     let mut users = 0;
     for u in 0..ds.n_users() as u32 {
         let u = UserId(u);
-        if ds.test.items_of(u).is_empty() { continue; }
-        let b = match trained.interest_box_of(u) { Some(b) => b, None => continue };
-        let test_d: f64 = ds.test.items_of(u).iter()
+        if ds.test.items_of(u).is_empty() {
+            continue;
+        }
+        let b = match trained.interest_box_of(u) {
+            Some(b) => b,
+            None => continue,
+        };
+        let test_d: f64 = ds
+            .test
+            .items_of(u)
+            .iter()
             .map(|&i| geometry::d_pb(trained.model.item_point_f32(i), b) as f64)
-            .sum::<f64>() / ds.test.items_of(u).len() as f64;
-        let rand: Vec<ItemId> = (0..ds.n_items() as u32).map(ItemId)
+            .sum::<f64>()
+            / ds.test.items_of(u).len() as f64;
+        let rand: Vec<ItemId> = (0..ds.n_items() as u32)
+            .map(ItemId)
             .filter(|i| !ds.train.contains(u, *i) && !ds.test.contains(u, *i))
             .collect();
-        let rand_d: f64 = rand.iter().map(|&i| geometry::d_pb(trained.model.item_point_f32(i), b) as f64).sum::<f64>() / rand.len() as f64;
-        if test_d < rand_d { better += 1; }
+        let rand_d: f64 = rand
+            .iter()
+            .map(|&i| geometry::d_pb(trained.model.item_point_f32(i), b) as f64)
+            .sum::<f64>()
+            / rand.len() as f64;
+        if test_d < rand_d {
+            better += 1;
+        }
         users += 1;
     }
     println!("users where test items closer than random: {better}/{users}");

@@ -7,9 +7,11 @@
 //! Run: `cargo run --release -p inbox-bench --bin diversity [--quick]`
 
 use inbox_baselines::BaselineKind;
-use inbox_bench::{run_baseline, run_inbox, write_json, HarnessConfig};
+use inbox_bench::{run_baseline, run_inbox, write_json, write_run_metrics, HarnessConfig};
 use inbox_core::Ablation;
-use inbox_eval::{beyond_accuracy, evaluate_with_threads, intra_list_similarity, top_k_masked, Scorer};
+use inbox_eval::{
+    beyond_accuracy, evaluate_with_threads, intra_list_similarity, top_k_masked, Scorer,
+};
 use inbox_kg::{ItemId, UserId};
 use serde::Serialize;
 
@@ -87,4 +89,5 @@ fn main() {
     println!("\nInterpretation: lower gini and ILS with comparable recall = broader,");
     println!("more varied lists — the paper's 'diverse' claim, quantified.");
     write_json("diversity.json", &rows);
+    write_run_metrics("diversity.metrics.json");
 }

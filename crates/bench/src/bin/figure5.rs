@@ -10,7 +10,7 @@
 //!
 //! Run: `cargo run --release -p inbox-bench --bin figure5 [--quick]`
 
-use inbox_bench::{results_dir, run_inbox, write_json, HarnessConfig};
+use inbox_bench::{results_dir, run_inbox, write_json, write_run_metrics, HarnessConfig};
 use inbox_core::Ablation;
 use inbox_eval::{centroid_separation, separation, Pca};
 use inbox_kg::ItemId;
@@ -95,11 +95,25 @@ fn main() {
         // Full-dimensional centroid separation (projection-independent).
         let red_full: Vec<Vec<f64>> = members
             .iter()
-            .map(|&i| trained.model.item_point_f32(i).iter().map(|&v| v as f64).collect())
+            .map(|&i| {
+                trained
+                    .model
+                    .item_point_f32(i)
+                    .iter()
+                    .map(|&v| v as f64)
+                    .collect()
+            })
             .collect();
         let blue_full: Vec<Vec<f64>> = random_items
             .iter()
-            .map(|&i| trained.model.item_point_f32(i).iter().map(|&v| v as f64).collect())
+            .map(|&i| {
+                trained
+                    .model
+                    .item_point_f32(i)
+                    .iter()
+                    .map(|&v| v as f64)
+                    .collect()
+            })
             .collect();
         let cen_full = centroid_separation(&red_full, &blue_full);
         let rel_name = ds.kg.relation_name(concept.relation).to_string();
@@ -144,4 +158,5 @@ fn main() {
         "\nmean centroid ratio: x{mean_2d:.2} (2-D) / x{mean_full:.2} (full-D) — >1 means concept items\ncluster around their centroid while random items scatter (the paper's visual claim)."
     );
     write_json("figure5.json", &summaries);
+    write_run_metrics("figure5.metrics.json");
 }

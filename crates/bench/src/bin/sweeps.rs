@@ -10,7 +10,7 @@
 //!
 //! Run: `cargo run --release -p inbox-bench --bin sweeps [--quick]`
 
-use inbox_bench::{write_json, HarnessConfig};
+use inbox_bench::{write_json, write_run_metrics, HarnessConfig};
 use inbox_core::{train, InBoxConfig, LossForm};
 use inbox_data::Dataset;
 use serde::Serialize;
@@ -45,7 +45,10 @@ fn main() {
         eprintln!("[sweeps] {sweep} = {setting} ...");
         let trained = train(ds, cfg);
         let m = trained.evaluate(ds, harness.k);
-        println!("{sweep:<16} {setting:<20} recall {:.4}  ndcg {:.4}", m.recall, m.ndcg);
+        println!(
+            "{sweep:<16} {setting:<20} recall {:.4}  ndcg {:.4}",
+            m.recall, m.ndcg
+        );
         rows.push(SweepRow {
             sweep: sweep.into(),
             setting,
@@ -54,7 +57,10 @@ fn main() {
         });
     };
 
-    println!("Design-choice ablations on {} (recall@{} / ndcg@{}):\n", ds.name, harness.k, harness.k);
+    println!(
+        "Design-choice ablations on {} (recall@{} / ndcg@{}):\n",
+        ds.name, harness.k, harness.k
+    );
 
     // 1. Loss form (DESIGN.md deviation #1).
     for form in [LossForm::Rotate, LossForm::PaperLiteral] {
@@ -112,4 +118,5 @@ fn main() {
     println!("fairly tolerant of alpha because centers alone can rank, but alpha < 1 is what");
     println!("makes *containment* trainable (see the IRT-satisfaction test and Figure 5).");
     write_json("sweeps.json", &rows);
+    write_run_metrics("sweeps.metrics.json");
 }

@@ -51,15 +51,16 @@ fn main() {
 
     println!("Table 1: Statistics of the dataset twins (scaled; proportions match the paper)\n");
     let headers = [
-        "Stas.", "#Users", "#Items", "#Inter.", "#Tags", "#Rel.", "#IRI", "#TRT", "#IRT",
-        "IRI(%)", "TRT(%)", "IRT(%)",
+        "Stas.", "#Users", "#Items", "#Inter.", "#Tags", "#Rel.", "#IRI", "#TRT", "#IRT", "IRI(%)",
+        "TRT(%)", "IRT(%)",
     ];
     print!("{:<22}", headers[0]);
     for r in &rows {
         print!("{:>18}", r.dataset);
     }
     println!();
-    let fields: Vec<(&str, Box<dyn Fn(&Table1Row) -> String>)> = vec![
+    type FieldFmt = Box<dyn Fn(&Table1Row) -> String>;
+    let fields: Vec<(&str, FieldFmt)> = vec![
         ("#Users", Box::new(|r: &Table1Row| r.n_users.to_string())),
         ("#Items", Box::new(|r| r.n_items.to_string())),
         ("#Interactions", Box::new(|r| r.n_interactions.to_string())),

@@ -9,7 +9,9 @@
 //! Run: `cargo run --release -p inbox-bench --bin table2 [--quick]`
 
 use inbox_baselines::BaselineKind;
-use inbox_bench::{cell, run_baseline, run_inbox, write_json, HarnessConfig, MeasuredRow};
+use inbox_bench::{
+    cell, run_baseline, run_inbox, write_json, write_run_metrics, HarnessConfig, MeasuredRow,
+};
 use inbox_core::Ablation;
 
 fn main() {
@@ -96,4 +98,5 @@ fn main() {
     println!("0.1335 (Alibaba-iFashion), 0.1752 (Amazon-Book); strongest baseline HAKG/KGIN.");
 
     write_json("table2.json", &rows);
+    write_run_metrics("table2.metrics.json");
 }

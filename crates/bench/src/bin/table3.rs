@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p inbox-bench --bin table3 [--quick]`
 
-use inbox_bench::{cell, run_inbox, write_json, HarnessConfig, MeasuredRow};
+use inbox_bench::{cell, run_inbox, write_json, write_run_metrics, HarnessConfig, MeasuredRow};
 use inbox_core::Ablation;
 
 fn main() {
@@ -79,4 +79,5 @@ fn main() {
     println!("w/o I 0.1069, M-M I 0.1079, w/o B&I 0.0363, w/o userI 0.1114, only userI 0.0621.");
 
     write_json("table3.json", &rows);
+    write_run_metrics("table3.metrics.json");
 }

@@ -16,7 +16,7 @@
 #![warn(missing_docs)]
 
 use std::path::{Path, PathBuf};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use inbox_baselines::BaselineKind;
 use inbox_core::{train, Ablation, InBoxConfig, TrainedInBox};
@@ -128,10 +128,8 @@ pub fn run_inbox(
     ablation: Ablation,
 ) -> (TrainedInBox, RankingMetrics, Duration) {
     let cfg = ablation.configure(harness.inbox_config());
-    let t0 = Instant::now();
-    let trained = train(dataset, cfg);
-    let elapsed = t0.elapsed();
-    let metrics = trained.evaluate(dataset, harness.k);
+    let (trained, elapsed) = inbox_obs::time("bench.train.inbox", || train(dataset, cfg));
+    let (metrics, _) = inbox_obs::time("bench.eval", || trained.evaluate(dataset, harness.k));
     (trained, metrics, elapsed)
 }
 
@@ -148,10 +146,12 @@ pub fn run_baseline(
         BaselineKind::KgatLite => harness.scaled(12),
         BaselineKind::KginLite => harness.scaled(15),
     };
-    let t0 = Instant::now();
-    let model = kind.fit(dataset, harness.dim, epochs, harness.seed);
-    let elapsed = t0.elapsed();
-    let metrics = evaluate_with_threads(model.as_ref(), &dataset.train, &dataset.test, harness.k, 1);
+    let (model, elapsed) = inbox_obs::time("bench.train.baseline", || {
+        kind.fit(dataset, harness.dim, epochs, harness.seed)
+    });
+    let (metrics, _) = inbox_obs::time("bench.eval", || {
+        evaluate_with_threads(model.as_ref(), &dataset.train, &dataset.test, harness.k, 1)
+    });
     (metrics, elapsed)
 }
 
@@ -175,6 +175,15 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
 /// Formats a `recall / ndcg` cell.
 pub fn cell(m: &RankingMetrics) -> String {
     format!("{:.4} / {:.4}", m.recall, m.ndcg)
+}
+
+/// Aggregates every span and counter recorded so far into a
+/// [`inbox_obs::RunSummary`] and writes it as pretty JSON under
+/// `results/<name>` — the instrumentation companion to each table's results
+/// file (sampler/gradient/eval percentiles, training throughput counters).
+pub fn write_run_metrics(name: &str) {
+    let summary = inbox_obs::emit_run_summary(inbox_obs::next_run_id());
+    write_json(name, &summary);
 }
 
 #[cfg(test)]

@@ -2,12 +2,14 @@
 
 use std::error::Error;
 use std::io::Write as _;
+use std::sync::{Arc, OnceLock};
 
 use inbox_core::interpret::{explain, format_explanation};
 use inbox_core::{persist, InBoxConfig, IntersectionMode};
 use inbox_data::{Dataset, SyntheticConfig};
 use inbox_eval::{beyond_accuracy, Scorer};
 use inbox_kg::UserId;
+use inbox_obs::{ConsoleSink, JsonlSink, Verbosity};
 
 use crate::args::Parsed;
 
@@ -25,10 +27,48 @@ USAGE:
   inbox recommend --model MODEL.json (--preset P | --data DIR) --user U
                   [--k 10] [--explain]
 
+GLOBAL FLAGS:
+  --log-level quiet|info|debug   console verbosity (default info); quiet
+                                 suppresses all non-error output
+  --metrics-out PATH             write telemetry (one JSON object per line:
+                                 per-epoch records + final span summary)
+
 Presets: tiny | small | lastfm | yelp | ifashion | amazon
 Data dirs use the KGIN format: train.txt, test.txt, kg_final.txt";
 
 type CmdResult = Result<(), Box<dyn Error>>;
+
+static VERBOSITY: OnceLock<Verbosity> = OnceLock::new();
+
+/// Installs telemetry sinks from the global flags: a console sink at
+/// `--log-level` (default `info`) and, when `--metrics-out PATH` is given, a
+/// JSONL file sink receiving every epoch record and the final run summary.
+pub fn init_observability(parsed: &Parsed) -> Result<Verbosity, Box<dyn Error>> {
+    let level: Verbosity = parsed
+        .get("log-level")
+        .unwrap_or("info")
+        .parse()
+        .map_err(|e: String| -> Box<dyn Error> { e.into() })?;
+    let _ = VERBOSITY.set(level);
+    inbox_obs::add_sink(Arc::new(ConsoleSink::new(level)));
+    if let Some(path) = parsed.get("metrics-out") {
+        let sink = JsonlSink::create(std::path::Path::new(path))
+            .map_err(|e| format!("cannot create --metrics-out {path}: {e}"))?;
+        inbox_obs::add_sink(Arc::new(sink));
+    }
+    Ok(level)
+}
+
+/// The verbosity chosen at startup (`info` when running without
+/// [`init_observability`], e.g. from unit tests).
+fn verbosity() -> Verbosity {
+    VERBOSITY.get().copied().unwrap_or(Verbosity::Info)
+}
+
+/// Whether non-error console output is allowed.
+fn chatty() -> bool {
+    verbosity() > Verbosity::Quiet
+}
 
 fn preset_by_name(name: &str) -> Result<SyntheticConfig, Box<dyn Error>> {
     Ok(match name {
@@ -57,10 +97,15 @@ pub fn load_dataset(parsed: &Parsed) -> Result<Dataset, Box<dyn Error>> {
 /// `inbox stats` — Table-1-style statistics.
 pub fn stats(parsed: &Parsed) -> CmdResult {
     let ds = load_dataset(parsed)?;
-    println!("dataset: {}", ds.name);
-    println!("#Users        {:>10}", ds.n_users());
-    println!("#Interactions {:>10}", ds.train.n_interactions() + ds.test.n_interactions());
-    println!("{}", ds.kg_stats());
+    if chatty() {
+        println!("dataset: {}", ds.name);
+        println!("#Users        {:>10}", ds.n_users());
+        println!(
+            "#Interactions {:>10}",
+            ds.train.n_interactions() + ds.test.n_interactions()
+        );
+        println!("{}", ds.kg_stats());
+    }
     Ok(())
 }
 
@@ -97,19 +142,27 @@ pub fn export(parsed: &Parsed) -> CmdResult {
         writeln!(f, "{} {} {}", t.head.0, t.relation.0, t.tail.0)?;
     }
     for t in ds.kg.trt_triples() {
-        writeln!(f, "{} {} {}", n_items + t.head.0, t.relation.0, n_items + t.tail.0)?;
+        writeln!(
+            f,
+            "{} {} {}",
+            n_items + t.head.0,
+            t.relation.0,
+            n_items + t.tail.0
+        )?;
     }
     for t in ds.kg.irt_triples() {
         writeln!(f, "{} {} {}", t.head.0, t.relation.0, n_items + t.tail.0)?;
     }
     drop(f);
-    println!(
-        "exported {} ({} interactions, {} triples) to {}",
-        ds.name,
-        ds.train.n_interactions() + ds.test.n_interactions(),
-        ds.kg_stats().n_triples(),
-        out
-    );
+    if chatty() {
+        println!(
+            "exported {} ({} interactions, {} triples) to {}",
+            ds.name,
+            ds.train.n_interactions() + ds.test.n_interactions(),
+            ds.kg_stats().n_triples(),
+            out
+        );
+    }
     Ok(())
 }
 
@@ -139,21 +192,35 @@ pub fn train(parsed: &Parsed) -> CmdResult {
     let out = parsed.require("out")?;
     let ds = load_dataset(parsed)?;
     let cfg = config_from_flags(parsed)?;
-    eprintln!(
-        "training on {} ({} users, {} items, {} triples) with d={} ...",
-        ds.name,
-        ds.n_users(),
-        ds.n_items(),
-        ds.kg_stats().n_triples(),
-        cfg.dim
-    );
-    let t0 = std::time::Instant::now();
-    let trained = inbox_core::train(&ds, cfg);
-    eprintln!("trained in {:.1?} (early stop: {})", t0.elapsed(), trained.report.early_stopped);
+    if chatty() {
+        eprintln!(
+            "training on {} ({} users, {} items, {} triples) with d={} ...",
+            ds.name,
+            ds.n_users(),
+            ds.n_items(),
+            ds.kg_stats().n_triples(),
+            cfg.dim
+        );
+    }
+    let (trained, train_time) = inbox_obs::time("cli.train", || inbox_core::train(&ds, cfg));
+    if chatty() {
+        eprintln!(
+            "trained in {:.1?} (early stop: {})",
+            train_time, trained.report.early_stopped
+        );
+    }
     let metrics = trained.evaluate(&ds, 20);
-    println!("test metrics: {metrics}");
+    if chatty() {
+        println!("test metrics: {metrics}");
+    }
     persist::save(&trained, out)?;
-    println!("model written to {out}");
+    if chatty() {
+        println!("model written to {out}");
+    }
+    // Final span/counter aggregation under the training run's id, so the
+    // JSONL stream ends with a summary matching its epoch records.
+    inbox_obs::emit_run_summary(trained.report.run_id);
+    inbox_obs::flush_sinks();
     Ok(())
 }
 
@@ -164,37 +231,66 @@ pub fn evaluate(parsed: &Parsed) -> CmdResult {
     let ds = load_dataset(parsed)?;
     let trained = persist::load(model_path)?;
     let metrics = inbox_eval::evaluate_with_threads(&trained, &ds.train, &ds.test, k, 1);
-    println!("recall@{k} {:.4}, ndcg@{k} {:.4} ({} users)", metrics.recall, metrics.ndcg, metrics.n_users_evaluated);
+    if chatty() {
+        println!(
+            "recall@{k} {:.4}, ndcg@{k} {:.4} ({} users)",
+            metrics.recall, metrics.ndcg, metrics.n_users_evaluated
+        );
+    }
     let beyond = beyond_accuracy(&trained, &ds.train, &ds.test, k);
-    println!(
-        "coverage {:.3}, exposure gini {:.3}, mean list length {:.1}",
-        beyond.coverage, beyond.gini, beyond.mean_list_len
-    );
+    if chatty() {
+        println!(
+            "coverage {:.3}, exposure gini {:.3}, mean list length {:.1}",
+            beyond.coverage, beyond.gini, beyond.mean_list_len
+        );
+    }
     Ok(())
 }
 
 /// `inbox recommend` — top-K for a user, optionally explained.
 pub fn recommend(parsed: &Parsed) -> CmdResult {
     let model_path = parsed.require("model")?;
-    let user: u32 = parsed.require("user")?.parse().map_err(|e| format!("bad --user: {e}"))?;
+    let user: u32 = parsed
+        .require("user")?
+        .parse()
+        .map_err(|e| format!("bad --user: {e}"))?;
     let k = parsed.get_parsed("k", 10usize)?;
     let ds = load_dataset(parsed)?;
     let trained = persist::load(model_path)?;
     let user = UserId(user);
     if user.index() >= ds.n_users() {
-        return Err(format!("user {} out of range (dataset has {})", user.0, ds.n_users()).into());
+        return Err(format!(
+            "user {} out of range (dataset has {})",
+            user.0,
+            ds.n_users()
+        )
+        .into());
     }
     let seen = ds.train.items_of(user);
-    println!("user {} has {} training interactions; top-{k}:", user.0, seen.len());
+    if chatty() {
+        println!(
+            "user {} has {} training interactions; top-{k}:",
+            user.0,
+            seen.len()
+        );
+    }
     let recs = trained.recommend(user, seen, k);
-    for (rank, (item, score)) in recs.iter().enumerate() {
-        let marker = if ds.test.contains(user, *item) { "  [test hit]" } else { "" };
-        println!("{:>3}. {} score {score:.3}{marker}", rank + 1, item);
+    if chatty() {
+        for (rank, (item, score)) in recs.iter().enumerate() {
+            let marker = if ds.test.contains(user, *item) {
+                "  [test hit]"
+            } else {
+                ""
+            };
+            println!("{:>3}. {} score {score:.3}{marker}", rank + 1, item);
+        }
     }
     if parsed.has("explain") {
         if let Some((top, _)) = recs.first() {
             if let Some(ex) = explain(&trained, &ds.kg, user, *top) {
-                println!("\nwhy {top}?\n{}", format_explanation(&ex, &ds.kg));
+                if chatty() {
+                    println!("\nwhy {top}?\n{}", format_explanation(&ex, &ds.kg));
+                }
             }
         }
     }
@@ -231,7 +327,15 @@ mod tests {
     #[test]
     fn config_flags_respected() {
         let p = parsed(&[
-            "train", "--dim", "16", "--lr", "0.01", "--epochs1", "5", "--maxmin", "--quick",
+            "train",
+            "--dim",
+            "16",
+            "--lr",
+            "0.01",
+            "--epochs1",
+            "5",
+            "--maxmin",
+            "--quick",
         ]);
         let cfg = config_from_flags(&p).unwrap();
         assert_eq!(cfg.dim, 16);
@@ -252,7 +356,13 @@ mod tests {
 
         // export
         let data_dir = dir.join("data");
-        let p = parsed(&["export", "--preset", "tiny", "--out", data_dir.to_str().unwrap()]);
+        let p = parsed(&[
+            "export",
+            "--preset",
+            "tiny",
+            "--out",
+            data_dir.to_str().unwrap(),
+        ]);
         export(&p).unwrap();
         assert!(data_dir.join("kg_final.txt").exists());
 
@@ -275,7 +385,13 @@ mod tests {
         assert!(model.exists());
 
         // evaluate
-        let p = parsed(&["evaluate", "--model", model_str, "--data", data_dir.to_str().unwrap()]);
+        let p = parsed(&[
+            "evaluate",
+            "--model",
+            model_str,
+            "--data",
+            data_dir.to_str().unwrap(),
+        ]);
         evaluate(&p).unwrap();
 
         // recommend with explanation
@@ -295,8 +411,13 @@ mod tests {
 
         // out-of-range user rejected
         let p = parsed(&[
-            "recommend", "--model", model_str, "--data", data_dir.to_str().unwrap(),
-            "--user", "99999",
+            "recommend",
+            "--model",
+            model_str,
+            "--data",
+            data_dir.to_str().unwrap(),
+            "--user",
+            "99999",
         ]);
         assert!(recommend(&p).is_err());
 

@@ -10,6 +10,10 @@
 //! inbox recommend --model model.json (--preset P | --data DIR) --user 3 [--k 10] [--explain]
 //! ```
 //!
+//! Every subcommand also accepts `--log-level quiet|info|debug` (console
+//! verbosity) and `--metrics-out PATH` (JSONL telemetry: per-epoch training
+//! records plus a final span/counter summary).
+//!
 //! `--preset` generates a synthetic dataset twin (`tiny`, `small`, `lastfm`,
 //! `yelp`, `ifashion`, `amazon`); `--data` loads a KGIN-format directory
 //! (`train.txt` / `test.txt` / `kg_final.txt`).
@@ -29,6 +33,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Err(e) = commands::init_observability(&parsed) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     let result = match parsed.command.as_str() {
         "stats" => commands::stats(&parsed),
         "export" => commands::export(&parsed),
@@ -45,6 +53,7 @@ fn main() {
             std::process::exit(2);
         }
     };
+    inbox_obs::flush_sinks();
     if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);

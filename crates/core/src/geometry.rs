@@ -145,29 +145,28 @@ pub fn d_bb(a: &BoxEmb, b: &BoxEmb) -> f32 {
 /// box, per dimension.
 pub fn d_out(point: &[f32], b: &BoxEmb) -> f32 {
     debug_assert_eq!(point.len(), b.dim());
-    let mut total = 0.0f32;
-    for i in 0..point.len() {
-        let half = b.off[i].max(0.0);
-        let hi = b.cen[i] + half;
-        let lo = b.cen[i] - half;
-        total += (point[i] - hi).max(0.0) + (lo - point[i]).max(0.0);
-    }
-    total
+    point
+        .iter()
+        .zip(b.cen.iter().zip(&b.off))
+        .map(|(&p, (&cen, &off))| {
+            let half = off.max(0.0);
+            (p - (cen + half)).max(0.0) + ((cen - half) - p).max(0.0)
+        })
+        .sum()
 }
 
 /// Inside distance `D_in` (Eq. (9)): distance from the box center to the
 /// point clamped into the box.
 pub fn d_in(point: &[f32], b: &BoxEmb) -> f32 {
     debug_assert_eq!(point.len(), b.dim());
-    let mut total = 0.0f32;
-    for i in 0..point.len() {
-        let half = b.off[i].max(0.0);
-        let hi = b.cen[i] + half;
-        let lo = b.cen[i] - half;
-        let clamped = point[i].clamp(lo, hi);
-        total += (b.cen[i] - clamped).abs();
-    }
-    total
+    point
+        .iter()
+        .zip(b.cen.iter().zip(&b.off))
+        .map(|(&p, (&cen, &off))| {
+            let half = off.max(0.0);
+            (cen - p.clamp(cen - half, cen + half)).abs()
+        })
+        .sum()
 }
 
 /// Point-to-box distance `D_PB = D_out + D_in` (Eq. (7)).

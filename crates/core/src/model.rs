@@ -109,7 +109,10 @@ impl InBoxModel {
         let user_emb = store.add("user_emb", uniform(&mut rng, sizes.n_users, 0.5));
 
         let mut linear = |name: &str, fan_in: usize, fan_out: usize| {
-            let w = store.add(&format!("{name}_w"), Tensor::xavier_uniform(fan_in, fan_out, &mut rng));
+            let w = store.add(
+                &format!("{name}_w"),
+                Tensor::xavier_uniform(fan_in, fan_out, &mut rng),
+            );
             let b = store.add(&format!("{name}_b"), Tensor::zeros(1, fan_out));
             (w, b)
         };
@@ -231,6 +234,7 @@ impl InBoxModel {
     /// Attention-network intersection (Eq. (13)–(16)) of `n` boxes given as
     /// `n x d` center/raw-offset variables. Returns a `1 x d` box.
     pub fn intersect_attention(&self, tape: &mut Tape, cens: Var, offs: Var) -> TapeBox {
+        inbox_obs::counter("box.intersections").incr();
         // Eq. (14): a_i = softmax_i(MLP(Cen(b_i))), per dimension.
         let scores = self.mlp2(
             tape,
@@ -265,6 +269,7 @@ impl InBoxModel {
     /// Max-Min intersection (Eq. (17)–(20)): upper corner is the elementwise
     /// min of upper corners, lower corner the max of lower corners.
     pub fn intersect_maxmin(&self, tape: &mut Tape, cens: Var, offs: Var) -> TapeBox {
+        inbox_obs::counter("box.intersections").incr();
         let half = tape.relu(offs);
         let upper = tape.add(cens, half);
         let neg_half = tape.neg(half);
@@ -285,6 +290,7 @@ impl InBoxModel {
     /// User-bias intersection (Eq. (21)–(24)): attention over concept boxes
     /// conditioned on the user vector (`1 x d`).
     pub fn intersect_user_bias(&self, tape: &mut Tape, cens: Var, offs: Var, user: Var) -> TapeBox {
+        inbox_obs::counter("box.intersections").incr();
         let n = tape.value(cens).rows();
         let urep = tape.repeat_rows(user, n);
 
@@ -371,7 +377,14 @@ impl InBoxModel {
     ///
     /// `d_pos` and `d_neg` are columns of distances (`p x 1`, `n x 1`).
     pub fn margin_loss(&self, tape: &mut Tape, d_pos: Var, d_neg: Var, gamma: f32, w: f32) -> Var {
-        self.margin_loss_with(tape, d_pos, d_neg, gamma, w, crate::config::LossForm::Rotate)
+        self.margin_loss_with(
+            tape,
+            d_pos,
+            d_neg,
+            gamma,
+            w,
+            crate::config::LossForm::Rotate,
+        )
     }
 
     /// [`Self::margin_loss`] with an explicit negative-term form (the
@@ -502,8 +515,14 @@ impl InBoxModel {
     /// The projected concept box (Eq. (4), (5)) for a relation-tag pair,
     /// as plain geometry.
     pub fn concept_box_f32(&self, concept: Concept) -> BoxEmb {
-        let t_cen = self.store.value(self.tag_cen).row_slice(concept.tag.index());
-        let t_off = self.store.value(self.tag_off).row_slice(concept.tag.index());
+        let t_cen = self
+            .store
+            .value(self.tag_cen)
+            .row_slice(concept.tag.index());
+        let t_off = self
+            .store
+            .value(self.tag_off)
+            .row_slice(concept.tag.index());
         let r_cen = self
             .store
             .value(self.rel_cen)
@@ -523,6 +542,40 @@ impl InBoxModel {
             tape.value(b.cen).row_slice(0).to_vec(),
             tape.value(b.off).row_slice(0).to_vec(),
         )
+    }
+
+    /// Geometry health of the tag boxes, for training telemetry.
+    ///
+    /// The effective half-width of a tag box is `relu(off)`, so a raw offset
+    /// driven to ≤ 0 collapses that dimension to a point — a degenerate box
+    /// that can no longer contain items. This reports the mean effective L1
+    /// size per box, the fraction of (tag, dim) entries whose effective
+    /// offset is below `1e-4` (near-collapsed), and the raw offset extremes.
+    pub fn box_health(&self) -> inbox_obs::BoxHealth {
+        let t = self.store.value(self.tag_off);
+        let data = t.data();
+        if data.is_empty() {
+            return inbox_obs::BoxHealth::empty();
+        }
+        let mut size_sum = 0.0f64;
+        let mut collapsed = 0usize;
+        let mut raw_min = f32::INFINITY;
+        let mut raw_max = f32::NEG_INFINITY;
+        for &v in data {
+            let eff = v.max(0.0);
+            size_sum += eff as f64;
+            if eff < 1e-4 {
+                collapsed += 1;
+            }
+            raw_min = raw_min.min(v);
+            raw_max = raw_max.max(v);
+        }
+        inbox_obs::BoxHealth {
+            mean_size: size_sum / t.rows() as f64,
+            collapsed_frac: collapsed as f64 / data.len() as f64,
+            off_min: raw_min as f64,
+            off_max: raw_max as f64,
+        }
     }
 }
 

@@ -67,6 +67,11 @@ pub struct Checkpoint {
     pub n_users: usize,
     params: Vec<(String, Tensor)>,
     boxes: Vec<Option<SerializedBox>>,
+    /// Training history (losses, recalls, early-stop flag). Defaults to an
+    /// empty report when loading checkpoints written before it existed, so
+    /// the format version stays at 1.
+    #[serde(default)]
+    pub report: TrainReport,
 }
 
 /// Current checkpoint format version.
@@ -93,6 +98,7 @@ pub fn to_checkpoint(trained: &TrainedInBox) -> Checkpoint {
                 })
             })
             .collect(),
+        report: trained.report.clone(),
     }
 }
 
@@ -131,7 +137,7 @@ pub fn from_checkpoint(ckpt: Checkpoint) -> Result<TrainedInBox, PersistError> {
         model,
         ckpt.config,
         boxes,
-        TrainReport::default(),
+        ckpt.report,
     ))
 }
 
@@ -180,6 +186,46 @@ mod tests {
             trained.recommend(user, mask, 5),
             reloaded.recommend(user, mask, 5)
         );
+    }
+
+    #[test]
+    fn checkpoint_preserves_train_report() {
+        let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 46);
+        let trained = train(&ds, crate::config::InBoxConfig::tiny_test());
+        let path = std::env::temp_dir().join(format!("inbox-report-{}.json", std::process::id()));
+        save(&trained, &path).unwrap();
+        let reloaded = load(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(reloaded.report.stage1_losses, trained.report.stage1_losses);
+        assert_eq!(reloaded.report.stage2_losses, trained.report.stage2_losses);
+        assert_eq!(reloaded.report.stage3_losses, trained.report.stage3_losses);
+        assert_eq!(
+            reloaded.report.stage3_recalls,
+            trained.report.stage3_recalls
+        );
+        assert_eq!(reloaded.report.early_stopped, trained.report.early_stopped);
+        assert_eq!(reloaded.report.run_id, trained.report.run_id);
+    }
+
+    #[test]
+    fn checkpoint_without_report_field_still_loads() {
+        // Checkpoints written before the report field existed must load with
+        // an empty report (same format version, `#[serde(default)]`).
+        let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 47);
+        let trained = train(&ds, crate::config::InBoxConfig::tiny_test());
+        let value = serde_json::to_value(&to_checkpoint(&trained)).unwrap();
+        let obj = value.as_object().unwrap();
+        let mut stripped = serde::value::Map::new();
+        for (k, v) in obj.iter() {
+            if k != "report" {
+                stripped.insert(k.clone(), v.clone());
+            }
+        }
+        let ckpt: Checkpoint =
+            serde_json::from_value(&serde::value::Value::Object(stripped)).unwrap();
+        let reloaded = from_checkpoint(ckpt).unwrap();
+        assert!(reloaded.report.stage3_losses.is_empty());
+        assert_eq!(reloaded.report.run_id, 0);
     }
 
     #[test]

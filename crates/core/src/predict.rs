@@ -1,10 +1,10 @@
 //! Inference: building interest boxes for users and scoring items
 //! (Section 3.5, Eq. (29)).
 
+use inbox_autodiff::Tape;
 use inbox_data::Interactions;
 use inbox_eval::Scorer;
 use inbox_kg::{Concept, ItemId, KnowledgeGraph, UserId};
-use inbox_autodiff::Tape;
 
 use crate::config::InBoxConfig;
 use crate::geometry::{self, BoxEmb};
@@ -38,7 +38,13 @@ pub fn user_interest_box(
         })
         .collect();
     let mut tape = Tape::new();
-    let b = model.interest_box(&mut tape, user, &history, config.intersection, config.user_box);
+    let b = model.interest_box(
+        &mut tape,
+        user,
+        &history,
+        config.intersection,
+        config.user_box,
+    );
     Some(model.box_values(&tape, b))
 }
 

@@ -130,7 +130,12 @@ impl Stage1Stats {
     }
 }
 
-fn sample_distinct(rng: &mut StdRng, n_universe: usize, n: usize, mut reject: impl FnMut(u32) -> bool) -> Vec<u32> {
+fn sample_distinct(
+    rng: &mut StdRng,
+    n_universe: usize,
+    n: usize,
+    mut reject: impl FnMut(u32) -> bool,
+) -> Vec<u32> {
     let mut out = Vec::with_capacity(n);
     let mut guard = 0usize;
     let max_attempts = n * 50 + 100;
@@ -188,9 +193,7 @@ pub fn stage1_epoch(
         let replace_item = rng.gen_bool(0.5);
         let (negatives, weight) = if replace_item {
             let members = kg.items_of(concept);
-            let negs = sample_distinct(rng, kg.n_items(), n_neg, |c| {
-                members.contains(&ItemId(c))
-            });
+            let negs = sample_distinct(rng, kg.n_items(), n_neg, |c| members.contains(&ItemId(c)));
             (IrtNegatives::Items(negs), 1.0 / members.len().max(1) as f32)
         } else {
             let item = t.head;
@@ -354,8 +357,7 @@ mod tests {
                 assert!(weight > 0.0 && weight <= 1.0);
                 match negatives {
                     IrtNegatives::Items(negs) => {
-                        let concept =
-                            Concept::new(RelationId(rel), inbox_kg::TagId(tag));
+                        let concept = Concept::new(RelationId(rel), inbox_kg::TagId(tag));
                         for n in negs {
                             assert!(
                                 !ds.kg.item_has_concept(ItemId(n), concept),
@@ -389,7 +391,9 @@ mod tests {
             for &n in &s.neg_items {
                 assert_ne!(n, s.item.0);
                 assert!(
-                    !s.concepts.iter().all(|&c| ds.kg.item_has_concept(ItemId(n), c)),
+                    !s.concepts
+                        .iter()
+                        .all(|&c| ds.kg.item_has_concept(ItemId(n), c)),
                     "negative {n} carries all concepts of item {}",
                     s.item
                 );

@@ -9,7 +9,12 @@ use crate::model::{InBoxModel, TapeBox};
 use crate::sampler::{IrtNegatives, Stage1Sample, Stage2Sample, Stage3Sample};
 
 /// Builds the stage-1 loss (basic pretraining, Section 3.2) for one sample.
-pub fn stage1_loss(model: &InBoxModel, tape: &mut Tape, s: &Stage1Sample, config: &InBoxConfig) -> Var {
+pub fn stage1_loss(
+    model: &InBoxModel,
+    tape: &mut Tape,
+    s: &Stage1Sample,
+    config: &InBoxConfig,
+) -> Var {
     let gamma = config.gamma;
     match s {
         Stage1Sample::Iri {
@@ -253,9 +258,8 @@ mod tests {
         for epoch in 0..5 {
             let mut rng = StdRng::seed_from_u64(epoch);
             let samples = stage1_epoch(&ds.kg, &stats, &cfg, &mut rng);
-            let (grads, loss) = grad_batch(&model, &samples, 1, &|m, t, s| {
-                stage1_loss(m, t, s, &cfg)
-            });
+            let (grads, loss) =
+                grad_batch(&model, &samples, 1, &|m, t, s| stage1_loss(m, t, s, &cfg));
             adam.step(&mut model.store, &grads);
             if first.is_none() {
                 first = Some(loss);
@@ -314,9 +318,7 @@ mod tests {
         let stats = Stage1Stats::new(&ds.kg);
         let mut rng = StdRng::seed_from_u64(7);
         let samples = stage1_epoch(&ds.kg, &stats, &cfg, &mut rng);
-        let build = |m: &InBoxModel, t: &mut Tape, s: &Stage1Sample| {
-            stage1_loss(m, t, s, &cfg)
-        };
+        let build = |m: &InBoxModel, t: &mut Tape, s: &Stage1Sample| stage1_loss(m, t, s, &cfg);
         let (g1, l1) = grad_batch(&model, &samples, 1, &build);
         let (g2, l2) = grad_batch(&model, &samples, 4, &build);
         assert!((l1 - l2).abs() < 1e-9);

@@ -16,7 +16,7 @@ use crate::sampler::{stage1_epoch, stage2_epoch, stage3_epoch, Stage1Stats};
 use crate::stages::{grad_batch, stage1_loss, stage2_loss, stage3_loss};
 
 /// Per-stage training history.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct TrainReport {
     /// Mean loss per epoch for stage 1 (empty when skipped).
     pub stage1_losses: Vec<f64>,
@@ -28,6 +28,10 @@ pub struct TrainReport {
     pub stage3_recalls: Vec<f64>,
     /// Whether early stopping fired before `epochs_stage3`.
     pub early_stopped: bool,
+    /// Telemetry run id this training emitted [`inbox_obs::EpochRecord`]s
+    /// under (0 for reports predating instrumentation, e.g. old checkpoints).
+    #[serde(default)]
+    pub run_id: u64,
 }
 
 /// A fully trained InBox model with precomputed user interest boxes.
@@ -91,7 +95,8 @@ impl TrainedInBox {
         interactions: &inbox_data::Interactions,
         user: UserId,
     ) -> bool {
-        let b = crate::predict::user_interest_box(&self.model, kg, interactions, &self.config, user);
+        let b =
+            crate::predict::user_interest_box(&self.model, kg, interactions, &self.config, user);
         let has = b.is_some();
         self.boxes[user.index()] = b;
         has
@@ -112,6 +117,58 @@ impl TrainedInBox {
 impl Scorer for TrainedInBox {
     fn score_items(&self, user: UserId) -> Vec<f32> {
         self.scorer().score_items(user)
+    }
+}
+
+/// Wall-clock scope of one training epoch; emits the telemetry record for
+/// the epoch when it ends. Holding the clock open across the whole epoch
+/// (sampling, gradient batches, and stage 3's in-loop evaluation) makes
+/// `samples_per_sec` an end-to-end throughput number, not a kernel number.
+struct EpochClock {
+    start: std::time::Instant,
+}
+
+impl EpochClock {
+    fn start() -> Self {
+        Self {
+            start: std::time::Instant::now(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        self,
+        run: u64,
+        stage: u8,
+        epoch: usize,
+        loss: f64,
+        samples: usize,
+        grad_norm: f64,
+        metrics: Option<&RankingMetrics>,
+        model: &InBoxModel,
+    ) {
+        if !inbox_obs::enabled() {
+            return;
+        }
+        let elapsed = self.start.elapsed();
+        let secs = elapsed.as_secs_f64();
+        inbox_obs::emit_epoch(inbox_obs::EpochRecord {
+            run,
+            stage,
+            epoch,
+            loss,
+            samples: samples as u64,
+            samples_per_sec: if secs > 0.0 {
+                samples as f64 / secs
+            } else {
+                0.0
+            },
+            grad_norm,
+            recall: metrics.map(|m| m.recall),
+            ndcg: metrics.map(|m| m.ndcg),
+            box_health: model.box_health(),
+            elapsed_ms: secs * 1e3,
+        });
     }
 }
 
@@ -146,45 +203,90 @@ pub fn train(dataset: &Dataset, config: InBoxConfig) -> TrainedInBox {
         n_users: dataset.n_users(),
     };
     let mut model = InBoxModel::new(sizes, &config);
-    let mut report = TrainReport::default();
+    let run = inbox_obs::next_run_id();
+    let mut report = TrainReport {
+        run_id: run,
+        ..TrainReport::default()
+    };
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(1));
+    let batch_counter = inbox_obs::counter("grad.batches");
 
     // ---- Stage 1: basic pretraining (Section 3.2) ------------------------
     if config.use_stage1 {
         let stats = Stage1Stats::new(&dataset.kg);
+        let sampled = inbox_obs::counter("sampler.stage1.samples");
         for epoch in 0..config.epochs_stage1 {
-            let adam = Adam::with_lr(lr_at(config.lr, epoch, config.epochs_stage1, config.lr_decay));
-            let samples = stage1_epoch(&dataset.kg, &stats, &config, &mut rng);
+            let clock = EpochClock::start();
+            let adam = Adam::with_lr(lr_at(
+                config.lr,
+                epoch,
+                config.epochs_stage1,
+                config.lr_decay,
+            ));
+            let (samples, _) = inbox_obs::time("sampler.stage1", || {
+                stage1_epoch(&dataset.kg, &stats, &config, &mut rng)
+            });
+            sampled.add(samples.len() as u64);
+            let n_batches = samples.len().div_ceil(config.batch_size.max(1));
             let mut loss_sum = 0.0;
             let mut batches = 0usize;
+            let mut grad_norm = 0.0;
             for batch in samples.chunks(config.batch_size) {
+                let span = inbox_obs::span("grad.stage1");
                 let (grads, loss) = grad_batch(&model, batch, config.threads, &|m, t, s| {
                     stage1_loss(m, t, s, &config)
                 });
+                span.stop();
+                batch_counter.incr();
+                batches += 1;
+                if batches == n_batches && inbox_obs::enabled() {
+                    grad_norm = grads.l2_norm();
+                }
                 adam.step(&mut model.store, &grads);
                 loss_sum += loss;
-                batches += 1;
             }
-            report.stage1_losses.push(loss_sum / batches.max(1) as f64);
+            let loss = loss_sum / batches.max(1) as f64;
+            report.stage1_losses.push(loss);
+            clock.emit(run, 1, epoch, loss, samples.len(), grad_norm, None, &model);
         }
     }
 
     // ---- Stage 2: box intersection (Section 3.3) -------------------------
     if config.use_stage2 {
+        let sampled = inbox_obs::counter("sampler.stage2.samples");
         for epoch in 0..config.epochs_stage2 {
-            let adam = Adam::with_lr(lr_at(config.lr, epoch, config.epochs_stage2, config.lr_decay));
-            let samples = stage2_epoch(&dataset.kg, &config, &mut rng);
+            let clock = EpochClock::start();
+            let adam = Adam::with_lr(lr_at(
+                config.lr,
+                epoch,
+                config.epochs_stage2,
+                config.lr_decay,
+            ));
+            let (samples, _) = inbox_obs::time("sampler.stage2", || {
+                stage2_epoch(&dataset.kg, &config, &mut rng)
+            });
+            sampled.add(samples.len() as u64);
+            let n_batches = samples.len().div_ceil(config.batch_size.max(1));
             let mut loss_sum = 0.0;
             let mut batches = 0usize;
+            let mut grad_norm = 0.0;
             for batch in samples.chunks(config.batch_size) {
+                let span = inbox_obs::span("grad.stage2");
                 let (grads, loss) = grad_batch(&model, batch, config.threads, &|m, t, s| {
                     stage2_loss(m, t, s, &config)
                 });
+                span.stop();
+                batch_counter.incr();
+                batches += 1;
+                if batches == n_batches && inbox_obs::enabled() {
+                    grad_norm = grads.l2_norm();
+                }
                 adam.step(&mut model.store, &grads);
                 loss_sum += loss;
-                batches += 1;
             }
-            report.stage2_losses.push(loss_sum / batches.max(1) as f64);
+            let loss = loss_sum / batches.max(1) as f64;
+            report.stage2_losses.push(loss);
+            clock.emit(run, 2, epoch, loss, samples.len(), grad_norm, None, &model);
         }
     }
 
@@ -193,25 +295,55 @@ pub fn train(dataset: &Dataset, config: InBoxConfig) -> TrainedInBox {
     // `patience` consecutive epochs (the paper uses 2).
     let mut best_recall = f64::MIN;
     let mut stale = 0usize;
+    let sampled = inbox_obs::counter("sampler.stage3.samples");
     for epoch in 0..config.epochs_stage3 {
-        let adam = Adam::with_lr(lr_at(config.lr, epoch, config.epochs_stage3, config.lr_decay));
-        let samples = stage3_epoch(&dataset.kg, &dataset.train, &config, &mut rng);
+        let clock = EpochClock::start();
+        let adam = Adam::with_lr(lr_at(
+            config.lr,
+            epoch,
+            config.epochs_stage3,
+            config.lr_decay,
+        ));
+        let (samples, _) = inbox_obs::time("sampler.stage3", || {
+            stage3_epoch(&dataset.kg, &dataset.train, &config, &mut rng)
+        });
+        sampled.add(samples.len() as u64);
+        let n_batches = samples.len().div_ceil(config.batch_size.max(1));
         let mut loss_sum = 0.0;
         let mut batches = 0usize;
+        let mut grad_norm = 0.0;
         for batch in samples.chunks(config.batch_size) {
+            let span = inbox_obs::span("grad.stage3");
             let (grads, loss) = grad_batch(&model, batch, config.threads, &|m, t, s| {
                 stage3_loss(m, t, s, &config)
             });
+            span.stop();
+            batch_counter.incr();
+            batches += 1;
+            if batches == n_batches && inbox_obs::enabled() {
+                grad_norm = grads.l2_norm();
+            }
             adam.step(&mut model.store, &grads);
             loss_sum += loss;
-            batches += 1;
         }
-        report.stage3_losses.push(loss_sum / batches.max(1) as f64);
+        let loss = loss_sum / batches.max(1) as f64;
+        report.stage3_losses.push(loss);
 
         let boxes = all_user_boxes(&model, &dataset.kg, &dataset.train, &config);
         let scorer = InBoxScorer::new(&model, &boxes, &config, sizes.n_items);
-        let metrics = evaluate_with_threads(&scorer, &dataset.train, &dataset.test, 20, config.threads);
+        let metrics =
+            evaluate_with_threads(&scorer, &dataset.train, &dataset.test, 20, config.threads);
         report.stage3_recalls.push(metrics.recall);
+        clock.emit(
+            run,
+            3,
+            epoch,
+            loss,
+            samples.len(),
+            grad_norm,
+            Some(&metrics),
+            &model,
+        );
         if metrics.recall > best_recall + 1e-6 {
             best_recall = metrics.recall;
             stale = 0;
@@ -253,9 +385,9 @@ mod tests {
     fn full_pipeline_trains_and_beats_random() {
         let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 55);
         let cfg = InBoxConfig {
-            epochs_stage1: 4,
-            epochs_stage2: 4,
-            epochs_stage3: 6,
+            epochs_stage1: 6,
+            epochs_stage2: 6,
+            epochs_stage3: 10,
             ..InBoxConfig::tiny_test()
         };
         let trained = train(&ds, cfg);
@@ -272,6 +404,53 @@ mod tests {
             "trained recall@20 {} not above chance",
             metrics.recall
         );
+    }
+
+    #[test]
+    fn telemetry_emits_one_record_per_epoch() {
+        let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 57);
+        let capture = std::sync::Arc::new(inbox_obs::CaptureSink::new());
+        inbox_obs::add_sink(capture.clone());
+        let trained = train(&ds, InBoxConfig::tiny_test());
+        let run = trained.report.run_id;
+        assert!(run > 0, "train() must allocate a run id");
+        let records: Vec<inbox_obs::EpochRecord> = capture
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                inbox_obs::TelemetryEvent::Epoch(r) if r.run == run => Some(r),
+                _ => None,
+            })
+            .collect();
+        let per_stage = |s: u8| records.iter().filter(|r| r.stage == s).count();
+        assert_eq!(per_stage(1), trained.report.stage1_losses.len());
+        assert_eq!(per_stage(2), trained.report.stage2_losses.len());
+        assert_eq!(per_stage(3), trained.report.stage3_losses.len());
+        for rec in &records {
+            assert!(rec.loss.is_finite());
+            assert!(rec.samples > 0);
+            assert!(rec.samples_per_sec > 0.0);
+            assert!(rec.grad_norm > 0.0, "last-batch gradient norm recorded");
+            assert!(rec.box_health.mean_size > 0.0);
+            assert!((0.0..=1.0).contains(&rec.box_health.collapsed_frac));
+            if rec.stage == 3 {
+                assert!(rec.recall.is_some() && rec.ndcg.is_some());
+            } else {
+                assert!(rec.recall.is_none() && rec.ndcg.is_none());
+            }
+        }
+        // Spans and counters accumulated in the registry alongside.
+        for name in [
+            "sampler.stage1",
+            "sampler.stage2",
+            "sampler.stage3",
+            "grad.stage1",
+        ] {
+            let snap = inbox_obs::span_snapshot(name).unwrap_or_else(|| panic!("span {name}"));
+            assert!(snap.count > 0);
+        }
+        assert!(inbox_obs::counter_value("grad.batches") > 0);
+        assert!(inbox_obs::counter_value("box.intersections") > 0);
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl Dataset {
 
     /// Loads a KGIN-format dataset directory (`train.txt`, `test.txt`,
     /// `kg_final.txt`) — accepts the paper's real datasets unchanged.
-    pub fn from_dir(name: impl Into<String>, dir: impl AsRef<std::path::Path>) -> Result<Self, LoadError> {
+    pub fn from_dir(
+        name: impl Into<String>,
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<Self, LoadError> {
         let (train, test, kg) = load_dir(dir)?;
         Ok(Self {
             name: name.into(),

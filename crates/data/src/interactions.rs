@@ -94,7 +94,10 @@ impl Interactions {
     /// interaction keep it in train. This matches the standard protocol used
     /// by KGIN/HAKG on these datasets.
     pub fn split(&self, test_ratio: f64, rng: &mut StdRng) -> (Interactions, Interactions) {
-        assert!((0.0..1.0).contains(&test_ratio), "test_ratio must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&test_ratio),
+            "test_ratio must be in [0,1)"
+        );
         let mut train: Vec<Vec<ItemId>> = Vec::with_capacity(self.by_user.len());
         let mut test: Vec<Vec<ItemId>> = Vec::with_capacity(self.by_user.len());
         for items in &self.by_user {

@@ -39,7 +39,9 @@ impl std::fmt::Display for LoadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LoadError::Io(e) => write!(f, "i/o error: {e}"),
-            LoadError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            LoadError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
         }
     }
 }
@@ -76,14 +78,10 @@ pub fn parse_interactions(reader: impl BufRead) -> Result<RawInteractions, LoadE
             continue;
         }
         let mut it = line.split_ascii_whitespace();
-        let user: u32 = it
-            .next()
-            .unwrap()
-            .parse()
-            .map_err(|e| LoadError::Parse {
-                line: idx + 1,
-                message: format!("bad user id: {e}"),
-            })?;
+        let user: u32 = it.next().unwrap().parse().map_err(|e| LoadError::Parse {
+            line: idx + 1,
+            message: format!("bad user id: {e}"),
+        })?;
         max_user = max_user.max(user as usize + 1);
         for tok in it {
             let item: u32 = tok.parse().map_err(|e| LoadError::Parse {
@@ -168,10 +166,14 @@ pub fn parse_kg(reader: impl BufRead, n_items: usize) -> Result<KnowledgeGraph, 
 
 /// Loads a full KGIN-format dataset directory (`train.txt`, `test.txt`,
 /// `kg_final.txt`), returning `(train, test, kg)`.
-pub fn load_dir(dir: impl AsRef<Path>) -> Result<(Interactions, Interactions, KnowledgeGraph), LoadError> {
+pub fn load_dir(
+    dir: impl AsRef<Path>,
+) -> Result<(Interactions, Interactions, KnowledgeGraph), LoadError> {
     let dir = dir.as_ref();
     let open = |name: &str| -> Result<std::io::BufReader<std::fs::File>, LoadError> {
-        Ok(std::io::BufReader::new(std::fs::File::open(dir.join(name))?))
+        Ok(std::io::BufReader::new(std::fs::File::open(
+            dir.join(name),
+        )?))
     };
     let train_raw = parse_interactions(open("train.txt")?)?;
     let test_raw = parse_interactions(open("test.txt")?)?;
@@ -198,7 +200,10 @@ mod tests {
         assert_eq!(raw.max_item, 5);
         assert_eq!(raw.pairs.len(), 6);
         let inter = Interactions::from_pairs(raw.max_user, raw.max_item, raw.pairs).unwrap();
-        assert_eq!(inter.items_of(UserId(0)), &[ItemId(1), ItemId(2), ItemId(3)]);
+        assert_eq!(
+            inter.items_of(UserId(0)),
+            &[ItemId(1), ItemId(2), ItemId(3)]
+        );
         // duplicate (2,4) deduplicated
         assert_eq!(inter.items_of(UserId(2)), &[ItemId(4)]);
     }

@@ -243,7 +243,10 @@ fn zipf_index(n: usize, rng: &mut StdRng) -> usize {
 
 /// Generates a dataset from `config` with a deterministic `seed`.
 pub fn generate(config: &SyntheticConfig, seed: u64) -> Generated {
-    assert!(config.n_attr_relations >= 1, "need at least one attribute relation");
+    assert!(
+        config.n_attr_relations >= 1,
+        "need at least one attribute relation"
+    );
     assert!(
         config.concepts_per_item <= config.n_attr_relations,
         "concepts_per_item cannot exceed the number of attribute relations"
@@ -261,7 +264,9 @@ pub fn generate(config: &SyntheticConfig, seed: u64) -> Generated {
 
     // --- Tag pools and taxonomy ------------------------------------------
     // Attribute tags are laid out pool-by-pool; parent (category) tags follow.
-    let pool = |rel_idx: usize, tag_idx: usize| TagId((rel_idx * config.tags_per_relation + tag_idx) as u32);
+    let pool = |rel_idx: usize, tag_idx: usize| {
+        TagId((rel_idx * config.tags_per_relation + tag_idx) as u32)
+    };
     let first_parent = config.n_attr_relations * config.tags_per_relation;
     let parents_per_rel = (config.tags_per_relation.div_ceil(4)).max(1);
     let mut n_trt = 0usize;
@@ -324,7 +329,8 @@ pub fn generate(config: &SyntheticConfig, seed: u64) -> Generated {
         if a == b {
             continue;
         }
-        kg.add_trt(TagId(a), broader, TagId(b)).expect("trt in range");
+        kg.add_trt(TagId(a), broader, TagId(b))
+            .expect("trt in range");
         n_trt += 1;
     }
 
@@ -354,7 +360,10 @@ pub fn generate(config: &SyntheticConfig, seed: u64) -> Generated {
     let mut items_of_concept: HashMap<Concept, Vec<ItemId>> = HashMap::new();
     for (item, concepts) in concepts_of_item.iter().enumerate() {
         for &c in concepts {
-            items_of_concept.entry(c).or_default().push(ItemId(item as u32));
+            items_of_concept
+                .entry(c)
+                .or_default()
+                .push(ItemId(item as u32));
         }
     }
 
@@ -371,15 +380,15 @@ pub fn generate(config: &SyntheticConfig, seed: u64) -> Generated {
             cs.shuffle(&mut rng);
             cs.truncate(2.min(cs.len()));
             // Items containing *all* concepts of the interest.
-            let mut items: Vec<ItemId> = items_of_concept
-                .get(&cs[0])
-                .cloned()
-                .unwrap_or_default();
+            let mut items: Vec<ItemId> = items_of_concept.get(&cs[0]).cloned().unwrap_or_default();
             for c in &cs[1..] {
                 let other = items_of_concept.get(c).map(Vec::as_slice).unwrap_or(&[]);
                 items.retain(|i| other.contains(i));
             }
-            debug_assert!(!items.is_empty(), "anchor item always matches its own concepts");
+            debug_assert!(
+                !items.is_empty(),
+                "anchor item always matches its own concepts"
+            );
             user_interests.push(cs);
             matching.push(items);
         }
@@ -451,7 +460,10 @@ mod tests {
         assert_eq!(a.interactions, b.interactions);
         assert_eq!(KgStats::of(&a.kg), KgStats::of(&b.kg));
         let c = generate(&cfg, 100);
-        assert_ne!(a.interactions, c.interactions, "different seeds should differ");
+        assert_ne!(
+            a.interactions, c.interactions,
+            "different seeds should differ"
+        );
     }
 
     #[test]
@@ -503,7 +515,10 @@ mod tests {
             }
         }
         let rate = matches as f64 / total as f64;
-        assert!(rate > 0.5, "interest-match rate {rate} too low — generator broken");
+        assert!(
+            rate > 0.5,
+            "interest-match rate {rate} too low — generator broken"
+        );
     }
 
     #[test]
@@ -515,7 +530,9 @@ mod tests {
         assert!(names.contains(&"amazon-book-like".to_string()));
         // The IRT-heaviest twin must be Last-FM-like, as in Table 1.
         let lastfm = &suite[0];
-        assert!(suite[1..].iter().all(|c| c.trt_per_irt > lastfm.trt_per_irt));
+        assert!(suite[1..]
+            .iter()
+            .all(|c| c.trt_per_irt > lastfm.trt_per_irt));
     }
 
     #[test]
@@ -525,6 +542,9 @@ mod tests {
         for _ in 0..5000 {
             counts[zipf_index(5, &mut rng)] += 1;
         }
-        assert!(counts[0] > counts[4], "zipf head must dominate tail: {counts:?}");
+        assert!(
+            counts[0] > counts[4],
+            "zipf head must dominate tail: {counts:?}"
+        );
     }
 }

@@ -88,6 +88,7 @@ pub fn gini(counts: &[usize]) -> f64 {
 /// Mean pairwise concept-overlap within a recommendation list: 1 when every
 /// pair of recommended items shares all concepts, 0 when no pair shares any.
 /// Lower = more diverse lists.
+#[allow(clippy::needless_range_loop)]
 pub fn intra_list_similarity(
     lists: &[Vec<ItemId>],
     concepts_of: impl Fn(ItemId) -> Vec<(u32, u32)>,
@@ -138,12 +139,9 @@ mod tests {
     #[test]
     fn coverage_counts_distinct_items() {
         let train = Interactions::from_pairs(2, 5, vec![(UserId(0), ItemId(0))]).unwrap();
-        let test = Interactions::from_pairs(
-            2,
-            5,
-            vec![(UserId(0), ItemId(1)), (UserId(1), ItemId(2))],
-        )
-        .unwrap();
+        let test =
+            Interactions::from_pairs(2, 5, vec![(UserId(0), ItemId(1)), (UserId(1), ItemId(2))])
+                .unwrap();
         // Constant scorer: each user gets the lowest-id unmasked items.
         let scorer = |_: UserId| vec![0.0f32; 5];
         let b = beyond_accuracy(&scorer, &train, &test, 2);

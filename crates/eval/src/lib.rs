@@ -17,4 +17,6 @@ pub use metrics::{
     default_threads, evaluate, evaluate_with_threads, top_k_masked, user_metrics, RankingMetrics,
     Scorer,
 };
-pub use pca::{centroid_separation, mean_pairwise_distance, separation, CentroidSeparation, Pca, Separation};
+pub use pca::{
+    centroid_separation, mean_pairwise_distance, separation, CentroidSeparation, Pca, Separation,
+};

@@ -151,7 +151,11 @@ pub fn evaluate_with_threads(
     k: usize,
     threads: usize,
 ) -> RankingMetrics {
-    assert_eq!(train.n_users(), test.n_users(), "split user universes differ");
+    assert_eq!(
+        train.n_users(),
+        test.n_users(),
+        "split user universes differ"
+    );
     let users: Vec<UserId> = (0..test.n_users() as u32)
         .map(UserId)
         .filter(|u| !test.items_of(*u).is_empty())
@@ -171,23 +175,38 @@ pub fn evaluate_with_threads(
         user_metrics(&top, test.items_of(u))
     };
 
+    // "eval.rank" measures the whole ranking pass; "eval.rank.worker" gets
+    // one interval per worker thread (one for the whole pass when
+    // sequential), so the span histogram exposes per-thread throughput and
+    // straggler spread. The counter tracks total users ranked.
+    let ranked = inbox_obs::counter("eval.users.ranked");
+    let span = inbox_obs::span("eval.rank");
     let results: Vec<(f64, f64)> = if threads <= 1 || users.len() < 32 {
-        users.iter().map(|&u| eval_user(u)).collect()
+        let worker = inbox_obs::span("eval.rank.worker");
+        let out: Vec<(f64, f64)> = users.iter().map(|&u| eval_user(u)).collect();
+        worker.stop();
+        ranked.add(users.len() as u64);
+        out
     } else {
         let chunk = users.len().div_ceil(threads);
         let mut results = vec![(0.0, 0.0); users.len()];
+        let ranked = &ranked;
         crossbeam::thread::scope(|s| {
             for (slice_users, slice_out) in users.chunks(chunk).zip(results.chunks_mut(chunk)) {
                 s.spawn(move |_| {
+                    let worker = inbox_obs::span("eval.rank.worker");
                     for (u, out) in slice_users.iter().zip(slice_out.iter_mut()) {
                         *out = eval_user(*u);
                     }
+                    worker.stop();
+                    ranked.add(slice_users.len() as u64);
                 });
             }
         })
         .expect("evaluation worker panicked");
         results
     };
+    span.stop();
 
     let n = results.len();
     let (recall_sum, ndcg_sum) = results
@@ -259,18 +278,12 @@ mod tests {
     fn toy_split() -> (Interactions, Interactions) {
         // 2 users, 4 items. User 0 trained on {0}, tests {1}. User 1 trained
         // on {2}, tests {3}.
-        let train = Interactions::from_pairs(
-            2,
-            4,
-            vec![(UserId(0), ItemId(0)), (UserId(1), ItemId(2))],
-        )
-        .unwrap();
-        let test = Interactions::from_pairs(
-            2,
-            4,
-            vec![(UserId(0), ItemId(1)), (UserId(1), ItemId(3))],
-        )
-        .unwrap();
+        let train =
+            Interactions::from_pairs(2, 4, vec![(UserId(0), ItemId(0)), (UserId(1), ItemId(2))])
+                .unwrap();
+        let test =
+            Interactions::from_pairs(2, 4, vec![(UserId(0), ItemId(1)), (UserId(1), ItemId(3))])
+                .unwrap();
         (train, test)
     }
 
@@ -316,7 +329,10 @@ mod tests {
         // rank 1; with masking, rank 1 is item 1 (the test item).
         let scorer = |_: UserId| vec![0.0f32; 4];
         let m = evaluate(&scorer, &train, &test, 1);
-        assert_eq!(m.recall, 0.5, "user 0 hits via mask+tie-break, user 1 misses");
+        assert_eq!(
+            m.recall, 0.5,
+            "user 0 hits via mask+tie-break, user 1 misses"
+        );
     }
 
     #[test]

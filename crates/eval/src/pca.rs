@@ -21,6 +21,7 @@ pub struct Pca {
 impl Pca {
     /// Fits a PCA on `points` (each of dimension `d`) keeping `n_components`
     /// axes. Panics if `points` is empty or dimensions are inconsistent.
+    #[allow(clippy::needless_range_loop)] // symmetric-matrix index loops
     pub fn fit(points: &[Vec<f32>], n_components: usize) -> Self {
         assert!(!points.is_empty(), "PCA requires at least one point");
         let d = points[0].len();
@@ -92,6 +93,7 @@ impl Pca {
 /// Cyclic Jacobi eigendecomposition of a symmetric matrix. Returns
 /// `(eigenvalues, eigenvectors)` sorted by descending eigenvalue; each
 /// eigenvector is a row.
+#[allow(clippy::needless_range_loop)] // plane rotations index two columns at once
 fn jacobi_eigen(mut a: Vec<Vec<f64>>) -> (Vec<f64>, Vec<Vec<f64>>) {
     let d = a.len();
     let mut v = vec![vec![0.0f64; d]; d];
@@ -224,7 +226,10 @@ pub fn centroid_separation(
     concept_points: &[Vec<f64>],
     random_points: &[Vec<f64>],
 ) -> CentroidSeparation {
-    assert!(!concept_points.is_empty(), "need at least one concept point");
+    assert!(
+        !concept_points.is_empty(),
+        "need at least one concept point"
+    );
     let dim = concept_points[0].len();
     let mut centroid = vec![0.0f64; dim];
     for p in concept_points {
@@ -267,11 +272,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let points: Vec<Vec<f32>> = (0..200)
             .map(|_| {
-                let t: f32 = rng.gen_range(-5.0..5.0);
+                let t: f32 = rng.gen_range(-5.0f32..5.0);
                 vec![
-                    t + rng.gen_range(-0.01..0.01),
-                    t + rng.gen_range(-0.01..0.01),
-                    rng.gen_range(-0.01..0.01),
+                    t + rng.gen_range(-0.01f32..0.01),
+                    t + rng.gen_range(-0.01f32..0.01),
+                    rng.gen_range(-0.01f32..0.01),
                 ]
             })
             .collect();

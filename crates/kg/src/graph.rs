@@ -234,7 +234,8 @@ impl KgBuilder {
             tag_neighbors[t.tail.index()].push((t.relation, t.head));
         }
 
-        let mut item_item_neighbors: Vec<Vec<(RelationId, ItemId)>> = vec![Vec::new(); self.n_items];
+        let mut item_item_neighbors: Vec<Vec<(RelationId, ItemId)>> =
+            vec![Vec::new(); self.n_items];
         for t in &self.iri {
             item_item_neighbors[t.head.index()].push((t.relation, t.tail));
             item_item_neighbors[t.tail.index()].push((t.relation, t.head));
@@ -467,8 +468,14 @@ mod tests {
         let g = small_graph();
         assert_eq!(g.tag_neighbors(TagId(0)), &[(RelationId(2), TagId(1))]);
         assert_eq!(g.tag_neighbors(TagId(1)), &[(RelationId(2), TagId(0))]);
-        assert_eq!(g.item_item_neighbors(ItemId(0)), &[(RelationId(0), ItemId(1))]);
-        assert_eq!(g.item_item_neighbors(ItemId(1)), &[(RelationId(0), ItemId(0))]);
+        assert_eq!(
+            g.item_item_neighbors(ItemId(0)),
+            &[(RelationId(0), ItemId(1))]
+        );
+        assert_eq!(
+            g.item_item_neighbors(ItemId(1)),
+            &[(RelationId(0), ItemId(0))]
+        );
         assert!(g.item_item_neighbors(ItemId(2)).is_empty());
     }
 }

@@ -18,10 +18,14 @@ enum Add {
 
 fn add_strategy() -> impl Strategy<Value = Add> {
     prop_oneof![
-        (0..N_ITEMS as u32, 0..N_RELS as u32, 0..N_ITEMS as u32).prop_map(|(h, r, t)| Add::Iri(h, r, t)),
-        (0..N_TAGS as u32, 0..N_RELS as u32, 0..N_TAGS as u32).prop_map(|(h, r, t)| Add::Trt(h, r, t)),
-        (0..N_ITEMS as u32, 0..N_RELS as u32, 0..N_TAGS as u32).prop_map(|(h, r, t)| Add::Irt(h, r, t)),
-        (0..N_TAGS as u32, 0..N_RELS as u32, 0..N_ITEMS as u32).prop_map(|(h, r, t)| Add::Tri(h, r, t)),
+        (0..N_ITEMS as u32, 0..N_RELS as u32, 0..N_ITEMS as u32)
+            .prop_map(|(h, r, t)| Add::Iri(h, r, t)),
+        (0..N_TAGS as u32, 0..N_RELS as u32, 0..N_TAGS as u32)
+            .prop_map(|(h, r, t)| Add::Trt(h, r, t)),
+        (0..N_ITEMS as u32, 0..N_RELS as u32, 0..N_TAGS as u32)
+            .prop_map(|(h, r, t)| Add::Irt(h, r, t)),
+        (0..N_TAGS as u32, 0..N_RELS as u32, 0..N_ITEMS as u32)
+            .prop_map(|(h, r, t)| Add::Tri(h, r, t)),
     ]
 }
 

@@ -1,0 +1,214 @@
+//! Fixed-footprint log-scale histogram for latency aggregation.
+//!
+//! Values (nanoseconds) land in 64 power-of-two buckets: bucket `i` covers
+//! `[2^i, 2^(i+1))`, with bucket 0 also absorbing zero. Recording is a single
+//! relaxed atomic increment, so the hot path never allocates or locks, and a
+//! histogram can be shared freely across threads. Quantiles are reconstructed
+//! from the bucket counts with the bucket midpoint as the representative
+//! value, giving at worst a factor-of-√2-ish relative error — plenty for
+//! p50/p95/p99 of span latencies spread across orders of magnitude.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets; covers the full `u64` nanosecond range.
+pub const N_BUCKETS: usize = 64;
+
+/// A concurrent log-scale histogram of `u64` samples (typically ns).
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// Index of the bucket covering `value`: `floor(log2(value))`, with 0 → 0.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        63 - value.leading_zeros() as usize
+    }
+}
+
+/// Midpoint of bucket `i`'s range, used to reconstruct quantiles.
+fn bucket_mid(i: usize) -> u64 {
+    let lo = 1u64 << i;
+    lo + (lo >> 1)
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        // `[AtomicU64::new(0); 64]` needs Copy; build the array via a
+        // const block, which is re-evaluated per element.
+        LogHistogram {
+            buckets: [const { AtomicU64::new(0) }; N_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free; safe from any thread.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`), or 0 when empty.
+    ///
+    /// Walks the cumulative bucket counts and returns the midpoint of the
+    /// bucket containing the rank-`ceil(q·n)` sample.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_mid(i);
+            }
+        }
+        // Counts raced upward between loads; the top non-empty bucket wins.
+        bucket_mid(N_BUCKETS - 1)
+    }
+
+    /// Immutable snapshot of the aggregate statistics.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time view of a [`LogHistogram`] (all values in ns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct HistogramSnapshot {
+    /// Sample count.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Mean sample.
+    pub mean: u64,
+    /// Approximate median.
+    pub p50: u64,
+    /// Approximate 95th percentile.
+    pub p95: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_bound_samples_within_bucket_resolution() {
+        let h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.mean(), (1..=1000u64).sum::<u64>() / 1000);
+        // True p50 = 500 lives in bucket [256, 512); midpoint 384.
+        let p50 = h.quantile(0.5);
+        assert!((256..1024).contains(&p50), "p50 {p50}");
+        // True p99 = 990 lives in bucket [512, 1024); midpoint 768.
+        let p99 = h.quantile(0.99);
+        assert!((512..2048).contains(&p99), "p99 {p99}");
+        // Quantiles are monotone in q.
+        assert!(h.quantile(0.1) <= h.quantile(0.5));
+        assert!(h.quantile(0.5) <= h.quantile(0.99));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p95, 0);
+    }
+
+    #[test]
+    fn single_value_dominates_every_quantile() {
+        let h = LogHistogram::new();
+        for _ in 0..100 {
+            h.record(5000);
+        }
+        let b = bucket_mid(bucket_of(5000));
+        assert_eq!(h.quantile(0.01), b);
+        assert_eq!(h.quantile(0.5), b);
+        assert_eq!(h.quantile(1.0), b);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LogHistogram::new());
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let h = std::sync::Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 80_000);
+    }
+
+    #[test]
+    fn snapshot_serialises_roundtrip() {
+        let h = LogHistogram::new();
+        h.record(10);
+        h.record(1000);
+        let snap = h.snapshot();
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,32 @@
+//! `inbox-obs`: the workspace's instrumentation layer.
+//!
+//! Three pieces, all behind one global enable gate ([`set_enabled`]):
+//!
+//! - **Spans** ([`span`], [`time`]) — scoped wall-clock timers aggregating
+//!   into per-name log-scale histograms; query p50/p95/p99 via
+//!   [`span_snapshot`] / [`all_spans`].
+//! - **Counters** ([`counter`]) — lock-free named event counts for hot paths
+//!   (sampled triplets, gradient batches, box intersections, ranked users).
+//! - **Telemetry** ([`telemetry`]) — structured [`EpochRecord`] events fanned
+//!   out to pluggable sinks: console (leveled), JSONL file, in-memory capture.
+//!
+//! Everything is process-global by design: instrumented crates call free
+//! functions and never thread handles through their APIs, so adding or
+//! removing a probe is a one-line change at the probe site.
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod registry;
+pub mod telemetry;
+
+pub use histogram::{HistogramSnapshot, LogHistogram};
+pub use registry::{
+    all_counters, all_spans, counter, counter_value, enabled, reset, set_enabled, span,
+    span_snapshot, time, Counter, SpanGuard,
+};
+pub use telemetry::{
+    add_sink, clear_sinks, emit_epoch, emit_run_summary, flush_sinks, next_run_id, BoxHealth,
+    CaptureSink, ConsoleSink, CounterSummary, EpochRecord, JsonlSink, RunSummary, Sink,
+    SpanSummary, TelemetryEvent, Verbosity,
+};

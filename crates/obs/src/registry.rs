@@ -1,0 +1,266 @@
+//! Global span/counter registry.
+//!
+//! Spans aggregate wall-clock durations into per-name [`LogHistogram`]s;
+//! counters are plain atomics. Both live in a process-wide registry so
+//! instrumentation can be dropped into any crate without threading handles
+//! through APIs. The whole layer sits behind one atomic enable gate:
+//! when disabled, [`span`] does not even read the clock, so instrumented
+//! code pays a single relaxed atomic load per call site.
+
+use crate::histogram::{HistogramSnapshot, LogHistogram};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Turns the whole instrumentation layer on or off at runtime.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether instrumentation is currently recording.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+struct Registry {
+    spans: RwLock<HashMap<&'static str, Arc<LogHistogram>>>,
+    counters: RwLock<HashMap<&'static str, Arc<AtomicU64>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        spans: RwLock::new(HashMap::new()),
+        counters: RwLock::new(HashMap::new()),
+    })
+}
+
+fn span_hist(name: &'static str) -> Arc<LogHistogram> {
+    if let Some(h) = registry().spans.read().get(name) {
+        return Arc::clone(h);
+    }
+    let mut map = registry().spans.write();
+    Arc::clone(map.entry(name).or_default())
+}
+
+fn counter_cell(name: &'static str) -> Arc<AtomicU64> {
+    if let Some(c) = registry().counters.read().get(name) {
+        return Arc::clone(c);
+    }
+    let mut map = registry().counters.write();
+    Arc::clone(map.entry(name).or_default())
+}
+
+/// Times a region of code; records into the named span histogram on drop.
+///
+/// Created by [`span`]. Use [`SpanGuard::stop`] when the elapsed time itself
+/// is needed; plain drop records without returning it.
+#[must_use = "a span measures until dropped; binding it to `_` drops immediately"]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    fn elapsed_and_record(&mut self) -> Duration {
+        match self.start.take() {
+            Some(start) => {
+                let elapsed = start.elapsed();
+                span_hist(self.name).record(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
+                elapsed
+            }
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Ends the span now, recording it, and returns the elapsed time.
+    /// Returns [`Duration::ZERO`] when instrumentation is disabled.
+    pub fn stop(mut self) -> Duration {
+        self.elapsed_and_record()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.elapsed_and_record();
+    }
+}
+
+/// Opens a timed span. The measurement ends (and is recorded) when the
+/// returned guard drops or is [`SpanGuard::stop`]ped.
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard {
+        name,
+        start: enabled().then(Instant::now),
+    }
+}
+
+/// Runs `f` inside a span, returning its result and the elapsed time.
+pub fn time<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, Duration) {
+    let guard = span(name);
+    let out = f();
+    (out, guard.stop())
+}
+
+/// A named monotonic counter. Cheap to clone; cache one outside hot loops.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `n` (no-op while instrumentation is disabled).
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Looks up (creating on first use) the named counter.
+pub fn counter(name: &'static str) -> Counter {
+    Counter {
+        cell: counter_cell(name),
+    }
+}
+
+/// Current value of a named counter (0 if never touched).
+pub fn counter_value(name: &'static str) -> u64 {
+    registry()
+        .counters
+        .read()
+        .get(name)
+        .map(|c| c.load(Ordering::Relaxed))
+        .unwrap_or(0)
+}
+
+/// Snapshot of one span's histogram, if that span ever recorded.
+pub fn span_snapshot(name: &str) -> Option<HistogramSnapshot> {
+    registry()
+        .spans
+        .read()
+        .get(name)
+        .map(|h| h.snapshot())
+        .filter(|s| s.count > 0)
+}
+
+/// Snapshots of every span that recorded at least once, sorted by name.
+pub fn all_spans() -> Vec<(String, HistogramSnapshot)> {
+    let mut out: Vec<(String, HistogramSnapshot)> = registry()
+        .spans
+        .read()
+        .iter()
+        .map(|(name, h)| (name.to_string(), h.snapshot()))
+        .filter(|(_, s)| s.count > 0)
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Values of every counter ever touched, sorted by name.
+pub fn all_counters() -> Vec<(String, u64)> {
+    let mut out: Vec<(String, u64)> = registry()
+        .counters
+        .read()
+        .iter()
+        .map(|(name, c)| (name.to_string(), c.load(Ordering::Relaxed)))
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Clears every span histogram and counter. Handles obtained before the
+/// reset keep writing into detached cells, so re-fetch them afterwards;
+/// intended for test isolation and the start of independent runs.
+pub fn reset() {
+    registry().spans.write().clear();
+    registry().counters.write().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global and tests run concurrently, so each
+    // test uses its own unique names instead of calling reset().
+
+    #[test]
+    fn span_records_and_stop_returns_elapsed() {
+        let guard = span("test.registry.span_basic");
+        std::thread::sleep(Duration::from_millis(2));
+        let elapsed = guard.stop();
+        assert!(elapsed >= Duration::from_millis(2));
+        let snap = span_snapshot("test.registry.span_basic").unwrap();
+        assert_eq!(snap.count, 1);
+        assert!(snap.p50 >= 1_000_000, "p50 {} ns", snap.p50);
+    }
+
+    #[test]
+    fn time_wraps_a_closure() {
+        let ((), d) = time("test.registry.time", || {
+            std::thread::sleep(Duration::from_millis(1))
+        });
+        assert!(d >= Duration::from_millis(1));
+        assert_eq!(span_snapshot("test.registry.time").unwrap().count, 1);
+    }
+
+    #[test]
+    fn drop_records_too() {
+        {
+            let _guard = span("test.registry.drop");
+        }
+        assert_eq!(span_snapshot("test.registry.drop").unwrap().count, 1);
+    }
+
+    #[test]
+    fn counters_accumulate_concurrently() {
+        let c = counter("test.registry.concurrent");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+        assert_eq!(counter_value("test.registry.concurrent"), 80_000);
+    }
+
+    #[test]
+    fn unknown_names_read_as_empty() {
+        assert_eq!(counter_value("test.registry.never_touched"), 0);
+        assert!(span_snapshot("test.registry.never_opened").is_none());
+    }
+
+    #[test]
+    fn disabled_gate_suppresses_recording() {
+        // Serialise with other tests that might toggle the gate: none do,
+        // but keep the window tiny regardless.
+        set_enabled(false);
+        let g = span("test.registry.disabled");
+        let d = g.stop();
+        let c = counter("test.registry.disabled_counter");
+        c.add(5);
+        set_enabled(true);
+        assert_eq!(d, Duration::ZERO);
+        assert!(span_snapshot("test.registry.disabled").is_none());
+        assert_eq!(counter_value("test.registry.disabled_counter"), 0);
+    }
+}

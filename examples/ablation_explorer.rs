@@ -27,7 +27,10 @@ fn main() {
         ..InBoxConfig::for_dim(16)
     };
 
-    println!("{:<12}{:>12}{:>12}{:>14}", "ablation", "recall@20", "ndcg@20", "vs Base");
+    println!(
+        "{:<12}{:>12}{:>12}{:>14}",
+        "ablation", "recall@20", "ndcg@20", "vs Base"
+    );
     let mut base_recall = None;
     // Run Base first so the deltas are available immediately.
     let mut rows: Vec<Ablation> = vec![Ablation::Base];

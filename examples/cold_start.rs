@@ -108,7 +108,10 @@ fn main() {
                 let better = mf_scores
                     .iter()
                     .enumerate()
-                    .filter(|&(j, &s)| s > mf_scores[item.index()] && !dataset.train.contains(user, ItemId(j as u32)))
+                    .filter(|&(j, &s)| {
+                        s > mf_scores[item.index()]
+                            && !dataset.train.contains(user, ItemId(j as u32))
+                    })
                     .count();
                 println!("         MF ranks the same item #{better} of {n_items}.");
                 break 'outer;

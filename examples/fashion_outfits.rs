@@ -69,7 +69,10 @@ fn main() {
         }
         // Browsing noise: related items sharing two of the three attributes.
         let o2 = (o + 1) % OCCASIONS.len();
-        pairs.push((UserId(u as u32), item_id(c, o2, g, rng.gen_range(0..PER_CELL))));
+        pairs.push((
+            UserId(u as u32),
+            item_id(c, o2, g, rng.gen_range(0..PER_CELL)),
+        ));
     }
     let interactions = Interactions::from_pairs(n_users, n_items, pairs).unwrap();
     let (train_set, test_set) = interactions.split(0.3, &mut rng);
@@ -94,14 +97,19 @@ fn main() {
         },
     );
     let metrics = trained.evaluate(&dataset, 10);
-    println!("recall@10 {:.3}, ndcg@10 {:.3}\n", metrics.recall, metrics.ndcg);
+    println!(
+        "recall@10 {:.3}, ndcg@10 {:.3}\n",
+        metrics.recall, metrics.ndcg
+    );
 
     // ---- The Figure-1 story, measured -------------------------------------
     // Find a shopper who wants a red prom dress; fall back to shopper 0's
     // actual combination otherwise.
     let shopper = wants
         .iter()
-        .position(|&(c, o, g)| COLORS[c] == "red" && OCCASIONS[o] == "prom" && CATEGORIES[g] == "dress")
+        .position(|&(c, o, g)| {
+            COLORS[c] == "red" && OCCASIONS[o] == "prom" && CATEGORIES[g] == "dress"
+        })
         .unwrap_or(0);
     let (c, o, g) = wants[shopper];
     let user = UserId(shopper as u32);
@@ -167,7 +175,11 @@ fn main() {
         println!(
             "  {item} [{}] score {score:.3}{}",
             attrs.join(" "),
-            if is_full { "  <- all three concepts" } else { "" }
+            if is_full {
+                "  <- all three concepts"
+            } else {
+                ""
+            }
         );
     }
     println!("\n{full_matches}/5 recommendations carry all three wanted attributes.");

@@ -15,7 +15,12 @@ use inbox_repro::kg::{Concept, ItemId, KgBuilder, TagId, UserId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-const DIRECTORS: [&str; 4] = ["James Cameron", "Christopher Nolan", "Hayao Miyazaki", "Greta Gerwig"];
+const DIRECTORS: [&str; 4] = [
+    "James Cameron",
+    "Christopher Nolan",
+    "Hayao Miyazaki",
+    "Greta Gerwig",
+];
 const GENRES: [&str; 3] = ["sci-fi", "drama", "animation"];
 const FILMS_PER_COMBO: usize = 8;
 
@@ -79,7 +84,10 @@ fn main() {
     };
 
     // ---- Train ------------------------------------------------------------
-    println!("training InBox on {} films, {} viewers ...", n_items, n_users);
+    println!(
+        "training InBox on {} films, {} viewers ...",
+        n_items, n_users
+    );
     let trained = train(
         &dataset,
         InBoxConfig {
@@ -93,7 +101,10 @@ fn main() {
         },
     );
     let metrics = trained.evaluate(&dataset, 10);
-    println!("recall@10 {:.3}, ndcg@10 {:.3}\n", metrics.recall, metrics.ndcg);
+    println!(
+        "recall@10 {:.3}, ndcg@10 {:.3}\n",
+        metrics.recall, metrics.ndcg
+    );
 
     // ---- Inspect a viewer ---------------------------------------------------
     let user = UserId(0);
@@ -105,10 +116,7 @@ fn main() {
     let mut matching_top = 0;
     let recs = trained.recommend(user, dataset.train.items_of(user), 5);
     for (item, score) in &recs {
-        let director_c = Concept::new(
-            inbox_repro::kg::RelationId(0),
-            TagId(d as u32),
-        );
+        let director_c = Concept::new(inbox_repro::kg::RelationId(0), TagId(d as u32));
         let genre_c = Concept::new(
             inbox_repro::kg::RelationId(1),
             TagId((DIRECTORS.len() + g) as u32),
@@ -132,7 +140,10 @@ fn main() {
             })
             .collect::<Vec<_>>()
             .join(" / ");
-        println!("  {item} [{combo}] score {score:.3}{}", if matches { "  <- taste match" } else { "" });
+        println!(
+            "  {item} [{combo}] score {score:.3}{}",
+            if matches { "  <- taste match" } else { "" }
+        );
     }
     println!(
         "\n{matching_top}/5 recommendations match the viewer's latent (director, genre) taste."

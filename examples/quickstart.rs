@@ -30,7 +30,10 @@ fn main() {
         epochs_stage3: 12,
         ..InBoxConfig::tiny_test()
     };
-    println!("\ntraining InBox (d={}, gamma={}) ...", config.dim, config.gamma);
+    println!(
+        "\ntraining InBox (d={}, gamma={}) ...",
+        config.dim, config.gamma
+    );
     let trained = train(&dataset, config);
     println!(
         "stage losses: B {:.3} -> {:.3}, I {:.3} -> {:.3}, R {:.3} -> {:.3}",
@@ -49,14 +52,24 @@ fn main() {
     // 4. Recommend for one user and explain the top hit geometrically.
     let user = UserId(0);
     let seen = dataset.train.items_of(user);
-    println!("\nuser {user} interacted with {} items; top-5 recommendations:", seen.len());
+    println!(
+        "\nuser {user} interacted with {} items; top-5 recommendations:",
+        seen.len()
+    );
     for (item, score) in trained.recommend(user, seen, 5) {
-        let hit = if dataset.test.contains(user, item) { "  <- in test set!" } else { "" };
+        let hit = if dataset.test.contains(user, item) {
+            "  <- in test set!"
+        } else {
+            ""
+        };
         println!("  {item}  score {score:.3}{hit}");
     }
 
     let (top_item, _) = trained.recommend(user, seen, 1)[0];
     if let Some(ex) = explain(&trained, &dataset.kg, user, top_item) {
-        println!("\nwhy {top_item}?\n{}", format_explanation(&ex, &dataset.kg));
+        println!(
+            "\nwhy {top_item}?\n{}",
+            format_explanation(&ex, &dataset.kg)
+        );
     }
 }

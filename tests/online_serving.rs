@@ -61,8 +61,7 @@ fn cold_user_gains_a_box_after_first_interaction() {
     let mut trained = train(&ds, InBoxConfig::tiny_test());
     // Manufacture a user with empty history by clearing one user's items.
     let user = UserId(0);
-    let without: Vec<(UserId, ItemId)> =
-        ds.train.pairs().filter(|&(u, _)| u != user).collect();
+    let without: Vec<(UserId, ItemId)> = ds.train.pairs().filter(|&(u, _)| u != user).collect();
     let empty_hist = Interactions::from_pairs(ds.n_users(), ds.n_items(), without).unwrap();
     assert!(!trained.refresh_user_box(&ds.kg, &empty_hist, user));
     assert!(trained.interest_box_of(user).is_none());

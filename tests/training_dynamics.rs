@@ -83,8 +83,12 @@ fn concept_members_cluster_in_embedding_space() {
                 continue;
             }
             random += geometry::d_pp(
-                trained.model.item_point_f32(inbox_repro::kg::ItemId(i as u32)),
-                trained.model.item_point_f32(inbox_repro::kg::ItemId(j as u32)),
+                trained
+                    .model
+                    .item_point_f32(inbox_repro::kg::ItemId(i as u32)),
+                trained
+                    .model
+                    .item_point_f32(inbox_repro::kg::ItemId(j as u32)),
             ) as f64;
             random_n += 1;
         }
@@ -177,6 +181,9 @@ fn early_stopping_fires_on_plateau() {
         ..InBoxConfig::tiny_test()
     };
     let trained = train(&ds, cfg);
-    assert!(trained.report.early_stopped, "100 epochs on tiny data must plateau");
+    assert!(
+        trained.report.early_stopped,
+        "100 epochs on tiny data must plateau"
+    );
     assert!(trained.report.stage3_recalls.len() < 100);
 }

@@ -1,0 +1,174 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Keeps the bench-definition surface (`criterion_group!`/`criterion_main!`,
+//! `Criterion`, groups, `BenchmarkId`, `black_box`) but replaces the
+//! statistical engine with a single timed batch per benchmark: warm up a few
+//! iterations, time a fixed batch, print mean time per iteration. That is
+//! enough to (a) keep the bench targets compiling and running under
+//! `cargo test`/`cargo bench`, and (b) give coarse relative numbers.
+//! When the binary is invoked with `--test` (as `cargo test` does for
+//! `harness = false` targets), each closure runs once with no timing.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Opaque value barrier preventing the optimiser from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Label for one parameterised benchmark case.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Label `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Passed to bench closures; [`Bencher::iter`] runs the measured routine.
+pub struct Bencher {
+    smoke: bool,
+}
+
+const WARMUP_ITERS: u32 = 3;
+const MEASURE_ITERS: u32 = 20;
+
+impl Bencher {
+    /// Times `routine`, printing mean wall-clock per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            black_box(routine());
+            return;
+        }
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(routine());
+        }
+        let per_iter = start.elapsed() / MEASURE_ITERS;
+        print!("{per_iter:>12.2?}/iter ... ");
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Benchmarks `f` against one input value under `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.name);
+        self.criterion.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(&label, |b| f(b));
+        self
+    }
+
+    /// Ends the group (upstream finalises reports here; nothing to do).
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let smoke = smoke_mode();
+        print!("bench {label:<40} ... ");
+        let mut b = Bencher { smoke };
+        f(&mut b);
+        println!("ok");
+    }
+
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run_one(name, |b| f(b));
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grp");
+        for n in [2u64, 4] {
+            group.bench_with_input(BenchmarkId::new("pow", n), &n, |b, &n| {
+                b.iter(|| n.pow(3))
+            });
+        }
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(42), 42);
+        let v = vec![1, 2, 3];
+        assert_eq!(black_box(&v), &v);
+    }
+}

@@ -1,0 +1,88 @@
+//! Offline stand-in for `crossbeam` (see `vendor/README.md`), backed by
+//! `std::thread::scope`. Only the scoped-thread surface this workspace uses
+//! is provided.
+//!
+//! One deliberate deviation: upstream passes `&Scope` back into each spawned
+//! closure so workers can spawn nested threads. Every call site here ignores
+//! that argument (`|_|`), so the stand-in hands a copyable [`thread::NestedScope`]
+//! placeholder instead, which sidesteps re-borrowing the scope across the
+//! spawn boundary. A closure that actually used the argument to spawn would
+//! fail to compile — loudly, not wrongly.
+
+#![warn(missing_docs)]
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// Boxed payload of a panicked thread, as `std::thread::Result` uses.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// Placeholder passed to spawned closures where upstream passes `&Scope`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct NestedScope;
+
+    /// A scope handle on which worker threads can be spawned.
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result, or the panic payload.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker; it may borrow from the enclosing scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle(self.0.spawn(move || f(NestedScope)))
+        }
+    }
+
+    /// Runs `f` with a scope; all spawned threads are joined before this
+    /// returns. A panic in an unjoined worker propagates as a panic (upstream
+    /// returns `Err` instead; call sites here `.expect()` either way).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope(s))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4, 5, 6, 7, 8];
+        let mut out = vec![0u64; data.len()];
+        super::thread::scope(|s| {
+            for (src, dst) in data.chunks(3).zip(out.chunks_mut(3)) {
+                s.spawn(move |_| {
+                    for (a, b) in src.iter().zip(dst.iter_mut()) {
+                        *b = a * 10;
+                    }
+                });
+            }
+        })
+        .expect("worker panicked");
+        assert_eq!(out, vec![10, 20, 30, 40, 50, 60, 70, 80]);
+    }
+
+    #[test]
+    fn handles_return_values() {
+        let total: u64 = super::thread::scope(|s| {
+            let handles: Vec<_> = (0..4u64).map(|i| s.spawn(move |_| i * i)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .expect("worker panicked");
+        assert_eq!(total, 0 + 1 + 4 + 9);
+    }
+}

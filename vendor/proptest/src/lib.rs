@@ -1,0 +1,559 @@
+//! Offline stand-in for `proptest` (see `vendor/README.md`).
+//!
+//! Keeps the property-test *surface* — `proptest!`, strategy combinators,
+//! `prop_assert*` — over a much smaller engine: each test runs a fixed
+//! number of deterministically seeded random cases (seeded from the test's
+//! module path, so runs are reproducible and case streams differ per test).
+//!
+//! Deliberate simplifications versus upstream:
+//! - **No shrinking.** A failing case reports its index and message; rerun
+//!   the test to reproduce it (same seed, same stream).
+//! - **Strategies are samplers.** [`strategy::Strategy`] is just
+//!   "generate one value from an RNG"; there is no value tree.
+//! - **String "regexes" support only `[class]{m,n}`** — the one shape this
+//!   workspace uses. Anything else panics at generation time.
+
+#![warn(missing_docs)]
+
+pub use rand::rngs::StdRng;
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleRange};
+
+    /// A generator of values for property tests.
+    pub trait Strategy {
+        /// Type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy so heterogeneous ones can be unioned.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between strategies (the engine behind `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        T: Clone,
+        std::ops::Range<T>: SampleRange<T>,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T>
+    where
+        T: Clone,
+        std::ops::RangeInclusive<T>: SampleRange<T>,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+);)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0);
+        (A: 0, B: 1);
+        (A: 0, B: 1, C: 2);
+        (A: 0, B: 1, C: 2, D: 3);
+        (A: 0, B: 1, C: 2, D: 3, E: 4);
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+}
+
+/// Generation from the `[class]{m,n}` regex subset.
+mod string {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Generates a string matching `[class]{m,n}`; panics on any pattern
+    /// outside that subset so an unsupported test fails loudly.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+        let (alphabet, min, max) = parse(pattern)
+            .unwrap_or_else(|| panic!("proptest stand-in supports only `[class]{{m,n}}` string patterns, got `{pattern}`"));
+        let len = rng.gen_range(min..=max);
+        (0..len)
+            .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+            .collect()
+    }
+
+    fn parse(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class = &rest[..close];
+        let rep = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+        let (min_s, max_s) = rep.split_once(',')?;
+        let min: usize = min_s.trim().parse().ok()?;
+        let max: usize = max_s.trim().parse().ok()?;
+        if min > max {
+            return None;
+        }
+
+        let mut alphabet = Vec::new();
+        let chars: Vec<char> = class.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = match chars[i] {
+                '\\' => {
+                    i += 1;
+                    match chars.get(i)? {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        '\\' => '\\',
+                        ']' => ']',
+                        '-' => '-',
+                        other => *other,
+                    }
+                }
+                c => c,
+            };
+            // A `-` between two chars denotes a range (e.g. `a-z`).
+            if chars.get(i + 1) == Some(&'-') && i + 2 < chars.len() {
+                let hi = chars[i + 2];
+                for v in (c as u32)..=(hi as u32) {
+                    alphabet.push(char::from_u32(v)?);
+                }
+                i += 3;
+            } else {
+                alphabet.push(c);
+                i += 1;
+            }
+        }
+        if alphabet.is_empty() {
+            return None;
+        }
+        Some((alphabet, min, max))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use rand::SeedableRng;
+
+        #[test]
+        fn pattern_bounds_and_alphabet() {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+            for _ in 0..200 {
+                let s = super::generate_from_pattern("[ 0-9a-z\\n]{0,20}", &mut rng);
+                assert!(s.chars().count() <= 20);
+                for c in s.chars() {
+                    assert!(
+                        c == ' ' || c == '\n' || c.is_ascii_digit() || c.is_ascii_lowercase(),
+                        "unexpected char {c:?}"
+                    );
+                }
+            }
+            let s = super::generate_from_pattern("[ab]{3,3}", &mut rng);
+            assert_eq!(s.len(), 3);
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Inclusive-min / exclusive-max element-count range for [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range for collection strategy");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: r.end() + 1,
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..self.size.max_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner plumbing used by the `proptest!` macro expansion.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; the stand-in trades a little coverage
+            // for suite latency. Override per-test with `with_cases`.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed (or rejected) test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A failure carrying `msg`.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+
+        /// Upstream distinguishes rejects from failures; the stand-in treats
+        /// both as failures (no test here rejects).
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Drives the cases of one property test.
+    pub struct TestRunner {
+        cases: u32,
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// Builds a runner whose RNG stream is derived from `name`, so each
+        /// test gets its own reproducible stream.
+        pub fn new(config: ProptestConfig, name: &str) -> Self {
+            // FNV-1a keeps the seed stable across runs and compilers.
+            let mut seed = 0xcbf29ce484222325u64;
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x100000001b3);
+            }
+            TestRunner {
+                cases: config.cases,
+                rng: StdRng::seed_from_u64(seed),
+            }
+        }
+
+        /// How many cases to run.
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// The case RNG.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+}
+
+/// The glob-imported prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced strategy modules (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests: each `fn` body runs for many generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public surface.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);
+     $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..runner.cases() {
+                let ($($arg,)+) = (
+                    $($crate::strategy::Strategy::generate(&$strat, runner.rng()),)+
+                );
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                if let Err(e) = outcome {
+                    panic!(
+                        "proptest case {case} of {} failed: {e}\n\
+                         (offline stand-in: no shrinking; rerun reproduces the same stream)",
+                        stringify!($name),
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat),)+
+        ])
+    };
+}
+
+/// Like `assert!` but fails only the current case, with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Like `assert_eq!` for property tests.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Like `assert_ne!` for property tests.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)+);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (u32, u32)> {
+        (0u32..10, 10u32..20)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..9, f in -1.0f64..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn map_union_and_vec_compose(
+            v in crate::collection::vec(
+                prop_oneof![
+                    (0u32..5).prop_map(|x| x * 2),
+                    (10u32..15).prop_map(|x| x * 2),
+                ],
+                0..12,
+            ),
+            p in pair(),
+        ) {
+            prop_assert!(v.len() < 12);
+            for x in &v {
+                prop_assert_eq!(x % 2, 0);
+                prop_assert!((*x < 10) || (20..30).contains(x));
+            }
+            prop_assert_ne!(p.0, p.1, "halves overlap: {:?}", p);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_case_info() {
+        let config = ProptestConfig::with_cases(5);
+        let mut runner = TestRunner::new(config, "demo");
+        let mut failed = false;
+        for _ in 0..runner.cases() {
+            let x = Strategy::generate(&(0u32..100), runner.rng());
+            let outcome: Result<(), TestCaseError> = (|| {
+                prop_assert!(x < 101);
+                prop_assert!(x < 50, "x too big: {}", x);
+                Ok(())
+            })();
+            if outcome.is_err() {
+                failed = true;
+            }
+        }
+        assert!(failed, "expected at least one of 5 cases to exceed 50");
+    }
+}

@@ -1,0 +1,544 @@
+//! Offline stand-in for `serde`, shaped around a concrete JSON-like value
+//! tree instead of upstream's visitor architecture (see `vendor/README.md`).
+//!
+//! [`Serialize`] renders a type into a [`value::Value`]; [`Deserialize`]
+//! rebuilds the type from one. The `#[derive(Serialize, Deserialize)]`
+//! macros (re-exported from `serde_derive`) cover named-field structs,
+//! tuple/newtype structs, and unit-variant enums — the only shapes this
+//! workspace serialises. `serde_json` turns the value tree into JSON text
+//! and back.
+//!
+//! The simplification is deliberate: the upstream data-model traits exist to
+//! decouple formats from types without an intermediate tree; here JSON is the
+//! only format, so the tree costs one allocation pass and removes the need
+//! for a visitor framework and code-generation of `impl`s against it.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The dynamic value tree all (de)serialisation goes through.
+pub mod value {
+    use std::collections::{BTreeMap, HashMap};
+
+    /// A JSON number: integers keep full 64-bit precision.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub enum Number {
+        /// Unsigned integer.
+        U64(u64),
+        /// Negative integer (always < 0; non-negatives normalise to `U64`).
+        I64(i64),
+        /// Floating point.
+        F64(f64),
+    }
+
+    impl Number {
+        /// Value as `f64` (lossy for very large integers).
+        pub fn as_f64(self) -> f64 {
+            match self {
+                Number::U64(v) => v as f64,
+                Number::I64(v) => v as f64,
+                Number::F64(v) => v,
+            }
+        }
+
+        /// Value as `u64` if representable.
+        pub fn as_u64(self) -> Option<u64> {
+            match self {
+                Number::U64(v) => Some(v),
+                Number::I64(v) => u64::try_from(v).ok(),
+                Number::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                    Some(v as u64)
+                }
+                Number::F64(_) => None,
+            }
+        }
+
+        /// Value as `i64` if representable.
+        pub fn as_i64(self) -> Option<i64> {
+            match self {
+                Number::U64(v) => i64::try_from(v).ok(),
+                Number::I64(v) => Some(v),
+                Number::F64(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
+                    Some(v as i64)
+                }
+                Number::F64(_) => None,
+            }
+        }
+    }
+
+    /// An object: field order is preserved so output is stable and readable.
+    #[derive(Debug, Clone, PartialEq, Default)]
+    pub struct Map {
+        entries: Vec<(String, Value)>,
+    }
+
+    impl Map {
+        /// An empty object.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Appends (or replaces) a field.
+        pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+            let key = key.into();
+            if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+                slot.1 = value;
+            } else {
+                self.entries.push((key, value));
+            }
+        }
+
+        /// Looks a field up by name.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+
+        /// Number of fields.
+        pub fn len(&self) -> usize {
+            self.entries.len()
+        }
+
+        /// True when the object has no fields.
+        pub fn is_empty(&self) -> bool {
+            self.entries.is_empty()
+        }
+
+        /// Iterates fields in insertion order.
+        pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+            self.entries.iter().map(|(k, v)| (k, v))
+        }
+    }
+
+    /// A dynamically typed JSON-like value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// A number.
+        Number(Number),
+        /// A string.
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object.
+        Object(Map),
+    }
+
+    impl Value {
+        /// Human label of the value's kind, for error messages.
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::Number(_) => "number",
+                Value::String(_) => "string",
+                Value::Array(_) => "array",
+                Value::Object(_) => "object",
+            }
+        }
+
+        /// The object, if this is one.
+        pub fn as_object(&self) -> Option<&Map> {
+            match self {
+                Value::Object(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        /// The array, if this is one.
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        /// The string, if this is one.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The number as `f64`, if this is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(n.as_f64()),
+                _ => None,
+            }
+        }
+    }
+
+    impl From<HashMap<String, Value>> for Map {
+        fn from(m: HashMap<String, Value>) -> Self {
+            let mut entries: Vec<(String, Value)> = m.into_iter().collect();
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            Map { entries }
+        }
+    }
+
+    impl From<BTreeMap<String, Value>> for Map {
+        fn from(m: BTreeMap<String, Value>) -> Self {
+            Map {
+                entries: m.into_iter().collect(),
+            }
+        }
+    }
+}
+
+use value::{Map, Number, Value};
+
+/// Error produced when a [`Value`] does not match the requested type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// Standard "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// Standard missing-field error.
+    pub fn missing_field(name: &str) -> Self {
+        DeError(format!("missing field `{name}`"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types renderable into a [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, or explains why the value does not fit.
+    fn deserialize(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls -----------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Number(n) => n
+                        .as_u64()
+                        .and_then(|v| <$t>::try_from(v).ok())
+                        .ok_or_else(|| DeError::custom(format!(
+                            "number out of range for {}", stringify!($t)
+                        ))),
+                    other => Err(DeError::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::U64(v as u64))
+                } else {
+                    Value::Number(Number::I64(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Number(n) => n
+                        .as_i64()
+                        .and_then(|v| <$t>::try_from(v).ok())
+                        .ok_or_else(|| DeError::custom(format!(
+                            "number out of range for {}", stringify!($t)
+                        ))),
+                    other => Err(DeError::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::F64(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Number(n) => Ok(n.as_f64() as $t),
+                    other => Err(DeError::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match value {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::deserialize(&items[$idx])?,)+))
+                    }
+                    Value::Array(items) => Err(DeError::custom(format!(
+                        "expected array of {LEN}, found {}", items.len()
+                    ))),
+                    other => Err(DeError::expected("array", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn serialize(&self) -> Value {
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        let mut map = Map::new();
+        for (k, v) in entries {
+            map.insert(k.clone(), v.serialize());
+        }
+        Value::Object(map)
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+                .collect(),
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        let mut map = Map::new();
+        for (k, v) in self {
+            map.insert(k.clone(), v.serialize());
+        }
+        Value::Object(map)
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+                .collect(),
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::deserialize(&42u32.serialize()).unwrap(), 42);
+        assert_eq!(i64::deserialize(&(-7i64).serialize()).unwrap(), -7);
+        assert_eq!(f32::deserialize(&1.5f32.serialize()).unwrap(), 1.5);
+        assert_eq!(bool::deserialize(&true.serialize()).unwrap(), true);
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Vec::<u8>::deserialize(&vec![1u8, 2].serialize()).unwrap(),
+            vec![1, 2]
+        );
+        assert_eq!(
+            Option::<u8>::deserialize(&None::<u8>.serialize()).unwrap(),
+            None
+        );
+        let pair = ("k".to_string(), 3u32);
+        assert_eq!(
+            <(String, u32)>::deserialize(&pair.serialize()).unwrap(),
+            pair
+        );
+    }
+
+    #[test]
+    fn type_mismatches_error() {
+        assert!(u32::deserialize(&Value::Bool(true)).is_err());
+        assert!(bool::deserialize(&Value::Null).is_err());
+        assert!(String::deserialize(&1u8.serialize()).is_err());
+        assert!(u8::deserialize(&300u32.serialize()).is_err());
+        assert!(u64::deserialize(&(-1i32).serialize()).is_err());
+    }
+
+    #[test]
+    fn map_preserves_insertion_order_and_replaces() {
+        let mut m = Map::new();
+        m.insert("b", Value::Null);
+        m.insert("a", Value::Bool(true));
+        m.insert("b", Value::Bool(false));
+        let keys: Vec<&str> = m.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["b", "a"]);
+        assert_eq!(m.get("b"), Some(&Value::Bool(false)));
+        assert_eq!(m.len(), 2);
+    }
+}

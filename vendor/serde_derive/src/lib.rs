@@ -1,0 +1,395 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! stand-in `serde` crate's `Value`-tree data model. The item is parsed
+//! directly from the raw `TokenStream` (no `syn`/`quote`, which are not
+//! available offline) and the generated `impl` is assembled as a string and
+//! re-parsed. Supported shapes — the only ones this workspace derives:
+//!
+//! - structs with named fields (fields may carry `#[serde(default)]`)
+//! - tuple structs (newtypes serialise transparently, wider ones as arrays)
+//! - enums with unit variants (serialised as the variant name) and/or
+//!   newtype variants (externally tagged: `{"Variant": <inner>}`)
+//!
+//! Anything else (generics, data-carrying enums, other `#[serde(...)]`
+//! attributes) panics at expansion time with a clear message rather than
+//! silently producing wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut inserts = String::new();
+            for f in fields {
+                inserts.push_str(&format!(
+                    "map.insert(\"{name}\", ::serde::Serialize::serialize(&self.{name}));\n",
+                    name = f.name
+                ));
+            }
+            format!(
+                "let mut map = ::serde::value::Map::new();\n{inserts}\
+                 ::serde::value::Value::Object(map)"
+            )
+        }
+        Shape::TupleStruct(arity) => {
+            if *arity == 1 {
+                "::serde::Serialize::serialize(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                    .collect();
+                format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+            }
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match v.kind {
+                    VariantKind::Unit => format!(
+                        "{ty}::{v} => ::serde::value::Value::String(\"{v}\".to_string())",
+                        ty = item.name,
+                        v = v.name,
+                    ),
+                    VariantKind::Newtype => format!(
+                        "{ty}::{v}(inner) => {{\n\
+                             let mut map = ::serde::value::Map::new();\n\
+                             map.insert(\"{v}\", ::serde::Serialize::serialize(inner));\n\
+                             ::serde::value::Value::Object(map)\n\
+                         }}",
+                        ty = item.name,
+                        v = v.name,
+                    ),
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(",\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::value::Value {{\n{body}\n}}\n\
+         }}",
+        name = item.name
+    )
+    .parse()
+    .expect("serde_derive stand-in: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let fallback = if f.default {
+                    "::std::default::Default::default()".to_string()
+                } else {
+                    format!("return Err(::serde::DeError::missing_field(\"{}\"))", f.name)
+                };
+                inits.push_str(&format!(
+                    "{name}: match obj.get(\"{name}\") {{\n\
+                         Some(v) => ::serde::Deserialize::deserialize(v)?,\n\
+                         None => {fallback},\n\
+                     }},\n",
+                    name = f.name
+                ));
+            }
+            format!(
+                "let obj = value.as_object()\
+                     .ok_or_else(|| ::serde::DeError::expected(\"object\", value))?;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::TupleStruct(arity) => {
+            if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::deserialize(value)?))")
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "let items = value.as_array()\
+                         .ok_or_else(|| ::serde::DeError::expected(\"array\", value))?;\n\
+                     if items.len() != {arity} {{\n\
+                         return Err(::serde::DeError::custom(format!(\n\
+                             \"expected array of {arity}, found {{}}\", items.len())));\n\
+                     }}\n\
+                     Ok({name}({elems}))",
+                    elems = elems.join(", ")
+                )
+            }
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{v}\" => return Ok({name}::{v})", v = v.name))
+                .collect();
+            let newtype_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Newtype))
+                .map(|v| {
+                    format!(
+                        "if let Some(inner) = obj.get(\"{v}\") {{\n\
+                             return Ok({name}::{v}(::serde::Deserialize::deserialize(inner)?));\n\
+                         }}",
+                        v = v.name,
+                    )
+                })
+                .collect();
+            format!(
+                "if let Some(s) = value.as_str() {{\n\
+                     match s {{ {unit_arms} _ => {{}} }}\n\
+                 }}\n\
+                 if let Some(obj) = value.as_object() {{\n\
+                     let _ = obj;\n\
+                     {newtype_arms}\n\
+                 }}\n\
+                 Err(::serde::DeError::custom(format!(\n\
+                     \"no variant of {name} matches {{}}\", value.kind())))",
+                unit_arms = unit_arms
+                    .iter()
+                    .map(|a| format!("{a},"))
+                    .collect::<String>(),
+                newtype_arms = newtype_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(value: &::serde::value::Value)\
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stand-in: generated Deserialize impl failed to parse")
+}
+
+// ---- item parsing --------------------------------------------------------
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attrs(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let kind = expect_any_ident(&tokens, &mut pos);
+    let name = expect_any_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic type `{name}`");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            other => panic!(
+                "serde stand-in derive: unsupported struct body for `{name}`: {other:?}"
+            ),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream(), &name))
+            }
+            other => panic!("serde stand-in derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde stand-in derive: expected struct or enum, found `{other}`"),
+    };
+
+    Item { name, shape }
+}
+
+/// Skips `#[...]` attribute sequences, returning whether any of them was
+/// `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut has_default = false;
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+            if is_serde_attr(g.stream(), "default") {
+                has_default = true;
+            } else if is_serde_attr_any(g.stream()) {
+                panic!(
+                    "serde stand-in derive: unsupported #[serde(...)] attribute: {}",
+                    g.stream()
+                );
+            }
+            *pos += 1;
+        }
+    }
+    has_default
+}
+
+fn is_serde_attr_any(attr: TokenStream) -> bool {
+    let mut iter = attr.into_iter();
+    matches!(iter.next(), Some(TokenTree::Ident(i)) if i.to_string() == "serde")
+}
+
+fn is_serde_attr(attr: TokenStream, arg: &str) -> bool {
+    let mut iter = attr.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) => g.stream().to_string() == arg,
+        _ => false,
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(
+            tokens.get(*pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_any_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("serde stand-in derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let default = skip_attrs(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_any_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!(
+                "serde stand-in derive: expected `:` after field `{name}`, found {other:?}"
+            ),
+        }
+        // Consume the type: commas nested in `<...>` belong to the type, only
+        // an angle-depth-zero comma separates fields. (Commas inside tuples
+        // or fn-pointer args arrive pre-grouped in a `(...)` token.)
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(pos) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_trailing_comma = false;
+    for (i, tok) in tokens.iter().enumerate() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if i + 1 == tokens.len() {
+                    saw_trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = saw_trailing_comma;
+    count
+}
+
+fn parse_variants(stream: TokenStream, enum_name: &str) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        let name = expect_any_ident(&tokens, &mut pos);
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                if count_tuple_fields(g.stream()) != 1 {
+                    panic!(
+                        "serde stand-in derive: enum `{enum_name}` variant `{name}` has \
+                         multiple fields, which is unsupported"
+                    );
+                }
+                pos += 1;
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(_)) => panic!(
+                "serde stand-in derive: enum `{enum_name}` variant `{name}` has named \
+                 fields, which is unsupported"
+            ),
+            _ => VariantKind::Unit,
+        };
+        match tokens.get(pos) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            other => panic!(
+                "serde stand-in derive: unexpected token after variant \
+                 `{enum_name}::{name}`: {other:?}"
+            ),
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
