@@ -42,6 +42,6 @@ mod params;
 mod tape;
 mod tensor;
 
-pub use params::{Adam, GradStore, ParamId, ParamStore, Sgd};
+pub use params::{Adam, GradStore, ParamId, ParamStore, Sgd, SparseRows};
 pub use tape::{log_sigmoid_f, sigmoid_f, Tape, Var};
 pub use tensor::Tensor;

@@ -146,11 +146,72 @@ impl ParamStore {
     }
 }
 
+/// Dense gradient slot: the tensor allocation outlives [`GradStore::clear`]
+/// so hot loops reuse it; `active` distinguishes "no gradient this batch"
+/// from "gradient happens to be zero" (only active slots are visible to the
+/// optimiser, which must not advance step counters for untouched params).
+struct DenseSlot {
+    grad: Tensor,
+    active: bool,
+}
+
+/// Sparse row gradients for one embedding table. Rows are stored in a
+/// directory indexed directly by row number — no hashing on the per-sample
+/// scatter path — with an empty buffer meaning "no gradient". `touched`
+/// lists the live rows in first-touch order, which makes iteration (and
+/// therefore worker-merge and optimiser application) deterministic.
+#[derive(Default)]
+struct SparseSlot {
+    grads: Vec<Vec<f32>>,
+    touched: Vec<u32>,
+}
+
+/// Read-only view of one embedding table's row gradients.
+pub struct SparseRows<'a> {
+    slot: &'a SparseSlot,
+}
+
+impl<'a> SparseRows<'a> {
+    /// The gradient of `row`, if that row was touched.
+    pub fn get(&self, row: u32) -> Option<&'a [f32]> {
+        self.slot
+            .grads
+            .get(row as usize)
+            .filter(|b| !b.is_empty())
+            .map(|b| b.as_slice())
+    }
+
+    /// Iterates `(row, grad)` pairs in first-touch order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &'a [f32])> + '_ {
+        self.slot
+            .touched
+            .iter()
+            .map(move |&r| (r, self.slot.grads[r as usize].as_slice()))
+    }
+
+    /// Number of touched rows.
+    pub fn len(&self) -> usize {
+        self.slot.touched.len()
+    }
+
+    /// True when no rows were touched.
+    pub fn is_empty(&self) -> bool {
+        self.slot.touched.is_empty()
+    }
+}
+
 /// Gradients produced by one (or several merged) backward passes.
+///
+/// Dense gradients (MLP weights, bias rows — a small fixed set per model)
+/// live in a `Vec` indexed directly by [`ParamId`]; only embedding-row
+/// gradients pay for hashing. A store is designed to be long-lived:
+/// [`GradStore::clear`] keeps every allocation (dense tensors, hash-map
+/// capacity, row buffers) so a per-worker scratch store allocates only on
+/// its first batch.
 #[derive(Default)]
 pub struct GradStore {
-    dense: HashMap<ParamId, Tensor>,
-    sparse: HashMap<ParamId, HashMap<u32, Vec<f32>>>,
+    dense: Vec<Option<DenseSlot>>,
+    sparse: Vec<SparseSlot>,
 }
 
 impl GradStore {
@@ -161,82 +222,124 @@ impl GradStore {
 
     /// Accumulates a dense gradient for `id`.
     pub fn add_dense(&mut self, id: ParamId, grad: &Tensor) {
-        match self.dense.get_mut(&id) {
-            Some(t) => t.axpy(1.0, grad),
-            None => {
-                self.dense.insert(id, grad.clone());
+        let i = id.index();
+        if i >= self.dense.len() {
+            self.dense.resize_with(i + 1, || None);
+        }
+        let slot = &mut self.dense[i];
+        match slot {
+            Some(s) if s.active => s.grad.axpy(1.0, grad),
+            Some(s) if s.grad.shape() == grad.shape() => {
+                s.grad.data_mut().copy_from_slice(grad.data());
+                s.active = true;
+            }
+            _ => {
+                *slot = Some(DenseSlot {
+                    grad: grad.clone(),
+                    active: true,
+                })
             }
         }
     }
 
     /// Accumulates a gradient for a single row of an embedding parameter.
     pub fn add_row(&mut self, id: ParamId, row: u32, grad: &[f32]) {
-        let entry = self.sparse.entry(id).or_default();
-        match entry.get_mut(&row) {
-            Some(acc) => {
-                for (a, &g) in acc.iter_mut().zip(grad) {
-                    *a += g;
-                }
-            }
-            None => {
-                entry.insert(row, grad.to_vec());
+        debug_assert!(!grad.is_empty(), "zero-width row gradient");
+        let i = id.index();
+        if i >= self.sparse.len() {
+            self.sparse.resize_with(i + 1, SparseSlot::default);
+        }
+        let slot = &mut self.sparse[i];
+        let r = row as usize;
+        if r >= slot.grads.len() {
+            slot.grads.resize_with(r + 1, Vec::new);
+        }
+        let buf = &mut slot.grads[r];
+        if buf.is_empty() {
+            buf.extend_from_slice(grad);
+            slot.touched.push(row);
+        } else {
+            for (a, &g) in buf.iter_mut().zip(grad) {
+                *a += g;
             }
         }
     }
 
     /// Dense gradient for `id`, if any.
     pub fn dense(&self, id: ParamId) -> Option<&Tensor> {
-        self.dense.get(&id)
+        self.dense
+            .get(id.index())
+            .and_then(|s| s.as_ref())
+            .filter(|s| s.active)
+            .map(|s| &s.grad)
     }
 
     /// Sparse row gradients for `id`, if any.
-    pub fn sparse(&self, id: ParamId) -> Option<&HashMap<u32, Vec<f32>>> {
-        self.sparse.get(&id)
+    pub fn sparse(&self, id: ParamId) -> Option<SparseRows<'_>> {
+        self.sparse
+            .get(id.index())
+            .filter(|s| !s.touched.is_empty())
+            .map(|slot| SparseRows { slot })
     }
 
     /// True when no gradients were recorded.
     pub fn is_empty(&self) -> bool {
-        self.dense.is_empty() && self.sparse.is_empty()
+        self.dense.iter().all(|s| !matches!(s, Some(s) if s.active))
+            && self.sparse.iter().all(|s| s.touched.is_empty())
     }
 
-    /// Merges another gradient store into this one (used to combine
-    /// per-thread partial gradients).
+    /// Forgets all recorded gradients while keeping the allocations (dense
+    /// tensors, the row directory, row buffers) for the next round.
+    pub fn clear(&mut self) {
+        for s in self.dense.iter_mut().flatten() {
+            s.active = false;
+        }
+        for s in &mut self.sparse {
+            let SparseSlot { grads, touched } = s;
+            for &r in touched.iter() {
+                grads[r as usize].clear();
+            }
+            touched.clear();
+        }
+    }
+
+    /// Merges another gradient store into this one by reference (used to
+    /// combine per-worker partial gradients without consuming the worker's
+    /// scratch buffers). Row order follows the other store's first-touch
+    /// order, so merges are deterministic.
+    pub fn merge_from(&mut self, other: &GradStore) {
+        for (i, slot) in other.dense.iter().enumerate() {
+            if let Some(s) = slot {
+                if s.active {
+                    self.add_dense(ParamId(i as u32), &s.grad);
+                }
+            }
+        }
+        for (i, slot) in other.sparse.iter().enumerate() {
+            for &r in &slot.touched {
+                self.add_row(ParamId(i as u32), r, &slot.grads[r as usize]);
+            }
+        }
+    }
+
+    /// Merges another gradient store into this one.
     pub fn merge(&mut self, other: GradStore) {
-        for (id, g) in other.dense {
-            match self.dense.get_mut(&id) {
-                Some(t) => t.axpy(1.0, &g),
-                None => {
-                    self.dense.insert(id, g);
-                }
-            }
-        }
-        for (id, rows) in other.sparse {
-            let entry = self.sparse.entry(id).or_default();
-            for (r, g) in rows {
-                match entry.get_mut(&r) {
-                    Some(acc) => {
-                        for (a, &v) in acc.iter_mut().zip(&g) {
-                            *a += v;
-                        }
-                    }
-                    None => {
-                        entry.insert(r, g);
-                    }
-                }
-            }
-        }
+        self.merge_from(&other);
     }
 
     /// Multiplies every stored gradient by `scale` (e.g. `1/batch`).
     pub fn scale(&mut self, scale: f32) {
-        for g in self.dense.values_mut() {
-            for v in g.data_mut() {
-                *v *= scale;
+        for s in self.dense.iter_mut().flatten() {
+            if s.active {
+                for v in s.grad.data_mut() {
+                    *v *= scale;
+                }
             }
         }
-        for rows in self.sparse.values_mut() {
-            for g in rows.values_mut() {
-                for v in g {
+        for slot in &mut self.sparse {
+            let SparseSlot { grads, touched } = slot;
+            for &r in touched.iter() {
+                for v in &mut grads[r as usize] {
                     *v *= scale;
                 }
             }
@@ -248,14 +351,16 @@ impl GradStore {
     /// per-batch training health signal.
     pub fn l2_norm(&self) -> f64 {
         let mut acc = 0.0f64;
-        for g in self.dense.values() {
-            for &v in g.data() {
-                acc += (v as f64) * (v as f64);
+        for s in self.dense.iter().flatten() {
+            if s.active {
+                for &v in s.grad.data() {
+                    acc += (v as f64) * (v as f64);
+                }
             }
         }
-        for rows in self.sparse.values() {
-            for g in rows.values() {
-                for &v in g {
+        for slot in &self.sparse {
+            for &r in &slot.touched {
+                for &v in &slot.grads[r as usize] {
                     acc += (v as f64) * (v as f64);
                 }
             }
@@ -266,12 +371,14 @@ impl GradStore {
     /// Largest absolute gradient component across all parameters.
     pub fn max_abs(&self) -> f32 {
         let mut m = 0.0f32;
-        for g in self.dense.values() {
-            m = m.max(g.max_abs());
+        for s in self.dense.iter().flatten() {
+            if s.active {
+                m = m.max(s.grad.max_abs());
+            }
         }
-        for rows in self.sparse.values() {
-            for g in rows.values() {
-                for v in g {
+        for slot in &self.sparse {
+            for &r in &slot.touched {
+                for v in &slot.grads[r as usize] {
                     m = m.max(v.abs());
                 }
             }
@@ -345,7 +452,7 @@ impl Adam {
             if let Some(rows_map) = grads.sparse(id) {
                 let m = slot.m.get_or_insert_with(|| Tensor::zeros(rows, cols));
                 let v = slot.v.get_or_insert_with(|| Tensor::zeros(rows, cols));
-                for (&r, g) in rows_map {
+                for (r, g) in rows_map.iter() {
                     let r = r as usize;
                     assert!(r < rows, "sparse grad row {r} out of bounds for {rows}");
                     assert_eq!(g.len(), cols, "sparse grad row width mismatch");
@@ -393,7 +500,7 @@ impl Sgd {
                 slot.value.axpy(-self.lr, g);
             }
             if let Some(rows_map) = grads.sparse(id) {
-                for (&r, g) in rows_map {
+                for (r, g) in rows_map.iter() {
                     let row = slot.value.row_slice_mut(r as usize);
                     for (w, &gv) in row.iter_mut().zip(g) {
                         *w -= self.lr * gv;
@@ -440,7 +547,8 @@ mod tests {
         g.add_row(id, 3, &[1.0, 0.0]);
         g.add_row(id, 3, &[0.5, 1.0]);
         let rows = g.sparse(id).unwrap();
-        assert_eq!(rows[&3], vec![1.5, 1.0]);
+        assert_eq!(rows.get(3).unwrap(), &[1.5, 1.0]);
+        assert_eq!(rows.len(), 1);
         assert_eq!(g.max_abs(), 2.0);
     }
 
@@ -457,8 +565,32 @@ mod tests {
         a.merge(b);
         a.scale(0.5);
         assert_eq!(a.dense(id).unwrap().data(), &[1.0, 1.0]);
-        assert_eq!(a.sparse(id).unwrap()[&0], vec![2.0, 3.0]);
-        assert_eq!(a.sparse(id).unwrap()[&1], vec![2.5, 3.0]);
+        assert_eq!(a.sparse(id).unwrap().get(0).unwrap(), &[2.0, 3.0]);
+        assert_eq!(a.sparse(id).unwrap().get(1).unwrap(), &[2.5, 3.0]);
+    }
+
+    #[test]
+    fn cleared_gradstore_is_invisible_to_adam() {
+        let mut store = ParamStore::new();
+        let id = store.add("emb", Tensor::zeros(2, 2));
+        let adam = Adam::with_lr(0.1);
+        let mut g = GradStore::new();
+        g.add_dense(id, &Tensor::ones(2, 2));
+        g.add_row(id, 1, &[1.0, 1.0]);
+        g.clear();
+        assert!(g.is_empty());
+        assert!(g.dense(id).is_none());
+        assert!(g.sparse(id).is_none());
+        // A cleared store must not advance Adam's per-row step counters —
+        // zeroed-but-visible grads would corrupt bias correction.
+        adam.step(&mut store, &g);
+        assert_eq!(store.slots[0].steps, vec![0, 0]);
+        // Accumulation restarts from zero on the reused buffers.
+        g.add_dense(id, &Tensor::ones(2, 2));
+        g.add_row(id, 0, &[2.0, 3.0]);
+        assert_eq!(g.dense(id).unwrap().data(), &[1.0; 4]);
+        assert_eq!(g.sparse(id).unwrap().get(0).unwrap(), &[2.0, 3.0]);
+        assert!(g.sparse(id).unwrap().get(1).is_none());
     }
 
     #[test]

@@ -24,13 +24,16 @@ pub struct Var(usize);
 enum Op {
     Constant,
     Param(ParamId),
-    Gather { param: ParamId, indices: Vec<u32> },
+    Gather {
+        param: ParamId,
+        indices: Vec<u32>,
+    },
     Add(Var, Var),
     Sub(Var, Var),
     Mul(Var, Var),
     Neg(Var),
     Scale(Var, f32),
-    AddScalar(Var, #[allow(dead_code)] f32),
+    AddScalar(Var),
     MatMul(Var, Var),
     MatMulTN(Var, Var),
     Relu(Var),
@@ -50,6 +53,24 @@ enum Op {
     MeanAll(Var),
     ConcatCols(Var, Var),
     RepeatRows(Var, usize),
+    /// Fused `sum_axis1(abs(a - b))` (`b` may be a broadcast row).
+    L1Rows(Var, Var),
+    /// Fused `mean_all(log_sigmoid(sign * a + offset))` with `sign = ±1`.
+    MeanLogSigmoid(Var, f32, f32),
+    /// Fused affine layer `x · w + b` with `b` a `1 x m` bias row.
+    Linear(Var, Var, Var),
+    /// Fused `sum_axis0(a * values)`: the attention combine of Eq. (13),
+    /// (21), (22) with the softmax weights `a` as a separate (stored) node.
+    WeightedSumAxis0(Var, Var),
+    /// Fused point-to-box distance `D_out + w · D_in` (Eq. (7)–(9)) between
+    /// `n x d` points and a `1 x d` box given as center and raw offset.
+    DPbRows(Var, Var, Var, f32),
+    /// Fused `concat_cols(a, repeat_rows(row, n))` with `row` a `1 x d` row.
+    ConcatColsRow(Var, Var),
+    /// Fused `linear(concat_cols_row(a, row), w, b)` computed as
+    /// `a · W_top + (row · W_bot + b)` — the concatenated input is never
+    /// materialised and the broadcast row's product is computed once.
+    ConcatRowLinear(Var, Var, Var, Var),
 }
 
 struct Node {
@@ -58,9 +79,40 @@ struct Node {
 }
 
 /// A recorded computation graph.
+///
+/// The tape owns a free-list of `f32` buffers: [`Tape::reset`] recycles every
+/// node's tensor storage (and gather index lists) into it, and all forward
+/// ops and backward temporaries draw from it, so a tape reused across the
+/// samples of a batch performs no heap allocation in steady state.
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    free: Vec<Vec<f32>>,
+    free_idx: Vec<Vec<u32>>,
+    grad_slots: Vec<Option<Tensor>>,
+    param_memo: Vec<(ParamId, Var)>,
+}
+
+/// Pops a cleared buffer from the free-list (or a fresh one).
+fn take_buf(free: &mut Vec<Vec<f32>>) -> Vec<f32> {
+    let mut b = free.pop().unwrap_or_default();
+    b.clear();
+    b
+}
+
+/// A pooled `rows x cols` tensor filled with `fill`.
+fn pooled_full(free: &mut Vec<Vec<f32>>, rows: usize, cols: usize, fill: f32) -> Tensor {
+    let mut b = take_buf(free);
+    b.resize(rows * cols, fill);
+    Tensor::from_vec(rows, cols, b)
+}
+
+/// A pooled copy of `t`.
+fn pooled_copy(free: &mut Vec<Vec<f32>>, t: &Tensor) -> Tensor {
+    let mut b = take_buf(free);
+    b.extend_from_slice(t.data());
+    let (r, c) = t.shape();
+    Tensor::from_vec(r, c, b)
 }
 
 /// Numerically stable `sigmoid`.
@@ -88,6 +140,19 @@ impl Tape {
         Self::default()
     }
 
+    /// Clears all recorded nodes, recycling every node's tensor buffer (and
+    /// gather index list) into the tape's free-list, so a tape reused across
+    /// samples stops paying per-sample allocation entirely.
+    pub fn reset(&mut self) {
+        self.param_memo.clear();
+        for n in self.nodes.drain(..) {
+            self.free.push(n.value.into_data());
+            if let Op::Gather { indices, .. } = n.op {
+                self.free_idx.push(indices);
+            }
+        }
+    }
+
     /// Number of recorded nodes.
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -113,9 +178,33 @@ impl Tape {
         self.push(value, Op::Constant)
     }
 
+    /// Records a constant copied from a borrowed tensor (pooled — lets hot
+    /// inference paths insert cached values without a fresh allocation).
+    pub fn constant_ref(&mut self, t: &Tensor) -> Var {
+        let v = pooled_copy(&mut self.free, t);
+        self.push(v, Op::Constant)
+    }
+
+    /// Records a `rows x cols` all-zero constant from the buffer pool.
+    pub fn zeros(&mut self, rows: usize, cols: usize) -> Var {
+        let v = pooled_full(&mut self.free, rows, cols, 0.0);
+        self.push(v, Op::Constant)
+    }
+
     /// Records a whole dense parameter (e.g. an MLP weight matrix).
+    ///
+    /// Repeated calls with the same id on one tape return the same node (the
+    /// parameter cannot change mid-graph), so e.g. an MLP applied once per
+    /// history item copies its weight matrices once per sample, not once per
+    /// use. Gradients from every use accumulate into the shared node.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
-        self.push(store.value(id).clone(), Op::Param(id))
+        if let Some(&(_, var)) = self.param_memo.iter().find(|&&(pid, _)| pid == id) {
+            return var;
+        }
+        let v = pooled_copy(&mut self.free, store.value(id));
+        let var = self.push(v, Op::Param(id));
+        self.param_memo.push((id, var));
+        var
     }
 
     /// Records a gather of `indices` rows from an embedding table.
@@ -124,15 +213,19 @@ impl Tape {
     pub fn gather(&mut self, store: &ParamStore, id: ParamId, indices: &[u32]) -> Var {
         let table = store.value(id);
         let cols = table.cols();
-        let mut data = Vec::with_capacity(indices.len() * cols);
+        let mut data = take_buf(&mut self.free);
+        data.reserve(indices.len() * cols);
         for &i in indices {
             data.extend_from_slice(table.row_slice(i as usize));
         }
+        let mut idx = self.free_idx.pop().unwrap_or_default();
+        idx.clear();
+        idx.extend_from_slice(indices);
         self.push(
             Tensor::from_vec(indices.len(), cols, data),
             Op::Gather {
                 param: id,
-                indices: indices.to_vec(),
+                indices: idx,
             },
         )
     }
@@ -150,9 +243,10 @@ impl Tape {
 
     fn binary_elementwise(&mut self, a: Var, b: Var, f: impl Fn(f32, f32) -> f32, op: Op) -> Var {
         let (rows, cols) = self.broadcast_shapes(a, b, "elementwise op");
+        let mut data = take_buf(&mut self.free);
+        data.reserve(rows * cols);
         let av = &self.nodes[a.0].value;
         let bv = &self.nodes[b.0].value;
-        let mut data = Vec::with_capacity(rows * cols);
         for r in 0..rows {
             let ra = av.row_slice(if av.rows() == 1 { 0 } else { r });
             let rb = bv.row_slice(if bv.rows() == 1 { 0 } else { r });
@@ -190,8 +284,11 @@ impl Tape {
     }
 
     fn unary(&mut self, a: Var, f: impl Fn(f32) -> f32, op: Op) -> Var {
-        let v = self.nodes[a.0].value.clone().map(f);
-        self.push(v, op)
+        let mut data = take_buf(&mut self.free);
+        let av = &self.nodes[a.0].value;
+        let (rows, cols) = av.shape();
+        data.extend(av.data().iter().map(|&x| f(x)));
+        self.push(Tensor::from_vec(rows, cols, data), op)
     }
 
     /// Elementwise negation.
@@ -204,9 +301,9 @@ impl Tape {
         self.unary(a, |x| x * s, Op::Scale(a, s))
     }
 
-    /// Adds a scalar constant.
+    /// Adds a scalar constant (gradient is pass-through).
     pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
-        self.unary(a, |x| x + s, Op::AddScalar(a, s))
+        self.unary(a, |x| x + s, Op::AddScalar(a))
     }
 
     /// Rectified linear unit — the paper's `σ` in Eq. (1), (5).
@@ -241,24 +338,32 @@ impl Tape {
 
     /// Matrix product `a (n x k) * b (k x m)`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        let mut data = take_buf(&mut self.free);
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[b.0].value;
+        av.matmul_into(bv, &mut data);
+        let v = Tensor::from_vec(av.rows(), bv.cols(), data);
         self.push(v, Op::MatMul(a, b))
     }
 
     /// Transposed matrix product `a^T (p x k)^T * b (k x m) -> p x m` where
     /// `a` is `k x p`. Saves materialising the transpose as a tape node.
     pub fn matmul_tn(&mut self, a: Var, b: Var) -> Var {
-        let at = self.nodes[a.0].value.transpose();
-        let v = at.matmul(&self.nodes[b.0].value);
+        let mut data = take_buf(&mut self.free);
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[b.0].value;
+        av.matmul_tn_into(bv, &mut data);
+        let v = Tensor::from_vec(av.cols(), bv.cols(), data);
         self.push(v, Op::MatMulTN(a, b))
     }
 
     /// Column-wise minimum: `n x d -> 1 x d`. The `Min` of Eq. (15), (17).
     pub fn min_axis0(&mut self, a: Var) -> Var {
+        let mut out = take_buf(&mut self.free);
         let av = &self.nodes[a.0].value;
         let (rows, cols) = av.shape();
         assert!(rows > 0, "min_axis0 on empty tensor");
-        let mut out = av.row_slice(0).to_vec();
+        out.extend_from_slice(av.row_slice(0));
         for r in 1..rows {
             for (o, &v) in out.iter_mut().zip(av.row_slice(r)) {
                 if v < *o {
@@ -271,9 +376,10 @@ impl Tape {
 
     /// Column-wise sum: `n x d -> 1 x d`. The `Σ_i` of Eq. (13), (21), (22).
     pub fn sum_axis0(&mut self, a: Var) -> Var {
+        let mut out = take_buf(&mut self.free);
         let av = &self.nodes[a.0].value;
         let (rows, cols) = av.shape();
-        let mut out = vec![0.0f32; cols];
+        out.resize(cols, 0.0);
         for r in 0..rows {
             for (o, &v) in out.iter_mut().zip(av.row_slice(r)) {
                 *o += v;
@@ -284,20 +390,29 @@ impl Tape {
 
     /// Column-wise mean: `n x d -> 1 x d`. The `1/n Σ` of Eq. (16), (27), (28).
     pub fn mean_axis0(&mut self, a: Var) -> Var {
-        let rows = self.nodes[a.0].value.rows();
+        let mut out = take_buf(&mut self.free);
+        let av = &self.nodes[a.0].value;
+        let (rows, cols) = av.shape();
         assert!(rows > 0, "mean_axis0 on empty tensor");
-        let s = self.sum_axis0(a);
-        // Re-record as a dedicated op so backward is a single node.
-        let v = self.nodes[s.0].value.clone().map(|x| x / rows as f32);
-        self.nodes.pop();
-        self.push(v, Op::MeanAxis0(a))
+        out.resize(cols, 0.0);
+        for r in 0..rows {
+            for (o, &v) in out.iter_mut().zip(av.row_slice(r)) {
+                *o += v;
+            }
+        }
+        let n = rows as f32;
+        for o in &mut out {
+            *o /= n;
+        }
+        self.push(Tensor::from_vec(1, cols, out), Op::MeanAxis0(a))
     }
 
     /// Row-wise sum: `n x d -> n x 1` (per-sample distance totals).
     pub fn sum_axis1(&mut self, a: Var) -> Var {
+        let mut out = take_buf(&mut self.free);
         let av = &self.nodes[a.0].value;
         let (rows, _cols) = av.shape();
-        let mut out = Vec::with_capacity(rows);
+        out.reserve(rows);
         for r in 0..rows {
             out.push(av.row_slice(r).iter().sum());
         }
@@ -308,10 +423,11 @@ impl Tape {
     /// sums to 1. This is the attention normalisation of Eq. (14), (23), (24)
     /// (one attention weight per box per dimension).
     pub fn softmax_axis0(&mut self, a: Var) -> Var {
+        let mut out = take_buf(&mut self.free);
         let av = &self.nodes[a.0].value;
         let (rows, cols) = av.shape();
         assert!(rows > 0, "softmax_axis0 on empty tensor");
-        let mut out = vec![0.0f32; rows * cols];
+        out.resize(rows * cols, 0.0);
         for c in 0..cols {
             let mut mx = f32::NEG_INFINITY;
             for r in 0..rows {
@@ -333,24 +449,60 @@ impl Tape {
     /// Sum of all elements: `n x d -> 1 x 1`.
     pub fn sum_all(&mut self, a: Var) -> Var {
         let s = self.nodes[a.0].value.sum();
-        self.push(Tensor::scalar(s), Op::SumAll(a))
+        let v = pooled_full(&mut self.free, 1, 1, s);
+        self.push(v, Op::SumAll(a))
     }
 
     /// Mean of all elements: `n x d -> 1 x 1`.
     pub fn mean_all(&mut self, a: Var) -> Var {
-        let v = &self.nodes[a.0].value;
-        let s = v.sum() / v.len() as f32;
-        self.push(Tensor::scalar(s), Op::MeanAll(a))
+        let t = &self.nodes[a.0].value;
+        let s = t.sum() / t.len() as f32;
+        let v = pooled_full(&mut self.free, 1, 1, s);
+        self.push(v, Op::MeanAll(a))
+    }
+
+    /// Fused `sum_axis1(abs(a - b))`: per-row L1 distance, with `b` (or `a`)
+    /// allowed to be a broadcast row. One node instead of three on the
+    /// per-sample loss path; identical values and gradients to the chain.
+    pub fn l1_rows(&mut self, a: Var, b: Var) -> Var {
+        let (rows, _cols) = self.broadcast_shapes(a, b, "l1_rows");
+        let mut out = take_buf(&mut self.free);
+        out.reserve(rows);
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[b.0].value;
+        for r in 0..rows {
+            let ra = av.row_slice(if av.rows() == 1 { 0 } else { r });
+            let rb = bv.row_slice(if bv.rows() == 1 { 0 } else { r });
+            out.push(ra.iter().zip(rb).map(|(&x, &y)| (x - y).abs()).sum());
+        }
+        self.push(Tensor::from_vec(rows, 1, out), Op::L1Rows(a, b))
+    }
+
+    /// Fused `mean_all(log_sigmoid(sign * a + offset))` — the margin-loss
+    /// building block of Eq. (12) as one node. `sign` must be `±1` so the
+    /// backward sign flip is exact.
+    pub fn mean_log_sigmoid_affine(&mut self, a: Var, sign: f32, offset: f32) -> Var {
+        assert!(sign == 1.0 || sign == -1.0, "sign must be ±1");
+        let av = &self.nodes[a.0].value;
+        let n = av.len();
+        let total: f32 = av
+            .data()
+            .iter()
+            .map(|&x| log_sigmoid_f(sign * x + offset))
+            .sum();
+        let v = pooled_full(&mut self.free, 1, 1, total / n as f32);
+        self.push(v, Op::MeanLogSigmoid(a, sign, offset))
     }
 
     /// Horizontal concatenation `[a | b]` of two tensors with equal rows.
     /// Used to feed `(Cen(b_i), u)` pairs to the user-bias MLPs (Eq. (23), (24)).
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let mut data = take_buf(&mut self.free);
         let av = &self.nodes[a.0].value;
         let bv = &self.nodes[b.0].value;
         assert_eq!(av.rows(), bv.rows(), "concat_cols row mismatch");
         let rows = av.rows();
-        let mut data = Vec::with_capacity(rows * (av.cols() + bv.cols()));
+        data.reserve(rows * (av.cols() + bv.cols()));
         for r in 0..rows {
             data.extend_from_slice(av.row_slice(r));
             data.extend_from_slice(bv.row_slice(r));
@@ -363,108 +515,300 @@ impl Tape {
 
     /// Repeats a `1 x d` row `n` times into an `n x d` tensor.
     pub fn repeat_rows(&mut self, a: Var, n: usize) -> Var {
+        let mut data = take_buf(&mut self.free);
         let av = &self.nodes[a.0].value;
         assert_eq!(av.rows(), 1, "repeat_rows requires a 1 x d input");
         let row = av.row_slice(0);
-        let mut data = Vec::with_capacity(n * row.len());
+        data.reserve(n * row.len());
         for _ in 0..n {
             data.extend_from_slice(row);
         }
         self.push(Tensor::from_vec(n, row.len(), data), Op::RepeatRows(a, n))
     }
 
-    /// Affine layer `x * w + b` with `b` a `1 x d` bias row.
+    /// Affine layer `x * w + b` with `b` a `1 x d` bias row, fused into one
+    /// node (the matmul + broadcast-add pair of every MLP layer). Values and
+    /// gradients are identical to the two-node chain.
     pub fn linear(&mut self, x: Var, w: Var, b: Var) -> Var {
-        let xw = self.matmul(x, w);
-        self.add(xw, b)
+        let mut data = take_buf(&mut self.free);
+        let xv = &self.nodes[x.0].value;
+        let wv = &self.nodes[w.0].value;
+        let bv = &self.nodes[b.0].value;
+        assert_eq!(bv.rows(), 1, "linear bias must be a 1 x m row");
+        assert_eq!(bv.cols(), wv.cols(), "linear bias width mismatch");
+        xv.matmul_into(wv, &mut data);
+        let (rows, cols) = (xv.rows(), wv.cols());
+        let brow = bv.row_slice(0);
+        for r in 0..rows {
+            for (o, &bj) in data[r * cols..(r + 1) * cols].iter_mut().zip(brow) {
+                *o += bj;
+            }
+        }
+        self.push(Tensor::from_vec(rows, cols, data), Op::Linear(x, w, b))
+    }
+
+    /// Fused attention combine `sum_axis0(softmax_axis0(scores) * values)`:
+    /// `n x d` scores and values to a `1 x d` row. Two nodes (the stored
+    /// softmax plus a fused multiply-reduce) instead of the softmax → mul →
+    /// sum chain of Eq. (13), (21), (22), with identical values and
+    /// gradients — the backward pass reuses the stored softmax instead of
+    /// re-exponentiating.
+    pub fn attn_combine(&mut self, scores: Var, values: Var) -> Var {
+        let a = self.softmax_axis0(scores);
+        self.weighted_sum_axis0(a, values)
+    }
+
+    /// Fused `sum_axis0(a * values)` for equal-shape `n x d` inputs.
+    pub fn weighted_sum_axis0(&mut self, a: Var, values: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let vv = &self.nodes[values.0].value;
+        assert_eq!(av.shape(), vv.shape(), "weighted_sum_axis0 shape mismatch");
+        let (rows, cols) = av.shape();
+        assert!(rows > 0, "weighted_sum_axis0 on empty tensor");
+        let mut out = take_buf(&mut self.free);
+        out.resize(cols, 0.0);
+        for r in 0..rows {
+            for ((o, &ar), &vr) in out.iter_mut().zip(av.row_slice(r)).zip(vv.row_slice(r)) {
+                *o += ar * vr;
+            }
+        }
+        self.push(
+            Tensor::from_vec(1, cols, out),
+            Op::WeightedSumAxis0(a, values),
+        )
+    }
+
+    /// Fused point-to-box distance (Eq. (7)–(9)) between `n x d` points and a
+    /// `1 x d` box (`cen`, raw `off`): `sum_j relu(v - hi) + relu(lo - v) +
+    /// w |cen - clamp(v, lo, hi)|` per row, where `hi/lo = cen ± relu(off)`.
+    /// One node instead of the fourteen-op chain, identical values/gradients.
+    pub fn d_pb_rows(&mut self, points: Var, cen: Var, off: Var, inside_weight: f32) -> Var {
+        let (rows, _) = self.broadcast_shapes(points, cen, "d_pb_rows");
+        let pv = &self.nodes[points.0].value;
+        let cv = &self.nodes[cen.0].value;
+        let ov = &self.nodes[off.0].value;
+        assert_eq!(cv.shape(), ov.shape(), "d_pb_rows box shape mismatch");
+        let cols = pv.cols();
+        let mut out = take_buf(&mut self.free);
+        out.reserve(rows);
+        for r in 0..rows {
+            let prow = pv.row_slice(if pv.rows() == 1 { 0 } else { r });
+            let crow = cv.row_slice(if cv.rows() == 1 { 0 } else { r });
+            let orow = ov.row_slice(if ov.rows() == 1 { 0 } else { r });
+            let mut acc = 0.0f32;
+            for c in 0..cols {
+                let half = orow[c].max(0.0);
+                let hi = crow[c] + half;
+                let lo = crow[c] - half;
+                let p = prow[c];
+                let over = (p - hi).max(0.0);
+                let under = (lo - p).max(0.0);
+                let clamped = if p >= lo { p } else { lo };
+                let clamped = if clamped <= hi { clamped } else { hi };
+                let inside = (crow[c] - clamped).abs();
+                acc += (over + under) + inside_weight * inside;
+            }
+            out.push(acc);
+        }
+        self.push(
+            Tensor::from_vec(rows, 1, out),
+            Op::DPbRows(points, cen, off, inside_weight),
+        )
+    }
+
+    /// Fused `concat_cols(a, repeat_rows(row, n))`: appends the same `1 x d`
+    /// row to every row of `a` without materialising the repeated block.
+    pub fn concat_cols_row(&mut self, a: Var, row: Var) -> Var {
+        let mut data = take_buf(&mut self.free);
+        let av = &self.nodes[a.0].value;
+        let rv = &self.nodes[row.0].value;
+        assert_eq!(rv.rows(), 1, "concat_cols_row requires a 1 x d row");
+        let rows = av.rows();
+        let rrow = rv.row_slice(0);
+        data.reserve(rows * (av.cols() + rrow.len()));
+        for r in 0..rows {
+            data.extend_from_slice(av.row_slice(r));
+            data.extend_from_slice(rrow);
+        }
+        self.push(
+            Tensor::from_vec(rows, av.cols() + rrow.len(), data),
+            Op::ConcatColsRow(a, row),
+        )
+    }
+
+    /// Fused `linear(concat_cols_row(a, row), w, b)`: with `w` split into its
+    /// first `ca` rows (`W_top`) and remaining `cr` rows (`W_bot`), computes
+    /// `a · W_top + (row · W_bot + b)` — the shared `row · W_bot + b` term is
+    /// evaluated once instead of per row, and the concatenated input is never
+    /// materialised. The fold order differs from the unfused chain (the
+    /// broadcast half plus bias accumulates first), so values agree to f32
+    /// rounding rather than bit-for-bit, but the op is deterministic for a
+    /// given input regardless of thread count.
+    pub fn concat_row_linear(&mut self, a: Var, row: Var, w: Var, b: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let rv = &self.nodes[row.0].value;
+        let wv = &self.nodes[w.0].value;
+        let bv = &self.nodes[b.0].value;
+        assert_eq!(rv.rows(), 1, "concat_row_linear requires a 1 x d row");
+        assert_eq!(bv.rows(), 1, "concat_row_linear bias must be a row");
+        let (n, ca) = av.shape();
+        let cr = rv.cols();
+        let m = wv.cols();
+        assert_eq!(
+            wv.rows(),
+            ca + cr,
+            "concat_row_linear weight rows must equal a.cols + row.cols"
+        );
+        assert_eq!(bv.cols(), m, "concat_row_linear bias width mismatch");
+        // Shared base for every output row: row · W_bot + b.
+        let mut base = take_buf(&mut self.free);
+        base.resize(m, 0.0);
+        for (p, &rval) in rv.row_slice(0).iter().enumerate() {
+            if rval == 0.0 {
+                continue;
+            }
+            for (o, &wj) in base.iter_mut().zip(wv.row_slice(ca + p)) {
+                *o += rval * wj;
+            }
+        }
+        for (o, &bj) in base.iter_mut().zip(bv.row_slice(0)) {
+            *o += bj;
+        }
+        let mut data = take_buf(&mut self.free);
+        data.reserve(n * m);
+        for r in 0..n {
+            let start = data.len();
+            data.extend_from_slice(&base);
+            for (c, &aval) in av.row_slice(r).iter().enumerate() {
+                if aval == 0.0 {
+                    continue;
+                }
+                for (o, &wj) in data[start..].iter_mut().zip(wv.row_slice(c)) {
+                    *o += aval * wj;
+                }
+            }
+        }
+        self.free.push(base);
+        self.push(
+            Tensor::from_vec(n, m, data),
+            Op::ConcatRowLinear(a, row, w, b),
+        )
     }
 
     /// Runs reverse-mode differentiation from scalar output `out` (must be
     /// `1 x 1`) and returns the accumulated parameter gradients.
     pub fn backward(&mut self, out: Var) -> GradStore {
+        let mut store = GradStore::new();
+        self.backward_into(out, &mut store);
+        store
+    }
+
+    /// Like [`Tape::backward`], but accumulates into an existing store so a
+    /// batch of samples can share one scratch `GradStore` (and its
+    /// allocations) instead of building and merging a fresh store per sample.
+    ///
+    /// Every node-gradient temporary is drawn from — and returned to — the
+    /// tape's buffer pool, so repeated backward passes over a reused tape do
+    /// not allocate.
+    pub fn backward_into(&mut self, out: Var, store: &mut GradStore) {
         assert_eq!(
             self.nodes[out.0].value.shape(),
             (1, 1),
             "backward requires a scalar output"
         );
-        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
-        grads[out.0] = Some(Tensor::scalar(1.0));
-        let mut store = GradStore::new();
+        let Tape {
+            nodes,
+            free,
+            grad_slots,
+            ..
+        } = self;
+        // Reset the reusable node-gradient scratch, recycling any leftovers.
+        for s in grad_slots.iter_mut() {
+            if let Some(t) = s.take() {
+                free.push(t.into_data());
+            }
+        }
+        if grad_slots.len() < nodes.len() {
+            grad_slots.resize_with(nodes.len(), || None);
+        } else {
+            grad_slots.truncate(nodes.len());
+        }
+        grad_slots[out.0] = Some(pooled_full(free, 1, 1, 1.0));
 
         for idx in (0..=out.0).rev() {
-            let g = match grads[idx].take() {
+            let g = match grad_slots[idx].take() {
                 Some(g) => g,
                 None => continue,
             };
-            // Split borrows: read node, write into `grads` for parents.
-            let op = self.nodes[idx].op.clone();
-            match op {
-                Op::Constant => {}
-                Op::Param(id) => store.add_dense(id, &g),
+            match &nodes[idx].op {
+                &Op::Constant => {}
+                Op::Param(id) => store.add_dense(*id, &g),
                 Op::Gather { param, indices } => {
                     for (r, &i) in indices.iter().enumerate() {
-                        store.add_row(param, i, g.row_slice(r));
+                        store.add_row(*param, i, g.row_slice(r));
                     }
                 }
-                Op::Add(a, b) => {
-                    self.accumulate(&mut grads, a, reduce_to(&g, self.shape_of(a)));
-                    self.accumulate(&mut grads, b, reduce_to(&g, self.shape_of(b)));
+                &Op::Add(a, b) => {
+                    accum_scaled(nodes, grad_slots, free, a, 1.0, &g);
+                    accum_scaled(nodes, grad_slots, free, b, 1.0, &g);
                 }
-                Op::Sub(a, b) => {
-                    self.accumulate(&mut grads, a, reduce_to(&g, self.shape_of(a)));
-                    let neg = g.clone().map(|x| -x);
-                    self.accumulate(&mut grads, b, reduce_to(&neg, self.shape_of(b)));
+                &Op::Sub(a, b) => {
+                    accum_scaled(nodes, grad_slots, free, a, 1.0, &g);
+                    accum_scaled(nodes, grad_slots, free, b, -1.0, &g);
                 }
-                Op::Mul(a, b) => {
-                    let ga = mul_broadcast(&g, &self.nodes[b.0].value);
-                    let gb = mul_broadcast(&g, &self.nodes[a.0].value);
-                    self.accumulate(&mut grads, a, reduce_to(&ga, self.shape_of(a)));
-                    self.accumulate(&mut grads, b, reduce_to(&gb, self.shape_of(b)));
+                &Op::Mul(a, b) => {
+                    let ga = mul_broadcast(free, &g, &nodes[b.0].value);
+                    accum_reduced(nodes, grad_slots, free, a, ga);
+                    let gb = mul_broadcast(free, &g, &nodes[a.0].value);
+                    accum_reduced(nodes, grad_slots, free, b, gb);
                 }
-                Op::Neg(a) => {
-                    self.accumulate(&mut grads, a, g.map(|x| -x));
+                &Op::Neg(a) => accum_scaled(nodes, grad_slots, free, a, -1.0, &g),
+                &Op::Scale(a, s) => accum_scaled(nodes, grad_slots, free, a, s, &g),
+                &Op::AddScalar(a) => accum_scaled(nodes, grad_slots, free, a, 1.0, &g),
+                &Op::MatMul(a, b) => {
+                    let (ar, ac) = nodes[a.0].value.shape();
+                    let mut da = take_buf(free);
+                    g.matmul_nt_into(&nodes[b.0].value, &mut da);
+                    accum(grad_slots, free, a, Tensor::from_vec(ar, ac, da));
+                    let mut db = take_buf(free);
+                    nodes[a.0].value.matmul_tn_into(&g, &mut db);
+                    let (br, bc) = nodes[b.0].value.shape();
+                    accum(grad_slots, free, b, Tensor::from_vec(br, bc, db));
                 }
-                Op::Scale(a, s) => {
-                    self.accumulate(&mut grads, a, g.map(|x| x * s));
-                }
-                Op::AddScalar(a, _) => {
-                    self.accumulate(&mut grads, a, g);
-                }
-                Op::MatMul(a, b) => {
-                    let ga = g.matmul(&self.nodes[b.0].value.transpose());
-                    let gb = self.nodes[a.0].value.transpose().matmul(&g);
-                    self.accumulate(&mut grads, a, ga);
-                    self.accumulate(&mut grads, b, gb);
-                }
-                Op::MatMulTN(a, b) => {
+                &Op::MatMulTN(a, b) => {
                     // out = a^T b; da = b g^T, db = a g.
-                    let ga = self.nodes[b.0].value.matmul(&g.transpose());
-                    let gb = self.nodes[a.0].value.matmul(&g);
-                    self.accumulate(&mut grads, a, ga);
-                    self.accumulate(&mut grads, b, gb);
+                    let (ar, ac) = nodes[a.0].value.shape();
+                    let mut da = take_buf(free);
+                    nodes[b.0].value.matmul_nt_into(&g, &mut da);
+                    accum(grad_slots, free, a, Tensor::from_vec(ar, ac, da));
+                    let mut db = take_buf(free);
+                    nodes[a.0].value.matmul_into(&g, &mut db);
+                    let (br, bc) = nodes[b.0].value.shape();
+                    accum(grad_slots, free, b, Tensor::from_vec(br, bc, db));
                 }
-                Op::Relu(a) => {
-                    let ga = elementwise_mask(&g, &self.nodes[a.0].value, |x| x > 0.0);
-                    self.accumulate(&mut grads, a, ga);
+                &Op::Relu(a) => {
+                    let x = &nodes[a.0].value;
+                    let ga = zip_map(free, &g, x, |gv, xv| if xv > 0.0 { gv } else { 0.0 });
+                    accum(grad_slots, free, a, ga);
                 }
-                Op::Sigmoid(a) => {
-                    let y = &self.nodes[idx].value;
-                    let ga = zip_map(&g, y, |gv, yv| gv * yv * (1.0 - yv));
-                    self.accumulate(&mut grads, a, ga);
+                &Op::Sigmoid(a) => {
+                    let y = &nodes[idx].value;
+                    let ga = zip_map(free, &g, y, |gv, yv| gv * yv * (1.0 - yv));
+                    accum(grad_slots, free, a, ga);
                 }
-                Op::LogSigmoid(a) => {
-                    let x = &self.nodes[a.0].value;
-                    let ga = zip_map(&g, x, |gv, xv| gv * sigmoid_f(-xv));
-                    self.accumulate(&mut grads, a, ga);
+                &Op::LogSigmoid(a) => {
+                    let x = &nodes[a.0].value;
+                    let ga = zip_map(free, &g, x, |gv, xv| gv * sigmoid_f(-xv));
+                    accum(grad_slots, free, a, ga);
                 }
-                Op::Tanh(a) => {
-                    let y = &self.nodes[idx].value;
-                    let ga = zip_map(&g, y, |gv, yv| gv * (1.0 - yv * yv));
-                    self.accumulate(&mut grads, a, ga);
+                &Op::Tanh(a) => {
+                    let y = &nodes[idx].value;
+                    let ga = zip_map(free, &g, y, |gv, yv| gv * (1.0 - yv * yv));
+                    accum(grad_slots, free, a, ga);
                 }
-                Op::Abs(a) => {
-                    let x = &self.nodes[a.0].value;
-                    let ga = zip_map(&g, x, |gv, xv| {
+                &Op::Abs(a) => {
+                    let x = &nodes[a.0].value;
+                    let ga = zip_map(free, &g, x, |gv, xv| {
                         if xv > 0.0 {
                             gv
                         } else if xv < 0.0 {
@@ -473,29 +817,29 @@ impl Tape {
                             0.0
                         }
                     });
-                    self.accumulate(&mut grads, a, ga);
+                    accum(grad_slots, free, a, ga);
                 }
-                Op::Square(a) => {
-                    let x = &self.nodes[a.0].value;
-                    let ga = zip_map(&g, x, |gv, xv| 2.0 * gv * xv);
-                    self.accumulate(&mut grads, a, ga);
+                &Op::Square(a) => {
+                    let x = &nodes[a.0].value;
+                    let ga = zip_map(free, &g, x, |gv, xv| 2.0 * gv * xv);
+                    accum(grad_slots, free, a, ga);
                 }
-                Op::Minimum(a, b) => {
+                &Op::Minimum(a, b) => {
                     let (ga, gb) =
-                        select_grads(&g, &self.nodes[a.0].value, &self.nodes[b.0].value, true);
-                    self.accumulate(&mut grads, a, reduce_to(&ga, self.shape_of(a)));
-                    self.accumulate(&mut grads, b, reduce_to(&gb, self.shape_of(b)));
+                        select_grads(free, &g, &nodes[a.0].value, &nodes[b.0].value, true);
+                    accum_reduced(nodes, grad_slots, free, a, ga);
+                    accum_reduced(nodes, grad_slots, free, b, gb);
                 }
-                Op::Maximum(a, b) => {
+                &Op::Maximum(a, b) => {
                     let (ga, gb) =
-                        select_grads(&g, &self.nodes[a.0].value, &self.nodes[b.0].value, false);
-                    self.accumulate(&mut grads, a, reduce_to(&ga, self.shape_of(a)));
-                    self.accumulate(&mut grads, b, reduce_to(&gb, self.shape_of(b)));
+                        select_grads(free, &g, &nodes[a.0].value, &nodes[b.0].value, false);
+                    accum_reduced(nodes, grad_slots, free, a, ga);
+                    accum_reduced(nodes, grad_slots, free, b, gb);
                 }
-                Op::MinAxis0(a) => {
-                    let x = &self.nodes[a.0].value;
+                &Op::MinAxis0(a) => {
+                    let x = &nodes[a.0].value;
                     let (rows, cols) = x.shape();
-                    let mut ga = Tensor::zeros(rows, cols);
+                    let mut ga = pooled_full(free, rows, cols, 0.0);
                     for c in 0..cols {
                         let mut best_r = 0;
                         let mut best = x.at(0, c);
@@ -507,42 +851,40 @@ impl Tape {
                         }
                         *ga.at_mut(best_r, c) = g.at(0, c);
                     }
-                    self.accumulate(&mut grads, a, ga);
+                    accum(grad_slots, free, a, ga);
                 }
-                Op::SumAxis0(a) => {
-                    let (rows, cols) = self.shape_of(a);
-                    let mut ga = Tensor::zeros(rows, cols);
-                    for r in 0..rows {
-                        ga.row_slice_mut(r).copy_from_slice(g.row_slice(0));
+                &Op::SumAxis0(a) => {
+                    let (rows, cols) = shape_at(nodes, a);
+                    let mut da = take_buf(free);
+                    for _ in 0..rows {
+                        da.extend_from_slice(g.row_slice(0));
                     }
-                    self.accumulate(&mut grads, a, ga);
+                    accum(grad_slots, free, a, Tensor::from_vec(rows, cols, da));
                 }
-                Op::MeanAxis0(a) => {
-                    let (rows, cols) = self.shape_of(a);
-                    let mut ga = Tensor::zeros(rows, cols);
+                &Op::MeanAxis0(a) => {
+                    let (rows, cols) = shape_at(nodes, a);
                     let inv = 1.0 / rows as f32;
-                    for r in 0..rows {
-                        for (o, &gv) in ga.row_slice_mut(r).iter_mut().zip(g.row_slice(0)) {
-                            *o = gv * inv;
-                        }
+                    let mut da = take_buf(free);
+                    for _ in 0..rows {
+                        da.extend(g.row_slice(0).iter().map(|&gv| gv * inv));
                     }
-                    self.accumulate(&mut grads, a, ga);
+                    accum(grad_slots, free, a, Tensor::from_vec(rows, cols, da));
                 }
-                Op::SumAxis1(a) => {
-                    let (rows, cols) = self.shape_of(a);
-                    let mut ga = Tensor::zeros(rows, cols);
+                &Op::SumAxis1(a) => {
+                    let (rows, cols) = shape_at(nodes, a);
+                    let mut da = take_buf(free);
                     for r in 0..rows {
                         let gv = g.at(r, 0);
-                        for o in ga.row_slice_mut(r) {
-                            *o = gv;
+                        for _ in 0..cols {
+                            da.push(gv);
                         }
                     }
-                    self.accumulate(&mut grads, a, ga);
+                    accum(grad_slots, free, a, Tensor::from_vec(rows, cols, da));
                 }
-                Op::SoftmaxAxis0(a) => {
-                    let y = &self.nodes[idx].value;
+                &Op::SoftmaxAxis0(a) => {
+                    let y = &nodes[idx].value;
                     let (rows, cols) = y.shape();
-                    let mut ga = Tensor::zeros(rows, cols);
+                    let mut ga = pooled_full(free, rows, cols, 0.0);
                     for c in 0..cols {
                         let mut dot = 0.0f32;
                         for r in 0..rows {
@@ -552,108 +894,418 @@ impl Tape {
                             *ga.at_mut(r, c) = y.at(r, c) * (g.at(r, c) - dot);
                         }
                     }
-                    self.accumulate(&mut grads, a, ga);
+                    accum(grad_slots, free, a, ga);
                 }
-                Op::SumAll(a) => {
-                    let (rows, cols) = self.shape_of(a);
-                    let ga = Tensor::full(rows, cols, g.item());
-                    self.accumulate(&mut grads, a, ga);
+                &Op::SumAll(a) => {
+                    let (rows, cols) = shape_at(nodes, a);
+                    let ga = pooled_full(free, rows, cols, g.item());
+                    accum(grad_slots, free, a, ga);
                 }
-                Op::MeanAll(a) => {
-                    let (rows, cols) = self.shape_of(a);
-                    let ga = Tensor::full(rows, cols, g.item() / (rows * cols) as f32);
-                    self.accumulate(&mut grads, a, ga);
+                &Op::MeanAll(a) => {
+                    let (rows, cols) = shape_at(nodes, a);
+                    let ga = pooled_full(free, rows, cols, g.item() / (rows * cols) as f32);
+                    accum(grad_slots, free, a, ga);
                 }
-                Op::ConcatCols(a, b) => {
-                    let (rows, ca) = self.shape_of(a);
-                    let (_, cb) = self.shape_of(b);
-                    let mut ga = Tensor::zeros(rows, ca);
-                    let mut gb = Tensor::zeros(rows, cb);
+                &Op::ConcatCols(a, b) => {
+                    let (rows, ca) = shape_at(nodes, a);
+                    let (_, cb) = shape_at(nodes, b);
+                    let mut da = take_buf(free);
+                    let mut db = take_buf(free);
                     for r in 0..rows {
                         let row = g.row_slice(r);
-                        ga.row_slice_mut(r).copy_from_slice(&row[..ca]);
-                        gb.row_slice_mut(r).copy_from_slice(&row[ca..]);
+                        da.extend_from_slice(&row[..ca]);
+                        db.extend_from_slice(&row[ca..]);
                     }
-                    self.accumulate(&mut grads, a, ga);
-                    self.accumulate(&mut grads, b, gb);
+                    accum(grad_slots, free, a, Tensor::from_vec(rows, ca, da));
+                    accum(grad_slots, free, b, Tensor::from_vec(rows, cb, db));
                 }
-                Op::RepeatRows(a, n) => {
-                    let (_, cols) = self.shape_of(a);
-                    let mut ga = Tensor::zeros(1, cols);
+                &Op::RepeatRows(a, n) => {
+                    let (_, cols) = shape_at(nodes, a);
+                    let mut ga = pooled_full(free, 1, cols, 0.0);
                     for r in 0..n {
                         for (o, &gv) in ga.row_slice_mut(0).iter_mut().zip(g.row_slice(r)) {
                             *o += gv;
                         }
                     }
-                    self.accumulate(&mut grads, a, ga);
+                    accum(grad_slots, free, a, ga);
+                }
+                &Op::L1Rows(a, b) => {
+                    // Same values the sub→abs→sum_axis1 chain would produce:
+                    // sign(a - b) routes ±g[r] per element; a broadcast-row
+                    // operand reduces over the rows in ascending order (the
+                    // same fold accum_scaled's reduce path uses). Both
+                    // operand gradients are built in one pass and handed to
+                    // accum as owned tensors, so no sign matrix or extra
+                    // copy/reduce passes are materialised.
+                    let av = &nodes[a.0].value;
+                    let bv = &nodes[b.0].value;
+                    let rows = av.rows().max(bv.rows());
+                    let cols = av.cols();
+                    let a_bcast = av.rows() == 1;
+                    let b_bcast = bv.rows() == 1;
+                    let mut da = pooled_full(free, av.rows(), cols, 0.0);
+                    let mut db = pooled_full(free, bv.rows(), cols, 0.0);
+                    for r in 0..rows {
+                        let gv = g.at(r, 0);
+                        let ra = av.row_slice(if a_bcast { 0 } else { r });
+                        let rb = bv.row_slice(if b_bcast { 0 } else { r });
+                        let dra = da.row_slice_mut(if a_bcast { 0 } else { r });
+                        let drb = db.row_slice_mut(if b_bcast { 0 } else { r });
+                        for c in 0..cols {
+                            let diff = ra[c] - rb[c];
+                            let s = if diff > 0.0 {
+                                gv
+                            } else if diff < 0.0 {
+                                -gv
+                            } else {
+                                0.0
+                            };
+                            dra[c] += s;
+                            drb[c] += -s;
+                        }
+                    }
+                    accum(grad_slots, free, a, da);
+                    accum(grad_slots, free, b, db);
+                }
+                &Op::MeanLogSigmoid(a, sign, offset) => {
+                    let av = &nodes[a.0].value;
+                    let (rows, cols) = av.shape();
+                    let t1 = g.item() / (rows * cols) as f32;
+                    let mut d = take_buf(free);
+                    d.reserve(rows * cols);
+                    d.extend(
+                        av.data()
+                            .iter()
+                            .map(|&x| sign * (t1 * sigmoid_f(-(sign * x + offset)))),
+                    );
+                    accum(grad_slots, free, a, Tensor::from_vec(rows, cols, d));
+                }
+                &Op::Linear(x, w, b) => {
+                    let mut dx = take_buf(free);
+                    g.matmul_nt_into(&nodes[w.0].value, &mut dx);
+                    let (xr, xc) = nodes[x.0].value.shape();
+                    accum(grad_slots, free, x, Tensor::from_vec(xr, xc, dx));
+                    // Weight gradient: parameters are referenced by many
+                    // layers per sample, so after the first touch the slot
+                    // exists and `x^T g` sums straight into it.
+                    match &mut grad_slots[w.0] {
+                        Some(slot) => nodes[x.0].value.matmul_tn_acc(&g, slot),
+                        slot @ None => {
+                            let mut dw = take_buf(free);
+                            nodes[x.0].value.matmul_tn_into(&g, &mut dw);
+                            let (wr, wc) = nodes[w.0].value.shape();
+                            *slot = Some(Tensor::from_vec(wr, wc, dw));
+                        }
+                    }
+                    // Bias: rows of `g` reduce onto the broadcast row.
+                    accum_scaled(nodes, grad_slots, free, b, 1.0, &g);
+                }
+                &Op::WeightedSumAxis0(a, v) => {
+                    let av = &nodes[a.0].value;
+                    let vv = &nodes[v.0].value;
+                    let (rows, cols) = av.shape();
+                    let grow = g.row_slice(0);
+                    let mut da = take_buf(free);
+                    da.reserve(rows * cols);
+                    let mut dv = take_buf(free);
+                    dv.reserve(rows * cols);
+                    for r in 0..rows {
+                        for ((&gc, &ar), &vr) in
+                            grow.iter().zip(av.row_slice(r)).zip(vv.row_slice(r))
+                        {
+                            da.push(gc * vr);
+                            dv.push(gc * ar);
+                        }
+                    }
+                    accum(grad_slots, free, a, Tensor::from_vec(rows, cols, da));
+                    accum(grad_slots, free, v, Tensor::from_vec(rows, cols, dv));
+                }
+                &Op::DPbRows(p, cen, off, w) => {
+                    let pv = &nodes[p.0].value;
+                    let cv = &nodes[cen.0].value;
+                    let ov = &nodes[off.0].value;
+                    let rows = pv.rows().max(cv.rows());
+                    let cols = pv.cols();
+                    let (prows, brows) = (pv.rows(), cv.rows());
+                    let mut dp = pooled_full(free, prows, cols, 0.0);
+                    let mut dcen = pooled_full(free, brows, cols, 0.0);
+                    let mut dhi = take_buf(free);
+                    dhi.resize(brows * cols, 0.0);
+                    let mut dlo = take_buf(free);
+                    dlo.resize(brows * cols, 0.0);
+                    for r in 0..rows {
+                        let gi = g.at(r, 0);
+                        let pr = if prows == 1 { 0 } else { r };
+                        let br = if brows == 1 { 0 } else { r };
+                        let prow = pv.row_slice(pr);
+                        let crow = cv.row_slice(br);
+                        let orow = ov.row_slice(br);
+                        for c in 0..cols {
+                            let half = orow[c].max(0.0);
+                            let hi = crow[c] + half;
+                            let lo = crow[c] - half;
+                            let pij = prow[c];
+                            if pij - hi > 0.0 {
+                                *dp.at_mut(pr, c) += gi;
+                                dhi[br * cols + c] -= gi;
+                            }
+                            if lo - pij > 0.0 {
+                                dlo[br * cols + c] += gi;
+                                *dp.at_mut(pr, c) -= gi;
+                            }
+                            // clamp(v, lo, hi) with the same tie routing as
+                            // the maximum/minimum node pair.
+                            let from_p = pij >= lo;
+                            let max_pl = if from_p { pij } else { lo };
+                            let at_hi = max_pl > hi;
+                            let clamped = if at_hi { hi } else { max_pl };
+                            let delta = crow[c] - clamped;
+                            let sgn = if delta > 0.0 {
+                                1.0
+                            } else if delta < 0.0 {
+                                -1.0
+                            } else {
+                                0.0
+                            };
+                            let t = (w * gi) * sgn;
+                            if t != 0.0 {
+                                *dcen.at_mut(br, c) += t;
+                                if at_hi {
+                                    dhi[br * cols + c] -= t;
+                                } else if from_p {
+                                    *dp.at_mut(pr, c) -= t;
+                                } else {
+                                    dlo[br * cols + c] -= t;
+                                }
+                            }
+                        }
+                    }
+                    // hi = cen + relu(off), lo = cen - relu(off).
+                    let mut doff = pooled_full(free, brows, cols, 0.0);
+                    for br in 0..brows {
+                        let orow = ov.row_slice(br);
+                        for c in 0..cols {
+                            *dcen.at_mut(br, c) += dhi[br * cols + c] + dlo[br * cols + c];
+                            if orow[c] > 0.0 {
+                                *doff.at_mut(br, c) = dhi[br * cols + c] - dlo[br * cols + c];
+                            }
+                        }
+                    }
+                    free.push(dhi);
+                    free.push(dlo);
+                    accum(grad_slots, free, p, dp);
+                    accum(grad_slots, free, cen, dcen);
+                    accum(grad_slots, free, off, doff);
+                }
+                &Op::ConcatColsRow(a, row) => {
+                    let (rows, ca) = shape_at(nodes, a);
+                    let (_, cr) = shape_at(nodes, row);
+                    let mut da = take_buf(free);
+                    let mut drow = pooled_full(free, 1, cr, 0.0);
+                    for r in 0..rows {
+                        let grow = g.row_slice(r);
+                        da.extend_from_slice(&grow[..ca]);
+                        for (o, &gv) in drow.row_slice_mut(0).iter_mut().zip(&grow[ca..]) {
+                            *o += gv;
+                        }
+                    }
+                    accum(grad_slots, free, a, Tensor::from_vec(rows, ca, da));
+                    accum(grad_slots, free, row, drow);
+                }
+                &Op::ConcatRowLinear(a, row, w, b) => {
+                    let av = &nodes[a.0].value;
+                    let rv = &nodes[row.0].value;
+                    let wv = &nodes[w.0].value;
+                    let (n, ca) = av.shape();
+                    let cr = rv.cols();
+                    let m = wv.cols();
+                    // Row-sum of g, shared by the bias and broadcast-row
+                    // gradients (ascending-row fold, matching the reduce in
+                    // `accum_scaled`).
+                    let mut gsum = pooled_full(free, 1, m, 0.0);
+                    for r in 0..n {
+                        for (o, &gj) in gsum.row_slice_mut(0).iter_mut().zip(g.row_slice(r)) {
+                            *o += gj;
+                        }
+                    }
+                    // da = g · W_top^T.
+                    let mut da = pooled_full(free, n, ca, 0.0);
+                    for r in 0..n {
+                        let grow = g.row_slice(r);
+                        for (c, o) in da.row_slice_mut(r).iter_mut().enumerate() {
+                            let mut acc = 0.0f32;
+                            for (&gj, &wj) in grow.iter().zip(wv.row_slice(c)) {
+                                acc += gj * wj;
+                            }
+                            *o = acc;
+                        }
+                    }
+                    accum(grad_slots, free, a, da);
+                    // drow = gsum · W_bot^T.
+                    let mut drow = pooled_full(free, 1, cr, 0.0);
+                    for (p, o) in drow.row_slice_mut(0).iter_mut().enumerate() {
+                        let mut acc = 0.0f32;
+                        for (&gj, &wj) in gsum.row_slice(0).iter().zip(wv.row_slice(ca + p)) {
+                            acc += gj * wj;
+                        }
+                        *o = acc;
+                    }
+                    accum(grad_slots, free, row, drow);
+                    // dW: top rows += a^T · g, bottom rows += row^T · gsum,
+                    // accumulated straight into the parameter's slot.
+                    if grad_slots[w.0].is_none() {
+                        grad_slots[w.0] = Some(pooled_full(free, ca + cr, m, 0.0));
+                    }
+                    let dw = grad_slots[w.0].as_mut().expect("slot installed above");
+                    for kk in 0..n {
+                        let grow = g.row_slice(kk);
+                        for (c, &aval) in nodes[a.0].value.row_slice(kk).iter().enumerate() {
+                            if aval == 0.0 {
+                                continue;
+                            }
+                            for (o, &gj) in dw.row_slice_mut(c).iter_mut().zip(grow) {
+                                *o += aval * gj;
+                            }
+                        }
+                    }
+                    for (p, &rval) in nodes[row.0].value.row_slice(0).iter().enumerate() {
+                        if rval == 0.0 {
+                            continue;
+                        }
+                        for (o, &gj) in dw.row_slice_mut(ca + p).iter_mut().zip(gsum.row_slice(0)) {
+                            *o += rval * gj;
+                        }
+                    }
+                    accum(grad_slots, free, b, gsum);
                 }
             }
-        }
-        store
-    }
-
-    fn shape_of(&self, v: Var) -> (usize, usize) {
-        self.nodes[v.0].value.shape()
-    }
-
-    fn accumulate(&self, grads: &mut [Option<Tensor>], v: Var, g: Tensor) {
-        debug_assert_eq!(g.shape(), self.shape_of(v), "gradient shape mismatch");
-        match &mut grads[v.0] {
-            Some(acc) => acc.axpy(1.0, &g),
-            slot @ None => *slot = Some(g),
+            free.push(g.into_data());
         }
     }
 }
 
-/// Reduces a broadcast gradient back to the operand's shape: if the operand
-/// was `1 x d` but the output was `n x d`, sums over rows.
-fn reduce_to(g: &Tensor, shape: (usize, usize)) -> Tensor {
-    if g.shape() == shape {
-        return g.clone();
-    }
-    assert_eq!(shape.0, 1, "can only reduce to a broadcast row");
-    assert_eq!(shape.1, g.cols());
-    let mut out = Tensor::zeros(1, g.cols());
-    for r in 0..g.rows() {
-        for (o, &v) in out.row_slice_mut(0).iter_mut().zip(g.row_slice(r)) {
-            *o += v;
-        }
-    }
-    out
+fn shape_at(nodes: &[Node], v: Var) -> (usize, usize) {
+    nodes[v.0].value.shape()
 }
 
-/// `g * other` where `other` may be a broadcast `1 x d` row.
-fn mul_broadcast(g: &Tensor, other: &Tensor) -> Tensor {
+/// Accumulates an owned gradient into `v`'s slot (shapes must already
+/// match), recycling the tensor's buffer when the slot is occupied.
+fn accum(grad_slots: &mut [Option<Tensor>], free: &mut Vec<Vec<f32>>, v: Var, g: Tensor) {
+    match &mut grad_slots[v.0] {
+        Some(acc) => {
+            acc.axpy(1.0, &g);
+            free.push(g.into_data());
+        }
+        slot @ None => *slot = Some(g),
+    }
+}
+
+/// Accumulates `s * g` into `v`'s slot, summing broadcast rows back down when
+/// the operand was a `1 x d` row. Reduced paths only ever see `s = ±1`, where
+/// scaling commutes with the row sum bit-for-bit (sign flips are exact).
+fn accum_scaled(
+    nodes: &[Node],
+    grad_slots: &mut [Option<Tensor>],
+    free: &mut Vec<Vec<f32>>,
+    v: Var,
+    s: f32,
+    g: &Tensor,
+) {
+    let (rows, cols) = shape_at(nodes, v);
+    if g.shape() == (rows, cols) {
+        match &mut grad_slots[v.0] {
+            Some(acc) => acc.axpy(s, g),
+            slot @ None => {
+                let mut b = take_buf(free);
+                if s == 1.0 {
+                    b.extend_from_slice(g.data());
+                } else {
+                    b.extend(g.data().iter().map(|&x| s * x));
+                }
+                *slot = Some(Tensor::from_vec(rows, cols, b));
+            }
+        }
+    } else {
+        debug_assert_eq!(rows, 1, "can only reduce to a broadcast row");
+        debug_assert_eq!(cols, g.cols());
+        debug_assert!(s == 1.0 || s == -1.0);
+        let mut red = pooled_full(free, 1, cols, 0.0);
+        for r in 0..g.rows() {
+            for (o, &x) in red.data_mut().iter_mut().zip(g.row_slice(r)) {
+                *o += s * x;
+            }
+        }
+        accum(grad_slots, free, v, red);
+    }
+}
+
+/// Accumulates an owned gradient into `v`'s slot, summing broadcast rows
+/// back down when the operand was a `1 x d` row.
+fn accum_reduced(
+    nodes: &[Node],
+    grad_slots: &mut [Option<Tensor>],
+    free: &mut Vec<Vec<f32>>,
+    v: Var,
+    g: Tensor,
+) {
+    let (rows, cols) = shape_at(nodes, v);
+    if g.shape() == (rows, cols) {
+        accum(grad_slots, free, v, g);
+    } else {
+        debug_assert_eq!(rows, 1, "can only reduce to a broadcast row");
+        debug_assert_eq!(cols, g.cols());
+        let mut red = pooled_full(free, 1, cols, 0.0);
+        for r in 0..g.rows() {
+            for (o, &x) in red.data_mut().iter_mut().zip(g.row_slice(r)) {
+                *o += x;
+            }
+        }
+        free.push(g.into_data());
+        accum(grad_slots, free, v, red);
+    }
+}
+
+/// `g * other` (pooled) where `other` may be a broadcast `1 x d` row.
+fn mul_broadcast(free: &mut Vec<Vec<f32>>, g: &Tensor, other: &Tensor) -> Tensor {
     let (rows, cols) = g.shape();
-    let mut out = Tensor::zeros(rows, cols);
+    let mut out = take_buf(free);
+    out.reserve(rows * cols);
     for r in 0..rows {
+        let grow = g.row_slice(r);
         let orow = other.row_slice(if other.rows() == 1 { 0 } else { r });
-        for (c, &ov) in orow.iter().enumerate().take(cols) {
-            *out.at_mut(r, c) = g.at(r, c) * ov;
+        for (gv, &ov) in grow.iter().zip(orow.iter()) {
+            out.push(gv * ov);
         }
     }
-    out
+    Tensor::from_vec(rows, cols, out)
 }
 
-fn zip_map(g: &Tensor, x: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+/// Pooled elementwise combine of the output gradient with a reference tensor.
+fn zip_map(
+    free: &mut Vec<Vec<f32>>,
+    g: &Tensor,
+    x: &Tensor,
+    f: impl Fn(f32, f32) -> f32,
+) -> Tensor {
     debug_assert_eq!(g.shape(), x.shape());
-    let mut out = g.clone();
-    for (o, &xv) in out.data_mut().iter_mut().zip(x.data()) {
-        *o = f(*o, xv);
-    }
-    out
-}
-
-fn elementwise_mask(g: &Tensor, x: &Tensor, keep: impl Fn(f32) -> bool) -> Tensor {
-    zip_map(g, x, |gv, xv| if keep(xv) { gv } else { 0.0 })
+    let mut out = take_buf(free);
+    out.extend(g.data().iter().zip(x.data()).map(|(&gv, &xv)| f(gv, xv)));
+    let (rows, cols) = g.shape();
+    Tensor::from_vec(rows, cols, out)
 }
 
 /// Splits the output gradient of an elementwise min/max between operands.
 /// Ties route to `a` for determinism. Handles row-broadcast operands.
-fn select_grads(g: &Tensor, a: &Tensor, b: &Tensor, is_min: bool) -> (Tensor, Tensor) {
+fn select_grads(
+    free: &mut Vec<Vec<f32>>,
+    g: &Tensor,
+    a: &Tensor,
+    b: &Tensor,
+    is_min: bool,
+) -> (Tensor, Tensor) {
     let (rows, cols) = g.shape();
-    let mut ga = Tensor::zeros(rows, cols);
-    let mut gb = Tensor::zeros(rows, cols);
+    let mut ga = pooled_full(free, rows, cols, 0.0);
+    let mut gb = pooled_full(free, rows, cols, 0.0);
     for r in 0..rows {
         let ra = a.row_slice(if a.rows() == 1 { 0 } else { r });
         let rb = b.row_slice(if b.rows() == 1 { 0 } else { r });
@@ -712,7 +1364,7 @@ mod tests {
                         .or_else(|| {
                             grads
                                 .sparse(id)
-                                .and_then(|m| m.get(&(r as u32)))
+                                .and_then(|m| m.get(r as u32))
                                 .map(|row| row[c])
                         })
                         .unwrap_or(0.0);
@@ -874,7 +1526,7 @@ mod tests {
         let out = t.sum_all(e);
         let grads = t.backward(out);
         // Row 0 gathered twice: its gradient must be 2.
-        assert_eq!(grads.sparse(id).unwrap()[&0], vec![2.0, 2.0]);
+        assert_eq!(grads.sparse(id).unwrap().get(0).unwrap(), &[2.0, 2.0]);
     }
 
     #[test]
@@ -926,5 +1578,174 @@ mod tests {
         let grads = t.backward(out);
         let g = grads.dense(id).unwrap();
         assert_eq!(g.data(), &[5.0, -5.0]);
+    }
+
+    #[test]
+    fn fused_l1_rows_matches_unfused_chain() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (mut store, ids) = store_with(&mut rng, &[("a", 3, 4), ("b", 1, 4)]);
+        // Bit-identical values to sum_axis1(abs(a - b)), broadcast included.
+        let mut t = Tape::new();
+        let a = t.param(&store, ids[0]);
+        let b = t.param(&store, ids[1]);
+        let fused = t.l1_rows(a, b);
+        let d = t.sub(a, b);
+        let ad = t.abs(d);
+        let chain = t.sum_axis1(ad);
+        assert_eq!(t.value(fused).data(), t.value(chain).data());
+        gradcheck(&mut store, &ids, |t, s| {
+            let a = t.param(s, s.id("a").unwrap());
+            let b = t.param(s, s.id("b").unwrap());
+            let l = t.l1_rows(a, b);
+            t.sum_all(l)
+        });
+    }
+
+    #[test]
+    fn fused_mean_log_sigmoid_affine_matches_unfused_chain() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let (mut store, ids) = store_with(&mut rng, &[("a", 3, 2)]);
+        let mut t = Tape::new();
+        let a = t.param(&store, ids[0]);
+        let fused = t.mean_log_sigmoid_affine(a, -1.0, 0.75);
+        let sc = t.scale(a, -1.0);
+        let sh = t.add_scalar(sc, 0.75);
+        let ls = t.log_sigmoid(sh);
+        let chain = t.mean_all(ls);
+        assert_eq!(t.value(fused).item(), t.value(chain).item());
+        gradcheck(&mut store, &ids, |t, s| {
+            let a = t.param(s, s.id("a").unwrap());
+            t.mean_log_sigmoid_affine(a, -1.0, 0.75)
+        });
+    }
+
+    #[test]
+    fn fused_attn_combine_matches_unfused_chain() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let (mut store, ids) = store_with(&mut rng, &[("s", 3, 4), ("v", 3, 4)]);
+        let mut t = Tape::new();
+        let s = t.param(&store, ids[0]);
+        let v = t.param(&store, ids[1]);
+        let fused = t.attn_combine(s, v);
+        let a = t.softmax_axis0(s);
+        let w = t.mul(a, v);
+        let chain = t.sum_axis0(w);
+        assert_eq!(t.value(fused).data(), t.value(chain).data());
+        gradcheck(&mut store, &ids, |t, s| {
+            let sc = t.param(s, s.id("s").unwrap());
+            let vl = t.param(s, s.id("v").unwrap());
+            let c = t.attn_combine(sc, vl);
+            t.sum_all(c)
+        });
+    }
+
+    #[test]
+    fn grad_d_pb_rows_points_against_one_box() {
+        // Values chosen so every relu/abs/clamp input sits > 0.1 away from
+        // its kink — finite differences with eps 1e-3 stay on one side.
+        let mut store = ParamStore::new();
+        let p = store.add(
+            "p",
+            Tensor::from_vec(2, 3, vec![1.2, -0.1, 0.6, 0.2, -0.7, 1.1]),
+        );
+        let cen = store.add("cen", Tensor::from_vec(1, 3, vec![0.5, -0.2, 1.0]));
+        let off = store.add("off", Tensor::from_vec(1, 3, vec![0.4, 0.3, 0.2]));
+        gradcheck(&mut store, &[p, cen, off], |t, s| {
+            let pv = t.param(s, s.id("p").unwrap());
+            let cv = t.param(s, s.id("cen").unwrap());
+            let ov = t.param(s, s.id("off").unwrap());
+            let d = t.d_pb_rows(pv, cv, ov, 0.5);
+            t.sum_all(d)
+        });
+    }
+
+    #[test]
+    fn grad_d_pb_rows_one_point_against_boxes() {
+        // Broadcast the other way round: one point, n concept boxes (the
+        // stage-1 IRT tag-negative path).
+        let mut store = ParamStore::new();
+        let p = store.add("p", Tensor::from_vec(1, 3, vec![0.6, 0.0, 0.9]));
+        let cen = store.add(
+            "cen",
+            Tensor::from_vec(2, 3, vec![0.5, -0.2, 1.0, 0.9, 0.4, 0.3]),
+        );
+        let off = store.add(
+            "off",
+            Tensor::from_vec(2, 3, vec![0.4, 0.3, 0.2, 0.2, 0.25, 0.35]),
+        );
+        gradcheck(&mut store, &[p, cen, off], |t, s| {
+            let pv = t.param(s, s.id("p").unwrap());
+            let cv = t.param(s, s.id("cen").unwrap());
+            let ov = t.param(s, s.id("off").unwrap());
+            let d = t.d_pb_rows(pv, cv, ov, 0.5);
+            t.sum_all(d)
+        });
+    }
+
+    #[test]
+    fn fused_concat_cols_row_matches_concat_repeat() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let (mut store, ids) = store_with(&mut rng, &[("a", 3, 2), ("u", 1, 2)]);
+        let mut t = Tape::new();
+        let a = t.param(&store, ids[0]);
+        let u = t.param(&store, ids[1]);
+        let fused = t.concat_cols_row(a, u);
+        let ur = t.repeat_rows(u, 3);
+        let chain = t.concat_cols(a, ur);
+        assert_eq!(t.value(fused).data(), t.value(chain).data());
+        gradcheck(&mut store, &ids, |t, s| {
+            let a = t.param(s, s.id("a").unwrap());
+            let u = t.param(s, s.id("u").unwrap());
+            let c = t.concat_cols_row(a, u);
+            let sq = t.square(c);
+            t.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn fused_concat_row_linear_matches_unfused_chain() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let (mut store, ids) = store_with(
+            &mut rng,
+            &[("a", 3, 2), ("u", 1, 2), ("w", 4, 3), ("b", 1, 3)],
+        );
+        // The fused op folds the broadcast half first, so values agree to
+        // f32 rounding rather than bit-for-bit.
+        let mut t = Tape::new();
+        let a = t.param(&store, ids[0]);
+        let u = t.param(&store, ids[1]);
+        let w = t.param(&store, ids[2]);
+        let b = t.param(&store, ids[3]);
+        let fused = t.concat_row_linear(a, u, w, b);
+        let cat = t.concat_cols_row(a, u);
+        let chain = t.linear(cat, w, b);
+        for (x, y) in t.value(fused).data().iter().zip(t.value(chain).data()) {
+            assert!((x - y).abs() < 1e-5, "fused {x} vs chain {y}");
+        }
+        gradcheck(&mut store, &ids, |t, s| {
+            let a = t.param(s, s.id("a").unwrap());
+            let u = t.param(s, s.id("u").unwrap());
+            let w = t.param(s, s.id("w").unwrap());
+            let b = t.param(s, s.id("b").unwrap());
+            let y = t.concat_row_linear(a, u, w, b);
+            t.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn grad_linear_shared_weight_accumulates_into_slot() {
+        // Two linear calls sharing one weight: the second backward pass hits
+        // the accumulate-into-existing-slot path (matmul_tn_acc).
+        let mut rng = StdRng::seed_from_u64(16);
+        let (mut store, ids) = store_with(&mut rng, &[("x", 2, 3), ("w", 3, 3), ("b", 1, 3)]);
+        gradcheck(&mut store, &ids, |t, s| {
+            let x = t.param(s, s.id("x").unwrap());
+            let w = t.param(s, s.id("w").unwrap());
+            let b = t.param(s, s.id("b").unwrap());
+            let h = t.linear(x, w, b);
+            let h = t.relu(h);
+            let y = t.linear(h, w, b);
+            t.sum_all(y)
+        });
     }
 }

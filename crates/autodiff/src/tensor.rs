@@ -163,13 +163,22 @@ impl Tensor {
 
     /// Matrix product `self (n x k) * other (k x m) -> n x m`.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Vec::new();
+        self.matmul_into(other, &mut out);
+        Tensor::from_vec(self.rows, other.cols, out)
+    }
+
+    /// [`Tensor::matmul`] writing into a caller-supplied buffer (cleared and
+    /// resized), so hot loops can reuse allocations.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Vec<f32>) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
-        let mut out = vec![0.0f32; n * m];
+        out.clear();
+        out.resize(n * m, 0.0);
         for i in 0..n {
             let a_row = &self.data[i * k..(i + 1) * k];
             let out_row = &mut out[i * m..(i + 1) * m];
@@ -183,7 +192,84 @@ impl Tensor {
                 }
             }
         }
-        Tensor::from_vec(n, m, out)
+    }
+
+    /// Transposed product `self^T (k x p)^T * other (k x m) -> p x m` without
+    /// materialising the transpose. Accumulation order per output element is
+    /// ascending `k`, identical to `self.transpose().matmul(other)`.
+    pub fn matmul_tn_into(&self, other: &Tensor, out: &mut Vec<f32>) {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn shape mismatch: {}x{} ^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (k, p, m) = (self.rows, self.cols, other.cols);
+        out.clear();
+        out.resize(p * m, 0.0);
+        for kk in 0..k {
+            let a_row = &self.data[kk * p..(kk + 1) * p];
+            let b_row = &other.data[kk * m..(kk + 1) * m];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * m..(i + 1) * m];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
+    /// Accumulating transposed product `out += self^T * other`, for summing a
+    /// weight gradient directly into an existing accumulator tensor without
+    /// materialising the product first. `out` must already be `p x m`.
+    pub fn matmul_tn_acc(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn_acc shape mismatch: {}x{} ^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (k, p, m) = (self.rows, self.cols, other.cols);
+        assert_eq!(out.shape(), (p, m), "matmul_tn_acc accumulator shape");
+        for kk in 0..k {
+            let a_row = &self.data[kk * p..(kk + 1) * p];
+            let b_row = other.row_slice(kk);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                for (o, &b) in out.row_slice_mut(i).iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
+    /// Product against a transpose `self (n x m) * other^T (k x m)^T -> n x k`
+    /// without materialising the transpose. Skip/accumulation semantics match
+    /// `self.matmul(&other.transpose())` bit for bit.
+    pub fn matmul_nt_into(&self, other: &Tensor, out: &mut Vec<f32>) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (n, m, k) = (self.rows, self.cols, other.rows);
+        out.clear();
+        out.resize(n * k, 0.0);
+        for i in 0..n {
+            let a_row = &self.data[i * m..(i + 1) * m];
+            let out_row = &mut out[i * k..(i + 1) * k];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    *o += a * other.data[j * m + p];
+                }
+            }
+        }
     }
 
     /// Transpose.

@@ -39,7 +39,7 @@ fn check_grad(
                 .or_else(|| {
                     grads
                         .sparse(id)
-                        .and_then(|m| m.get(&(r as u32)))
+                        .and_then(|m| m.get(r as u32))
                         .map(|row| row[c])
                 })
                 .unwrap_or(0.0);
@@ -126,7 +126,7 @@ proptest! {
         let sparse = grads.sparse(id).unwrap();
         for &i in &idx {
             let mult = idx.iter().filter(|&&j| j == i).count() as f32;
-            prop_assert!(sparse[&i].iter().all(|&v| (v - mult).abs() < 1e-5));
+            prop_assert!(sparse.get(i).unwrap().iter().all(|&v| (v - mult).abs() < 1e-5));
         }
     }
 

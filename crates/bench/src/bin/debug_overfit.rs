@@ -56,8 +56,8 @@ fn main() {
     for (id, name, _v) in model2.store.iter() {
         let d = grads.dense(id).map(|t| t.max_abs());
         let s = grads.sparse(id).map(|m| {
-            m.values()
-                .flat_map(|r| r.iter())
+            m.iter()
+                .flat_map(|(_, r)| r.iter())
                 .fold(0.0f32, |a, b| a.max(b.abs()))
         });
         if d.is_some() || s.is_some() {

@@ -1,0 +1,272 @@
+//! End-to-end hot-path throughput benchmark: gradient samples/sec for each
+//! training stage and wall-clock for the inference path (`all_user_boxes`
+//! plus a full ranking pass).
+//!
+//! Writes `BENCH_throughput.json` at the repo root so successive PRs have a
+//! perf trajectory. Workflow:
+//!
+//! ```text
+//! # record the reference numbers (e.g. before an optimisation):
+//! cargo run --release -p inbox-bench --bin throughput -- --save-baseline
+//! # after the change, measure again and compare against the stored baseline:
+//! cargo run --release -p inbox-bench --bin throughput
+//! ```
+//!
+//! `--quick` runs a single repetition on the tiny dataset (CI smoke mode,
+//! written to `--out` or discarded); `--threads N` overrides the worker
+//! count (default 1 so numbers are comparable on any machine).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use inbox_autodiff::Adam;
+use inbox_core::model::{InBoxModel, UniverseSizes};
+use inbox_core::predict::{all_user_boxes_with, HistoryCache};
+use inbox_core::sampler::{stage1_epoch, stage2_epoch, stage3_epoch, Stage1Stats};
+use inbox_core::stages::{stage1_loss, stage2_loss, stage3_loss, BatchRunner};
+use inbox_core::{InBoxConfig, InBoxScorer};
+use inbox_data::{Dataset, SyntheticConfig};
+use inbox_eval::evaluate_with_threads;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One set of throughput measurements (higher is better except `*_ms`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Numbers {
+    stage1_samples_per_sec: f64,
+    stage2_samples_per_sec: f64,
+    stage3_samples_per_sec: f64,
+    /// Wall-clock of one full `all_user_boxes` pass (best of reps).
+    user_boxes_ms: f64,
+    /// Wall-clock of one full ranking/evaluation pass (best of reps).
+    rank_ms: f64,
+    users_ranked_per_sec: f64,
+}
+
+/// Ratios of `current` over `baseline` (for `*_ms` fields: baseline/current,
+/// so >1 always means faster).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Speedup {
+    stage1: f64,
+    stage2: f64,
+    stage3: f64,
+    user_boxes: f64,
+    rank: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Report {
+    dataset: String,
+    dim: usize,
+    threads: usize,
+    batch_size: usize,
+    reps: usize,
+    baseline: Option<Numbers>,
+    current: Numbers,
+    speedup: Option<Speedup>,
+}
+
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::MAX;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let v = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    (best, out.expect("at least one rep"))
+}
+
+fn measure(ds: &Dataset, cfg: &InBoxConfig, reps: usize) -> Numbers {
+    let sizes = UniverseSizes {
+        n_items: ds.kg.n_items(),
+        n_tags: ds.kg.n_tags(),
+        n_relations: ds.kg.n_relations(),
+        n_users: ds.n_users(),
+    };
+    let stats = Stage1Stats::new(&ds.kg);
+    let mut rng = StdRng::seed_from_u64(99);
+    let s1 = stage1_epoch(&ds.kg, &stats, cfg, &mut rng);
+    let s2 = stage2_epoch(&ds.kg, cfg, &mut rng);
+    let s3 = stage3_epoch(&ds.kg, &ds.train, cfg, &mut rng);
+    // The persistent worker pool and reusable gradient buffer are created
+    // once per training run, exactly as `train()` does, so the per-epoch
+    // numbers below measure the steady-state hot path.
+    let runner = BatchRunner::new(cfg.threads);
+    let adam = Adam::with_lr(cfg.lr);
+
+    // One full epoch of gradient batches + optimiser steps per stage,
+    // repeated `reps` times on a fresh model each; best rep wins.
+    let stage_rate = |samples_len: usize, run: &mut dyn FnMut(&mut InBoxModel)| -> f64 {
+        let (secs, _) = best_of(reps, || {
+            let mut model = InBoxModel::new(sizes, cfg);
+            run(&mut model);
+        });
+        samples_len as f64 / secs
+    };
+
+    let _span = inbox_obs::span("bench.throughput.stage1");
+    let stage1 = stage_rate(s1.len(), &mut |model| {
+        let mut grads = inbox_autodiff::GradStore::new();
+        for batch in s1.chunks(cfg.batch_size) {
+            runner.grad_batch_into(
+                model,
+                batch,
+                &|m, t, s| stage1_loss(m, t, s, cfg),
+                &mut grads,
+            );
+            adam.step(&mut model.store, &grads);
+        }
+    });
+    let stage2 = stage_rate(s2.len(), &mut |model| {
+        let mut grads = inbox_autodiff::GradStore::new();
+        for batch in s2.chunks(cfg.batch_size) {
+            runner.grad_batch_into(
+                model,
+                batch,
+                &|m, t, s| stage2_loss(m, t, s, cfg),
+                &mut grads,
+            );
+            adam.step(&mut model.store, &grads);
+        }
+    });
+    let stage3 = stage_rate(s3.len(), &mut |model| {
+        let mut grads = inbox_autodiff::GradStore::new();
+        for batch in s3.chunks(cfg.batch_size) {
+            runner.grad_batch_into(
+                model,
+                batch,
+                &|m, t, s| stage3_loss(m, t, s, cfg),
+                &mut grads,
+            );
+            adam.step(&mut model.store, &grads);
+        }
+    });
+
+    // Inference: the per-user history cache is built once per training run
+    // (history and KG are immutable during training), so it is excluded from
+    // the per-pass timing the same way the trainer amortises it.
+    let model = InBoxModel::new(sizes, cfg);
+    let cache = HistoryCache::build(&ds.kg, &ds.train, cfg);
+    let (boxes_secs, boxes) = best_of(reps, || {
+        all_user_boxes_with(&model, &cache, cfg, runner.pool())
+    });
+
+    let scorer = InBoxScorer::new(&model, &boxes, cfg, sizes.n_items);
+    let (rank_secs, metrics) = best_of(reps, || {
+        evaluate_with_threads(&scorer, &ds.train, &ds.test, 20, cfg.threads)
+    });
+
+    Numbers {
+        stage1_samples_per_sec: stage1,
+        stage2_samples_per_sec: stage2,
+        stage3_samples_per_sec: stage3,
+        user_boxes_ms: boxes_secs * 1e3,
+        rank_ms: rank_secs * 1e3,
+        users_ranked_per_sec: metrics.n_users_evaluated as f64 / rank_secs,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let save_baseline = args.iter().any(|a| a == "--save-baseline");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let out_path: PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_throughput.json")
+        });
+
+    inbox_obs::set_enabled(true);
+    let synth = if quick {
+        SyntheticConfig::tiny()
+    } else {
+        SyntheticConfig::small()
+    };
+    let reps = if quick { 1 } else { 5 };
+    let ds = Dataset::synthetic(&synth, 7);
+    let cfg = InBoxConfig {
+        threads,
+        ..InBoxConfig::for_dim(32)
+    };
+
+    println!(
+        "throughput bench: dataset {} ({} users, {} items, {} triples), dim {}, threads {}, {} rep(s)",
+        synth.name,
+        ds.n_users(),
+        ds.n_items(),
+        ds.kg.n_triples(),
+        cfg.dim,
+        threads,
+        reps
+    );
+
+    let current = measure(&ds, &cfg, reps);
+
+    // A stored baseline (same dataset/threads) survives re-measurement runs;
+    // `--save-baseline` replaces it with the numbers just measured.
+    let previous: Option<Report> = std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok());
+    let baseline = if save_baseline {
+        Some(current.clone())
+    } else {
+        previous.and_then(|p| {
+            if p.dataset == synth.name && p.threads == threads {
+                p.baseline
+            } else {
+                None
+            }
+        })
+    };
+    let speedup = baseline.as_ref().map(|b| Speedup {
+        stage1: current.stage1_samples_per_sec / b.stage1_samples_per_sec,
+        stage2: current.stage2_samples_per_sec / b.stage2_samples_per_sec,
+        stage3: current.stage3_samples_per_sec / b.stage3_samples_per_sec,
+        user_boxes: b.user_boxes_ms / current.user_boxes_ms,
+        rank: b.rank_ms / current.rank_ms,
+    });
+
+    let report = Report {
+        dataset: synth.name.clone(),
+        dim: cfg.dim,
+        threads,
+        batch_size: cfg.batch_size,
+        reps,
+        baseline,
+        current,
+        speedup,
+    };
+
+    println!(
+        "stage1 {:>10.0} samples/s\nstage2 {:>10.0} samples/s\nstage3 {:>10.0} samples/s",
+        report.current.stage1_samples_per_sec,
+        report.current.stage2_samples_per_sec,
+        report.current.stage3_samples_per_sec,
+    );
+    println!(
+        "user boxes {:>8.1} ms   ranking {:>8.1} ms ({:.0} users/s)",
+        report.current.user_boxes_ms, report.current.rank_ms, report.current.users_ranked_per_sec,
+    );
+    if let Some(s) = &report.speedup {
+        println!(
+            "speedup vs baseline: stage1 {:.2}x stage2 {:.2}x stage3 {:.2}x user_boxes {:.2}x rank {:.2}x",
+            s.stage1, s.stage2, s.stage3, s.user_boxes, s.rank
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("serialise throughput report");
+    std::fs::write(&out_path, json).expect("write BENCH_throughput.json");
+    println!("[written {}]", out_path.display());
+}

@@ -29,6 +29,7 @@ pub mod geometry;
 pub mod interpret;
 pub mod model;
 pub mod persist;
+pub mod pool;
 pub mod predict;
 pub mod sampler;
 pub mod stages;
@@ -37,5 +38,8 @@ pub mod trainer;
 pub use config::{Ablation, InBoxConfig, IntersectionMode, LossForm, UserBoxMode};
 pub use geometry::BoxEmb;
 pub use model::{InBoxModel, TapeBox, UniverseSizes};
-pub use predict::{all_user_boxes, user_interest_box, InBoxScorer};
+pub use pool::WorkerPool;
+pub use predict::{
+    all_user_boxes, all_user_boxes_with, user_interest_box, HistoryCache, InBoxScorer,
+};
 pub use trainer::{train, TrainReport, TrainedInBox};

@@ -20,6 +20,13 @@ use rand::SeedableRng;
 use crate::config::InBoxConfig;
 use crate::geometry::BoxEmb;
 
+/// Cached handle for the hot-path intersection counter (a fresh
+/// `inbox_obs::counter` lookup takes a registry lock per call).
+fn intersections_counter() -> &'static inbox_obs::Counter {
+    static C: std::sync::OnceLock<inbox_obs::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| inbox_obs::counter("box.intersections"))
+}
+
 /// Dimensions of the problem: how many of each embedding to allocate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UniverseSizes {
@@ -41,6 +48,21 @@ pub struct TapeBox {
     pub cen: Var,
     /// Raw offset variable (`1 x d`).
     pub off: Var,
+}
+
+/// The user-independent inference parts of one history item (built by
+/// [`InBoxModel::item_box_parts`], consumed by
+/// [`InBoxModel::interest_box_cached`]). Values depend on the current
+/// parameters, so caches of these must be rebuilt whenever parameters
+/// change.
+pub struct ItemBoxParts {
+    /// `1 x d` center of `b_interI` (or of the degenerate self box).
+    cen: Tensor,
+    /// `1 x d` raw offset of `b_interI` (zero for the self box).
+    off: Tensor,
+    /// `n x d` concept-box centers and raw offsets (`None` for items
+    /// without KG concepts).
+    concept_mats: Option<(Tensor, Tensor)>,
 }
 
 /// The InBox parameter set.
@@ -231,10 +253,30 @@ impl InBoxModel {
         tape.linear(h, w2v, b2v)
     }
 
+    /// Two-layer MLP over an implicitly concatenated `[x | row]` input:
+    /// `relu(concat_cols_row(x, row) W1 + b1) W2 + b2`, with the first layer
+    /// fused so the shared `row · W1_bot` half is computed once per call
+    /// instead of once per row of `x`.
+    fn mlp2_concat_row(
+        &self,
+        tape: &mut Tape,
+        x: Var,
+        row: Var,
+        (w1, b1, w2, b2): (ParamId, ParamId, ParamId, ParamId),
+    ) -> Var {
+        let w1v = tape.param(&self.store, w1);
+        let b1v = tape.param(&self.store, b1);
+        let w2v = tape.param(&self.store, w2);
+        let b2v = tape.param(&self.store, b2);
+        let h = tape.concat_row_linear(x, row, w1v, b1v);
+        let h = tape.relu(h);
+        tape.linear(h, w2v, b2v)
+    }
+
     /// Attention-network intersection (Eq. (13)–(16)) of `n` boxes given as
     /// `n x d` center/raw-offset variables. Returns a `1 x d` box.
     pub fn intersect_attention(&self, tape: &mut Tape, cens: Var, offs: Var) -> TapeBox {
-        inbox_obs::counter("box.intersections").incr();
+        intersections_counter().incr();
         // Eq. (14): a_i = softmax_i(MLP(Cen(b_i))), per dimension.
         let scores = self.mlp2(
             tape,
@@ -244,10 +286,8 @@ impl InBoxModel {
             self.att_cen_w2,
             self.att_cen_b2,
         );
-        let attn = tape.softmax_axis0(scores);
-        // Eq. (13): Cen(b_inter) = Σ a_i ∘ Cen(b_i).
-        let weighted = tape.mul(attn, cens);
-        let cen = tape.sum_axis0(weighted);
+        // Eq. (13): Cen(b_inter) = Σ a_i ∘ Cen(b_i) (fused softmax-combine).
+        let cen = tape.attn_combine(scores, cens);
 
         // Eq. (16): g = sigmoid(MLP_out(mean_i relu(MLP_in(Off(b_i))))).
         let w_in = tape.param(&self.store, self.att_off_in_w);
@@ -269,7 +309,7 @@ impl InBoxModel {
     /// Max-Min intersection (Eq. (17)–(20)): upper corner is the elementwise
     /// min of upper corners, lower corner the max of lower corners.
     pub fn intersect_maxmin(&self, tape: &mut Tape, cens: Var, offs: Var) -> TapeBox {
-        inbox_obs::counter("box.intersections").incr();
+        intersections_counter().incr();
         let half = tape.relu(offs);
         let upper = tape.add(cens, half);
         let neg_half = tape.neg(half);
@@ -290,39 +330,37 @@ impl InBoxModel {
     /// User-bias intersection (Eq. (21)–(24)): attention over concept boxes
     /// conditioned on the user vector (`1 x d`).
     pub fn intersect_user_bias(&self, tape: &mut Tape, cens: Var, offs: Var, user: Var) -> TapeBox {
-        inbox_obs::counter("box.intersections").incr();
-        let n = tape.value(cens).rows();
-        let urep = tape.repeat_rows(user, n);
-
-        // Eq. (23): c_i = softmax_i(MLP([Cen(b_i), u])).
-        let cen_in = tape.concat_cols(cens, urep);
-        let c_scores = self.mlp2(
+        intersections_counter().incr();
+        // Eq. (23): c_i = softmax_i(MLP([Cen(b_i), u])), with the concat and
+        // first layer fused so `u`'s half of the product is computed once.
+        let c_scores = self.mlp2_concat_row(
             tape,
-            cen_in,
-            self.ub_cen_w1,
-            self.ub_cen_b1,
-            self.ub_cen_w2,
-            self.ub_cen_b2,
+            cens,
+            user,
+            (
+                self.ub_cen_w1,
+                self.ub_cen_b1,
+                self.ub_cen_w2,
+                self.ub_cen_b2,
+            ),
         );
-        let c_attn = tape.softmax_axis0(c_scores);
-        let weighted_cen = tape.mul(c_attn, cens);
-        let cen = tape.sum_axis0(weighted_cen);
+        let cen = tape.attn_combine(c_scores, cens);
 
         // Eq. (24): d_i = softmax_i(MLP([Off(b_i), u])), applied to the
         // effective (ReLU'd) offsets so the combined offset stays positive.
         let offs_pos = tape.relu(offs);
-        let off_in = tape.concat_cols(offs_pos, urep);
-        let d_scores = self.mlp2(
+        let d_scores = self.mlp2_concat_row(
             tape,
-            off_in,
-            self.ub_off_w1,
-            self.ub_off_b1,
-            self.ub_off_w2,
-            self.ub_off_b2,
+            offs_pos,
+            user,
+            (
+                self.ub_off_w1,
+                self.ub_off_b1,
+                self.ub_off_w2,
+                self.ub_off_b2,
+            ),
         );
-        let d_attn = tape.softmax_axis0(d_scores);
-        let weighted_off = tape.mul(d_attn, offs_pos);
-        let off = tape.sum_axis0(weighted_off);
+        let off = tape.attn_combine(d_scores, offs_pos);
         TapeBox { cen, off }
     }
 
@@ -343,24 +381,9 @@ impl InBoxModel {
         b: TapeBox,
         inside_weight: f32,
     ) -> Var {
-        let half = tape.relu(b.off);
-        let hi = tape.add(b.cen, half);
-        let neg_half = tape.neg(half);
-        let lo = tape.add(b.cen, neg_half);
-        // D_out = sum relu(v - hi) + relu(lo - v)
-        let over = tape.sub(points, hi);
-        let over = tape.relu(over);
-        let under = tape.sub(lo, points);
-        let under = tape.relu(under);
-        let outside = tape.add(over, under);
-        // D_in = sum |cen - clamp(v, lo, hi)|
-        let clamped_lo = tape.maximum(points, lo);
-        let clamped = tape.minimum(clamped_lo, hi);
-        let delta = tape.sub(b.cen, clamped);
-        let inside = tape.abs(delta);
-        let inside = tape.scale(inside, inside_weight);
-        let total = tape.add(outside, inside);
-        tape.sum_axis1(total)
+        // Fused `D_out + inside_weight · D_in` node: same values/gradients as
+        // the hi/lo + relu + clamp + abs chain, at one node per call.
+        tape.d_pb_rows(points, b.cen, b.off, inside_weight)
     }
 
     /// Weighted margin loss of Eq. (12):
@@ -398,25 +421,15 @@ impl InBoxModel {
         w: f32,
         form: crate::config::LossForm,
     ) -> Var {
-        let pos_arg = tape.neg(d_pos);
-        let pos_arg = tape.add_scalar(pos_arg, gamma);
-        let pos_ls = tape.log_sigmoid(pos_arg);
-        let pos_term = tape.mean_all(pos_ls);
+        let pos_term = tape.mean_log_sigmoid_affine(d_pos, -1.0, gamma);
 
         let neg_term = match form {
-            crate::config::LossForm::Rotate => {
-                let neg_arg = tape.add_scalar(d_neg, -gamma);
-                let neg_ls = tape.log_sigmoid(neg_arg);
-                tape.mean_all(neg_ls)
-            }
+            crate::config::LossForm::Rotate => tape.mean_log_sigmoid_affine(d_neg, 1.0, -gamma),
             crate::config::LossForm::PaperLiteral => {
                 // L contains +log σ(γ - D_neg): encode as the negative of the
                 // term inside (pos_term + neg_term) so the final -w scaling
                 // reproduces Eq. (12) verbatim.
-                let neg_arg = tape.neg(d_neg);
-                let neg_arg = tape.add_scalar(neg_arg, gamma);
-                let neg_ls = tape.log_sigmoid(neg_arg);
-                let m = tape.mean_all(neg_ls);
+                let m = tape.mean_log_sigmoid_affine(d_neg, -1.0, gamma);
                 tape.neg(m)
             }
         };
@@ -456,7 +469,7 @@ impl InBoxModel {
             let item_box = if concepts.is_empty() {
                 // Degenerate self box: the item's point with zero width.
                 let cen = self.item_points(tape, &[*item]);
-                let off = tape.constant(Tensor::zeros(1, self.dim));
+                let off = tape.zeros(1, self.dim);
                 TapeBox { cen, off }
             } else {
                 let (cens, offs) = self.concept_boxes(tape, concepts);
@@ -497,6 +510,113 @@ impl InBoxModel {
         }
     }
 
+    /// Precomputes the user-independent part of one history item's
+    /// contribution to an interest box: its stage-2 intersected box
+    /// (`b_interI`) and, for items with concepts, the concept-box matrices
+    /// the user-bias attention consumes. Only depends on the item and the
+    /// current parameters, so inference computes it once per distinct item
+    /// and shares it across all users (see
+    /// [`Self::interest_box_cached`]).
+    pub fn item_box_parts(
+        &self,
+        tape: &mut Tape,
+        item: ItemId,
+        concepts: &[Concept],
+        intersection: crate::config::IntersectionMode,
+    ) -> ItemBoxParts {
+        use crate::config::IntersectionMode;
+        tape.reset();
+        if concepts.is_empty() {
+            // Degenerate self box: the item's point with zero width.
+            let cen = self.item_points(tape, &[item]);
+            ItemBoxParts {
+                cen: tape.value(cen).clone(),
+                off: Tensor::zeros(1, self.dim),
+                concept_mats: None,
+            }
+        } else {
+            let (cens, offs) = self.concept_boxes(tape, concepts);
+            let b = match intersection {
+                IntersectionMode::Attention => self.intersect_attention(tape, cens, offs),
+                IntersectionMode::MaxMin => self.intersect_maxmin(tape, cens, offs),
+            };
+            ItemBoxParts {
+                cen: tape.value(b.cen).clone(),
+                off: tape.value(b.off).clone(),
+                concept_mats: Some((tape.value(cens).clone(), tape.value(offs).clone())),
+            }
+        }
+    }
+
+    /// [`Self::interest_box`] assembled from precomputed
+    /// [`ItemBoxParts`], indexed by item id. Inserting the cached values as
+    /// constants feeds downstream ops the numerically identical inputs, so
+    /// the resulting box is bit-identical to the uncached forward pass;
+    /// only the user-conditioned intersection (Eq. (21)–(24)) is recomputed
+    /// per user.
+    pub fn interest_box_cached(
+        &self,
+        tape: &mut Tape,
+        user: UserId,
+        history: &[(ItemId, Vec<Concept>)],
+        parts: &[Option<ItemBoxParts>],
+        mode: crate::config::UserBoxMode,
+    ) -> TapeBox {
+        use crate::config::UserBoxMode;
+        assert!(!history.is_empty(), "interest box requires history");
+        let user_var = if mode == UserBoxMode::OnlyInterI {
+            None
+        } else {
+            Some(self.user_vector(tape, user))
+        };
+        let m = history.len();
+        let mut acc: Option<TapeBox> = None;
+        for (item, _) in history {
+            let p = parts[item.index()]
+                .as_ref()
+                .expect("history item missing from parts cache");
+            let item_box = match (&p.concept_mats, user_var) {
+                (None, _) | (_, None) => TapeBox {
+                    cen: tape.constant_ref(&p.cen),
+                    off: tape.constant_ref(&p.off),
+                },
+                (Some((cens_t, offs_t)), Some(u)) => {
+                    let cens = tape.constant_ref(cens_t);
+                    let offs = tape.constant_ref(offs_t);
+                    match mode {
+                        UserBoxMode::OnlyInterI => unreachable!("user_var is None"),
+                        UserBoxMode::OnlyInterU => self.intersect_user_bias(tape, cens, offs, u),
+                        UserBoxMode::Both => {
+                            let b_u = self.intersect_user_bias(tape, cens, offs, u);
+                            let b_i_cen = tape.constant_ref(&p.cen);
+                            let b_i_off = tape.constant_ref(&p.off);
+                            // Eq. (25), (26): elementwise average of the two boxes.
+                            let cen_sum = tape.add(b_i_cen, b_u.cen);
+                            let off_sum = tape.add(b_i_off, b_u.off);
+                            TapeBox {
+                                cen: tape.scale(cen_sum, 0.5),
+                                off: tape.scale(off_sum, 0.5),
+                            }
+                        }
+                    }
+                }
+            };
+            acc = Some(match acc {
+                None => item_box,
+                Some(prev) => TapeBox {
+                    cen: tape.add(prev.cen, item_box.cen),
+                    off: tape.add(prev.off, item_box.off),
+                },
+            });
+        }
+        let total = acc.expect("non-empty history");
+        // Eq. (27), (28): mean over the m history items.
+        TapeBox {
+            cen: tape.scale(total.cen, 1.0 / m as f32),
+            off: tape.scale(total.off, 1.0 / m as f32),
+        }
+    }
+
     // ------------------------------------------------------------------
     // Plain-f32 accessors (inference / analysis)
     // ------------------------------------------------------------------
@@ -504,6 +624,12 @@ impl InBoxModel {
     /// The point embedding of an item.
     pub fn item_point_f32(&self, item: ItemId) -> &[f32] {
         self.store.value(self.item_emb).row_slice(item.index())
+    }
+
+    /// The full item-point table as a contiguous row-major tensor
+    /// (`n_items × d`), for snapshot-based scoring.
+    pub fn item_point_matrix(&self) -> &Tensor {
+        self.store.value(self.item_emb)
     }
 
     /// All item points as owned vectors (for PCA / Figure 5).

@@ -1,5 +1,15 @@
 //! Inference: building interest boxes for users and scoring items
 //! (Section 3.5, Eq. (29)).
+//!
+//! The hot path is organised around two amortisations: a [`HistoryCache`]
+//! precomputes every user's capped `(item, concepts)` history once per
+//! training run (history and KG are immutable during training), and
+//! [`InBoxScorer`] snapshots the item-embedding table into one contiguous
+//! matrix so scoring a user is a single linear scan instead of per-item row
+//! lookups. [`all_user_boxes_with`] fans the per-user forward passes out
+//! over the training run's persistent [`WorkerPool`].
+
+use std::sync::{Mutex, OnceLock};
 
 use inbox_autodiff::Tape;
 use inbox_data::Interactions;
@@ -7,8 +17,51 @@ use inbox_eval::Scorer;
 use inbox_kg::{Concept, ItemId, KnowledgeGraph, UserId};
 
 use crate::config::InBoxConfig;
-use crate::geometry::{self, BoxEmb};
-use crate::model::InBoxModel;
+use crate::geometry::BoxEmb;
+use crate::model::{InBoxModel, ItemBoxParts};
+use crate::pool::WorkerPool;
+
+/// Precomputed per-user history: the first `max_history_infer` training
+/// items, each with its first `max_concepts` concepts — exactly the history
+/// [`user_interest_box`] derives on every call, computed once.
+pub struct HistoryCache {
+    histories: Vec<Vec<(ItemId, Vec<Concept>)>>,
+}
+
+impl HistoryCache {
+    /// Builds the cache for every user in `train`.
+    pub fn build(kg: &KnowledgeGraph, train: &Interactions, config: &InBoxConfig) -> Self {
+        let histories = (0..train.n_users() as u32)
+            .map(|u| {
+                let items = train.items_of(UserId(u));
+                let capped: &[ItemId] = if items.len() > config.max_history_infer {
+                    &items[..config.max_history_infer]
+                } else {
+                    items
+                };
+                capped
+                    .iter()
+                    .map(|&i| {
+                        let cs = kg.concepts_of(i);
+                        let take = cs.len().min(config.max_concepts);
+                        (i, cs[..take].to_vec())
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { histories }
+    }
+
+    /// Number of users covered by the cache.
+    pub fn n_users(&self) -> usize {
+        self.histories.len()
+    }
+
+    /// The cached history of `user` (empty when the user has no history).
+    pub fn history(&self, user: UserId) -> &[(ItemId, Vec<Concept>)] {
+        &self.histories[user.index()]
+    }
+}
 
 /// Builds the interest box of a single user from their training history
 /// (forward pass only — the same tape code as training, without backward).
@@ -38,6 +91,7 @@ pub fn user_interest_box(
         })
         .collect();
     let mut tape = Tape::new();
+    tape.reset();
     let b = model.interest_box(
         &mut tape,
         user,
@@ -48,57 +102,200 @@ pub fn user_interest_box(
     Some(model.box_values(&tape, b))
 }
 
+/// One user's box from an already-capped history and precomputed per-item
+/// parts, on a reusable tape.
+fn box_from_history(
+    model: &InBoxModel,
+    config: &InBoxConfig,
+    tape: &mut Tape,
+    user: UserId,
+    history: &[(ItemId, Vec<Concept>)],
+    parts: &[Option<ItemBoxParts>],
+) -> Option<BoxEmb> {
+    if history.is_empty() {
+        return None;
+    }
+    tape.reset();
+    let b = model.interest_box_cached(tape, user, history, parts, config.user_box);
+    Some(model.box_values(tape, b))
+}
+
+/// Precomputes [`ItemBoxParts`] for every distinct item appearing in any
+/// cached history, indexed by item id. Each item's stage-2 intersection is
+/// computed once here instead of once per `(user, history item)` pair.
+fn build_item_parts(
+    model: &InBoxModel,
+    cache: &HistoryCache,
+    config: &InBoxConfig,
+) -> Vec<Option<ItemBoxParts>> {
+    let mut parts: Vec<Option<ItemBoxParts>> = Vec::new();
+    let mut tape = Tape::new();
+    for u in 0..cache.n_users() {
+        for (item, concepts) in cache.history(UserId(u as u32)) {
+            let idx = item.index();
+            if idx >= parts.len() {
+                parts.resize_with(idx + 1, || None);
+            }
+            if parts[idx].is_none() {
+                parts[idx] =
+                    Some(model.item_box_parts(&mut tape, *item, concepts, config.intersection));
+            }
+        }
+    }
+    parts
+}
+
 /// Builds interest boxes for every user.
+///
+/// Convenience wrapper that derives the history cache on the fly and runs
+/// sequentially; training loops should build a [`HistoryCache`] once and
+/// call [`all_user_boxes_with`].
 pub fn all_user_boxes(
     model: &InBoxModel,
     kg: &KnowledgeGraph,
     train: &Interactions,
     config: &InBoxConfig,
 ) -> Vec<Option<BoxEmb>> {
-    (0..train.n_users() as u32)
-        .map(|u| user_interest_box(model, kg, train, config, UserId(u)))
-        .collect()
+    let cache = HistoryCache::build(kg, train, config);
+    all_user_boxes_with(model, &cache, config, None)
+}
+
+/// Builds interest boxes for every user from a precomputed history cache,
+/// fanning out over `pool` when one is supplied. The parallel split is by
+/// contiguous user ranges, so the output is identical to the sequential
+/// path (each user's box is an independent forward pass).
+pub fn all_user_boxes_with(
+    model: &InBoxModel,
+    cache: &HistoryCache,
+    config: &InBoxConfig,
+    pool: Option<&WorkerPool>,
+) -> Vec<Option<BoxEmb>> {
+    let n = cache.n_users();
+    // Per-item parts are rebuilt on every call: they depend on the current
+    // parameters, which change between calls during training.
+    let parts = build_item_parts(model, cache, config);
+    let parts = &parts[..];
+    match pool {
+        Some(pool) if pool.workers() > 1 && n >= pool.workers() * 4 => {
+            let workers = pool.workers();
+            let chunk = n.div_ceil(workers);
+            let slots: Vec<Mutex<Vec<Option<BoxEmb>>>> =
+                (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+            pool.run(&|w| {
+                let lo = (w * chunk).min(n);
+                let hi = (lo + chunk).min(n);
+                let mut tape = Tape::new();
+                let mut out = Vec::with_capacity(hi - lo);
+                for u in lo..hi {
+                    let user = UserId(u as u32);
+                    out.push(box_from_history(
+                        model,
+                        config,
+                        &mut tape,
+                        user,
+                        cache.history(user),
+                        parts,
+                    ));
+                }
+                *slots[w].lock().unwrap() = out;
+            });
+            slots
+                .into_iter()
+                .flat_map(|m| m.into_inner().unwrap())
+                .collect()
+        }
+        _ => {
+            let mut tape = Tape::new();
+            (0..n)
+                .map(|u| {
+                    let user = UserId(u as u32);
+                    box_from_history(model, config, &mut tape, user, cache.history(user), parts)
+                })
+                .collect()
+        }
+    }
 }
 
 /// A scorer over precomputed user interest boxes. Scores are
 /// `γ - D_PB(v_i, b_u)` (Eq. (29)); users without a box (no history) score
 /// every item at `-∞`-like constant so they rank arbitrarily but harmlessly.
+///
+/// On construction the scorer snapshots the item-embedding table into one
+/// contiguous `n_items × d` matrix, so scoring walks a single allocation in
+/// item order. The per-dimension arithmetic mirrors
+/// [`geometry::d_pb_weighted`](crate::geometry::d_pb_weighted) exactly
+/// (separate outside/inside accumulators, same operation order), keeping
+/// scores bit-identical to the per-item reference path.
 pub struct InBoxScorer<'a> {
-    model: &'a InBoxModel,
     boxes: &'a [Option<BoxEmb>],
     gamma: f32,
     inside_weight: f32,
     n_items: usize,
+    dim: usize,
+    /// Row-major `n_items × dim` snapshot of the item points.
+    items: Vec<f32>,
+    /// Lazily-built score vector for history-less users, cloned per call.
+    sentinel: OnceLock<Vec<f32>>,
 }
 
 impl<'a> InBoxScorer<'a> {
-    /// Creates a scorer over precomputed boxes.
+    /// Creates a scorer over precomputed boxes, snapshotting the current
+    /// item-point matrix.
     pub fn new(
         model: &'a InBoxModel,
         boxes: &'a [Option<BoxEmb>],
         config: &InBoxConfig,
         n_items: usize,
     ) -> Self {
+        let table = model.item_point_matrix();
+        assert!(n_items <= table.rows(), "n_items exceeds item table");
+        let dim = table.cols();
         Self {
-            model,
             boxes,
             gamma: config.gamma,
             inside_weight: config.inside_weight,
             n_items,
+            dim,
+            items: table.data()[..n_items * dim].to_vec(),
+            sentinel: OnceLock::new(),
         }
+    }
+
+    fn score_against(&self, b: &BoxEmb) -> Vec<f32> {
+        let d = self.dim;
+        // Per-user box bounds, computed once for all items. Using the same
+        // `cen ± relu(off)` values and accumulation order as
+        // `geometry::d_pb_weighted` keeps scores bit-identical.
+        let mut lo = Vec::with_capacity(d);
+        let mut hi = Vec::with_capacity(d);
+        for k in 0..d {
+            let half = b.off[k].max(0.0);
+            lo.push(b.cen[k] - half);
+            hi.push(b.cen[k] + half);
+        }
+        let mut scores = Vec::with_capacity(self.n_items);
+        for row in self.items.chunks_exact(d) {
+            let mut out = 0.0f32;
+            let mut inside = 0.0f32;
+            for k in 0..d {
+                let p = row[k];
+                out += (p - hi[k]).max(0.0) + (lo[k] - p).max(0.0);
+                inside += (b.cen[k] - p.clamp(lo[k], hi[k])).abs();
+            }
+            scores.push(self.gamma - (out + self.inside_weight * inside));
+        }
+        scores
     }
 }
 
 impl Scorer for InBoxScorer<'_> {
     fn score_items(&self, user: UserId) -> Vec<f32> {
         match &self.boxes[user.index()] {
-            Some(b) => (0..self.n_items)
-                .map(|i| {
-                    let p = self.model.item_point_f32(ItemId(i as u32));
-                    self.gamma - geometry::d_pb_weighted(p, b, self.inside_weight)
-                })
-                .collect(),
-            None => vec![f32::MIN / 2.0; self.n_items],
+            Some(b) => self.score_against(b),
+            None => self
+                .sentinel
+                .get_or_init(|| vec![f32::MIN / 2.0; self.n_items])
+                .clone(),
         }
     }
 }
@@ -107,6 +304,7 @@ impl Scorer for InBoxScorer<'_> {
 mod tests {
     use super::*;
     use crate::config::InBoxConfig;
+    use crate::geometry;
     use crate::model::UniverseSizes;
     use inbox_data::{Dataset, SyntheticConfig};
 
@@ -157,5 +355,59 @@ mod tests {
         let a = user_interest_box(&model, &ds.kg, &ds.train, &cfg, UserId(1)).unwrap();
         let b = user_interest_box(&model, &ds.kg, &ds.train, &cfg, UserId(1)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cached_history_matches_per_call_derivation() {
+        let (ds, model, cfg) = setup();
+        let cache = HistoryCache::build(&ds.kg, &ds.train, &cfg);
+        assert_eq!(cache.n_users(), ds.n_users());
+        let boxes = all_user_boxes_with(&model, &cache, &cfg, None);
+        for (u, cached) in boxes.iter().enumerate() {
+            let user = UserId(u as u32);
+            let direct = user_interest_box(&model, &ds.kg, &ds.train, &cfg, user);
+            assert_eq!(*cached, direct, "user {u}");
+        }
+    }
+
+    #[test]
+    fn parallel_user_boxes_bit_identical_to_sequential() {
+        let (ds, model, cfg) = setup();
+        let cache = HistoryCache::build(&ds.kg, &ds.train, &cfg);
+        let sequential = all_user_boxes_with(&model, &cache, &cfg, None);
+        let pool = WorkerPool::new(4);
+        let parallel = all_user_boxes_with(&model, &cache, &cfg, Some(&pool));
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn matrix_snapshot_scores_match_per_item_path() {
+        let (ds, model, cfg) = setup();
+        let boxes = all_user_boxes(&model, &ds.kg, &ds.train, &cfg);
+        let scorer = InBoxScorer::new(&model, &boxes, &cfg, ds.n_items());
+        for (u, user_box) in boxes.iter().enumerate() {
+            let user = UserId(u as u32);
+            let Some(b) = user_box else { continue };
+            let fast = scorer.score_items(user);
+            for (i, &s) in fast.iter().enumerate() {
+                let p = model.item_point_f32(ItemId(i as u32));
+                let reference = cfg.gamma - geometry::d_pb_weighted(p, b, cfg.inside_weight);
+                assert!(
+                    (s - reference).abs() < 1e-6,
+                    "user {u} item {i}: {s} vs {reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn historyless_users_share_the_sentinel_scores() {
+        let (ds, model, cfg) = setup();
+        let boxes: Vec<Option<BoxEmb>> = vec![None; ds.n_users()];
+        let scorer = InBoxScorer::new(&model, &boxes, &cfg, ds.n_items());
+        let a = scorer.score_items(UserId(0));
+        let b = scorer.score_items(UserId(1));
+        assert_eq!(a, b);
+        assert_eq!(a, vec![f32::MIN / 2.0; ds.n_items()]);
     }
 }

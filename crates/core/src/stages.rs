@@ -1,11 +1,14 @@
 //! Per-sample loss graphs for the three training stages (Sections 3.2–3.4)
 //! and the batched gradient runner shared by all of them.
 
+use std::sync::Mutex;
+
 use inbox_autodiff::{GradStore, Tape, Var};
 use inbox_kg::{ItemId, TagId};
 
 use crate::config::InBoxConfig;
 use crate::model::{InBoxModel, TapeBox};
+use crate::pool::WorkerPool;
 use crate::sampler::{IrtNegatives, Stage1Sample, Stage2Sample, Stage3Sample};
 
 /// Builds the stage-1 loss (basic pretraining, Section 3.2) for one sample.
@@ -153,56 +156,130 @@ pub fn stage3_loss(
 /// Row-wise L1 distance `|a - b|_1` between `n x d` (or broadcastable)
 /// variables, as an `n x 1` column.
 fn l1_rows(tape: &mut Tape, a: Var, b: Var) -> Var {
-    let diff = tape.sub(a, b);
-    let abs = tape.abs(diff);
-    tape.sum_axis1(abs)
+    tape.l1_rows(a, b)
+}
+
+/// Per-worker reusable buffers: the tape keeps its node capacity across
+/// samples and the scratch `GradStore` keeps its tensors and row buffers
+/// across batches, so the steady-state gradient path allocates nothing.
+struct WorkerScratch {
+    tape: Tape,
+    grads: GradStore,
+    loss: f64,
+}
+
+impl WorkerScratch {
+    fn new() -> Self {
+        Self {
+            tape: Tape::new(),
+            grads: GradStore::new(),
+            loss: 0.0,
+        }
+    }
+}
+
+/// Batched gradient runner shared by all three training stages. Owns the
+/// persistent [`WorkerPool`] (for `threads > 1`) and one scratch buffer per
+/// worker; create it once per training run and reuse it for every batch of
+/// every epoch.
+pub struct BatchRunner {
+    pool: Option<WorkerPool>,
+    scratch: Vec<Mutex<WorkerScratch>>,
+}
+
+impl BatchRunner {
+    /// Creates a runner with `threads` workers (clamped to at least 1; the
+    /// pool threads are only spawned when `threads > 1`).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        Self {
+            pool: (threads > 1).then(|| WorkerPool::new(threads)),
+            scratch: (0..threads)
+                .map(|_| Mutex::new(WorkerScratch::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of workers this runner distributes batches over.
+    pub fn threads(&self) -> usize {
+        self.scratch.len()
+    }
+
+    /// The persistent worker pool, when running multi-threaded. Shared with
+    /// other fan-out work (e.g. parallel inference) so a training run never
+    /// spawns more than one set of threads.
+    pub fn pool(&self) -> Option<&WorkerPool> {
+        self.pool.as_ref()
+    }
+
+    /// Accumulates gradients over `samples` into `out` (cleared first, scaled
+    /// by `1/len`) and returns the mean loss. Worker partials are merged in
+    /// worker order, so results are reproducible for a fixed thread count.
+    pub fn grad_batch_into<S: Sync>(
+        &self,
+        model: &InBoxModel,
+        samples: &[S],
+        build: &(dyn Fn(&InBoxModel, &mut Tape, &S) -> Var + Sync),
+        out: &mut GradStore,
+    ) -> f64 {
+        out.clear();
+        let threads = self.scratch.len();
+        let mut loss_sum = 0.0f64;
+        let pool = self.pool.as_ref().filter(|_| samples.len() >= threads * 4);
+        if let Some(pool) = pool {
+            let chunk = samples.len().div_ceil(threads);
+            pool.run(&|w| {
+                let mut scratch = self.scratch[w].lock().unwrap();
+                let scratch = &mut *scratch;
+                scratch.grads.clear();
+                scratch.loss = 0.0;
+                let lo = (w * chunk).min(samples.len());
+                let hi = (lo + chunk).min(samples.len());
+                for s in &samples[lo..hi] {
+                    scratch.tape.reset();
+                    let loss = build(model, &mut scratch.tape, s);
+                    scratch.loss += scratch.tape.value(loss).item() as f64;
+                    scratch.tape.backward_into(loss, &mut scratch.grads);
+                }
+            });
+            for slot in &self.scratch {
+                let scratch = slot.lock().unwrap();
+                loss_sum += scratch.loss;
+                out.merge_from(&scratch.grads);
+            }
+        } else {
+            let mut scratch = self.scratch[0].lock().unwrap();
+            let scratch = &mut *scratch;
+            for s in samples {
+                scratch.tape.reset();
+                let loss = build(model, &mut scratch.tape, s);
+                loss_sum += scratch.tape.value(loss).item() as f64;
+                scratch.tape.backward_into(loss, out);
+            }
+        }
+        let n = samples.len().max(1);
+        out.scale(1.0 / n as f32);
+        loss_sum / n as f64
+    }
 }
 
 /// Accumulates gradients over a slice of samples, optionally across worker
 /// threads, returning the merged gradients (scaled by `1/len`) and the mean
 /// loss.
+///
+/// Convenience wrapper that builds a transient [`BatchRunner`]; hot loops
+/// should create one runner per training run and call
+/// [`BatchRunner::grad_batch_into`] instead.
 pub fn grad_batch<S: Sync>(
     model: &InBoxModel,
     samples: &[S],
     threads: usize,
     build: &(dyn Fn(&InBoxModel, &mut Tape, &S) -> Var + Sync),
 ) -> (GradStore, f64) {
-    let run_chunk = |chunk: &[S]| -> (GradStore, f64) {
-        let mut grads = GradStore::new();
-        let mut loss_sum = 0.0f64;
-        for s in chunk {
-            let mut tape = Tape::new();
-            let loss = build(model, &mut tape, s);
-            loss_sum += tape.value(loss).item() as f64;
-            grads.merge(tape.backward(loss));
-        }
-        (grads, loss_sum)
-    };
-
-    let (mut grads, loss_sum) = if threads <= 1 || samples.len() < threads * 4 {
-        run_chunk(samples)
-    } else {
-        let chunk = samples.len().div_ceil(threads);
-        let partials: Vec<(GradStore, f64)> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = samples
-                .chunks(chunk)
-                .map(|c| scope.spawn(move |_| run_chunk(c)))
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .expect("gradient worker panicked");
-        let mut grads = GradStore::new();
-        let mut loss = 0.0f64;
-        for (g, l) in partials {
-            grads.merge(g);
-            loss += l;
-        }
-        (grads, loss)
-    };
-
-    let n = samples.len().max(1);
-    grads.scale(1.0 / n as f32);
-    (grads, loss_sum / n as f64)
+    let runner = BatchRunner::new(threads);
+    let mut grads = GradStore::new();
+    let loss = runner.grad_batch_into(model, samples, build, &mut grads);
+    (grads, loss)
 }
 
 #[cfg(test)]
@@ -312,16 +389,70 @@ mod tests {
         }
     }
 
+    /// Mean loss must be invariant to the worker count (within f64 summation
+    /// reordering, far below 1e-9 here) and gradients must agree closely, for
+    /// all three stage losses under the pooled runner.
     #[test]
     fn grad_batch_threads_match_sequential_loss() {
+        fn check<S: Sync>(
+            what: &str,
+            model: &InBoxModel,
+            samples: &[S],
+            build: &(dyn Fn(&InBoxModel, &mut Tape, &S) -> Var + Sync),
+        ) {
+            let runner1 = BatchRunner::new(1);
+            let mut g1 = GradStore::new();
+            let l1 = runner1.grad_batch_into(model, samples, build, &mut g1);
+            for threads in [2, 8] {
+                let runner = BatchRunner::new(threads);
+                let mut g = GradStore::new();
+                let l = runner.grad_batch_into(model, samples, build, &mut g);
+                assert!(
+                    (l1 - l).abs() < 1e-9,
+                    "{what}: loss diverged at {threads} threads: {l1} vs {l}"
+                );
+                assert!(
+                    (g1.max_abs() - g.max_abs()).abs() < 1e-5,
+                    "{what}: grads diverged at {threads} threads"
+                );
+                assert!(
+                    (g1.l2_norm() - g.l2_norm()).abs() < 1e-4,
+                    "{what}: grad norm diverged at {threads} threads"
+                );
+            }
+        }
+
         let (ds, model, cfg) = setup();
         let stats = Stage1Stats::new(&ds.kg);
         let mut rng = StdRng::seed_from_u64(7);
+        let s1 = stage1_epoch(&ds.kg, &stats, &cfg, &mut rng);
+        check("stage1", &model, &s1, &|m, t, s| stage1_loss(m, t, s, &cfg));
+        let s2 = stage2_epoch(&ds.kg, &cfg, &mut rng);
+        check("stage2", &model, &s2, &|m, t, s| stage2_loss(m, t, s, &cfg));
+        let s3 = stage3_epoch(&ds.kg, &ds.train, &cfg, &mut rng);
+        check("stage3", &model, &s3, &|m, t, s| stage3_loss(m, t, s, &cfg));
+    }
+
+    /// A runner reused across batches (the trainer's pattern) must produce
+    /// the same result as a fresh runner per batch: scratch state may not
+    /// leak between batches.
+    #[test]
+    fn reused_runner_matches_fresh_runner() {
+        let (ds, model, cfg) = setup();
+        let stats = Stage1Stats::new(&ds.kg);
+        let mut rng = StdRng::seed_from_u64(11);
         let samples = stage1_epoch(&ds.kg, &stats, &cfg, &mut rng);
         let build = |m: &InBoxModel, t: &mut Tape, s: &Stage1Sample| stage1_loss(m, t, s, &cfg);
-        let (g1, l1) = grad_batch(&model, &samples, 1, &build);
-        let (g2, l2) = grad_batch(&model, &samples, 4, &build);
-        assert!((l1 - l2).abs() < 1e-9);
-        assert!((g1.max_abs() - g2.max_abs()).abs() < 1e-5);
+        for threads in [1, 4] {
+            let runner = BatchRunner::new(threads);
+            let mut reused = GradStore::new();
+            for batch in samples.chunks(16) {
+                let l_reused = runner.grad_batch_into(&model, batch, &build, &mut reused);
+                let (fresh, l_fresh) = grad_batch(&model, batch, threads, &build);
+                assert_eq!(l_reused, l_fresh, "{threads} threads");
+                assert_eq!(reused.max_abs(), fresh.max_abs(), "{threads} threads");
+                assert_eq!(reused.l2_norm(), fresh.l2_norm(), "{threads} threads");
+            }
+        }
     }
 }

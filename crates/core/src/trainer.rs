@@ -1,7 +1,7 @@
 //! Three-stage training orchestration (Figure 3) with the paper's learning
 //! rate schedule and early-stopping rule.
 
-use inbox_autodiff::Adam;
+use inbox_autodiff::{Adam, GradStore};
 use inbox_data::Dataset;
 use inbox_eval::{evaluate_with_threads, top_k_masked, RankingMetrics, Scorer};
 use inbox_kg::{ItemId, UserId};
@@ -11,9 +11,9 @@ use rand::SeedableRng;
 use crate::config::InBoxConfig;
 use crate::geometry::BoxEmb;
 use crate::model::{InBoxModel, UniverseSizes};
-use crate::predict::{all_user_boxes, InBoxScorer};
+use crate::predict::{all_user_boxes_with, HistoryCache, InBoxScorer};
 use crate::sampler::{stage1_epoch, stage2_epoch, stage3_epoch, Stage1Stats};
-use crate::stages::{grad_batch, stage1_loss, stage2_loss, stage3_loss};
+use crate::stages::{stage1_loss, stage2_loss, stage3_loss, BatchRunner};
 
 /// Per-stage training history.
 #[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
@@ -210,6 +210,12 @@ pub fn train(dataset: &Dataset, config: InBoxConfig) -> TrainedInBox {
     };
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(1));
     let batch_counter = inbox_obs::counter("grad.batches");
+    // Hot-path state shared by every batch of every stage: the persistent
+    // worker pool, one reusable gradient buffer, and the per-user history
+    // cache (history and KG are immutable during training).
+    let runner = BatchRunner::new(config.threads);
+    let mut grads = GradStore::new();
+    let history = HistoryCache::build(&dataset.kg, &dataset.train, &config);
 
     // ---- Stage 1: basic pretraining (Section 3.2) ------------------------
     if config.use_stage1 {
@@ -233,9 +239,12 @@ pub fn train(dataset: &Dataset, config: InBoxConfig) -> TrainedInBox {
             let mut grad_norm = 0.0;
             for batch in samples.chunks(config.batch_size) {
                 let span = inbox_obs::span("grad.stage1");
-                let (grads, loss) = grad_batch(&model, batch, config.threads, &|m, t, s| {
-                    stage1_loss(m, t, s, &config)
-                });
+                let loss = runner.grad_batch_into(
+                    &model,
+                    batch,
+                    &|m, t, s| stage1_loss(m, t, s, &config),
+                    &mut grads,
+                );
                 span.stop();
                 batch_counter.incr();
                 batches += 1;
@@ -272,9 +281,12 @@ pub fn train(dataset: &Dataset, config: InBoxConfig) -> TrainedInBox {
             let mut grad_norm = 0.0;
             for batch in samples.chunks(config.batch_size) {
                 let span = inbox_obs::span("grad.stage2");
-                let (grads, loss) = grad_batch(&model, batch, config.threads, &|m, t, s| {
-                    stage2_loss(m, t, s, &config)
-                });
+                let loss = runner.grad_batch_into(
+                    &model,
+                    batch,
+                    &|m, t, s| stage2_loss(m, t, s, &config),
+                    &mut grads,
+                );
                 span.stop();
                 batch_counter.incr();
                 batches += 1;
@@ -314,9 +326,12 @@ pub fn train(dataset: &Dataset, config: InBoxConfig) -> TrainedInBox {
         let mut grad_norm = 0.0;
         for batch in samples.chunks(config.batch_size) {
             let span = inbox_obs::span("grad.stage3");
-            let (grads, loss) = grad_batch(&model, batch, config.threads, &|m, t, s| {
-                stage3_loss(m, t, s, &config)
-            });
+            let loss = runner.grad_batch_into(
+                &model,
+                batch,
+                &|m, t, s| stage3_loss(m, t, s, &config),
+                &mut grads,
+            );
             span.stop();
             batch_counter.incr();
             batches += 1;
@@ -329,7 +344,7 @@ pub fn train(dataset: &Dataset, config: InBoxConfig) -> TrainedInBox {
         let loss = loss_sum / batches.max(1) as f64;
         report.stage3_losses.push(loss);
 
-        let boxes = all_user_boxes(&model, &dataset.kg, &dataset.train, &config);
+        let boxes = all_user_boxes_with(&model, &history, &config, runner.pool());
         let scorer = InBoxScorer::new(&model, &boxes, &config, sizes.n_items);
         let metrics =
             evaluate_with_threads(&scorer, &dataset.train, &dataset.test, 20, config.threads);
@@ -356,7 +371,7 @@ pub fn train(dataset: &Dataset, config: InBoxConfig) -> TrainedInBox {
         }
     }
 
-    let boxes = all_user_boxes(&model, &dataset.kg, &dataset.train, &config);
+    let boxes = all_user_boxes_with(&model, &history, &config, runner.pool());
     TrainedInBox {
         model,
         config,
