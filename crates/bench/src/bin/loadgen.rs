@@ -1,0 +1,251 @@
+//! Serving load generator: drives the `inbox-serve` stack with concurrent
+//! clients and records latency/throughput to `BENCH_serve.json`.
+//!
+//! Two phases, each with its own engine:
+//!
+//! 1. **verify** — concurrent recommend-only traffic compared answer-by-
+//!    answer against the single-threaded oracle. Any bit difference aborts
+//!    the benchmark: numbers for a wrong server are worthless.
+//! 2. **load** — mixed recommend/ingest streams from N client threads.
+//!    Latency percentiles come from the `serve.request` span histogram,
+//!    batch sizes from the `serve.batch.size` value histogram — the same
+//!    telemetry a production `--metrics-out` sink would see.
+//!
+//! The model is untrained: serving cost (forward pass, scoring, top-K) is
+//! independent of parameter values, so skipping training keeps the bench
+//! fast without changing what is measured.
+//!
+//! ```text
+//! cargo run --release -p inbox-bench --bin loadgen            # full run
+//! cargo run --release -p inbox-bench --bin loadgen -- --quick # CI smoke
+//! ```
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use inbox_core::model::{InBoxModel, UniverseSizes};
+use inbox_core::InBoxConfig;
+use inbox_data::{Dataset, SyntheticConfig};
+use inbox_kg::{ItemId, UserId};
+use inbox_serve::{Engine, ServeConfig, ServeError, Service};
+use serde::{Deserialize, Serialize};
+
+/// Latency summary in milliseconds (from the `serve.request` span).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LatencyMs {
+    mean: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Report {
+    dataset: String,
+    dim: usize,
+    clients: usize,
+    requests_per_client: usize,
+    ingest_every: usize,
+    /// Verified bit-identical answers in the oracle phase.
+    verified_answers: u64,
+    answered: u64,
+    shed: u64,
+    ingests: u64,
+    rebuilds: u64,
+    cache_hits: u64,
+    cache_hit_rate: f64,
+    batches: u64,
+    mean_batch_size: f64,
+    qps: f64,
+    latency_ms: LatencyMs,
+}
+
+fn engine_over(ds: &Dataset, serve_cfg: &ServeConfig) -> Engine {
+    let cfg = InBoxConfig::tiny_test();
+    let sizes = UniverseSizes {
+        n_items: ds.kg.n_items(),
+        n_tags: ds.kg.n_tags(),
+        n_relations: ds.kg.n_relations(),
+        n_users: ds.n_users(),
+    };
+    let model = InBoxModel::new(sizes, &cfg);
+    Engine::new(model, cfg, ds.kg.clone(), &ds.train, serve_cfg)
+}
+
+/// Phase 1: every concurrent answer must equal the precomputed oracle.
+fn verify(ds: &Dataset, serve_cfg: &ServeConfig, clients: usize, k: usize) -> u64 {
+    let engine = engine_over(ds, serve_cfg);
+    let n_users = ds.n_users() as u32;
+    let oracle: Vec<_> = (0..n_users)
+        .map(|u| engine.oracle(UserId(u), k).expect("oracle"))
+        .collect();
+    let service = Service::start(engine, serve_cfg);
+    let verified = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..clients as u32 {
+            let service = &service;
+            let oracle = &oracle;
+            let verified = &verified;
+            s.spawn(move || {
+                for i in 0..n_users {
+                    let user = UserId((i * 13 + t * 7) % n_users);
+                    let got = service
+                        .recommend(user, k)
+                        .expect("verify phase never sheds");
+                    assert_eq!(
+                        got,
+                        oracle[user.index()],
+                        "served answer diverged from the single-threaded oracle"
+                    );
+                    verified.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    service.shutdown();
+    verified.into_inner()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let clients: usize = args
+        .iter()
+        .position(|a| a == "--clients")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let out_path: PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json")
+        });
+
+    inbox_obs::set_enabled(true);
+    let synth = if quick {
+        SyntheticConfig::tiny()
+    } else {
+        SyntheticConfig::small()
+    };
+    let requests_per_client = if quick { 200 } else { 5_000 };
+    let ingest_every = 10; // one ingest per 10 recommends per client
+    let ds = Dataset::synthetic(&synth, 7);
+    let serve_cfg = ServeConfig {
+        queue_cap: 8192,
+        ..ServeConfig::default()
+    };
+    let k = 20;
+
+    println!(
+        "loadgen: dataset {} ({} users, {} items), {} clients x {} requests, ingest every {}",
+        synth.name,
+        ds.n_users(),
+        ds.n_items(),
+        clients,
+        requests_per_client,
+        ingest_every
+    );
+
+    let verified_answers = verify(&ds, &serve_cfg, clients, k);
+    println!("verify: {verified_answers} concurrent answers bit-identical to the oracle");
+
+    // Fresh telemetry and a fresh engine for the measured phase. The reset
+    // must happen *before* the engine exists: engines hold counter handles,
+    // and reset detaches previously fetched handles.
+    inbox_obs::reset();
+    let engine = engine_over(&ds, &serve_cfg);
+    let dim = InBoxConfig::tiny_test().dim;
+    let n_users = ds.n_users() as u32;
+    let n_items = ds.n_items() as u32;
+    let service = Service::start(engine, &serve_cfg);
+
+    let shed = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..clients as u32 {
+            let service = &service;
+            let shed = &shed;
+            s.spawn(move || {
+                for i in 0..requests_per_client as u32 {
+                    let user = UserId((i * 29 + t * 101) % n_users);
+                    if i as usize % ingest_every == ingest_every - 1 {
+                        let item = ItemId((i * 31 + t * 61) % n_items);
+                        service.ingest(user, item).expect("valid ids never fail");
+                        continue;
+                    }
+                    match service.recommend(user, k) {
+                        Ok(_) => {}
+                        Err(ServeError::Overloaded) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("unexpected serving error: {e}"),
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let stats = service.stats();
+    service.shutdown();
+
+    let latency = inbox_obs::span_snapshot("serve.request").expect("span recorded under load");
+    let batch = inbox_obs::value_snapshot("serve.batch.size").expect("batches were flushed");
+    let ns_to_ms = |ns: u64| ns as f64 / 1e6;
+    let lookups = stats.rebuilds + stats.cache_hits;
+    let report = Report {
+        dataset: synth.name.clone(),
+        dim,
+        clients,
+        requests_per_client,
+        ingest_every,
+        verified_answers,
+        answered: stats.requests,
+        shed: stats.sheds,
+        ingests: stats.ingests,
+        rebuilds: stats.rebuilds,
+        cache_hits: stats.cache_hits,
+        cache_hit_rate: if lookups == 0 {
+            0.0
+        } else {
+            stats.cache_hits as f64 / lookups as f64
+        },
+        batches: stats.batches,
+        mean_batch_size: if batch.count == 0 {
+            0.0
+        } else {
+            batch.sum as f64 / batch.count as f64
+        },
+        qps: stats.requests as f64 / elapsed,
+        latency_ms: LatencyMs {
+            mean: ns_to_ms(latency.mean),
+            p50: ns_to_ms(latency.p50),
+            p95: ns_to_ms(latency.p95),
+            p99: ns_to_ms(latency.p99),
+        },
+    };
+
+    println!(
+        "load: {} answered, {} shed, {} ingests in {:.2}s -> {:.0} req/s",
+        report.answered, report.shed, report.ingests, elapsed, report.qps
+    );
+    println!(
+        "latency ms: mean {:.3} p50 {:.3} p95 {:.3} p99 {:.3}",
+        report.latency_ms.mean, report.latency_ms.p50, report.latency_ms.p95, report.latency_ms.p99
+    );
+    println!(
+        "cache hit rate {:.1}% ({} hits / {} rebuilds), {} batches, mean batch {:.2}",
+        report.cache_hit_rate * 100.0,
+        report.cache_hits,
+        report.rebuilds,
+        report.batches,
+        report.mean_batch_size
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("serialise serve report");
+    std::fs::write(&out_path, json).expect("write BENCH_serve.json");
+    println!("[written {}]", out_path.display());
+}

@@ -10,6 +10,7 @@ use inbox_data::{Dataset, SyntheticConfig};
 use inbox_eval::{beyond_accuracy, Scorer};
 use inbox_kg::UserId;
 use inbox_obs::{ConsoleSink, JsonlSink, Verbosity};
+use inbox_serve::{Engine, HttpServer, ServeConfig, Service};
 
 use crate::args::Parsed;
 
@@ -26,6 +27,9 @@ USAGE:
   inbox evaluate  --model MODEL.json (--preset P | --data DIR) [--k 20]
   inbox recommend --model MODEL.json (--preset P | --data DIR) --user U
                   [--k 10] [--explain]
+  inbox serve     --model MODEL.json (--preset P | --data DIR)
+                  [--addr 127.0.0.1:7878] [--batch-max 32] [--batch-wait-us 500]
+                  [--queue-cap 1024] [--cache-cap 100000] [--threads 1] [--smoke]
 
 GLOBAL FLAGS:
   --log-level quiet|info|debug   console verbosity (default info); quiet
@@ -298,6 +302,95 @@ pub fn recommend(parsed: &Parsed) -> CmdResult {
     Ok(())
 }
 
+/// Builds the serving configuration from flags.
+pub fn serve_config_from_flags(parsed: &Parsed) -> Result<ServeConfig, Box<dyn Error>> {
+    let defaults = ServeConfig::default();
+    Ok(ServeConfig {
+        max_batch: parsed.get_parsed("batch-max", defaults.max_batch)?,
+        batch_wait: std::time::Duration::from_micros(parsed.get_parsed("batch-wait-us", 500u64)?),
+        queue_cap: parsed.get_parsed("queue-cap", defaults.queue_cap)?,
+        cache_cap: parsed.get_parsed("cache-cap", defaults.cache_cap)?,
+        threads: parsed.get_parsed("threads", defaults.threads)?,
+    })
+}
+
+/// One blocking HTTP GET against the local server (smoke checks).
+fn self_request(addr: std::net::SocketAddr, path: &str) -> Result<String, Box<dyn Error>> {
+    use std::io::Read as _;
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: inbox\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    if !response.starts_with("HTTP/1.1 200") {
+        return Err(format!("{path} answered: {}", response.lines().next().unwrap_or("")).into());
+    }
+    Ok(response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default())
+}
+
+/// `inbox serve` — load a checkpoint and serve recommendations over HTTP.
+pub fn serve(parsed: &Parsed) -> CmdResult {
+    let model_path = parsed.require("model")?;
+    let addr = parsed.get("addr").unwrap_or("127.0.0.1:7878");
+    let serve_cfg = serve_config_from_flags(parsed)?;
+    let ds = load_dataset(parsed)?;
+    let trained = persist::load(model_path)?;
+    if trained.boxes.len() != ds.n_users() {
+        return Err(format!(
+            "checkpoint was trained on {} users but the dataset has {} — \
+             serve needs the same --preset/--data the model was trained on",
+            trained.boxes.len(),
+            ds.n_users()
+        )
+        .into());
+    }
+    let engine = Engine::from_trained(trained, ds.kg.clone(), &ds.train, &serve_cfg);
+    let service = Arc::new(Service::start(engine, &serve_cfg));
+    let http = HttpServer::bind(Arc::clone(&service), addr)
+        .map_err(|e| format!("cannot bind --addr {addr}: {e}"))?;
+    if chatty() {
+        println!(
+            "serving {} on http://{} (batch {} / {}us, queue {}, cache {}, threads {})",
+            ds.name,
+            http.local_addr(),
+            serve_cfg.max_batch,
+            serve_cfg.batch_wait.as_micros(),
+            serve_cfg.queue_cap,
+            serve_cfg.cache_cap,
+            serve_cfg.threads
+        );
+        println!("routes: GET /health  GET /recommend?user=U&k=K  POST /ingest?user=U&item=I  GET /stats");
+    }
+    if parsed.has("smoke") {
+        // Prove the wire path end to end, then exit (used by CI).
+        self_request(http.local_addr(), "/health")?;
+        let body = self_request(http.local_addr(), "/recommend?user=0&k=5")?;
+        if chatty() {
+            println!("smoke recommend: {body}");
+        }
+        let stats = service.stats();
+        if chatty() {
+            println!(
+                "smoke ok: {} request(s), {} rebuild(s), {} cache hit(s)",
+                stats.requests, stats.rebuilds, stats.cache_hits
+            );
+        }
+        http.shutdown();
+        service.shutdown();
+        inbox_obs::emit_run_summary(inbox_obs::next_run_id());
+        inbox_obs::flush_sinks();
+        return Ok(());
+    }
+    // Serve until the process is killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -421,6 +514,45 @@ mod tests {
         ]);
         assert!(recommend(&p).is_err());
 
+        // serve --smoke: checkpoint up, HTTP round-trips, clean exit.
+        let p = parsed(&[
+            "serve",
+            "--model",
+            model_str,
+            "--data",
+            data_dir.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--smoke",
+        ]);
+        serve(&p).unwrap();
+
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn serve_config_flags_respected() {
+        let p = parsed(&[
+            "serve",
+            "--batch-max",
+            "8",
+            "--batch-wait-us",
+            "250",
+            "--queue-cap",
+            "64",
+            "--cache-cap",
+            "1000",
+            "--threads",
+            "2",
+        ]);
+        let cfg = serve_config_from_flags(&p).unwrap();
+        assert_eq!(cfg.max_batch, 8);
+        assert_eq!(cfg.batch_wait, std::time::Duration::from_micros(250));
+        assert_eq!(cfg.queue_cap, 64);
+        assert_eq!(cfg.cache_cap, 1000);
+        assert_eq!(cfg.threads, 2);
+        // Defaults hold when flags are absent.
+        let d = serve_config_from_flags(&parsed(&["serve"])).unwrap();
+        assert_eq!(d.max_batch, inbox_serve::ServeConfig::default().max_batch);
     }
 }

@@ -8,6 +8,9 @@
 //!                 [--lr 0.02] [--seed 42] [--maxmin] [--quick]
 //! inbox evaluate  --model model.json (--preset P | --data DIR) [--k 20]
 //! inbox recommend --model model.json (--preset P | --data DIR) --user 3 [--k 10] [--explain]
+//! inbox serve     --model model.json (--preset P | --data DIR) [--addr HOST:PORT]
+//!                 [--batch-max 32] [--batch-wait-us 500] [--queue-cap 1024]
+//!                 [--cache-cap 100000] [--threads 1] [--smoke]
 //! ```
 //!
 //! Every subcommand also accepts `--log-level quiet|info|debug` (console
@@ -43,6 +46,7 @@ fn main() {
         "train" => commands::train(&parsed),
         "evaluate" => commands::evaluate(&parsed),
         "recommend" => commands::recommend(&parsed),
+        "serve" => commands::serve(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

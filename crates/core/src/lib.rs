@@ -40,6 +40,7 @@ pub use geometry::BoxEmb;
 pub use model::{InBoxModel, TapeBox, UniverseSizes};
 pub use pool::WorkerPool;
 pub use predict::{
-    all_user_boxes, all_user_boxes_with, user_interest_box, HistoryCache, InBoxScorer,
+    all_user_boxes, all_user_boxes_with, user_box_from_history, user_interest_box, HistoryCache,
+    InBoxScorer, ItemScorer,
 };
 pub use trainer::{train, TrainReport, TrainedInBox};

@@ -24,6 +24,16 @@ pub enum PersistError {
     Format(String),
     /// The checkpoint does not match the model it is loaded into.
     Mismatch(String),
+    /// The checkpoint was written by a newer (or otherwise unknown) format
+    /// version. Detected *before* field-level deserialisation, so a future
+    /// format with incompatible fields surfaces as this typed error rather
+    /// than an opaque parse failure.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Newest version this build can read.
+        supported: u32,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -32,6 +42,10 @@ impl std::fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "i/o error: {e}"),
             PersistError::Format(e) => write!(f, "format error: {e}"),
             PersistError::Mismatch(e) => write!(f, "checkpoint mismatch: {e}"),
+            PersistError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported checkpoint version {found} (this build reads up to {supported})"
+            ),
         }
     }
 }
@@ -105,10 +119,10 @@ pub fn to_checkpoint(trained: &TrainedInBox) -> Checkpoint {
 /// Reconstructs a trained model from a [`Checkpoint`].
 pub fn from_checkpoint(ckpt: Checkpoint) -> Result<TrainedInBox, PersistError> {
     if ckpt.version != CHECKPOINT_VERSION {
-        return Err(PersistError::Mismatch(format!(
-            "unsupported checkpoint version {}",
-            ckpt.version
-        )));
+        return Err(PersistError::UnsupportedVersion {
+            found: ckpt.version,
+            supported: CHECKPOINT_VERSION,
+        });
     }
     let sizes = UniverseSizes {
         n_items: ckpt.n_items,
@@ -150,10 +164,32 @@ pub fn save(trained: &TrainedInBox, path: impl AsRef<Path>) -> Result<(), Persis
 }
 
 /// Loads a trained model from `path`.
+///
+/// The format version is checked on the raw JSON value **before** the
+/// checkpoint struct is deserialised: a file written by a future format —
+/// whose fields this build may not even be able to parse — fails with
+/// [`PersistError::UnsupportedVersion`] instead of a misleading field-level
+/// format error.
 pub fn load(path: impl AsRef<Path>) -> Result<TrainedInBox, PersistError> {
     let json = std::fs::read_to_string(path)?;
-    let ckpt: Checkpoint =
+    let value: serde_json::Value =
         serde_json::from_str(&json).map_err(|e| PersistError::Format(e.to_string()))?;
+    let found = value
+        .as_object()
+        .and_then(|o| o.get("version"))
+        .and_then(|v| match v {
+            serde::value::Value::Number(n) => n.as_u64(),
+            _ => None,
+        })
+        .ok_or_else(|| PersistError::Format("checkpoint has no `version` field".into()))?;
+    if found != u64::from(CHECKPOINT_VERSION) {
+        return Err(PersistError::UnsupportedVersion {
+            found: found.try_into().unwrap_or(u32::MAX),
+            supported: CHECKPOINT_VERSION,
+        });
+    }
+    let ckpt: Checkpoint =
+        serde_json::from_value(&value).map_err(|e| PersistError::Format(e.to_string()))?;
     from_checkpoint(ckpt)
 }
 
@@ -238,7 +274,77 @@ mod tests {
             Err(e) => e,
             Ok(_) => panic!("version mismatch must be rejected"),
         };
-        assert!(matches!(err, PersistError::Mismatch(_)));
+        assert!(matches!(
+            err,
+            PersistError::UnsupportedVersion {
+                found: 99,
+                supported: CHECKPOINT_VERSION
+            }
+        ));
+        assert!(err.to_string().contains("version 99"));
+    }
+
+    #[test]
+    fn future_version_with_unknown_fields_fails_typed_not_garbage() {
+        // A checkpoint from a hypothetical future format: bumped version,
+        // fields this build has never heard of, and a *missing* field the
+        // current struct requires. Loading must fail with the typed
+        // UnsupportedVersion error from the version sniff — never a panic or
+        // a confusing field-level format error.
+        let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 48);
+        let trained = train(&ds, crate::config::InBoxConfig::tiny_test());
+        let value = serde_json::to_value(&to_checkpoint(&trained)).unwrap();
+        let obj = value.as_object().unwrap();
+        let mut future = serde::value::Map::new();
+        for (k, v) in obj.iter() {
+            match k.as_str() {
+                "version" => future.insert(
+                    "version",
+                    serde::value::Value::Number(serde::value::Number::U64(
+                        u64::from(CHECKPOINT_VERSION) + 1,
+                    )),
+                ),
+                // The future format renamed `params`; this build could not
+                // deserialise the document even if it tried.
+                "params" => future.insert("parameter_shards", v.clone()),
+                _ => future.insert(k.clone(), v.clone()),
+            }
+        }
+        future.insert(
+            "quantization",
+            serde::value::Value::String("int8-blockwise".into()),
+        );
+        let path = std::env::temp_dir().join(format!("inbox-future-{}.json", std::process::id()));
+        std::fs::write(
+            &path,
+            serde_json::to_string(&serde::value::Value::Object(future)).unwrap(),
+        )
+        .unwrap();
+        let err = match load(&path) {
+            Err(e) => e,
+            Ok(_) => panic!("future version must be rejected"),
+        };
+        std::fs::remove_file(&path).unwrap();
+        match err {
+            PersistError::UnsupportedVersion { found, supported } => {
+                assert_eq!(found, CHECKPOINT_VERSION + 1);
+                assert_eq!(supported, CHECKPOINT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn versionless_document_is_a_format_error() {
+        let path =
+            std::env::temp_dir().join(format!("inbox-versionless-{}.json", std::process::id()));
+        std::fs::write(&path, "{\"config\":{}}").unwrap();
+        let err = match load(&path) {
+            Err(e) => e,
+            Ok(_) => panic!("versionless document must be rejected"),
+        };
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(err, PersistError::Format(_)));
         assert!(err.to_string().contains("version"));
     }
 

@@ -24,14 +24,22 @@ use crate::pool::WorkerPool;
 /// Precomputed per-user history: the first `max_history_infer` training
 /// items, each with its first `max_concepts` concepts — exactly the history
 /// [`user_interest_box`] derives on every call, computed once.
+///
+/// Training treats the cache as immutable; online serving mutates it through
+/// [`HistoryCache::ingest`], which appends a freshly observed interaction to
+/// one user's capped history and bumps that user's **version**. Versions let
+/// downstream box caches detect staleness per user: a cached box computed at
+/// version `v` is valid exactly while `version(user) == v`.
 pub struct HistoryCache {
     histories: Vec<Vec<(ItemId, Vec<Concept>)>>,
+    /// Monotonic per-user change counter; starts at 0, bumped by `ingest`.
+    versions: Vec<u64>,
 }
 
 impl HistoryCache {
     /// Builds the cache for every user in `train`.
     pub fn build(kg: &KnowledgeGraph, train: &Interactions, config: &InBoxConfig) -> Self {
-        let histories = (0..train.n_users() as u32)
+        let histories: Vec<Vec<(ItemId, Vec<Concept>)>> = (0..train.n_users() as u32)
             .map(|u| {
                 let items = train.items_of(UserId(u));
                 let capped: &[ItemId] = if items.len() > config.max_history_infer {
@@ -49,7 +57,11 @@ impl HistoryCache {
                     .collect()
             })
             .collect();
-        Self { histories }
+        let versions = vec![0; histories.len()];
+        Self {
+            histories,
+            versions,
+        }
     }
 
     /// Number of users covered by the cache.
@@ -60,6 +72,36 @@ impl HistoryCache {
     /// The cached history of `user` (empty when the user has no history).
     pub fn history(&self, user: UserId) -> &[(ItemId, Vec<Concept>)] {
         &self.histories[user.index()]
+    }
+
+    /// The user's history version: 0 as built, +1 per effective [`ingest`].
+    ///
+    /// [`ingest`]: HistoryCache::ingest
+    pub fn version(&self, user: UserId) -> u64 {
+        self.versions[user.index()]
+    }
+
+    /// Records a live interaction: appends `item` (with its capped concept
+    /// list) to the user's history and bumps their version. Returns `true`
+    /// when the history actually changed; an item already present or a
+    /// history already at `max_history_infer` leaves both the history and
+    /// the version untouched, so cached boxes stay valid.
+    pub fn ingest(
+        &mut self,
+        kg: &KnowledgeGraph,
+        config: &InBoxConfig,
+        user: UserId,
+        item: ItemId,
+    ) -> bool {
+        let history = &mut self.histories[user.index()];
+        if history.len() >= config.max_history_infer || history.iter().any(|(i, _)| *i == item) {
+            return false;
+        }
+        let cs = kg.concepts_of(item);
+        let take = cs.len().min(config.max_concepts);
+        history.push((item, cs[..take].to_vec()));
+        self.versions[user.index()] += 1;
+        true
     }
 }
 
@@ -100,6 +142,26 @@ pub fn user_interest_box(
         config.user_box,
     );
     Some(model.box_values(&tape, b))
+}
+
+/// Builds one user's interest box from an explicit (already capped) history
+/// on a reusable tape — the single-user building block behind online
+/// serving. Follows the exact op sequence of [`user_interest_box`], so a box
+/// computed here is bit-identical to one computed from an [`Interactions`]
+/// set carrying the same history. Returns `None` for an empty history.
+pub fn user_box_from_history(
+    model: &InBoxModel,
+    config: &InBoxConfig,
+    tape: &mut Tape,
+    user: UserId,
+    history: &[(ItemId, Vec<Concept>)],
+) -> Option<BoxEmb> {
+    if history.is_empty() {
+        return None;
+    }
+    tape.reset();
+    let b = model.interest_box(tape, user, history, config.intersection, config.user_box);
+    Some(model.box_values(tape, b))
 }
 
 /// One user's box from an already-capped history and precomputed per-item
@@ -216,18 +278,20 @@ pub fn all_user_boxes_with(
     }
 }
 
-/// A scorer over precomputed user interest boxes. Scores are
-/// `γ - D_PB(v_i, b_u)` (Eq. (29)); users without a box (no history) score
-/// every item at `-∞`-like constant so they rank arbitrarily but harmlessly.
+/// An owned snapshot of the item-embedding table that scores any interest
+/// box against every item: `γ - D_PB(v_i, b)` (Eq. (29)).
 ///
-/// On construction the scorer snapshots the item-embedding table into one
-/// contiguous `n_items × d` matrix, so scoring walks a single allocation in
-/// item order. The per-dimension arithmetic mirrors
+/// On construction the scorer copies the item table into one contiguous
+/// `n_items × d` matrix, so scoring walks a single allocation in item order.
+/// The per-dimension arithmetic mirrors
 /// [`geometry::d_pb_weighted`](crate::geometry::d_pb_weighted) exactly
 /// (separate outside/inside accumulators, same operation order), keeping
 /// scores bit-identical to the per-item reference path.
-pub struct InBoxScorer<'a> {
-    boxes: &'a [Option<BoxEmb>],
+///
+/// Owning the snapshot (no borrow of the model or a boxes slice) is what
+/// lets long-lived services score boxes computed after the snapshot was
+/// taken — the item table is frozen at serving time, user boxes are not.
+pub struct ItemScorer {
     gamma: f32,
     inside_weight: f32,
     n_items: usize,
@@ -238,20 +302,13 @@ pub struct InBoxScorer<'a> {
     sentinel: OnceLock<Vec<f32>>,
 }
 
-impl<'a> InBoxScorer<'a> {
-    /// Creates a scorer over precomputed boxes, snapshotting the current
-    /// item-point matrix.
-    pub fn new(
-        model: &'a InBoxModel,
-        boxes: &'a [Option<BoxEmb>],
-        config: &InBoxConfig,
-        n_items: usize,
-    ) -> Self {
+impl ItemScorer {
+    /// Snapshots the current item-point matrix of `model`.
+    pub fn new(model: &InBoxModel, config: &InBoxConfig, n_items: usize) -> Self {
         let table = model.item_point_matrix();
         assert!(n_items <= table.rows(), "n_items exceeds item table");
         let dim = table.cols();
         Self {
-            boxes,
             gamma: config.gamma,
             inside_weight: config.inside_weight,
             n_items,
@@ -261,7 +318,13 @@ impl<'a> InBoxScorer<'a> {
         }
     }
 
-    fn score_against(&self, b: &BoxEmb) -> Vec<f32> {
+    /// Number of items the snapshot covers.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Scores every item against one interest box, best-first by value.
+    pub fn score_box(&self, b: &BoxEmb) -> Vec<f32> {
         let d = self.dim;
         // Per-user box bounds, computed once for all items. Using the same
         // `cen ± relu(off)` values and accumulation order as
@@ -286,16 +349,44 @@ impl<'a> InBoxScorer<'a> {
         }
         scores
     }
+
+    /// The constant score vector used for users without a box: a `-∞`-like
+    /// value so they rank arbitrarily but harmlessly.
+    pub fn sentinel_scores(&self) -> Vec<f32> {
+        self.sentinel
+            .get_or_init(|| vec![f32::MIN / 2.0; self.n_items])
+            .clone()
+    }
+}
+
+/// A [`Scorer`] over precomputed user interest boxes: an [`ItemScorer`]
+/// snapshot plus a borrowed boxes slice mapping users to their boxes.
+pub struct InBoxScorer<'a> {
+    boxes: &'a [Option<BoxEmb>],
+    items: ItemScorer,
+}
+
+impl<'a> InBoxScorer<'a> {
+    /// Creates a scorer over precomputed boxes, snapshotting the current
+    /// item-point matrix.
+    pub fn new(
+        model: &'a InBoxModel,
+        boxes: &'a [Option<BoxEmb>],
+        config: &InBoxConfig,
+        n_items: usize,
+    ) -> Self {
+        Self {
+            boxes,
+            items: ItemScorer::new(model, config, n_items),
+        }
+    }
 }
 
 impl Scorer for InBoxScorer<'_> {
     fn score_items(&self, user: UserId) -> Vec<f32> {
         match &self.boxes[user.index()] {
-            Some(b) => self.score_against(b),
-            None => self
-                .sentinel
-                .get_or_init(|| vec![f32::MIN / 2.0; self.n_items])
-                .clone(),
+            Some(b) => self.items.score_box(b),
+            None => self.items.sentinel_scores(),
         }
     }
 }
@@ -398,6 +489,94 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn item_scorer_score_box_matches_inbox_scorer() {
+        let (ds, model, cfg) = setup();
+        let boxes = all_user_boxes(&model, &ds.kg, &ds.train, &cfg);
+        let scorer = InBoxScorer::new(&model, &boxes, &cfg, ds.n_items());
+        let owned = ItemScorer::new(&model, &cfg, ds.n_items());
+        assert_eq!(owned.n_items(), ds.n_items());
+        for (u, b) in boxes.iter().enumerate() {
+            let via_trait = scorer.score_items(UserId(u as u32));
+            let via_box = match b {
+                Some(b) => owned.score_box(b),
+                None => owned.sentinel_scores(),
+            };
+            assert_eq!(via_trait, via_box, "user {u}");
+        }
+    }
+
+    #[test]
+    fn user_box_from_history_matches_interactions_path() {
+        let (ds, model, cfg) = setup();
+        let cache = HistoryCache::build(&ds.kg, &ds.train, &cfg);
+        let mut tape = Tape::new();
+        for u in 0..ds.n_users() as u32 {
+            let user = UserId(u);
+            let from_history =
+                user_box_from_history(&model, &cfg, &mut tape, user, cache.history(user));
+            let from_interactions = user_interest_box(&model, &ds.kg, &ds.train, &cfg, user);
+            assert_eq!(from_history, from_interactions, "user {u}");
+        }
+    }
+
+    #[test]
+    fn ingest_bumps_only_the_touched_users_version() {
+        let (ds, _model, cfg) = setup();
+        let mut cache = HistoryCache::build(&ds.kg, &ds.train, &cfg);
+        let user = (0..ds.n_users() as u32)
+            .map(UserId)
+            .find(|u| {
+                let h = cache.history(*u);
+                !h.is_empty() && h.len() < cfg.max_history_infer
+            })
+            .expect("a user with ingest headroom");
+        let fresh = (0..ds.n_items() as u32)
+            .map(ItemId)
+            .find(|i| !cache.history(user).iter().any(|(h, _)| h == i))
+            .expect("an unseen item");
+        let before: Vec<u64> = (0..cache.n_users())
+            .map(|u| cache.version(UserId(u as u32)))
+            .collect();
+        assert!(before.iter().all(|&v| v == 0));
+
+        assert!(cache.ingest(&ds.kg, &cfg, user, fresh));
+        assert_eq!(cache.version(user), 1);
+        assert_eq!(
+            cache.history(user).last().map(|(i, _)| *i),
+            Some(fresh),
+            "ingested item appended"
+        );
+        for u in 0..cache.n_users() as u32 {
+            if UserId(u) != user {
+                assert_eq!(cache.version(UserId(u)), 0, "user {u} untouched");
+            }
+        }
+
+        // Re-ingesting the same item is a no-op: no version bump.
+        assert!(!cache.ingest(&ds.kg, &cfg, user, fresh));
+        assert_eq!(cache.version(user), 1);
+    }
+
+    #[test]
+    fn ingest_respects_the_history_cap() {
+        let (ds, _model, cfg) = setup();
+        let mut cache = HistoryCache::build(&ds.kg, &ds.train, &cfg);
+        let user = UserId(0);
+        let mut added = 0;
+        for i in 0..ds.n_items() as u32 {
+            if cache.ingest(&ds.kg, &cfg, user, ItemId(i)) {
+                added += 1;
+            }
+        }
+        assert_eq!(cache.history(user).len(), cfg.max_history_infer);
+        assert_eq!(cache.version(user), added as u64);
+        // A full history rejects further items without touching the version.
+        let v = cache.version(user);
+        assert!(!cache.ingest(&ds.kg, &cfg, user, ItemId(0)));
+        assert_eq!(cache.version(user), v);
     }
 
     #[test]

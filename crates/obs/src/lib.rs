@@ -7,6 +7,9 @@
 //!   [`span_snapshot`] / [`all_spans`].
 //! - **Counters** ([`counter`]) — lock-free named event counts for hot paths
 //!   (sampled triplets, gradient batches, box intersections, ranked users).
+//! - **Value histograms** ([`record_value`]) — dimensionless sample
+//!   distributions (serve batch sizes, queue depths) sharing the spans'
+//!   log-scale aggregation but kept in their own namespace.
 //! - **Telemetry** ([`telemetry`]) — structured [`EpochRecord`] events fanned
 //!   out to pluggable sinks: console (leveled), JSONL file, in-memory capture.
 //!
@@ -22,11 +25,12 @@ pub mod telemetry;
 
 pub use histogram::{HistogramSnapshot, LogHistogram};
 pub use registry::{
-    all_counters, all_spans, counter, counter_value, enabled, reset, set_enabled, span,
-    span_snapshot, time, Counter, SpanGuard,
+    all_counters, all_spans, all_values, counter, counter_value, enabled, record_duration,
+    record_value, reset, set_enabled, span, span_snapshot, time, value_snapshot, Counter,
+    SpanGuard,
 };
 pub use telemetry::{
     add_sink, clear_sinks, emit_epoch, emit_run_summary, flush_sinks, next_run_id, BoxHealth,
     CaptureSink, ConsoleSink, CounterSummary, EpochRecord, JsonlSink, RunSummary, Sink,
-    SpanSummary, TelemetryEvent, Verbosity,
+    SpanSummary, TelemetryEvent, ValueSummary, Verbosity,
 };

@@ -29,6 +29,7 @@ pub fn enabled() -> bool {
 struct Registry {
     spans: RwLock<HashMap<&'static str, Arc<LogHistogram>>>,
     counters: RwLock<HashMap<&'static str, Arc<AtomicU64>>>,
+    values: RwLock<HashMap<&'static str, Arc<LogHistogram>>>,
 }
 
 fn registry() -> &'static Registry {
@@ -36,6 +37,7 @@ fn registry() -> &'static Registry {
     REGISTRY.get_or_init(|| Registry {
         spans: RwLock::new(HashMap::new()),
         counters: RwLock::new(HashMap::new()),
+        values: RwLock::new(HashMap::new()),
     })
 }
 
@@ -44,6 +46,14 @@ fn span_hist(name: &'static str) -> Arc<LogHistogram> {
         return Arc::clone(h);
     }
     let mut map = registry().spans.write();
+    Arc::clone(map.entry(name).or_default())
+}
+
+fn value_hist(name: &'static str) -> Arc<LogHistogram> {
+    if let Some(h) = registry().values.read().get(name) {
+        return Arc::clone(h);
+    }
+    let mut map = registry().values.write();
     Arc::clone(map.entry(name).or_default())
 }
 
@@ -104,6 +114,49 @@ pub fn time<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, Duration) {
     let guard = span(name);
     let out = f();
     (out, guard.stop())
+}
+
+/// Records a dimensionless sample (batch size, queue depth, list length)
+/// into the named value histogram. Same log-scale aggregation as spans, but
+/// kept in a separate namespace so consumers never mistake a size
+/// distribution for nanoseconds. No-op while instrumentation is disabled.
+pub fn record_value(name: &'static str, value: u64) {
+    if enabled() {
+        value_hist(name).record(value);
+    }
+}
+
+/// Records an externally measured duration into the named *span* histogram —
+/// for latencies that cannot be scoped by a [`SpanGuard`], e.g. a request's
+/// end-to-end time measured from enqueue to response across threads.
+pub fn record_duration(name: &'static str, duration: Duration) {
+    if enabled() {
+        span_hist(name).record(duration.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+}
+
+/// Snapshot of one value histogram, if it ever recorded.
+pub fn value_snapshot(name: &str) -> Option<HistogramSnapshot> {
+    registry()
+        .values
+        .read()
+        .get(name)
+        .map(|h| h.snapshot())
+        .filter(|s| s.count > 0)
+}
+
+/// Snapshots of every value histogram that recorded at least once, sorted by
+/// name.
+pub fn all_values() -> Vec<(String, HistogramSnapshot)> {
+    let mut out: Vec<(String, HistogramSnapshot)> = registry()
+        .values
+        .read()
+        .iter()
+        .map(|(name, h)| (name.to_string(), h.snapshot()))
+        .filter(|(_, s)| s.count > 0)
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
 }
 
 /// A named monotonic counter. Cheap to clone; cache one outside hot loops.
@@ -189,6 +242,7 @@ pub fn all_counters() -> Vec<(String, u64)> {
 pub fn reset() {
     registry().spans.write().clear();
     registry().counters.write().clear();
+    registry().values.write().clear();
 }
 
 #[cfg(test)]
@@ -247,6 +301,32 @@ mod tests {
     fn unknown_names_read_as_empty() {
         assert_eq!(counter_value("test.registry.never_touched"), 0);
         assert!(span_snapshot("test.registry.never_opened").is_none());
+        assert!(value_snapshot("test.registry.never_recorded").is_none());
+    }
+
+    #[test]
+    fn value_histograms_aggregate_samples() {
+        for v in [4u64, 4, 4, 64] {
+            record_value("test.registry.values", v);
+        }
+        let snap = value_snapshot("test.registry.values").unwrap();
+        assert_eq!(snap.count, 4);
+        // Log-scale buckets: p50 lands in the [4,8) bucket, max in [64,128).
+        assert!(snap.p50 >= 4 && snap.p50 < 8, "p50 {}", snap.p50);
+        assert!(snap.p99 >= 64, "p99 {}", snap.p99);
+        assert!(all_values()
+            .iter()
+            .any(|(name, _)| name == "test.registry.values"));
+        // Value histograms live in their own namespace, not the span one.
+        assert!(span_snapshot("test.registry.values").is_none());
+    }
+
+    #[test]
+    fn record_duration_lands_in_span_namespace() {
+        record_duration("test.registry.ext_duration", Duration::from_micros(5));
+        let snap = span_snapshot("test.registry.ext_duration").unwrap();
+        assert_eq!(snap.count, 1);
+        assert!(snap.p50 >= 4_000, "p50 {} ns", snap.p50);
     }
 
     #[test]

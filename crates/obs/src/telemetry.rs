@@ -103,6 +103,38 @@ impl SpanSummary {
     }
 }
 
+/// Aggregate statistics of one dimensionless value histogram (batch sizes,
+/// queue depths, …) over a whole run. Unlike [`SpanSummary`] the quantiles
+/// carry no unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValueSummary {
+    /// Histogram name as passed to `obs::record_value`.
+    pub name: String,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Mean sample.
+    pub mean: u64,
+    /// Approximate median sample.
+    pub p50: u64,
+    /// Approximate 95th-percentile sample.
+    pub p95: u64,
+    /// Approximate 99th-percentile sample.
+    pub p99: u64,
+}
+
+impl ValueSummary {
+    fn from_snapshot(name: String, s: HistogramSnapshot) -> Self {
+        ValueSummary {
+            name,
+            count: s.count,
+            mean: s.mean,
+            p50: s.p50,
+            p95: s.p95,
+            p99: s.p99,
+        }
+    }
+}
+
 /// Final value of one named counter over a whole run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CounterSummary {
@@ -121,6 +153,11 @@ pub struct RunSummary {
     pub spans: Vec<SpanSummary>,
     /// All counters ever touched, sorted by name.
     pub counters: Vec<CounterSummary>,
+    /// All value histograms that recorded at least once, sorted by name.
+    /// Defaults to empty when reading summaries written before this field
+    /// existed.
+    #[serde(default)]
+    pub values: Vec<ValueSummary>,
 }
 
 /// A telemetry event, externally tagged in JSON as `{"epoch": {...}}` or
@@ -264,6 +301,12 @@ impl Sink for ConsoleSink {
                             fmt_ns(sp.p99_ns),
                         );
                     }
+                    for v in &s.values {
+                        eprintln!(
+                            "  value {:<25} n {:>8}  p50 {:>9}  p95 {:>9}  p99 {:>9}",
+                            v.name, v.count, v.p50, v.p95, v.p99,
+                        );
+                    }
                     for c in &s.counters {
                         eprintln!("  counter {:<21} {:>10}", c.name, c.value);
                     }
@@ -383,6 +426,10 @@ pub fn emit_run_summary(run: u64) -> RunSummary {
             .into_iter()
             .map(|(name, value)| CounterSummary { name, value })
             .collect(),
+        values: registry::all_values()
+            .into_iter()
+            .map(|(name, snap)| ValueSummary::from_snapshot(name, snap))
+            .collect(),
     };
     emit(&TelemetryEvent::Summary(summary.clone()));
     summary
@@ -438,11 +485,34 @@ mod tests {
                 name: "sampler.stage1.samples".into(),
                 value: 320,
             }],
+            values: vec![ValueSummary {
+                name: "serve.batch.size".into(),
+                count: 12,
+                mean: 6,
+                p50: 6,
+                p95: 12,
+                p99: 12,
+            }],
         });
         let line = serde_json::to_string(&event).unwrap();
         assert!(line.starts_with("{\"summary\":"));
         let back: TelemetryEvent = serde_json::from_str(&line).unwrap();
         assert_eq!(back, event);
+    }
+
+    #[test]
+    fn summary_without_values_field_still_loads() {
+        // Summaries written before value histograms existed must read back
+        // with an empty `values` list.
+        let line = "{\"summary\":{\"run\":4,\"spans\":[],\"counters\":[]}}";
+        let back: TelemetryEvent = serde_json::from_str(line).unwrap();
+        match back {
+            TelemetryEvent::Summary(s) => {
+                assert_eq!(s.run, 4);
+                assert!(s.values.is_empty());
+            }
+            other => panic!("expected summary, got {other:?}"),
+        }
     }
 
     #[test]
@@ -477,6 +547,7 @@ mod tests {
             run: 1,
             spans: vec![],
             counters: vec![],
+            values: vec![],
         }));
         sink.flush();
         let text = std::fs::read_to_string(&path).unwrap();

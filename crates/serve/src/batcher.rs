@@ -1,0 +1,232 @@
+//! Request micro-batcher: a bounded admission queue drained by one flush
+//! thread that coalesces concurrent recommend requests into batches.
+//!
+//! Callers block in [`Batcher::recommend`] on a rendezvous channel until
+//! their answer is computed, so the batcher adds *coalescing*, not
+//! asynchrony: under concurrent load, requests arriving within
+//! [`ServeConfig::batch_wait`](crate::ServeConfig) of each other are scored
+//! together and fanned out over the engine's [`WorkerPool`]
+//! (when serving with more than one thread), amortising lock traffic and
+//! keeping every core busy. A lone request still flushes after at most
+//! `batch_wait` — the deadline starts at the *first* enqueue, so latency is
+//! bounded even at low arrival rates.
+//!
+//! Admission control is strict: when `queue_cap` requests are already
+//! waiting, new arrivals are shed immediately with
+//! [`ServeError::Overloaded`] instead of queueing behind an unbounded
+//! backlog. Shedding is the *only* load response — admitted requests are
+//! always answered exactly, never approximated.
+//!
+//! [`WorkerPool`]: inbox_core::WorkerPool
+
+use std::collections::VecDeque;
+use std::sync::mpsc::SyncSender;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use inbox_kg::UserId;
+
+use crate::engine::{Engine, Recommendation};
+use crate::error::ServeError;
+use crate::ServeConfig;
+
+/// A served answer: the top-K ranking or a typed degradation.
+type Answer = Result<Recommendation, ServeError>;
+
+struct Pending {
+    user: UserId,
+    k: usize,
+    enqueued: Instant,
+    reply: SyncSender<Answer>,
+}
+
+struct Queue {
+    pending: VecDeque<Pending>,
+    closed: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Woken when a request is enqueued or the batcher is shut down. Only
+    /// the flush thread waits on it; producers never block.
+    nonempty: Condvar,
+}
+
+/// The micro-batching front door. Cloneable across threads via `Arc`
+/// inside [`Service`](crate::Service).
+pub struct Batcher {
+    shared: Arc<Shared>,
+    engine: Arc<Engine>,
+    queue_cap: usize,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Batcher {
+    /// Starts the flush thread over `engine`.
+    pub fn start(engine: Arc<Engine>, config: &ServeConfig) -> Self {
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        assert!(config.queue_cap >= 1, "queue_cap must be at least 1");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                pending: VecDeque::new(),
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+        });
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let engine = Arc::clone(&engine);
+            let max_batch = config.max_batch;
+            let batch_wait = config.batch_wait;
+            std::thread::Builder::new()
+                .name("inbox-serve-batcher".into())
+                .spawn(move || {
+                    flush_loop(&shared, &engine, max_batch, batch_wait);
+                })
+                .expect("spawn batcher thread")
+        };
+        Self {
+            shared,
+            engine,
+            queue_cap: config.queue_cap,
+            worker: Mutex::new(Some(worker)),
+        }
+    }
+
+    /// Number of requests currently waiting in the admission queue.
+    pub fn queued(&self) -> usize {
+        self.shared.queue.lock().unwrap().pending.len()
+    }
+
+    /// Submits a recommend request and blocks until its batch is flushed.
+    /// Sheds with [`ServeError::Overloaded`] when `queue_cap` requests are
+    /// already waiting.
+    pub fn recommend(&self, user: UserId, k: usize) -> Result<Recommendation, ServeError> {
+        let (reply, answer) = mpsc::sync_channel(1);
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            if queue.closed {
+                return Err(ServeError::Closed);
+            }
+            if queue.pending.len() >= self.queue_cap {
+                drop(queue);
+                self.engine.note_shed();
+                inbox_obs::counter("serve.shed").incr();
+                return Err(ServeError::Overloaded);
+            }
+            queue.pending.push_back(Pending {
+                user,
+                k,
+                enqueued: Instant::now(),
+                reply,
+            });
+        }
+        self.shared.nonempty.notify_one();
+        answer.recv().unwrap_or(Err(ServeError::Closed))
+    }
+
+    /// Stops accepting requests, drains what is already queued, and joins
+    /// the flush thread. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.closed = true;
+        }
+        self.shared.nonempty.notify_all();
+        if let Some(worker) = self.worker.lock().unwrap().take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Collects up to `max_batch` requests, waiting at most `batch_wait` past
+/// the first enqueue, then answers them. Loops until closed *and* drained.
+fn flush_loop(shared: &Shared, engine: &Engine, max_batch: usize, batch_wait: std::time::Duration) {
+    loop {
+        let batch = {
+            let mut queue = shared.queue.lock().unwrap();
+            // Phase 1: sleep until there is at least one request (or we are
+            // told to close with an empty queue, which means we are done).
+            while queue.pending.is_empty() {
+                if queue.closed {
+                    return;
+                }
+                queue = shared.nonempty.wait(queue).unwrap();
+            }
+            // Phase 2: the batch window is open. Wait for the deadline
+            // measured from the oldest queued request, leaving early once
+            // the batch is full or the service is closing.
+            let deadline = queue.pending[0].enqueued + batch_wait;
+            while queue.pending.len() < max_batch && !queue.closed {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                let (q, timeout) = shared.nonempty.wait_timeout(queue, remaining).unwrap();
+                queue = q;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            let take = queue.pending.len().min(max_batch);
+            queue.pending.drain(..take).collect::<Vec<_>>()
+        };
+        flush(engine, batch);
+    }
+}
+
+/// Answers one coalesced batch, fanning out over the engine's worker pool
+/// when one is configured and the batch is big enough to split.
+fn flush(engine: &Engine, batch: Vec<Pending>) {
+    if batch.is_empty() {
+        return;
+    }
+    engine.note_batch();
+    inbox_obs::counter("serve.batch.flushes").incr();
+    inbox_obs::record_value("serve.batch.size", batch.len() as u64);
+    let answers: Vec<Answer> = match engine.pool() {
+        Some(pool) if batch.len() >= 2 => {
+            let jobs: Vec<(UserId, usize)> = batch.iter().map(|p| (p.user, p.k)).collect();
+            let workers = pool.workers();
+            let chunk = jobs.len().div_ceil(workers);
+            let slots: Vec<Mutex<Vec<(usize, Answer)>>> =
+                (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+            pool.run(&|w| {
+                let start = w * chunk;
+                let end = jobs.len().min(start + chunk);
+                let mut out = Vec::with_capacity(end.saturating_sub(start));
+                for (i, &(user, k)) in jobs.iter().enumerate().take(end).skip(start) {
+                    out.push((i, engine.recommend_now(user, k)));
+                }
+                *slots[w].lock().unwrap() = out;
+            });
+            let mut answers: Vec<Option<Answer>> = vec![None; jobs.len()];
+            for slot in slots {
+                for (i, r) in slot.into_inner().unwrap() {
+                    answers[i] = Some(r);
+                }
+            }
+            answers
+                .into_iter()
+                .map(|r| r.expect("every request is answered by exactly one worker"))
+                .collect()
+        }
+        _ => batch
+            .iter()
+            .map(|p| engine.recommend_now(p.user, p.k))
+            .collect(),
+    };
+    for (pending, answer) in batch.into_iter().zip(answers) {
+        inbox_obs::record_duration("serve.request", pending.enqueued.elapsed());
+        // A receiver that hung up already got `Closed` from `recommend`;
+        // nothing to do with the answer in that case.
+        let _ = pending.reply.send(answer);
+    }
+}

@@ -1,0 +1,180 @@
+//! Versioned LRU cache of user interest boxes.
+//!
+//! Keys are user ids; each entry remembers the history **version** the box
+//! was computed at (see
+//! [`HistoryCache::version`](inbox_core::HistoryCache::version)). A lookup
+//! only hits when the stored version equals the user's current version, so
+//! ingesting an interaction invalidates exactly that user's entry — no
+//! global flush, no epoch counters shared across users. The LRU bound keeps
+//! resident memory flat regardless of how many distinct users a long-running
+//! service sees.
+//!
+//! Recency is tracked with a monotonic tick per touch and a `BTreeMap` from
+//! tick to user: O(log n) per operation, no unsafe intrusive lists, and the
+//! eviction victim is always the smallest tick. Boxes are stored as
+//! `Arc<BoxEmb>` so a hit hands the caller a handle without copying the
+//! embedding.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use inbox_core::BoxEmb;
+
+struct Entry {
+    version: u64,
+    /// `None` is a *cached absence*: the user had an empty history at this
+    /// version, so the fallback path can skip the forward pass too.
+    value: Option<Arc<BoxEmb>>,
+    tick: u64,
+}
+
+/// Bounded, versioned LRU map from user id to interest box.
+pub struct BoxCache {
+    cap: usize,
+    next_tick: u64,
+    map: HashMap<u32, Entry>,
+    lru: BTreeMap<u64, u32>,
+}
+
+impl BoxCache {
+    /// A cache holding at most `cap` entries (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "BoxCache needs capacity for at least one entry");
+        Self {
+            cap,
+            next_tick: 0,
+            map: HashMap::new(),
+            lru: BTreeMap::new(),
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn bump(&mut self, user: u32) -> u64 {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.lru.insert(tick, user);
+        tick
+    }
+
+    /// Looks `user` up at `version`. Returns the cached box (possibly a
+    /// cached `None` for an empty history) only when the entry's version
+    /// matches; a stale entry is removed and reads as a miss. A hit
+    /// refreshes the entry's recency.
+    pub fn get(&mut self, user: u32, version: u64) -> Option<Option<Arc<BoxEmb>>> {
+        match self.map.get(&user) {
+            Some(e) if e.version == version => {
+                let old = self.map.get(&user).unwrap().tick;
+                self.lru.remove(&old);
+                let tick = self.bump(user);
+                let e = self.map.get_mut(&user).unwrap();
+                e.tick = tick;
+                Some(e.value.clone())
+            }
+            Some(_) => {
+                // Stale: the user's history moved on; drop the entry now so
+                // it cannot shadow the rebuilt box or occupy LRU space.
+                let e = self.map.remove(&user).unwrap();
+                self.lru.remove(&e.tick);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts (or replaces) the box for `user` computed at `version`,
+    /// evicting the least-recently-used entry when over capacity.
+    pub fn insert(&mut self, user: u32, version: u64, value: Option<Arc<BoxEmb>>) {
+        if let Some(old) = self.map.remove(&user) {
+            self.lru.remove(&old.tick);
+        }
+        let tick = self.bump(user);
+        self.map.insert(
+            user,
+            Entry {
+                version,
+                value,
+                tick,
+            },
+        );
+        while self.map.len() > self.cap {
+            let (&oldest, &victim) = self.lru.iter().next().expect("lru tracks every entry");
+            self.lru.remove(&oldest);
+            self.map.remove(&victim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed(v: f32) -> Option<Arc<BoxEmb>> {
+        Some(Arc::new(BoxEmb::new(vec![v], vec![v])))
+    }
+
+    #[test]
+    fn hit_requires_matching_version() {
+        let mut c = BoxCache::new(4);
+        c.insert(7, 3, boxed(1.0));
+        assert!(c.get(7, 3).is_some());
+        // Version moved on: stale entry is a miss and gets dropped.
+        assert!(c.get(7, 4).is_none());
+        assert_eq!(c.len(), 0);
+        assert!(c.get(7, 3).is_none(), "stale entry must not resurface");
+    }
+
+    #[test]
+    fn cached_absence_is_a_hit() {
+        let mut c = BoxCache::new(2);
+        c.insert(1, 0, None);
+        match c.get(1, 0) {
+            Some(None) => {}
+            other => panic!("expected cached absence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eviction_follows_lru_order() {
+        let mut c = BoxCache::new(2);
+        c.insert(1, 0, boxed(1.0));
+        c.insert(2, 0, boxed(2.0));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.get(1, 0).is_some());
+        c.insert(3, 0, boxed(3.0));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(2, 0).is_none(), "LRU entry evicted");
+        assert!(c.get(1, 0).is_some());
+        assert!(c.get(3, 0).is_some());
+    }
+
+    #[test]
+    fn reinsert_replaces_and_keeps_len_bounded() {
+        let mut c = BoxCache::new(2);
+        c.insert(1, 0, boxed(1.0));
+        c.insert(1, 1, boxed(2.0));
+        assert_eq!(c.len(), 1);
+        let hit = c.get(1, 1).unwrap().unwrap();
+        assert_eq!(hit.cen[0], 2.0);
+        // A later version supersedes the entry; the old version is gone.
+        assert!(c.get(1, 2).is_none());
+        assert!(c.get(1, 1).is_none(), "stale probe evicts the entry");
+    }
+
+    #[test]
+    fn heavy_churn_stays_within_capacity() {
+        let mut c = BoxCache::new(8);
+        for i in 0..1000u32 {
+            c.insert(i % 64, u64::from(i / 64), boxed(i as f32));
+            assert!(c.len() <= 8);
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! The serving engine: frozen model + live per-user state + versioned box
+//! cache.
+//!
+//! At startup the engine snapshots everything that training froze — the
+//! parameter tensors (via an [`ItemScorer`] item-matrix snapshot), the
+//! knowledge graph, and the popularity ranking used for cold users — and
+//! keeps exactly two pieces of mutable state behind locks:
+//!
+//! - **live state** (`RwLock`): each user's capped concept history (a
+//!   [`HistoryCache`] with per-user versions) plus their full interacted
+//!   item set (the recommendation mask). [`Engine::ingest`] takes the write
+//!   lock briefly; every read path shares the read lock.
+//! - **box cache** (`Mutex<BoxCache>`): LRU of interest boxes keyed by
+//!   `(user, history version)`. An ingest bumps the user's version, which
+//!   makes their cached box unreachable — invalidation without touching any
+//!   other user's entry.
+//!
+//! Lock order is always live → cache; no code path acquires them in the
+//! other direction, so the engine cannot deadlock against itself.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use inbox_autodiff::Tape;
+use inbox_core::predict::user_box_from_history;
+use inbox_core::{
+    BoxEmb, HistoryCache, InBoxConfig, InBoxModel, ItemScorer, TrainedInBox, WorkerPool,
+};
+use inbox_data::Interactions;
+use inbox_eval::top_k_masked;
+use inbox_kg::{ItemId, KnowledgeGraph, UserId};
+
+use crate::cache::BoxCache;
+use crate::error::ServeError;
+use crate::ServeConfig;
+
+/// A served top-K answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// The user the answer is for.
+    pub user: UserId,
+    /// Top-K `(item, score)` pairs, best first, interacted items excluded.
+    pub items: Vec<(ItemId, f32)>,
+    /// True when the user had no history and the popularity ranking was
+    /// served instead of a box query.
+    pub fallback: bool,
+    /// The user's history version the answer was computed at.
+    pub version: u64,
+}
+
+/// Receipt for an ingested interaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ingested {
+    /// The user whose history was updated.
+    pub user: UserId,
+    /// The interacted item.
+    pub item: ItemId,
+    /// The user's history version after the ingest.
+    pub version: u64,
+    /// Whether the capped concept history changed (and the box cache entry
+    /// was therefore invalidated).
+    pub history_changed: bool,
+    /// Whether the recommendation mask changed (item was new to the user).
+    pub mask_changed: bool,
+}
+
+/// Monotonic serving statistics, readable at any time via
+/// [`Engine::stats`]. Engine-local (not process-global) so concurrent
+/// engines — e.g. parallel tests — observe only their own traffic; the same
+/// events are mirrored to `inbox-obs` counters for telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Recommend requests answered (including fallbacks, excluding sheds).
+    pub requests: u64,
+    /// Box forward passes executed (cache misses with non-empty history).
+    pub rebuilds: u64,
+    /// Box cache hits (including cached empty-history absences).
+    pub cache_hits: u64,
+    /// Requests answered from the popularity fallback.
+    pub fallbacks: u64,
+    /// Interactions ingested.
+    pub ingests: u64,
+    /// Requests shed by admission control.
+    pub sheds: u64,
+    /// Micro-batches flushed.
+    pub batches: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    requests: AtomicU64,
+    rebuilds: AtomicU64,
+    cache_hits: AtomicU64,
+    fallbacks: AtomicU64,
+    ingests: AtomicU64,
+    sheds: AtomicU64,
+    batches: AtomicU64,
+}
+
+struct LiveState {
+    /// Capped per-user concept histories with per-user versions.
+    history: HistoryCache,
+    /// Every item each user has interacted with (sorted) — the top-K mask.
+    /// Unlike the capped history this grows without bound per user, exactly
+    /// like the offline evaluation protocol's train mask.
+    masks: Vec<Vec<ItemId>>,
+}
+
+/// The in-process recommendation engine. Thread-safe: all methods take
+/// `&self` and may be called concurrently from any number of threads.
+pub struct Engine {
+    model: InBoxModel,
+    config: InBoxConfig,
+    kg: KnowledgeGraph,
+    scorer: ItemScorer,
+    /// Popularity score per item, frozen at startup (cold-user fallback).
+    popularity: Vec<f32>,
+    live: RwLock<LiveState>,
+    cache: Mutex<BoxCache>,
+    pool: Option<WorkerPool>,
+    stats: StatCells,
+    obs_rebuilds: inbox_obs::Counter,
+    obs_cache_hits: inbox_obs::Counter,
+    obs_fallbacks: inbox_obs::Counter,
+    obs_ingests: inbox_obs::Counter,
+    n_users: usize,
+}
+
+impl Engine {
+    /// Builds an engine from a frozen model and the interaction set that
+    /// seeds user histories and masks (typically the training split).
+    pub fn new(
+        model: InBoxModel,
+        config: InBoxConfig,
+        kg: KnowledgeGraph,
+        train: &Interactions,
+        serve: &ServeConfig,
+    ) -> Self {
+        assert_eq!(
+            kg.n_items(),
+            train.n_items(),
+            "KG and interaction item universes must agree"
+        );
+        let n_users = train.n_users();
+        let n_items = train.n_items();
+        let scorer = ItemScorer::new(&model, &config, n_items);
+        let popularity = train
+            .item_popularity()
+            .into_iter()
+            .map(|c| c as f32)
+            .collect();
+        let history = HistoryCache::build(&kg, train, &config);
+        let masks = (0..n_users as u32)
+            .map(|u| train.items_of(UserId(u)).to_vec())
+            .collect();
+        let pool = (serve.threads > 1).then(|| WorkerPool::new(serve.threads));
+        Self {
+            model,
+            config,
+            kg,
+            scorer,
+            popularity,
+            live: RwLock::new(LiveState { history, masks }),
+            cache: Mutex::new(BoxCache::new(serve.cache_cap)),
+            pool,
+            stats: StatCells::default(),
+            obs_rebuilds: inbox_obs::counter("serve.box.rebuilds"),
+            obs_cache_hits: inbox_obs::counter("serve.cache.hits"),
+            obs_fallbacks: inbox_obs::counter("serve.fallback"),
+            obs_ingests: inbox_obs::counter("serve.ingest"),
+            n_users,
+        }
+    }
+
+    /// Builds an engine from a training checkpoint, consuming it.
+    pub fn from_trained(
+        trained: TrainedInBox,
+        kg: KnowledgeGraph,
+        train: &Interactions,
+        serve: &ServeConfig,
+    ) -> Self {
+        Self::new(trained.model, trained.config, kg, train, serve)
+    }
+
+    /// Number of users in the serving universe.
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// Number of items in the serving universe.
+    pub fn n_items(&self) -> usize {
+        self.scorer.n_items()
+    }
+
+    /// The intra-batch worker pool, when serving with more than one thread.
+    pub(crate) fn pool(&self) -> Option<&WorkerPool> {
+        self.pool.as_ref()
+    }
+
+    /// Current serving statistics.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            rebuilds: self.stats.rebuilds.load(Ordering::Relaxed),
+            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
+            fallbacks: self.stats.fallbacks.load(Ordering::Relaxed),
+            ingests: self.stats.ingests.load(Ordering::Relaxed),
+            sheds: self.stats.sheds.load(Ordering::Relaxed),
+            batches: self.stats.batches.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn note_shed(&self) {
+        self.stats.sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_batch(&self) {
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The user's current history version.
+    pub fn version_of(&self, user: UserId) -> Result<u64, ServeError> {
+        if user.index() >= self.n_users {
+            return Err(ServeError::UnknownUser(user));
+        }
+        Ok(self.live.read().unwrap().history.version(user))
+    }
+
+    /// Records a live interaction. Takes the live write lock briefly; the
+    /// user's box is *not* recomputed here — the version bump makes the
+    /// cached box unreachable and the next recommend rebuilds it lazily.
+    pub fn ingest(&self, user: UserId, item: ItemId) -> Result<Ingested, ServeError> {
+        if user.index() >= self.n_users {
+            return Err(ServeError::UnknownUser(user));
+        }
+        if item.index() >= self.n_items() {
+            return Err(ServeError::UnknownItem(item));
+        }
+        let (version, history_changed, mask_changed) = {
+            let mut live = self.live.write().unwrap();
+            let mask = &mut live.masks[user.index()];
+            let mask_changed = match mask.binary_search(&item) {
+                Err(pos) => {
+                    mask.insert(pos, item);
+                    true
+                }
+                Ok(_) => false,
+            };
+            let history_changed = live.history.ingest(&self.kg, &self.config, user, item);
+            (live.history.version(user), history_changed, mask_changed)
+        };
+        self.stats.ingests.fetch_add(1, Ordering::Relaxed);
+        self.obs_ingests.incr();
+        Ok(Ingested {
+            user,
+            item,
+            version,
+            history_changed,
+            mask_changed,
+        })
+    }
+
+    /// Resolves the user's interest box at their current history version:
+    /// cache hit, or lazy rebuild (one forward pass) followed by a cache
+    /// insert. Returns the version the box belongs to.
+    fn resolve_box(&self, user: UserId) -> (u64, Option<Arc<BoxEmb>>) {
+        let live = self.live.read().unwrap();
+        let version = live.history.version(user);
+        if let Some(hit) = self.cache.lock().unwrap().get(user.0, version) {
+            drop(live);
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.obs_cache_hits.incr();
+            return (version, hit);
+        }
+        // Miss: clone the history under the same read lock, so the box we
+        // build below belongs to exactly `version` even if an ingest lands
+        // while we compute.
+        let history = live.history.history(user).to_vec();
+        drop(live);
+        let value = if history.is_empty() {
+            None
+        } else {
+            self.stats.rebuilds.fetch_add(1, Ordering::Relaxed);
+            self.obs_rebuilds.incr();
+            let mut tape = Tape::new();
+            user_box_from_history(&self.model, &self.config, &mut tape, user, &history)
+                .map(Arc::new)
+        };
+        self.cache
+            .lock()
+            .unwrap()
+            .insert(user.0, version, value.clone());
+        (version, value)
+    }
+
+    /// Answers one recommend request immediately on the calling thread
+    /// (the micro-batcher calls this per coalesced request; tests may call
+    /// it directly). Users with a box get the geometric ranking; cold users
+    /// get the popularity fallback instead of an error.
+    pub fn recommend_now(&self, user: UserId, k: usize) -> Result<Recommendation, ServeError> {
+        if user.index() >= self.n_users {
+            return Err(ServeError::UnknownUser(user));
+        }
+        let (version, resolved) = self.resolve_box(user);
+        let (scores, fallback) = match resolved.as_deref() {
+            Some(b) => (self.scorer.score_box(b), false),
+            None => (self.popularity.clone(), true),
+        };
+        if fallback {
+            self.stats.fallbacks.fetch_add(1, Ordering::Relaxed);
+            self.obs_fallbacks.incr();
+        }
+        let items = {
+            let live = self.live.read().unwrap();
+            let mask = &live.masks[user.index()];
+            top_k_masked(&scores, mask, k)
+                .into_iter()
+                .map(|i| (i, scores[i.index()]))
+                .collect()
+        };
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        Ok(Recommendation {
+            user,
+            items,
+            fallback,
+            version,
+        })
+    }
+
+    /// Reference answer computed with a fresh forward pass, bypassing the
+    /// box cache (the single-threaded oracle of the serving tests). Because
+    /// the forward pass is deterministic, [`Engine::recommend_now`] is
+    /// bit-identical to this for any fixed history version.
+    pub fn oracle(&self, user: UserId, k: usize) -> Result<Recommendation, ServeError> {
+        if user.index() >= self.n_users {
+            return Err(ServeError::UnknownUser(user));
+        }
+        let (version, history) = {
+            let live = self.live.read().unwrap();
+            (
+                live.history.version(user),
+                live.history.history(user).to_vec(),
+            )
+        };
+        let mut tape = Tape::new();
+        let b = user_box_from_history(&self.model, &self.config, &mut tape, user, &history);
+        let (scores, fallback) = match &b {
+            Some(b) => (self.scorer.score_box(b), false),
+            None => (self.popularity.clone(), true),
+        };
+        let items = {
+            let live = self.live.read().unwrap();
+            let mask = &live.masks[user.index()];
+            top_k_masked(&scores, mask, k)
+                .into_iter()
+                .map(|i| (i, scores[i.index()]))
+                .collect()
+        };
+        Ok(Recommendation {
+            user,
+            items,
+            fallback,
+            version,
+        })
+    }
+}

@@ -1,0 +1,293 @@
+//! Minimal HTTP/1.1 front-end over [`Service`], built only on
+//! `std::net::TcpListener` — no async runtime, no external HTTP crate.
+//!
+//! One thread per connection, `Connection: close` semantics (each request
+//! gets its own connection), query-string parameters. The surface is four
+//! routes:
+//!
+//! | Route                           | Meaning                                |
+//! |---------------------------------|----------------------------------------|
+//! | `GET /health`                   | liveness probe                         |
+//! | `GET /recommend?user=U&k=K`     | top-K for user `U` (`k` defaults to 10)|
+//! | `POST /ingest?user=U&item=I`    | record a live interaction              |
+//! | `GET /stats`                    | serving counters snapshot              |
+//!
+//! Degradation maps onto status codes: admission shedding is `503` with a
+//! JSON error body, unknown ids are `404`, malformed parameters are `400`.
+//! The server never panics a connection thread on bad input.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use inbox_kg::{ItemId, UserId};
+
+use crate::engine::Recommendation;
+use crate::error::ServeError;
+use crate::Service;
+
+/// A running HTTP server wrapping a [`Service`].
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop in a background thread.
+    pub fn bind(service: Arc<Service>, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("inbox-serve-http".into())
+                .spawn(move || accept_loop(&listener, &service, &stop))
+                .expect("spawn http acceptor")
+        };
+        Ok(Self {
+            addr,
+            stop,
+            acceptor: Mutex::new(Some(acceptor)),
+        })
+    }
+
+    /// The bound address (useful when binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the acceptor thread.
+    /// Idempotent; in-flight connection threads finish their one response.
+    pub fn shutdown(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The acceptor blocks in `accept`; poke it with a throwaway
+        // connection so it observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.lock().unwrap().take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, service: &Arc<Service>, stop: &Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        let service = Arc::clone(service);
+        let spawned = std::thread::Builder::new()
+            .name("inbox-serve-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(stream, &service);
+            });
+        // Thread exhaustion is load shedding too: drop the connection.
+        drop(spawned);
+    }
+}
+
+/// A parsed request line: method, path, and query parameters.
+struct Request {
+    method: String,
+    path: String,
+    query: Vec<(String, String)>,
+}
+
+impl Request {
+    fn param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn parse_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
+    let mut reader = BufReader::new(std::io::Read::by_ref(stream));
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Ok(None);
+    };
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .filter_map(|kv| kv.split_once('='))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    let request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query,
+    };
+    // Drain the headers so the peer can read our response cleanly.
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        if let Some(v) = header
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+        {
+            content_length = v.parse().unwrap_or(0);
+        }
+    }
+    // Drain any body too (we only use query parameters); cap the read so a
+    // hostile Content-Length cannot pin the thread.
+    let mut body = vec![0u8; content_length.min(64 * 1024)];
+    if !body.is_empty() {
+        let _ = reader.read_exact(&mut body);
+    }
+    Ok(Some(request))
+}
+
+fn write_response(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
+    let response = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+fn error_body(message: &str) -> String {
+    format!("{{\"error\":{}}}", json_string(message))
+}
+
+/// Escapes a string for a JSON value (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn recommendation_body(r: &Recommendation) -> String {
+    let items: Vec<String> = r
+        .items
+        .iter()
+        .map(|(item, score)| format!("{{\"item\":{},\"score\":{score}}}", item.0))
+        .collect();
+    format!(
+        "{{\"user\":{},\"version\":{},\"fallback\":{},\"items\":[{}]}}",
+        r.user.0,
+        r.version,
+        r.fallback,
+        items.join(",")
+    )
+}
+
+fn serve_error(stream: &mut TcpStream, err: &ServeError) {
+    let (status, reason) = match err {
+        ServeError::Overloaded | ServeError::Closed => (503, "Service Unavailable"),
+        ServeError::UnknownUser(_) | ServeError::UnknownItem(_) => (404, "Not Found"),
+    };
+    write_response(stream, status, reason, &error_body(&err.to_string()));
+}
+
+fn handle_connection(mut stream: TcpStream, service: &Service) -> std::io::Result<()> {
+    let Some(request) = parse_request(&mut stream)? else {
+        write_response(&mut stream, 400, "Bad Request", &error_body("bad request"));
+        return Ok(());
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => {
+            write_response(&mut stream, 200, "OK", "{\"status\":\"ok\"}");
+        }
+        ("GET", "/recommend") => {
+            let user = request.param("user").and_then(|v| v.parse::<u32>().ok());
+            let k = match request.param("k") {
+                None => Some(10),
+                Some(v) => v.parse::<usize>().ok(),
+            };
+            let (Some(user), Some(k)) = (user, k) else {
+                write_response(
+                    &mut stream,
+                    400,
+                    "Bad Request",
+                    &error_body("recommend needs user=<u32> and optional k=<usize>"),
+                );
+                return Ok(());
+            };
+            match service.recommend(UserId(user), k) {
+                Ok(r) => write_response(&mut stream, 200, "OK", &recommendation_body(&r)),
+                Err(e) => serve_error(&mut stream, &e),
+            }
+        }
+        ("POST", "/ingest") => {
+            let user = request.param("user").and_then(|v| v.parse::<u32>().ok());
+            let item = request.param("item").and_then(|v| v.parse::<u32>().ok());
+            let (Some(user), Some(item)) = (user, item) else {
+                write_response(
+                    &mut stream,
+                    400,
+                    "Bad Request",
+                    &error_body("ingest needs user=<u32> and item=<u32>"),
+                );
+                return Ok(());
+            };
+            match service.ingest(UserId(user), ItemId(item)) {
+                Ok(receipt) => {
+                    let body = format!(
+                        "{{\"user\":{},\"item\":{},\"version\":{},\"history_changed\":{},\"mask_changed\":{}}}",
+                        receipt.user.0,
+                        receipt.item.0,
+                        receipt.version,
+                        receipt.history_changed,
+                        receipt.mask_changed
+                    );
+                    write_response(&mut stream, 200, "OK", &body);
+                }
+                Err(e) => serve_error(&mut stream, &e),
+            }
+        }
+        ("GET", "/stats") => {
+            let s = service.stats();
+            let body = format!(
+                "{{\"requests\":{},\"rebuilds\":{},\"cache_hits\":{},\"fallbacks\":{},\"ingests\":{},\"sheds\":{},\"batches\":{}}}",
+                s.requests, s.rebuilds, s.cache_hits, s.fallbacks, s.ingests, s.sheds, s.batches
+            );
+            write_response(&mut stream, 200, "OK", &body);
+        }
+        _ => {
+            write_response(&mut stream, 404, "Not Found", &error_body("no such route"));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,127 @@
+//! `inbox-serve` — online recommendation service for the InBox
+//! reproduction.
+//!
+//! Takes a trained model offline training produced and turns it into a
+//! long-running, concurrent service:
+//!
+//! - [`Engine`]: frozen parameters + live per-user state (capped concept
+//!   histories with monotonic versions, full interaction masks) + a
+//!   versioned LRU [`BoxCache`] of interest boxes. `recommend` is
+//!   bit-identical to the single-threaded offline ranking at any fixed
+//!   history version; `ingest` records an interaction and invalidates only
+//!   that user's cached box.
+//! - [`Batcher`]: bounded admission queue + flush thread that coalesces
+//!   concurrent requests into micro-batches (flush on batch size or
+//!   deadline) and fans them out over a shared worker pool. Over-capacity
+//!   arrivals are shed with [`ServeError::Overloaded`].
+//! - [`Service`]: the facade gluing engine and batcher together — the type
+//!   embedders call.
+//! - [`HttpServer`]: a std-only HTTP/1.1 front-end (`/health`,
+//!   `/recommend`, `/ingest`, `/stats`).
+//!
+//! Cold users (no history) degrade to the popularity ranking rather than
+//! erroring; every other degraded outcome is an explicit [`ServeError`].
+//! Serving emits `serve.*` counters, the `serve.batch.size` value
+//! histogram, and the `serve.request` latency span through `inbox-obs`, so
+//! the existing telemetry sinks (`--metrics-out`) see serving traffic in
+//! the same schema as training.
+
+#![warn(missing_docs)]
+
+mod batcher;
+mod cache;
+mod engine;
+mod error;
+mod http;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use inbox_kg::{ItemId, UserId};
+
+pub use batcher::Batcher;
+pub use cache::BoxCache;
+pub use engine::{Engine, Ingested, Recommendation, ServeStats};
+pub use error::ServeError;
+pub use http::HttpServer;
+
+/// Tuning knobs for the service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Most requests coalesced into one micro-batch.
+    pub max_batch: usize,
+    /// How long the flush thread waits past the first enqueued request for
+    /// the batch to fill before flushing anyway.
+    pub batch_wait: Duration,
+    /// Admission bound: requests arriving while this many are already
+    /// queued are shed with [`ServeError::Overloaded`].
+    pub queue_cap: usize,
+    /// Box cache capacity (entries ≈ users resident at once).
+    pub cache_cap: usize,
+    /// Scoring threads for intra-batch fan-out (1 = no worker pool).
+    pub threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            batch_wait: Duration::from_micros(500),
+            queue_cap: 1024,
+            cache_cap: 100_000,
+            threads: 1,
+        }
+    }
+}
+
+/// The assembled service: an [`Engine`] behind a [`Batcher`]. This is the
+/// type both the HTTP front-end and in-process embedders talk to.
+pub struct Service {
+    engine: Arc<Engine>,
+    batcher: Batcher,
+}
+
+impl Service {
+    /// Starts a service over `engine` with the batching knobs in `config`.
+    pub fn start(engine: Engine, config: &ServeConfig) -> Self {
+        let engine = Arc::new(engine);
+        let batcher = Batcher::start(Arc::clone(&engine), config);
+        Self { engine, batcher }
+    }
+
+    /// The underlying engine (for stats, oracle comparisons, and direct
+    /// unbatched access in tests).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Top-K recommendations for `user`, via the micro-batcher. Blocks
+    /// until the request's batch is flushed; sheds with
+    /// [`ServeError::Overloaded`] when the admission queue is full.
+    pub fn recommend(&self, user: UserId, k: usize) -> Result<Recommendation, ServeError> {
+        self.batcher.recommend(user, k)
+    }
+
+    /// Records a live interaction. Synchronous and never shed: ingest is a
+    /// short critical section and skipping one would silently corrupt the
+    /// user's history.
+    pub fn ingest(&self, user: UserId, item: ItemId) -> Result<Ingested, ServeError> {
+        self.engine.ingest(user, item)
+    }
+
+    /// Current serving statistics.
+    pub fn stats(&self) -> ServeStats {
+        self.engine.stats()
+    }
+
+    /// Number of requests currently waiting in the admission queue.
+    pub fn queued(&self) -> usize {
+        self.batcher.queued()
+    }
+
+    /// Stops the batcher, draining queued requests first. Idempotent; the
+    /// engine stays usable for direct (unbatched) calls afterwards.
+    pub fn shutdown(&self) {
+        self.batcher.shutdown();
+    }
+}

@@ -22,7 +22,11 @@
 //!   prediction, and interpretability,
 //! * [`baselines`] — MF-BPR, CKE, KGAT-lite, KGIN-lite, Popularity,
 //! * [`eval`] — the all-ranking protocol (recall@K / ndcg@K) and the PCA
-//!   analysis behind Figure 5.
+//!   analysis behind Figure 5,
+//! * [`obs`] — spans, counters, and training telemetry,
+//! * [`serve`] — the online recommendation service: request micro-batching,
+//!   a versioned interest-box cache, live interaction ingestion, and a
+//!   std-only HTTP front-end.
 //!
 //! ## Quick start
 //!
@@ -60,3 +64,7 @@ pub use inbox_data as data;
 pub use inbox_eval as eval;
 /// Knowledge-graph store (re-export of `inbox-kg`).
 pub use inbox_kg as kg;
+/// Observability: spans, counters, telemetry (re-export of `inbox-obs`).
+pub use inbox_obs as obs;
+/// Online recommendation service (re-export of `inbox-serve`).
+pub use inbox_serve as serve;

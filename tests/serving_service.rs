@@ -1,0 +1,74 @@
+//! End-to-end test of the serving subsystem through the facade crate:
+//! train a tiny model, stand up the concurrent service, and check that
+//! what it serves — in-process and over HTTP — is exactly what the trained
+//! model would recommend offline.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use inbox_repro::core::{train, InBoxConfig};
+use inbox_repro::data::{Dataset, SyntheticConfig};
+use inbox_repro::kg::UserId;
+use inbox_repro::serve::{Engine, HttpServer, ServeConfig, Service};
+
+#[test]
+fn trained_model_serves_its_offline_rankings() {
+    let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 71);
+    let trained = train(&ds, InBoxConfig::tiny_test());
+
+    // Offline reference rankings from the trained model itself.
+    let k = 5;
+    let offline: Vec<_> = (0..ds.n_users() as u32)
+        .map(|u| {
+            let user = UserId(u);
+            trained.recommend(user, ds.train.items_of(user), k)
+        })
+        .collect();
+
+    // The engine rebuilds user boxes lazily from the same histories with
+    // the same frozen parameters: rankings must match bit for bit.
+    let serve_cfg = ServeConfig::default();
+    let engine = Engine::from_trained(trained, ds.kg.clone(), &ds.train, &serve_cfg);
+    let service = Arc::new(Service::start(engine, &serve_cfg));
+    for u in 0..ds.n_users() as u32 {
+        let user = UserId(u);
+        if ds.train.items_of(user).is_empty() {
+            // Cold users degrade to popularity instead of erroring — the
+            // offline path has no box for them either.
+            assert!(service.recommend(user, k).unwrap().fallback, "user {u}");
+            continue;
+        }
+        let served = service.recommend(user, k).unwrap();
+        assert!(!served.fallback, "user {u}");
+        assert_eq!(served.items, offline[user.index()], "user {u}");
+    }
+
+    // Same answers over the wire.
+    let http = HttpServer::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let user = (0..ds.n_users() as u32)
+        .map(UserId)
+        .find(|&u| !ds.train.items_of(u).is_empty())
+        .unwrap();
+    let mut stream = TcpStream::connect(http.local_addr()).unwrap();
+    stream
+        .write_all(
+            format!(
+                "GET /recommend?user={}&k={k} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+                user.0
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    for &(item, _) in &offline[user.index()] {
+        assert!(
+            response.contains(&format!("\"item\":{}", item.0)),
+            "{response}"
+        );
+    }
+    http.shutdown();
+    service.shutdown();
+}
