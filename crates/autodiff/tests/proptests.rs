@@ -189,3 +189,127 @@ proptest! {
         }
     }
 }
+
+/// Bit patterns of a float slice, for exact equality assertions.
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The fused `linear` op is bit-identical to the matmul +
+    /// broadcast-add chain it replaced — forward values *and* gradients —
+    /// for arbitrary small shapes.
+    #[test]
+    fn fused_linear_matches_unfused_chain_bitwise(
+        rows in 1..4usize, inner in 1..4usize, cols in 1..4usize,
+        xs in prop::collection::vec(-2.0f32..2.0, 16),
+        ws in prop::collection::vec(-2.0f32..2.0, 16),
+        bs in prop::collection::vec(-2.0f32..2.0, 4),
+    ) {
+        let mut store = ParamStore::new();
+        let x = store.add("x", Tensor::from_vec(rows, inner, xs[..rows * inner].to_vec()));
+        let w = store.add("w", Tensor::from_vec(inner, cols, ws[..inner * cols].to_vec()));
+        let b = store.add("b", Tensor::from_vec(1, cols, bs[..cols].to_vec()));
+        let run = |fused: bool| {
+            let mut tape = Tape::new();
+            let xv = tape.param(&store, x);
+            let wv = tape.param(&store, w);
+            let bv = tape.param(&store, b);
+            let out = if fused {
+                tape.linear(xv, wv, bv)
+            } else {
+                let mm = tape.matmul(xv, wv);
+                tape.add(mm, bv)
+            };
+            let value = tape.value(out).data().to_vec();
+            let s = tape.sum_all(out);
+            let grads = tape.backward(s);
+            let collected: Vec<Vec<f32>> = [x, w, b]
+                .iter()
+                .map(|&id| grads.dense(id).map(|t| t.data().to_vec()).unwrap_or_default())
+                .collect();
+            (value, collected)
+        };
+        let (fused_v, fused_g) = run(true);
+        let (chain_v, chain_g) = run(false);
+        prop_assert_eq!(bits(&fused_v), bits(&chain_v), "forward value bits");
+        for (i, (f, c)) in fused_g.iter().zip(&chain_g).enumerate() {
+            prop_assert_eq!(bits(f), bits(c), "gradient bits of param {}", i);
+        }
+    }
+
+    /// The fused `l1_rows` op is bit-identical to the sub → abs →
+    /// sum_axis1 chain, with and without row broadcast of the second
+    /// operand.
+    #[test]
+    fn fused_l1_rows_matches_unfused_chain_bitwise(
+        rows in 1..5usize, cols in 1..5usize, broadcast in 0..2usize,
+        xs in prop::collection::vec(-2.0f32..2.0, 16),
+        ys in prop::collection::vec(-2.0f32..2.0, 16),
+    ) {
+        let b_rows = if broadcast == 1 { 1 } else { rows };
+        let mut store = ParamStore::new();
+        let x = store.add("x", Tensor::from_vec(rows, cols, xs[..rows * cols].to_vec()));
+        let y = store.add("y", Tensor::from_vec(b_rows, cols, ys[..b_rows * cols].to_vec()));
+        let run = |fused: bool| {
+            let mut tape = Tape::new();
+            let xv = tape.param(&store, x);
+            let yv = tape.param(&store, y);
+            let out = if fused {
+                tape.l1_rows(xv, yv)
+            } else {
+                let d = tape.sub(xv, yv);
+                let a = tape.abs(d);
+                tape.sum_axis1(a)
+            };
+            let value = tape.value(out).data().to_vec();
+            let s = tape.sum_all(out);
+            let grads = tape.backward(s);
+            let collected: Vec<Vec<f32>> = [x, y]
+                .iter()
+                .map(|&id| grads.dense(id).map(|t| t.data().to_vec()).unwrap_or_default())
+                .collect();
+            (value, collected)
+        };
+        let (fused_v, fused_g) = run(true);
+        let (chain_v, chain_g) = run(false);
+        prop_assert_eq!(bits(&fused_v), bits(&chain_v), "forward value bits");
+        for (i, (f, c)) in fused_g.iter().zip(&chain_g).enumerate() {
+            prop_assert_eq!(bits(f), bits(c), "gradient bits of param {}", i);
+        }
+    }
+
+    /// Central-difference gradient check for the fused `d_pb_rows`
+    /// box-distance op on generated kink-free inputs: each point dimension
+    /// is placed strictly inside the box (away from the center and the
+    /// faces) or strictly outside (away from the faces), so the op is
+    /// locally smooth around the probe.
+    #[test]
+    fn fused_d_pb_rows_gradcheck_off_kinks(
+        cen in prop::collection::vec(-1.0f32..1.0, 3),
+        off in prop::collection::vec(0.4f32..1.2, 3),
+        us in prop::collection::vec(0.25f32..0.75, 3),
+        quadrant in prop::collection::vec(0..4usize, 3),
+        iw in 0.1f32..0.9,
+    ) {
+        let point: Vec<f32> = (0..3)
+            .map(|k| match quadrant[k] {
+                0 => cen[k] + us[k] * off[k],
+                1 => cen[k] - us[k] * off[k],
+                2 => cen[k] + off[k] + 0.3 + us[k],
+                _ => cen[k] - off[k] - 0.3 - us[k],
+            })
+            .collect();
+        let mut store = ParamStore::new();
+        let cid = store.add("cen", Tensor::from_vec(1, 3, cen));
+        check_grad(&mut store, cid, |tape, store| {
+            let p = tape.constant(Tensor::from_vec(1, 3, point.clone()));
+            let c = tape.param(store, cid);
+            let o = tape.constant(Tensor::from_vec(1, 3, off.clone()));
+            let d = tape.d_pb_rows(p, c, o, iw);
+            tape.sum_all(d)
+        })?;
+    }
+}

@@ -20,6 +20,11 @@ use crate::trainer::{TrainReport, TrainedInBox};
 pub enum PersistError {
     /// Underlying I/O failure.
     Io(std::io::Error),
+    /// The file on disk is not a parseable checkpoint at all: empty,
+    /// truncated mid-write, or filled with something that is not JSON.
+    /// Distinct from [`PersistError::Format`], which covers documents that
+    /// *are* valid JSON but do not match the checkpoint schema.
+    Corrupt(String),
     /// (De)serialisation failure.
     Format(String),
     /// The checkpoint does not match the model it is loaded into.
@@ -40,6 +45,7 @@ impl std::fmt::Display for PersistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Corrupt(e) => write!(f, "corrupt checkpoint: {e}"),
             PersistError::Format(e) => write!(f, "format error: {e}"),
             PersistError::Mismatch(e) => write!(f, "checkpoint mismatch: {e}"),
             PersistError::UnsupportedVersion { found, supported } => write!(
@@ -158,7 +164,12 @@ pub fn from_checkpoint(ckpt: Checkpoint) -> Result<TrainedInBox, PersistError> {
 /// Saves a trained model as pretty JSON at `path`.
 pub fn save(trained: &TrainedInBox, path: impl AsRef<Path>) -> Result<(), PersistError> {
     let ckpt = to_checkpoint(trained);
-    let json = serde_json::to_string(&ckpt).map_err(|e| PersistError::Format(e.to_string()))?;
+    let mut json = serde_json::to_string(&ckpt).map_err(|e| PersistError::Format(e.to_string()))?;
+    if inbox_obs::failpoint!("persist.save.truncate") {
+        // Simulates a short write / crash mid-checkpoint: only the first
+        // half of the document reaches disk.
+        json.truncate(json.len() / 2);
+    }
     std::fs::write(path, json)?;
     Ok(())
 }
@@ -169,11 +180,26 @@ pub fn save(trained: &TrainedInBox, path: impl AsRef<Path>) -> Result<(), Persis
 /// checkpoint struct is deserialised: a file written by a future format —
 /// whose fields this build may not even be able to parse — fails with
 /// [`PersistError::UnsupportedVersion`] instead of a misleading field-level
-/// format error.
+/// format error. Files that never parse as JSON at all (empty, truncated
+/// mid-write, or plain garbage) fail earlier still with
+/// [`PersistError::Corrupt`] — never a raw [`PersistError::Io`], which is
+/// reserved for genuine filesystem failures.
 pub fn load(path: impl AsRef<Path>) -> Result<TrainedInBox, PersistError> {
-    let json = std::fs::read_to_string(path)?;
-    let value: serde_json::Value =
-        serde_json::from_str(&json).map_err(|e| PersistError::Format(e.to_string()))?;
+    if inbox_obs::failpoint!("persist.load.io") {
+        return Err(PersistError::Io(std::io::Error::other(
+            "injected failpoint: persist.load.io",
+        )));
+    }
+    let mut json = std::fs::read_to_string(path)?;
+    if inbox_obs::failpoint!("persist.load.truncate") {
+        // Simulates a short read: the tail of the document is lost.
+        json.truncate(json.len() / 2);
+    }
+    if json.trim().is_empty() {
+        return Err(PersistError::Corrupt("checkpoint file is empty".into()));
+    }
+    let value: serde_json::Value = serde_json::from_str(&json)
+        .map_err(|e| PersistError::Corrupt(format!("unparseable checkpoint JSON: {e}")))?;
     let found = value
         .as_object()
         .and_then(|o| o.get("version"))
@@ -357,6 +383,48 @@ mod tests {
             Ok(_) => panic!("garbage must be rejected"),
         };
         std::fs::remove_file(&path).unwrap();
-        assert!(matches!(err, PersistError::Format(_)));
+        assert!(matches!(err, PersistError::Corrupt(_)));
+    }
+
+    #[test]
+    fn load_rejects_empty_file_as_corrupt_not_io() {
+        let path = std::env::temp_dir().join(format!("inbox-empty-{}.json", std::process::id()));
+        std::fs::write(&path, "").unwrap();
+        let err = match load(&path) {
+            Err(e) => e,
+            Ok(_) => panic!("empty file must be rejected"),
+        };
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(err, PersistError::Corrupt(_)), "got {err:?}");
+        assert!(err.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn load_rejects_truncated_checkpoint_as_corrupt() {
+        // A checkpoint cut off mid-write (e.g. a crash between `write` and
+        // `fsync`) is detected as Corrupt, not surfaced as a raw I/O or
+        // confusing schema error.
+        let ds = Dataset::synthetic(&SyntheticConfig::tiny(), 49);
+        let trained = train(&ds, crate::config::InBoxConfig::tiny_test());
+        let path = std::env::temp_dir().join(format!("inbox-trunc-{}.json", std::process::id()));
+        save(&trained, &path).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &json[..json.len() / 2]).unwrap();
+        let err = match load(&path) {
+            Err(e) => e,
+            Ok(_) => panic!("truncated checkpoint must be rejected"),
+        };
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(err, PersistError::Corrupt(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn missing_file_stays_a_real_io_error() {
+        let path = std::env::temp_dir().join(format!("inbox-nofile-{}.json", std::process::id()));
+        let err = match load(&path) {
+            Err(e) => e,
+            Ok(_) => panic!("missing file must be rejected"),
+        };
+        assert!(matches!(err, PersistError::Io(_)), "got {err:?}");
     }
 }

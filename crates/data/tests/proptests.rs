@@ -131,3 +131,34 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// `items_of` is sorted and duplicate-free for arbitrary pair
+    /// multisets, and contains exactly the distinct items of that user.
+    /// The serving layer's candidate masks rely on this contract for
+    /// `binary_search`-based membership and ingestion.
+    #[test]
+    fn items_of_is_sorted_unique_and_complete(pairs in pairs_strategy()) {
+        let inter = Interactions::from_pairs(
+            8,
+            20,
+            pairs.iter().map(|&(u, i)| (UserId(u), ItemId(i))),
+        )
+        .unwrap();
+        for u in 0..8u32 {
+            let items = inter.items_of(UserId(u));
+            prop_assert!(
+                items.windows(2).all(|w| w[0] < w[1]),
+                "items_of({}) not strictly increasing: {:?}", u, items
+            );
+            let mut expected: Vec<ItemId> = pairs
+                .iter()
+                .filter(|&&(pu, _)| pu == u)
+                .map(|&(_, i)| ItemId(i))
+                .collect();
+            expected.sort_unstable();
+            expected.dedup();
+            prop_assert_eq!(items, expected.as_slice());
+        }
+    }
+}

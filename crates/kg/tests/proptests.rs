@@ -132,3 +132,42 @@ proptest! {
         prop_assert_eq!(g.n_concepts(), 0);
     }
 }
+
+proptest! {
+    /// Metamorphic: the built graph is a *set* of facts — inserting the
+    /// same triples in reverse order yields identical stats and identical
+    /// item↔concept index contents. Inverse-relation **ids** are allocated
+    /// lazily on first use, so reversal may renumber them; the
+    /// order-independent identity of a concept is its relation *name*
+    /// plus its tag, and that is what must agree.
+    #[test]
+    fn build_order_does_not_change_graph(adds in prop::collection::vec(add_strategy(), 0..60)) {
+        let forward = build(&adds);
+        let reversed_adds: Vec<Add> = adds.iter().rev().cloned().collect();
+        let reversed = build(&reversed_adds);
+
+        let f = KgStats::of(&forward);
+        let r = KgStats::of(&reversed);
+        prop_assert_eq!(f.n_triples(), r.n_triples());
+        prop_assert_eq!((f.n_iri, f.n_trt, f.n_irt), (r.n_iri, r.n_trt, r.n_irt));
+        prop_assert_eq!(forward.n_concepts(), reversed.n_concepts());
+
+        let named = |g: &inbox_kg::KnowledgeGraph, item: ItemId| -> Vec<(String, u32)> {
+            let mut v: Vec<(String, u32)> = g
+                .concepts_of(item)
+                .iter()
+                .map(|c| (g.relation_name(c.relation).to_string(), c.tag.0))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        for i in 0..N_ITEMS as u32 {
+            let item = ItemId(i);
+            prop_assert_eq!(
+                named(&forward, item),
+                named(&reversed, item),
+                "concepts_of({}) depends on insert order", i
+            );
+        }
+    }
+}

@@ -12,6 +12,9 @@
 //!   log-scale aggregation but kept in their own namespace.
 //! - **Telemetry** ([`telemetry`]) — structured [`EpochRecord`] events fanned
 //!   out to pluggable sinks: console (leveled), JSONL file, in-memory capture.
+//! - **Failpoints** ([`failpoints`]) — deterministic fault-injection sites
+//!   for chaos testing, compiled to no-ops unless an instrumented crate is
+//!   built with its `failpoints` feature.
 //!
 //! Everything is process-global by design: instrumented crates call free
 //! functions and never thread handles through their APIs, so adding or
@@ -19,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod failpoints;
 pub mod histogram;
 pub mod registry;
 pub mod telemetry;

@@ -109,7 +109,9 @@ impl Batcher {
             if queue.closed {
                 return Err(ServeError::Closed);
             }
-            if queue.pending.len() >= self.queue_cap {
+            if queue.pending.len() >= self.queue_cap
+                || inbox_obs::failpoint!("serve.batcher.queue_full")
+            {
                 drop(queue);
                 self.engine.note_shed();
                 inbox_obs::counter("serve.shed").incr();
@@ -146,9 +148,38 @@ impl Drop for Batcher {
     }
 }
 
+/// Closes the queue when the flush thread exits — normally *or by panic*.
+///
+/// Without this guard, a flush thread that dies with requests still queued
+/// (or mid-batch) leaves producers blocked on reply channels that nobody
+/// will ever serve, and later callers enqueueing into a queue nobody
+/// drains. Dropping the guard marks the queue closed and clears any
+/// stranded entries; dropping their reply senders disconnects the waiting
+/// callers' `recv()`, which [`Batcher::recommend`] maps to a deterministic
+/// [`ServeError::Closed`]. Requests already drained into the dying batch
+/// are disconnected the same way when the batch itself unwinds.
+struct CloseOnExit<'a>(&'a Shared);
+
+impl Drop for CloseOnExit<'_> {
+    fn drop(&mut self) {
+        // Recover the lock even if the panic happened while it was held
+        // elsewhere; the close-and-clear below is safe on any queue state.
+        let mut queue = self
+            .0
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        queue.closed = true;
+        queue.pending.clear();
+        drop(queue);
+        self.0.nonempty.notify_all();
+    }
+}
+
 /// Collects up to `max_batch` requests, waiting at most `batch_wait` past
 /// the first enqueue, then answers them. Loops until closed *and* drained.
 fn flush_loop(shared: &Shared, engine: &Engine, max_batch: usize, batch_wait: std::time::Duration) {
+    let _close_on_exit = CloseOnExit(shared);
     loop {
         let batch = {
             let mut queue = shared.queue.lock().unwrap();
@@ -178,6 +209,14 @@ fn flush_loop(shared: &Shared, engine: &Engine, max_batch: usize, batch_wait: st
             let take = queue.pending.len().min(max_batch);
             queue.pending.drain(..take).collect::<Vec<_>>()
         };
+        // Chaos sites, both outside the queue lock: a one-shot stall here
+        // delays a whole batch without blocking producers, and an injected
+        // panic kills the flush thread with a batch in hand — the worst
+        // moment — which `CloseOnExit` must turn into clean `Closed` errors.
+        let _ = inbox_obs::failpoint!("serve.batcher.flush_stall");
+        if inbox_obs::failpoint!("serve.batcher.flush_panic") {
+            panic!("injected failpoint: serve.batcher.flush_panic");
+        }
         flush(engine, batch);
     }
 }

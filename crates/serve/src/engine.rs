@@ -286,10 +286,15 @@ impl Engine {
             user_box_from_history(&self.model, &self.config, &mut tape, user, &history)
                 .map(Arc::new)
         };
-        self.cache
-            .lock()
-            .unwrap()
-            .insert(user.0, version, value.clone());
+        // Chaos site: skipping the insert is indistinguishable from the
+        // entry being evicted by a concurrent flood of other users the
+        // instant after it was cached — the answer must not change.
+        if !inbox_obs::failpoint!("serve.cache.evict") {
+            self.cache
+                .lock()
+                .unwrap()
+                .insert(user.0, version, value.clone());
+        }
         (version, value)
     }
 

@@ -115,10 +115,25 @@ impl Request {
     }
 }
 
+/// Longest accepted request or header line, in bytes. Longer lines are a
+/// client error, not a reason to buffer without bound.
+const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Most header lines accepted before the request is rejected.
+const MAX_HEADER_LINES: usize = 128;
+/// Hard ceiling on bytes read from one connection (head + drained body).
+const MAX_REQUEST_BYTES: u64 = 256 * 1024;
+
+/// Reads and parses one request head. `Ok(None)` means the bytes on the
+/// wire are not an acceptable request (no target, oversized line, header
+/// flood) and the caller should answer `400`; `Err` is a genuine socket
+/// failure (including non-UTF-8 bytes surfacing from `read_line`).
 fn parse_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
-    let mut reader = BufReader::new(std::io::Read::by_ref(stream));
+    let mut reader = BufReader::new(std::io::Read::by_ref(stream).take(MAX_REQUEST_BYTES));
     let mut line = String::new();
     reader.read_line(&mut line)?;
+    if line.len() > MAX_LINE_BYTES {
+        return Ok(None);
+    }
     let mut parts = line.split_whitespace();
     let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
         return Ok(None);
@@ -140,10 +155,15 @@ fn parse_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
     };
     // Drain the headers so the peer can read our response cleanly.
     let mut content_length = 0usize;
+    let mut header_lines = 0usize;
     loop {
         let mut header = String::new();
         if reader.read_line(&mut header)? == 0 {
             break;
+        }
+        header_lines += 1;
+        if header_lines > MAX_HEADER_LINES || header.len() > MAX_LINE_BYTES {
+            return Ok(None);
         }
         let header = header.trim();
         if header.is_empty() {
@@ -222,10 +242,22 @@ fn serve_error(stream: &mut TcpStream, err: &ServeError) {
 }
 
 fn handle_connection(mut stream: TcpStream, service: &Service) -> std::io::Result<()> {
-    let Some(request) = parse_request(&mut stream)? else {
-        write_response(&mut stream, 400, "Bad Request", &error_body("bad request"));
-        return Ok(());
+    // Both unacceptable requests (`Ok(None)`) and read errors (e.g.
+    // non-UTF-8 bytes in the request line) get an explicit 400: the server
+    // answers every connection it accepted rather than silently hanging up.
+    let request = match parse_request(&mut stream) {
+        Ok(Some(request)) => request,
+        Ok(None) | Err(_) => {
+            write_response(&mut stream, 400, "Bad Request", &error_body("bad request"));
+            return Ok(());
+        }
     };
+    // Chaos site: drop the connection after a full parse, before any byte
+    // of the response — the client sees a clean EOF, never a half-written
+    // or interleaved response, and the server must keep serving.
+    if inbox_obs::failpoint!("serve.http.torn_response") {
+        return Ok(());
+    }
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/health") => {
             write_response(&mut stream, 200, "OK", "{\"status\":\"ok\"}");

@@ -1,0 +1,124 @@
+//! Metamorphic invariants: properties that must hold for *any* input, used
+//! by the proptest suites in this crate and at the workspace root.
+//!
+//! Each checker returns `Result<(), String>` so property tests can surface
+//! the violated dimension instead of a bare boolean.
+
+use inbox_core::BoxEmb;
+
+use crate::oracle::Rows;
+
+/// Max-Min intersection monotonicity (Eq. (17)–(20)): wherever the
+/// intersection is non-empty, its region is contained in **every** operand
+/// box. The corners are elementwise min/max of the operand corners, but
+/// [`BoxEmb`] stores center + offset, so the reconstructed corners pass
+/// through `(u+l)/2 ± (u−l)/2` and may escape by a few ulps — containment
+/// is checked to rounding tolerance, not bit-exactly. An empty
+/// intersection degenerates to a zero-width box at the midpoint of the
+/// gap, which is legitimately outside the operands — those dimensions are
+/// skipped.
+pub fn check_maxmin_containment(boxes: &[BoxEmb]) -> Result<(), String> {
+    let inter = BoxEmb::intersect_max_min(boxes);
+    let (iu, il) = (inter.upper(), inter.lower());
+    for (bi, b) in boxes.iter().enumerate() {
+        let (bu, bl) = (b.upper(), b.lower());
+        for k in 0..inter.dim() {
+            // Empty on this dimension: min-of-uppers < max-of-lowers was
+            // clamped to a midpoint, containment is not promised.
+            if iu[k] <= il[k] && (iu[k] < bl[k] || il[k] > bu[k]) {
+                continue;
+            }
+            let tol = 8.0
+                * f32::EPSILON
+                * [iu[k], il[k], bu[k], bl[k], 1.0]
+                    .iter()
+                    .fold(0.0f32, |m, v| m.max(v.abs()));
+            if iu[k] > bu[k] + tol || il[k] < bl[k] - tol {
+                return Err(format!(
+                    "dim {k}: intersection [{}, {}] escapes box {bi} [{}, {}]",
+                    il[k], iu[k], bl[k], bu[k]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Translation invariance of the matching score (Eq. (29)): shifting a
+/// point and the box center by the same vector `t` leaves both `D_out`
+/// and `D_in` unchanged up to f32 rounding, hence the score too. Checks
+/// `|score(p + t, box + t) − score(p, box)| <= tol`.
+pub fn check_translation_invariance(
+    point: &[f32],
+    b: &BoxEmb,
+    t: &[f32],
+    gamma: f32,
+    tol: f32,
+) -> Result<(), String> {
+    let base = inbox_core::geometry::score(point, b, gamma);
+    let shifted_p: Vec<f32> = point.iter().zip(t).map(|(&p, &d)| p + d).collect();
+    let shifted_b = BoxEmb::new(
+        b.cen.iter().zip(t).map(|(&c, &d)| c + d).collect(),
+        b.off.clone(),
+    );
+    let shifted = inbox_core::geometry::score(&shifted_p, &shifted_b, gamma);
+    if (base - shifted).abs() <= tol {
+        Ok(())
+    } else {
+        Err(format!(
+            "score moved under translation: {base} vs {shifted} (|Δ| = {}, tol {tol})",
+            (base - shifted).abs()
+        ))
+    }
+}
+
+/// Attention-intersection offset bound (Eq. (15), (16)): the combined
+/// offset is `min_i(relu(off_i)) ∘ sigmoid(·)`, and a sigmoid gate lies in
+/// `(0, 1)`, so every output dimension must satisfy
+/// `0 <= off[k] <= min_i(relu(offs[i][k])) + eps`.
+pub fn check_attention_offset_bounded(off: &[f32], offs: &Rows, eps: f32) -> Result<(), String> {
+    for (k, &o) in off.iter().enumerate() {
+        let min_in: f32 = offs
+            .iter()
+            .map(|row| row[k].max(0.0))
+            .fold(f32::INFINITY, f32::min);
+        if o < -eps || o > min_in + eps {
+            return Err(format!(
+                "dim {k}: combined offset {o} outside [0, {min_in}] (+eps {eps})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containment_holds_for_overlapping_boxes() {
+        let a = BoxEmb::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let b = BoxEmb::new(vec![0.5, 0.5], vec![1.0, 1.0]);
+        check_maxmin_containment(&[a, b]).unwrap();
+    }
+
+    #[test]
+    fn disjoint_dimensions_are_skipped() {
+        let a = BoxEmb::new(vec![0.0], vec![1.0]);
+        let b = BoxEmb::new(vec![5.0], vec![1.0]);
+        check_maxmin_containment(&[a, b]).unwrap();
+    }
+
+    #[test]
+    fn translation_invariance_on_exact_inputs() {
+        let b = BoxEmb::new(vec![0.5, -1.0], vec![0.25, 0.5]);
+        check_translation_invariance(&[1.0, 0.0], &b, &[2.0, -3.0], 12.0, 1e-5).unwrap();
+    }
+
+    #[test]
+    fn attention_bound_rejects_inflated_offset() {
+        let offs = vec![vec![0.5, 0.2], vec![0.3, 0.4]];
+        check_attention_offset_bounded(&[0.29, 0.19], &offs, 1e-6).unwrap();
+        assert!(check_attention_offset_bounded(&[0.31, 0.1], &offs, 1e-6).is_err());
+    }
+}

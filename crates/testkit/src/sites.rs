@@ -1,0 +1,48 @@
+//! The authoritative inventory of failpoint sites compiled into the
+//! workspace.
+//!
+//! The coverage suite (`tests/coverage.rs`) asserts two directions against
+//! this list: every site here fires at least once under the chaos tests,
+//! and every `failpoint!` call site in the instrumented crates' sources
+//! appears here. Adding a site to the code without listing it (or vice
+//! versa) fails CI.
+
+/// Every failpoint site in the workspace, sorted by name.
+pub const ALL: &[&str] = &[
+    // core::persist::load — fail the read with an injected I/O error
+    // before the file is touched.
+    "persist.load.io",
+    // core::persist::load — drop the second half of the bytes read,
+    // simulating a short read of a checkpoint.
+    "persist.load.truncate",
+    // core::persist::save — write only the first half of the document,
+    // simulating a crash mid-write.
+    "persist.save.truncate",
+    // serve::batcher::flush_loop — panic the flush thread right before
+    // it answers a drained batch.
+    "serve.batcher.flush_panic",
+    // serve::batcher::flush_loop — stall the flush thread (pure delay)
+    // between draining a batch and answering it.
+    "serve.batcher.flush_stall",
+    // serve::batcher::recommend — report the admission queue as full
+    // regardless of its occupancy, forcing a shed.
+    "serve.batcher.queue_full",
+    // serve::engine::resolve_box — skip caching a freshly built box,
+    // simulating eviction racing the insert.
+    "serve.cache.evict",
+    // serve::http::handle_connection — drop the connection after
+    // parsing, before any response byte (client sees clean EOF).
+    "serve.http.torn_response",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::ALL;
+
+    #[test]
+    fn inventory_is_sorted_and_unique() {
+        for pair in ALL.windows(2) {
+            assert!(pair[0] < pair[1], "{} >= {}", pair[0], pair[1]);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Chaos suite: drives every registered failpoint site and asserts the
+//! production stack degrades **deterministically** — typed errors, clean
+//! EOFs, bit-identical answers — never panics, hangs, or corruption.
+//!
+//! Compiled only under `--features failpoints`; the sites themselves are
+//! no-ops in default builds.
+#![cfg(feature = "failpoints")]
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use inbox_core::persist::{self, PersistError};
+use inbox_core::trainer::{TrainReport, TrainedInBox};
+use inbox_kg::UserId;
+use inbox_serve::{HttpServer, ServeConfig, ServeError, Service};
+use inbox_testkit::harness;
+use inbox_testkit::{FailGuard, Trigger};
+
+/// The failpoint registry is process-global, and the test harness runs
+/// integration tests on multiple threads — every test serialises through
+/// this lock so one test's triggers never leak into another's.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A unique temp path, removed on drop.
+struct TempPath(std::path::PathBuf);
+
+impl TempPath {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "inbox-chaos-{tag}-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        Self(path)
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn trained_fixture(seed: u64) -> TrainedInBox {
+    let (_ds, model, cfg) = harness::fixture(seed);
+    let n_users = model.sizes().n_users;
+    TrainedInBox::from_parts(model, cfg, vec![None; n_users], TrainReport::default())
+}
+
+/// A crash mid-save (short write) must surface as `Corrupt` on the next
+/// load — and a clean retry must round-trip.
+#[test]
+fn save_truncation_detected_as_corrupt_on_load() {
+    let _serial = serial();
+    let trained = trained_fixture(41);
+    let path = TempPath::new("save-truncate");
+    {
+        let _fp = FailGuard::new("persist.save.truncate", Trigger::Always);
+        persist::save(&trained, &path.0).expect("truncated save still returns Ok");
+    }
+    match persist::load(&path.0) {
+        Err(PersistError::Corrupt(_)) => {}
+        Err(other) => panic!("half-written checkpoint must load as Corrupt, got {other:?}"),
+        Ok(_) => panic!("half-written checkpoint must not load"),
+    }
+    // With the fault cleared the same path round-trips.
+    persist::save(&trained, &path.0).unwrap();
+    let loaded = persist::load(&path.0).expect("clean save must round-trip");
+    assert_eq!(loaded.config.dim, trained.config.dim);
+    assert_eq!(loaded.boxes.len(), trained.boxes.len());
+}
+
+/// A short *read* of a well-formed checkpoint must also surface as
+/// `Corrupt`, not `Io` and not a panic.
+#[test]
+fn load_truncation_detected_as_corrupt() {
+    let _serial = serial();
+    let trained = trained_fixture(42);
+    let path = TempPath::new("load-truncate");
+    persist::save(&trained, &path.0).unwrap();
+    let _fp = FailGuard::new("persist.load.truncate", Trigger::Always);
+    match persist::load(&path.0) {
+        Err(PersistError::Corrupt(_)) => {}
+        Err(other) => panic!("short read must load as Corrupt, got {other:?}"),
+        Ok(_) => panic!("short read must not load"),
+    }
+}
+
+/// A genuine filesystem failure keeps its `Io` identity — corruption
+/// detection must not swallow it.
+#[test]
+fn load_io_failure_stays_io() {
+    let _serial = serial();
+    let trained = trained_fixture(43);
+    let path = TempPath::new("load-io");
+    persist::save(&trained, &path.0).unwrap();
+    let _fp = FailGuard::new("persist.load.io", Trigger::Always);
+    match persist::load(&path.0) {
+        Err(PersistError::Io(_)) => {}
+        Err(other) => panic!("injected I/O failure must stay Io, got {other:?}"),
+        Ok(_) => panic!("injected I/O failure must not load"),
+    }
+}
+
+/// A full admission queue sheds with `Overloaded` — typed, counted, and
+/// fully recoverable once pressure is gone.
+#[test]
+fn queue_full_sheds_with_overloaded() {
+    let _serial = serial();
+    let serve_cfg = ServeConfig::default();
+    let (_ds, _cfg, engine) = harness::engine(44, &serve_cfg);
+    let service = Service::start(engine, &serve_cfg);
+    {
+        let _fp = FailGuard::new("serve.batcher.queue_full", Trigger::Always);
+        for _ in 0..3 {
+            match service.recommend(UserId(0), 5) {
+                Err(ServeError::Overloaded) => {}
+                other => panic!("full queue must shed with Overloaded, got {other:?}"),
+            }
+        }
+        assert_eq!(service.stats().sheds, 3, "sheds must be counted");
+    }
+    // Pressure gone: the same service answers normally.
+    service
+        .recommend(UserId(0), 5)
+        .expect("recovered service must answer");
+    service.shutdown();
+}
+
+/// Satellite regression: a flush thread that dies with a batch in hand
+/// must disconnect the waiting caller with a deterministic `Closed` — and
+/// every later request must get the same `Closed` immediately instead of
+/// queueing into a dead batcher forever.
+#[test]
+fn flush_panic_yields_deterministic_closed() {
+    let _serial = serial();
+    let serve_cfg = ServeConfig::default();
+    let (_ds, _cfg, engine) = harness::engine(45, &serve_cfg);
+    let service = Service::start(engine, &serve_cfg);
+    let _fp = FailGuard::new("serve.batcher.flush_panic", Trigger::Nth(1));
+    match service.recommend(UserId(0), 5) {
+        Err(ServeError::Closed) => {}
+        other => panic!("caller in the dying batch must see Closed, got {other:?}"),
+    }
+    // The flush thread is gone; later callers must fail fast, not hang.
+    let t0 = Instant::now();
+    match service.recommend(UserId(1), 5) {
+        Err(ServeError::Closed) => {}
+        other => panic!("post-crash request must see Closed, got {other:?}"),
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "post-crash requests must fail fast, not block on a dead flush thread"
+    );
+    service.shutdown();
+}
+
+/// A one-shot stall in the flush thread delays the batch but loses
+/// nothing: the answer still arrives, correct and typed.
+#[test]
+fn flush_stall_delays_but_answers() {
+    let _serial = serial();
+    let serve_cfg = ServeConfig::default();
+    let (_ds, _cfg, engine) = harness::engine(46, &serve_cfg);
+    let service = Service::start(engine, &serve_cfg);
+    let stall = Duration::from_millis(50);
+    let _fp = FailGuard::new("serve.batcher.flush_stall", Trigger::DelayOnce(stall));
+    let t0 = Instant::now();
+    let rec = service
+        .recommend(UserId(0), 5)
+        .expect("stalled batch must still flush");
+    assert!(
+        t0.elapsed() >= stall,
+        "the injected stall must actually delay the batch"
+    );
+    let expected = service.engine().oracle(UserId(0), 5).unwrap();
+    assert_eq!(rec.items, expected.items, "stalled answer must be exact");
+    service.shutdown();
+}
+
+/// Losing every cache insert (an eviction flood) costs rebuilds, never
+/// correctness: answers stay bit-identical to the cache-bypassing oracle.
+#[test]
+fn eviction_flood_never_changes_answers() {
+    let _serial = serial();
+    let (ds, _cfg, engine) = harness::engine(47, &ServeConfig::default());
+    let _fp = FailGuard::new("serve.cache.evict", Trigger::Always);
+    let n_users = ds.train.n_users() as u32;
+    for u in 0..n_users {
+        let user = UserId(u);
+        let first = engine.recommend_now(user, 5).unwrap();
+        let second = engine.recommend_now(user, 5).unwrap();
+        let expected = engine.oracle(user, 5).unwrap();
+        for (got, want) in [(&first, &expected), (&second, &expected)] {
+            assert_eq!(got.fallback, want.fallback, "user {u} fallback");
+            assert_eq!(got.items.len(), want.items.len(), "user {u} length");
+            for (g, w) in got.items.iter().zip(&want.items) {
+                assert_eq!(g.0, w.0, "user {u} item order");
+                assert_eq!(g.1.to_bits(), w.1.to_bits(), "user {u} score bits");
+            }
+        }
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.cache_hits, 0, "evicted cache must never hit");
+    assert!(
+        stats.rebuilds >= 2,
+        "every boxed request must rebuild, saw {}",
+        stats.rebuilds
+    );
+}
+
+/// A connection torn after a full parse but before any response byte gives
+/// the client a clean EOF — and the server keeps serving the next request.
+#[test]
+fn torn_response_is_clean_eof_then_recovery() {
+    let _serial = serial();
+    let serve_cfg = ServeConfig::default();
+    let (_ds, _cfg, engine) = harness::engine(48, &serve_cfg);
+    let service = Arc::new(Service::start(engine, &serve_cfg));
+    let http = HttpServer::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let _fp = FailGuard::new("serve.http.torn_response", Trigger::Nth(1));
+
+    let roundtrip = |raw: &str| -> String {
+        let mut stream = TcpStream::connect(http.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    };
+    let request = "GET /health HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+
+    let torn = roundtrip(request);
+    assert!(
+        torn.is_empty(),
+        "torn connection must be a clean EOF with zero response bytes, got {torn:?}"
+    );
+    let healthy = roundtrip(request);
+    assert!(
+        healthy.starts_with("HTTP/1.1 200"),
+        "server must keep serving after a torn response, got {healthy:?}"
+    );
+
+    http.shutdown();
+    service.shutdown();
+}

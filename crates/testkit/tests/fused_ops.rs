@@ -1,0 +1,561 @@
+//! Gradient-checks every fused tape op against (a) its scalar oracle,
+//! (b) the unfused op chain it replaced, and (c) central-difference
+//! numeric gradients on kink-free inputs.
+//!
+//! Bit-exactness tiers, per the ops' own documentation:
+//!
+//! * `linear`, `l1_rows`, `mean_log_sigmoid_affine`, `attn_combine`,
+//!   `weighted_sum_axis0`, `concat_cols_row` — fused == chain
+//!   **bit-for-bit**, values and gradients.
+//! * `concat_row_linear`, `d_pb_rows` — fused is deterministic but folds
+//!   in a different order than the chain, so fused vs. chain uses
+//!   tolerances; fused vs. its own oracle replica is still bit-exact.
+
+use inbox_autodiff::{ParamId, ParamStore, Tape, Tensor, Var};
+use inbox_testkit::harness::{assert_bits_eq, assert_close};
+use inbox_testkit::oracle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A named graph builder over parameter variables.
+type NamedBuild<'a> = (&'a str, Box<dyn Fn(&mut Tape, &[Var]) -> Var>);
+
+/// Builds a graph over parameter variables, reduces the output to a
+/// scalar with `sum_all` when needed, and returns the op's forward value
+/// plus the dense gradient of the scalar w.r.t. every listed parameter.
+fn value_and_grads(
+    store: &ParamStore,
+    ids: &[ParamId],
+    build: impl Fn(&mut Tape, &[Var]) -> Var,
+) -> (Vec<f32>, Vec<Vec<f32>>) {
+    let mut tape = Tape::new();
+    let vars: Vec<Var> = ids.iter().map(|&id| tape.param(store, id)).collect();
+    let out = build(&mut tape, &vars);
+    let value = tape.value(out).data().to_vec();
+    let scalar = if tape.value(out).shape() == (1, 1) {
+        out
+    } else {
+        tape.sum_all(out)
+    };
+    let grads = tape.backward(scalar);
+    let collected = ids
+        .iter()
+        .map(|&id| match grads.dense(id) {
+            Some(t) => t.data().to_vec(),
+            None => vec![0.0; store.value(id).len()],
+        })
+        .collect();
+    (value, collected)
+}
+
+/// Central-difference derivative of `sum(build(...))` w.r.t. one scalar
+/// entry of one parameter.
+fn numeric_grad(
+    store: &mut ParamStore,
+    ids: &[ParamId],
+    target: usize,
+    flat: usize,
+    eps: f32,
+    build: &impl Fn(&mut Tape, &[Var]) -> Var,
+) -> f32 {
+    let orig = store.value(ids[target]).data()[flat];
+    let mut eval = |v: f32| {
+        store.value_mut(ids[target]).data_mut()[flat] = v;
+        let (value, _) = value_and_grads(store, ids, build);
+        value.iter().sum::<f32>()
+    };
+    let hi = eval(orig + eps);
+    let lo = eval(orig - eps);
+    store.value_mut(ids[target]).data_mut()[flat] = orig;
+    (hi - lo) / (2.0 * eps)
+}
+
+/// Asserts analytic ≈ numeric with `|a - n| <= tol * max(|a|, |n|, 1)`.
+fn assert_grad_close(analytic: f32, numeric: f32, what: &str) {
+    let denom = analytic.abs().max(numeric.abs()).max(1.0);
+    assert!(
+        (analytic - numeric).abs() <= 0.08 * denom,
+        "{what}: analytic {analytic} vs numeric {numeric}"
+    );
+}
+
+fn rand_tensor(rng: &mut StdRng, rows: usize, cols: usize, lo: f32, hi: f32) -> Tensor {
+    let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+fn rows_of(t: &Tensor) -> oracle::Rows {
+    oracle::tensor_rows(t)
+}
+
+// ---------------------------------------------------------------------
+// Fused op vs. scalar oracle: bit-exact values
+// ---------------------------------------------------------------------
+
+#[test]
+fn fused_values_match_oracle_bitwise() {
+    let mut rng = StdRng::seed_from_u64(0xfeed);
+    for round in 0..60 {
+        let n = rng.gen_range(1..6usize);
+        let d = rng.gen_range(1..7usize);
+        let m = rng.gen_range(1..7usize);
+        let mut store = ParamStore::new();
+        let x = store.add("x", rand_tensor(&mut rng, n, d, -2.0, 2.0));
+        let w = store.add("w", rand_tensor(&mut rng, d, m, -1.0, 1.0));
+        let b = store.add("b", rand_tensor(&mut rng, 1, m, -1.0, 1.0));
+        let y = store.add("y", rand_tensor(&mut rng, n, d, -2.0, 2.0));
+        let row = store.add("row", rand_tensor(&mut rng, 1, d, -1.5, 1.5));
+        let wc = store.add("wc", rand_tensor(&mut rng, 2 * d, m, -1.0, 1.0));
+
+        let (xr, wr, br) = (
+            rows_of(store.value(x)),
+            rows_of(store.value(w)),
+            rows_of(store.value(b)),
+        );
+        let (yr, rowr, wcr) = (
+            rows_of(store.value(y)),
+            rows_of(store.value(row)),
+            rows_of(store.value(wc)),
+        );
+
+        let ids = [x, w, b, y, row, wc];
+        let what = |op: &str| format!("{op} (round {round})");
+
+        let (v, _) = value_and_grads(&store, &ids, |t, v| t.linear(v[0], v[1], v[2]));
+        assert_bits_eq(&v, &oracle::linear(&xr, &wr, &br).concat(), &what("linear"));
+
+        let (v, _) = value_and_grads(&store, &ids, |t, v| t.attn_combine(v[0], v[3]));
+        assert_bits_eq(
+            &v,
+            &oracle::attn_combine(&xr, &yr).concat(),
+            &what("attn_combine"),
+        );
+
+        let (v, _) = value_and_grads(&store, &ids, |t, v| t.weighted_sum_axis0(v[0], v[3]));
+        assert_bits_eq(
+            &v,
+            &oracle::weighted_sum_axis0(&xr, &yr).concat(),
+            &what("weighted_sum_axis0"),
+        );
+
+        let (v, _) = value_and_grads(&store, &ids, |t, v| t.l1_rows(v[0], v[3]));
+        assert_bits_eq(&v, &oracle::l1_rows(&xr, &yr), &what("l1_rows"));
+        // Broadcast row on the right-hand side.
+        let (v, _) = value_and_grads(&store, &ids, |t, v| t.l1_rows(v[0], v[4]));
+        assert_bits_eq(&v, &oracle::l1_rows(&xr, &rowr), &what("l1_rows bcast"));
+
+        let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+        let offset = rng.gen_range(-3.0f32..3.0);
+        let (v, _) = value_and_grads(&store, &ids, |t, v| {
+            t.mean_log_sigmoid_affine(v[0], sign, offset)
+        });
+        assert_bits_eq(
+            &v,
+            &[oracle::mean_log_sigmoid_affine(&xr, sign, offset)],
+            &what("mean_log_sigmoid_affine"),
+        );
+
+        let (v, _) = value_and_grads(&store, &ids, |t, v| t.concat_cols_row(v[0], v[4]));
+        assert_bits_eq(
+            &v,
+            &oracle::concat_cols_row(&xr, &rowr).concat(),
+            &what("concat_cols_row"),
+        );
+
+        let (v, _) = value_and_grads(&store, &ids, |t, v| {
+            t.concat_row_linear(v[0], v[4], v[5], v[2])
+        });
+        assert_bits_eq(
+            &v,
+            &oracle::concat_row_linear(&xr, &rowr, &wcr, &br).concat(),
+            &what("concat_row_linear"),
+        );
+
+        let iw = rng.gen_range(0.0f32..1.0);
+        let (v, _) = value_and_grads(&store, &ids, |t, v| t.d_pb_rows(v[0], v[4], v[4], iw));
+        assert_bits_eq(
+            &v,
+            &oracle::d_pb_rows(&xr, &rowr, &rowr, iw),
+            &what("d_pb_rows"),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fused vs. unfused chain: bit-exact values AND gradients
+// ---------------------------------------------------------------------
+
+#[test]
+fn fused_equals_unfused_chain_bitwise() {
+    let mut rng = StdRng::seed_from_u64(0xc4a1);
+    for round in 0..40 {
+        let n = rng.gen_range(1..6usize);
+        let d = rng.gen_range(1..7usize);
+        let m = rng.gen_range(1..7usize);
+        let mut store = ParamStore::new();
+        let x = store.add("x", rand_tensor(&mut rng, n, d, -2.0, 2.0));
+        let w = store.add("w", rand_tensor(&mut rng, d, m, -1.0, 1.0));
+        let b = store.add("b", rand_tensor(&mut rng, 1, m, -1.0, 1.0));
+        let y = store.add("y", rand_tensor(&mut rng, n, d, -2.0, 2.0));
+        let row = store.add("row", rand_tensor(&mut rng, 1, d, -1.5, 1.5));
+        let ids = [x, w, b, y, row];
+
+        let check = |fused: &dyn Fn(&mut Tape, &[Var]) -> Var,
+                     chain: &dyn Fn(&mut Tape, &[Var]) -> Var,
+                     op: &str| {
+            let (vf, gf) = value_and_grads(&store, &ids, fused);
+            let (vc, gc) = value_and_grads(&store, &ids, chain);
+            assert_bits_eq(&vf, &vc, &format!("{op} value (round {round})"));
+            for (i, (a, b)) in gf.iter().zip(&gc).enumerate() {
+                assert_bits_eq(a, b, &format!("{op} grad of param {i} (round {round})"));
+            }
+        };
+
+        check(
+            &|t, v| t.linear(v[0], v[1], v[2]),
+            &|t, v| {
+                let mm = t.matmul(v[0], v[1]);
+                t.add(mm, v[2])
+            },
+            "linear",
+        );
+
+        check(
+            &|t, v| t.l1_rows(v[0], v[3]),
+            &|t, v| {
+                let diff = t.sub(v[0], v[3]);
+                let a = t.abs(diff);
+                t.sum_axis1(a)
+            },
+            "l1_rows",
+        );
+        check(
+            &|t, v| t.l1_rows(v[0], v[4]),
+            &|t, v| {
+                let diff = t.sub(v[0], v[4]);
+                let a = t.abs(diff);
+                t.sum_axis1(a)
+            },
+            "l1_rows broadcast",
+        );
+
+        let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+        let offset = rng.gen_range(-3.0f32..3.0);
+        check(
+            &|t, v| t.mean_log_sigmoid_affine(v[0], sign, offset),
+            &|t, v| {
+                let s = t.scale(v[0], sign);
+                let a = t.add_scalar(s, offset);
+                let l = t.log_sigmoid(a);
+                t.mean_all(l)
+            },
+            "mean_log_sigmoid_affine",
+        );
+
+        check(
+            &|t, v| t.attn_combine(v[0], v[3]),
+            &|t, v| {
+                let sm = t.softmax_axis0(v[0]);
+                let prod = t.mul(sm, v[3]);
+                t.sum_axis0(prod)
+            },
+            "attn_combine",
+        );
+
+        check(
+            &|t, v| t.weighted_sum_axis0(v[0], v[3]),
+            &|t, v| {
+                let prod = t.mul(v[0], v[3]);
+                t.sum_axis0(prod)
+            },
+            "weighted_sum_axis0",
+        );
+
+        check(
+            &|t, v| t.concat_cols_row(v[0], v[4]),
+            &|t, v| {
+                let rep = t.repeat_rows(v[4], t.value(v[0]).rows());
+                t.concat_cols(v[0], rep)
+            },
+            "concat_cols_row",
+        );
+    }
+}
+
+/// `concat_row_linear` and `d_pb_rows` document a *different fold order*
+/// than their chains, so fused vs. chain agrees to f32 rounding only.
+#[test]
+fn reordered_fused_ops_close_to_unfused_chain() {
+    let mut rng = StdRng::seed_from_u64(0x0dd5);
+    for round in 0..40 {
+        let n = rng.gen_range(1..6usize);
+        let d = rng.gen_range(1..7usize);
+        let m = rng.gen_range(1..7usize);
+        let mut store = ParamStore::new();
+        let x = store.add("x", rand_tensor(&mut rng, n, d, -2.0, 2.0));
+        let row = store.add("row", rand_tensor(&mut rng, 1, d, -1.5, 1.5));
+        let w = store.add("w", rand_tensor(&mut rng, 2 * d, m, -1.0, 1.0));
+        let b = store.add("b", rand_tensor(&mut rng, 1, m, -1.0, 1.0));
+        let cen = store.add("cen", rand_tensor(&mut rng, 1, d, -1.0, 1.0));
+        let off = store.add("off", rand_tensor(&mut rng, 1, d, -0.5, 1.0));
+        let ids = [x, row, w, b, cen, off];
+
+        let check_close = |fused: &dyn Fn(&mut Tape, &[Var]) -> Var,
+                           chain: &dyn Fn(&mut Tape, &[Var]) -> Var,
+                           op: &str| {
+            let (vf, gf) = value_and_grads(&store, &ids, fused);
+            let (vc, gc) = value_and_grads(&store, &ids, chain);
+            assert_close(&vf, &vc, 1e-4, &format!("{op} value (round {round})"));
+            for (i, (a, b)) in gf.iter().zip(&gc).enumerate() {
+                assert_close(
+                    a,
+                    b,
+                    1e-3,
+                    &format!("{op} grad of param {i} (round {round})"),
+                );
+            }
+        };
+
+        check_close(
+            &|t, v| t.concat_row_linear(v[0], v[1], v[2], v[3]),
+            &|t, v| {
+                let cat = t.concat_cols_row(v[0], v[1]);
+                t.linear(cat, v[2], v[3])
+            },
+            "concat_row_linear",
+        );
+
+        let iw = rng.gen_range(0.0f32..1.0);
+        check_close(
+            &|t, v| t.d_pb_rows(v[0], v[4], v[5], iw),
+            &|t, v| {
+                let half = t.relu(v[5]);
+                let hi = t.add(v[4], half);
+                let lo = t.sub(v[4], half);
+                let over_raw = t.sub(v[0], hi);
+                let over = t.relu(over_raw);
+                let under_raw = t.sub(lo, v[0]);
+                let under = t.relu(under_raw);
+                let outside = t.add(over, under);
+                let outside = t.sum_axis1(outside);
+                let clamped_lo = t.maximum(v[0], lo);
+                let clamped = t.minimum(clamped_lo, hi);
+                let dev = t.sub(v[4], clamped);
+                let dev = t.abs(dev);
+                let inside = t.sum_axis1(dev);
+                let inside = t.scale(inside, iw);
+                t.add(outside, inside)
+            },
+            "d_pb_rows",
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Central-difference numeric gradient checks (kink-free inputs only)
+// ---------------------------------------------------------------------
+
+#[test]
+fn central_difference_gradients_smooth_ops() {
+    let mut rng = StdRng::seed_from_u64(0x96ad);
+    let eps = 1e-2;
+    for _ in 0..8 {
+        let n = rng.gen_range(2..4usize);
+        let d = rng.gen_range(2..5usize);
+        let m = rng.gen_range(2..5usize);
+        let mut store = ParamStore::new();
+        let x = store.add("x", rand_tensor(&mut rng, n, d, -1.5, 1.5));
+        let w = store.add("w", rand_tensor(&mut rng, d, m, -1.0, 1.0));
+        let b = store.add("b", rand_tensor(&mut rng, 1, m, -1.0, 1.0));
+        let y = store.add("y", rand_tensor(&mut rng, n, d, -1.5, 1.5));
+        let row = store.add("row", rand_tensor(&mut rng, 1, d, -1.0, 1.0));
+        let wc = store.add("wc", rand_tensor(&mut rng, 2 * d, m, -1.0, 1.0));
+        let ids = [x, w, b, y, row, wc];
+
+        let smooth_builds: Vec<NamedBuild> = vec![
+            ("linear", Box::new(|t, v| t.linear(v[0], v[1], v[2]))),
+            ("attn_combine", Box::new(|t, v| t.attn_combine(v[0], v[3]))),
+            (
+                "mean_log_sigmoid_affine",
+                Box::new(|t, v| t.mean_log_sigmoid_affine(v[0], -1.0, 0.5)),
+            ),
+            (
+                "concat_row_linear",
+                Box::new(|t, v| t.concat_row_linear(v[0], v[4], v[5], v[2])),
+            ),
+        ];
+
+        for (op, build) in &smooth_builds {
+            let (_, analytic) = value_and_grads(&store, &ids, build.as_ref());
+            for (pi, grads) in analytic.iter().enumerate() {
+                // Spot-check a few entries per parameter.
+                for _ in 0..3.min(grads.len()) {
+                    let flat = rng.gen_range(0..grads.len());
+                    let num = numeric_grad(&mut store, &ids, pi, flat, eps, &build.as_ref());
+                    assert_grad_close(grads[flat], num, &format!("{op} param {pi} entry {flat}"));
+                }
+            }
+        }
+    }
+}
+
+/// Numeric gradients for the kinked ops on inputs sampled away from every
+/// kink: `l1_rows` with `|x − y|` bounded away from 0, `d_pb_rows` with
+/// points strictly inside or strictly outside the box and offsets bounded
+/// away from the ReLU kink.
+#[test]
+fn central_difference_gradients_kinked_ops() {
+    let mut rng = StdRng::seed_from_u64(0x4b1d);
+    let eps = 1e-2;
+    for _ in 0..10 {
+        let n = rng.gen_range(2..4usize);
+        let d = rng.gen_range(2..5usize);
+
+        // l1_rows: force |x - y| >= 0.3 everywhere.
+        let mut store = ParamStore::new();
+        let xs = rand_tensor(&mut rng, n, d, -1.0, 1.0);
+        let ys = {
+            let mut data = Vec::with_capacity(n * d);
+            for &xv in xs.data() {
+                let gap = rng.gen_range(0.3f32..1.0);
+                data.push(if rng.gen_bool(0.5) {
+                    xv + gap
+                } else {
+                    xv - gap
+                });
+            }
+            Tensor::from_vec(n, d, data)
+        };
+        let x = store.add("x", xs);
+        let y = store.add("y", ys);
+        let ids = [x, y];
+        let build = |t: &mut Tape, v: &[Var]| t.l1_rows(v[0], v[1]);
+        let (_, analytic) = value_and_grads(&store, &ids, build);
+        for (pi, grads) in analytic.iter().enumerate() {
+            for _ in 0..3 {
+                let flat = rng.gen_range(0..grads.len());
+                let num = numeric_grad(&mut store, &ids, pi, flat, eps, &build);
+                assert_grad_close(grads[flat], num, &format!("l1_rows param {pi}"));
+            }
+        }
+
+        // d_pb_rows: offsets in [0.3, 1.5]; points at cen + u·half with
+        // |u| in [0.2, 0.8] (inside) or cen ± (half + [0.2, 2.0]) (outside).
+        let mut store = ParamStore::new();
+        let cen_t = rand_tensor(&mut rng, 1, d, -1.0, 1.0);
+        let off_t = rand_tensor(&mut rng, 1, d, 0.3, 1.5);
+        let points_t = {
+            let mut data = Vec::with_capacity(n * d);
+            for _ in 0..n {
+                for k in 0..d {
+                    let c = cen_t.data()[k];
+                    let half = off_t.data()[k];
+                    data.push(if rng.gen_bool(0.5) {
+                        let u =
+                            rng.gen_range(0.2f32..0.8) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                        c + u * half
+                    } else {
+                        let excess = rng.gen_range(0.2f32..2.0);
+                        if rng.gen_bool(0.5) {
+                            c + half + excess
+                        } else {
+                            c - half - excess
+                        }
+                    });
+                }
+            }
+            Tensor::from_vec(n, d, data)
+        };
+        let p = store.add("p", points_t);
+        let c = store.add("c", cen_t);
+        let o = store.add("o", off_t);
+        let ids = [p, c, o];
+        let iw = 0.35;
+        let build = move |t: &mut Tape, v: &[Var]| t.d_pb_rows(v[0], v[1], v[2], iw);
+        let (_, analytic) = value_and_grads(&store, &ids, build);
+        for (pi, grads) in analytic.iter().enumerate() {
+            for _ in 0..3 {
+                let flat = rng.gen_range(0..grads.len());
+                let num = numeric_grad(&mut store, &ids, pi, flat, eps, &build);
+                assert_grad_close(grads[flat], num, &format!("d_pb_rows param {pi}"));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Committed regressions: minimal cases that exercise the documented edge
+// behaviour of the fused ops (zero-skip paths, broadcasts, degenerate
+// boxes, boundary points).
+// ---------------------------------------------------------------------
+
+/// The matmul zero-skip in `concat_row_linear` must not change values:
+/// exact 0.0 entries in both the row and the matrix halves.
+#[test]
+fn regression_concat_row_linear_zero_skip() {
+    let mut store = ParamStore::new();
+    let x = store.add("x", Tensor::from_vec(2, 2, vec![0.0, 1.5, -2.0, 0.0]));
+    let row = store.add("row", Tensor::from_vec(1, 2, vec![0.0, 0.75]));
+    let w = store.add("w", Tensor::from_vec(4, 2, vec![1.0; 8]));
+    let b = store.add("b", Tensor::from_vec(1, 2, vec![0.25, -0.25]));
+    let ids = [x, row, w, b];
+    let (v, _) = value_and_grads(&store, &ids, |t, vars| {
+        t.concat_row_linear(vars[0], vars[1], vars[2], vars[3])
+    });
+    let expected = oracle::concat_row_linear(
+        &vec![vec![0.0, 1.5], vec![-2.0, 0.0]],
+        &vec![vec![0.0, 0.75]],
+        &vec![vec![1.0, 1.0]; 4],
+        &vec![vec![0.25, -0.25]],
+    );
+    assert_bits_eq(&v, &expected.concat(), "zero-skip concat_row_linear");
+}
+
+/// A fully negative raw offset degenerates the box to its center point;
+/// `d_pb_rows` must then equal `|p - cen| + w·0` outside and `0` at the
+/// center exactly.
+#[test]
+fn regression_d_pb_rows_degenerate_box() {
+    let mut tape = Tape::new();
+    let p = tape.constant(Tensor::from_vec(2, 2, vec![0.5, -0.5, 0.0, 0.0]));
+    let c = tape.constant(Tensor::from_vec(1, 2, vec![0.0, 0.0]));
+    let o = tape.constant(Tensor::from_vec(1, 2, vec![-1.0, -2.0]));
+    let d = tape.d_pb_rows(p, c, o, 0.5);
+    let got = tape.value(d).data().to_vec();
+    // Row 0: outside both dims by 0.5 → over+under = 1.0, inside = 0 (the
+    // clamped point IS the center). Row 1: exactly at the center → 0.
+    assert_bits_eq(&got, &[1.0, 0.0], "degenerate-box distances");
+}
+
+/// Boundary points (p exactly at a corner) must produce zero outside
+/// distance and half-width inside distance, matching the oracle bitwise.
+#[test]
+fn regression_d_pb_rows_boundary_point() {
+    let cen = vec![vec![0.25f32, -0.75]];
+    let off = vec![vec![0.5f32, 1.0]];
+    let points = vec![vec![0.75f32, 0.25]]; // exactly hi on both dims
+    let expected = oracle::d_pb_rows(&points, &cen, &off, 0.1);
+    let mut tape = Tape::new();
+    let p = tape.constant(Tensor::from_vec(1, 2, points.concat()));
+    let c = tape.constant(Tensor::from_vec(1, 2, cen.concat()));
+    let o = tape.constant(Tensor::from_vec(1, 2, off.concat()));
+    let d = tape.d_pb_rows(p, c, o, 0.1);
+    assert_bits_eq(tape.value(d).data(), &expected, "boundary-point distances");
+    // On the boundary, outside = 0 and inside = half-width per dim.
+    assert_bits_eq(&expected, &[0.1 * (0.5 + 1.0)], "boundary closed form");
+}
+
+/// Single-row softmax is a constant 1.0 per column; `attn_combine` then
+/// returns the value row bit-for-bit.
+#[test]
+fn regression_attn_combine_single_row_identity() {
+    let mut tape = Tape::new();
+    let scores = tape.constant(Tensor::from_vec(1, 3, vec![5.0, -3.0, 0.0]));
+    let values = tape.constant(Tensor::from_vec(1, 3, vec![0.1, -0.2, 0.3]));
+    let out = tape.attn_combine(scores, values);
+    assert_bits_eq(
+        tape.value(out).data(),
+        &[0.1, -0.2, 0.3],
+        "single-row attn_combine",
+    );
+}

@@ -68,3 +68,6 @@ pub use inbox_kg as kg;
 pub use inbox_obs as obs;
 /// Online recommendation service (re-export of `inbox-serve`).
 pub use inbox_serve as serve;
+/// Correctness harness: scalar oracles, metamorphic invariants, failpoint
+/// sites (re-export of `inbox-testkit`).
+pub use inbox_testkit as testkit;

@@ -161,3 +161,52 @@ proptest! {
         prop_assert!((tape_val - plain).abs() < 1e-4, "tape {tape_val} vs plain {plain}");
     }
 }
+
+use inbox_repro::testkit::{invariants, oracle};
+
+proptest! {
+    /// The testkit's scalar scoring oracle agrees **bit-for-bit** with the
+    /// geometry crate's `D_out`/`D_in` on the full matching formula, for
+    /// arbitrary item tables and boxes.
+    #[test]
+    fn oracle_scoring_matches_geometry_bitwise(
+        items in prop::collection::vec(-3.0f32..3.0, 4 * DIM),
+        b in box_strategy(),
+    ) {
+        let scores = oracle::score_items(&items, DIM, &b.cen, &b.off, 12.0, 0.5);
+        for (r, score) in scores.iter().enumerate() {
+            let p = &items[r * DIM..(r + 1) * DIM];
+            let want = 12.0 - (geometry::d_out(p, &b) + 0.5 * geometry::d_in(p, &b));
+            prop_assert_eq!(
+                score.to_bits(), want.to_bits(),
+                "row {}: oracle {} vs geometry {}", r, score, want
+            );
+        }
+    }
+
+    /// Max-Min intersection containment, exercised through the workspace
+    /// facade so the root crate proves the testkit checkers are reachable
+    /// from downstream code.
+    #[test]
+    fn maxmin_intersection_containment(
+        raw in prop::collection::vec((vec_strategy(), vec_strategy()), 1..4),
+    ) {
+        let boxes: Vec<BoxEmb> = raw.into_iter().map(|(c, o)| BoxEmb::new(c, o)).collect();
+        if let Err(msg) = invariants::check_maxmin_containment(&boxes) {
+            return Err(proptest::test_runner::TestCaseError::fail(msg));
+        }
+    }
+
+    /// Translating a point and its box together never moves the score
+    /// beyond f32 rounding.
+    #[test]
+    fn score_translation_invariant(
+        point in vec_strategy(),
+        b in box_strategy(),
+        t in vec_strategy(),
+    ) {
+        if let Err(msg) = invariants::check_translation_invariance(&point, &b, &t, 12.0, 1e-3) {
+            return Err(proptest::test_runner::TestCaseError::fail(msg));
+        }
+    }
+}
