@@ -22,19 +22,33 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use inbox_core::model::{InBoxModel, UniverseSizes};
 use inbox_core::InBoxConfig;
 use inbox_data::{Dataset, SyntheticConfig};
 use inbox_kg::{ItemId, UserId};
-use inbox_serve::{Engine, ServeConfig, ServeError, Service};
+use inbox_serve::{Engine, HttpServer, ServeConfig, ServeError, Service};
 use serde::{Deserialize, Serialize};
 
 /// Latency summary in milliseconds (from the `serve.request` span).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct LatencyMs {
     mean: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+}
+
+/// Steady-state latency over the trailing window at the moment the load
+/// phase ended — what a live `/metrics` scrape would have reported, as
+/// opposed to the run-cumulative `latency_ms`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct WindowedLatencyMs {
+    window_secs: u64,
+    samples: u64,
+    rate_per_sec: f64,
     p50: f64,
     p95: f64,
     p99: f64,
@@ -59,6 +73,35 @@ struct Report {
     mean_batch_size: f64,
     qps: f64,
     latency_ms: LatencyMs,
+    /// Trailing-window percentiles captured right as the load ended
+    /// (absent only if the run somehow outlived the 60s window).
+    windowed_latency_ms: Option<WindowedLatencyMs>,
+    /// Parsed sample count from the embedded `GET /metrics` scrape.
+    metrics_samples: u64,
+    /// Flight-recorder traces retained by the embedded `GET /traces` dump.
+    traces_retained: u64,
+}
+
+/// One blocking HTTP GET against the embedded server; returns the body.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to embedded server");
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    assert!(
+        response.starts_with("HTTP/1.1 200"),
+        "{path} answered: {}",
+        response.lines().next().unwrap_or("")
+    );
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default()
 }
 
 fn engine_over(ds: &Dataset, serve_cfg: &ServeConfig) -> Engine {
@@ -161,7 +204,7 @@ fn main() {
     let dim = InBoxConfig::tiny_test().dim;
     let n_users = ds.n_users() as u32;
     let n_items = ds.n_items() as u32;
-    let service = Service::start(engine, &serve_cfg);
+    let service = Arc::new(Service::start(engine, &serve_cfg));
 
     let shed = AtomicU64::new(0);
     let started = Instant::now();
@@ -189,7 +232,39 @@ fn main() {
         }
     });
     let elapsed = started.elapsed().as_secs_f64();
+    // Capture the trailing window *now*, while the load's samples are still
+    // inside it — this is the steady-state view a live scrape would see.
+    let windowed = inbox_obs::windowed_span("serve.request", 10);
     let stats = service.stats();
+
+    // Embedded observability smoke over the same service: the live
+    // exposition endpoints must be well-formed under real traffic, and the
+    // flight recorder must have retained the HTTP requests' traces.
+    let http = HttpServer::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind loadgen http");
+    for i in 0..8u32 {
+        let _ = http_get(
+            http.local_addr(),
+            &format!("/recommend?user={}&k={k}", i % n_users),
+        );
+    }
+    let metrics_text = http_get(http.local_addr(), "/metrics");
+    let metrics_samples = metrics_text
+        .lines()
+        .filter_map(inbox_obs::expo::parse_line)
+        .count() as u64;
+    assert!(
+        metrics_samples > 0,
+        "/metrics rendered no parseable samples"
+    );
+    assert!(
+        metrics_text.contains("inbox_span_window_seconds{name=\"serve.request\""),
+        "windowed serve metrics missing from /metrics"
+    );
+    let dump: inbox_obs::TraceDump =
+        serde_json::from_str(&http_get(http.local_addr(), "/traces")).expect("/traces parses");
+    let traces_retained = dump.recent.len() as u64;
+    assert!(traces_retained > 0, "flight recorder retained no traces");
+    http.shutdown();
     service.shutdown();
 
     let latency = inbox_obs::span_snapshot("serve.request").expect("span recorded under load");
@@ -226,6 +301,16 @@ fn main() {
             p95: ns_to_ms(latency.p95),
             p99: ns_to_ms(latency.p99),
         },
+        windowed_latency_ms: windowed.map(|w| WindowedLatencyMs {
+            window_secs: w.window_secs,
+            samples: w.count,
+            rate_per_sec: w.rate_per_sec,
+            p50: ns_to_ms(w.p50),
+            p95: ns_to_ms(w.p95),
+            p99: ns_to_ms(w.p99),
+        }),
+        metrics_samples,
+        traces_retained,
     };
 
     println!(
@@ -243,6 +328,16 @@ fn main() {
         report.rebuilds,
         report.batches,
         report.mean_batch_size
+    );
+    if let Some(w) = &report.windowed_latency_ms {
+        println!(
+            "steady-state last {}s: {} samples at {:.0}/s, p50 {:.3} p95 {:.3} p99 {:.3} ms",
+            w.window_secs, w.samples, w.rate_per_sec, w.p50, w.p95, w.p99
+        );
+    }
+    println!(
+        "observability smoke: {} /metrics samples, {} retained trace(s)",
+        report.metrics_samples, report.traces_retained
     );
 
     let json = serde_json::to_string_pretty(&report).expect("serialise serve report");

@@ -29,7 +29,12 @@ USAGE:
                   [--k 10] [--explain]
   inbox serve     --model MODEL.json (--preset P | --data DIR)
                   [--addr 127.0.0.1:7878] [--batch-max 32] [--batch-wait-us 500]
-                  [--queue-cap 1024] [--cache-cap 100000] [--threads 1] [--smoke]
+                  [--queue-cap 1024] [--cache-cap 100000] [--threads 1]
+                  [--slo-ms 50] [--trace-slow-ms 250] [--trace-sample 1]
+                  [--smoke]
+  inbox obs       [--addr 127.0.0.1:7878] [--interval-ms 1000] [--iters 0]
+                  live dashboard over a running server's GET /metrics
+                  (qps, p99, cache hit rate, queue depth, shed rate, SLO burn)
 
 GLOBAL FLAGS:
   --log-level quiet|info|debug   console verbosity (default info); quiet
@@ -311,6 +316,12 @@ pub fn serve_config_from_flags(parsed: &Parsed) -> Result<ServeConfig, Box<dyn E
         queue_cap: parsed.get_parsed("queue-cap", defaults.queue_cap)?,
         cache_cap: parsed.get_parsed("cache-cap", defaults.cache_cap)?,
         threads: parsed.get_parsed("threads", defaults.threads)?,
+        slo_objective: std::time::Duration::from_millis(
+            parsed.get_parsed("slo-ms", defaults.slo_objective.as_millis() as u64)?,
+        ),
+        trace_slow: std::time::Duration::from_millis(
+            parsed.get_parsed("trace-slow-ms", defaults.trace_slow.as_millis() as u64)?,
+        ),
     })
 }
 
@@ -337,6 +348,8 @@ pub fn serve(parsed: &Parsed) -> CmdResult {
     let model_path = parsed.require("model")?;
     let addr = parsed.get("addr").unwrap_or("127.0.0.1:7878");
     let serve_cfg = serve_config_from_flags(parsed)?;
+    // Trace 1-in-N requests (process-global knob; 0 disables tracing).
+    inbox_obs::set_trace_sampling(parsed.get_parsed("trace-sample", 1u64)?);
     let ds = load_dataset(parsed)?;
     let trained = persist::load(model_path)?;
     if trained.boxes.len() != ds.n_users() {
@@ -363,7 +376,7 @@ pub fn serve(parsed: &Parsed) -> CmdResult {
             serve_cfg.cache_cap,
             serve_cfg.threads
         );
-        println!("routes: GET /health  GET /recommend?user=U&k=K  POST /ingest?user=U&item=I  GET /stats");
+        println!("routes: GET /health  GET /recommend?user=U&k=K  POST /ingest?user=U&item=I  GET /stats  GET /metrics  GET /traces");
     }
     if parsed.has("smoke") {
         // Prove the wire path end to end, then exit (used by CI).
@@ -372,11 +385,32 @@ pub fn serve(parsed: &Parsed) -> CmdResult {
         if chatty() {
             println!("smoke recommend: {body}");
         }
+        // The live observability surface must be well-formed too: /metrics
+        // parses as Prometheus text with serving samples in it, and
+        // /traces has recorded at least the recommend request above.
+        let metrics = self_request(http.local_addr(), "/metrics")?;
+        let samples = metrics
+            .lines()
+            .filter_map(inbox_obs::expo::parse_line)
+            .count();
+        if samples == 0 {
+            return Err("smoke: /metrics rendered no parseable samples".into());
+        }
+        let traces = self_request(http.local_addr(), "/traces")?;
+        let dump: inbox_obs::TraceDump = serde_json::from_str(&traces)
+            .map_err(|e| format!("smoke: /traces is not valid JSON: {e}"))?;
+        if dump.recent.is_empty() {
+            return Err("smoke: /traces retained no request traces".into());
+        }
         let stats = service.stats();
         if chatty() {
             println!(
-                "smoke ok: {} request(s), {} rebuild(s), {} cache hit(s)",
-                stats.requests, stats.rebuilds, stats.cache_hits
+                "smoke ok: {} request(s), {} rebuild(s), {} cache hit(s), {} metric sample(s), {} trace(s)",
+                stats.requests,
+                stats.rebuilds,
+                stats.cache_hits,
+                samples,
+                dump.recent.len()
             );
         }
         http.shutdown();
@@ -388,6 +422,119 @@ pub fn serve(parsed: &Parsed) -> CmdResult {
     // Serve until the process is killed.
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// Pulls one named sample out of a parsed `/metrics` scrape; every label
+/// in `labels` must match.
+fn sample(
+    samples: &[inbox_obs::expo::ParsedSample],
+    metric: &str,
+    labels: &[(&str, &str)],
+) -> Option<f64> {
+    samples
+        .iter()
+        .find(|(m, ls, _)| {
+            m == metric
+                && labels
+                    .iter()
+                    .all(|(k, v)| ls.iter().any(|(lk, lv)| lk == k && lv == v))
+        })
+        .map(|(_, _, v)| *v)
+}
+
+/// Renders one dashboard line from a raw `/metrics` scrape: last-10s QPS,
+/// p99 latency, cache hit rate, queue depth, shed rate, and the
+/// `serve.recommend` SLO's 60s burn rate. Pure (testable without a server).
+pub fn render_dashboard(metrics_text: &str) -> String {
+    let samples: Vec<_> = metrics_text
+        .lines()
+        .filter_map(inbox_obs::expo::parse_line)
+        .collect();
+    let qps = sample(
+        &samples,
+        "inbox_span_window_rate",
+        &[("name", "serve.request"), ("window", "10s")],
+    )
+    .unwrap_or(0.0);
+    let p99_ms = sample(
+        &samples,
+        "inbox_span_window_seconds",
+        &[
+            ("name", "serve.request"),
+            ("window", "10s"),
+            ("quantile", "0.99"),
+        ],
+    )
+    .unwrap_or(0.0)
+        * 1e3;
+    let requests = sample(
+        &samples,
+        "inbox_counter_window",
+        &[("name", "serve.requests"), ("window", "10s")],
+    )
+    .unwrap_or(0.0);
+    let hits = sample(
+        &samples,
+        "inbox_counter_window",
+        &[("name", "serve.cache.hits"), ("window", "10s")],
+    )
+    .unwrap_or(0.0);
+    let hit_pct = if requests > 0.0 {
+        100.0 * hits / requests
+    } else {
+        0.0
+    };
+    let queue_p99 = sample(
+        &samples,
+        "inbox_value_window",
+        &[
+            ("name", "serve.queue.depth"),
+            ("window", "10s"),
+            ("quantile", "0.99"),
+        ],
+    )
+    .unwrap_or(0.0);
+    let shed_rate = sample(
+        &samples,
+        "inbox_counter_window",
+        &[("name", "serve.shed"), ("window", "10s")],
+    )
+    .unwrap_or(0.0)
+        / 10.0;
+    let burn = sample(
+        &samples,
+        "inbox_slo_burn_rate",
+        &[("name", "serve.recommend"), ("window", "60s")],
+    )
+    .unwrap_or(0.0);
+    format!(
+        "qps {qps:8.1} | p99 {p99_ms:8.2} ms | cache hit {hit_pct:5.1}% | queue p99 {queue_p99:5.0} | shed/s {shed_rate:6.2} | burn60 {burn:5.2}"
+    )
+}
+
+/// `inbox obs` — poll a running server's `/metrics` and render a terminal
+/// dashboard, one line per scrape.
+pub fn obs(parsed: &Parsed) -> CmdResult {
+    use std::net::ToSocketAddrs as _;
+    let addr = parsed.get("addr").unwrap_or("127.0.0.1:7878");
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("bad --addr {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("--addr {addr} resolved to nothing"))?;
+    let interval = std::time::Duration::from_millis(parsed.get_parsed("interval-ms", 1000u64)?);
+    let iters = parsed.get_parsed("iters", 0u64)?; // 0 = run until killed
+    let mut done = 0u64;
+    loop {
+        let metrics = self_request(sock, "/metrics")
+            .map_err(|e| format!("scraping http://{addr}/metrics: {e}"))?;
+        println!("{}", render_dashboard(&metrics));
+        done += 1;
+        if iters != 0 && done >= iters {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
     }
 }
 
@@ -544,6 +691,10 @@ mod tests {
             "1000",
             "--threads",
             "2",
+            "--slo-ms",
+            "20",
+            "--trace-slow-ms",
+            "100",
         ]);
         let cfg = serve_config_from_flags(&p).unwrap();
         assert_eq!(cfg.max_batch, 8);
@@ -551,8 +702,41 @@ mod tests {
         assert_eq!(cfg.queue_cap, 64);
         assert_eq!(cfg.cache_cap, 1000);
         assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.slo_objective, std::time::Duration::from_millis(20));
+        assert_eq!(cfg.trace_slow, std::time::Duration::from_millis(100));
         // Defaults hold when flags are absent.
         let d = serve_config_from_flags(&parsed(&["serve"])).unwrap();
         assert_eq!(d.max_batch, inbox_serve::ServeConfig::default().max_batch);
+        assert_eq!(
+            d.slo_objective,
+            inbox_serve::ServeConfig::default().slo_objective
+        );
+    }
+
+    #[test]
+    fn dashboard_renders_from_metrics_text() {
+        let text = "\
+# TYPE inbox_span_window_rate gauge
+inbox_span_window_rate{name=\"serve.request\",window=\"10s\"} 123.5
+inbox_span_window_seconds{name=\"serve.request\",window=\"10s\",quantile=\"0.99\"} 0.004
+inbox_counter_window{name=\"serve.requests\",window=\"10s\"} 200
+inbox_counter_window{name=\"serve.cache.hits\",window=\"10s\"} 150
+inbox_counter_window{name=\"serve.shed\",window=\"10s\"} 20
+inbox_value_window{name=\"serve.queue.depth\",window=\"10s\",quantile=\"0.99\"} 7
+inbox_slo_burn_rate{name=\"serve.recommend\",window=\"60s\"} 1.25
+";
+        let line = render_dashboard(text);
+        assert!(line.contains("qps    123.5"), "{line}");
+        assert!(line.contains("p99     4.00 ms"), "{line}");
+        assert!(line.contains("cache hit  75.0%"), "{line}");
+        assert!(line.contains("shed/s   2.00"), "{line}");
+        assert!(line.contains("burn60  1.25"), "{line}");
+    }
+
+    #[test]
+    fn dashboard_tolerates_empty_scrape() {
+        let line = render_dashboard("# nothing here\n");
+        assert!(line.contains("qps"), "{line}");
+        assert!(line.contains("0.0"), "{line}");
     }
 }

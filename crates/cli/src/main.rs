@@ -10,7 +10,9 @@
 //! inbox recommend --model model.json (--preset P | --data DIR) --user 3 [--k 10] [--explain]
 //! inbox serve     --model model.json (--preset P | --data DIR) [--addr HOST:PORT]
 //!                 [--batch-max 32] [--batch-wait-us 500] [--queue-cap 1024]
-//!                 [--cache-cap 100000] [--threads 1] [--smoke]
+//!                 [--cache-cap 100000] [--threads 1] [--slo-ms 50]
+//!                 [--trace-slow-ms 250] [--smoke]
+//! inbox obs       [--addr HOST:PORT] [--interval-ms 1000] [--iters 0]
 //! ```
 //!
 //! Every subcommand also accepts `--log-level quiet|info|debug` (console
@@ -47,6 +49,7 @@ fn main() {
         "evaluate" => commands::evaluate(&parsed),
         "recommend" => commands::recommend(&parsed),
         "serve" => commands::serve(&parsed),
+        "obs" => commands::obs(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -1,0 +1,306 @@
+//! Live exposition: renders the whole registry — cumulative, windowed,
+//! SLO, and flight-recorder state — as Prometheus text and as JSON, for
+//! the serving stack's `GET /metrics` and `GET /traces` endpoints.
+//!
+//! The Prometheus rendering keeps a small fixed family of metric names and
+//! moves the registry's dotted instrument names into a `name` label, so a
+//! scrape config needs no relabeling rules per instrument. Span and
+//! duration metrics are exported in **seconds** (the Prometheus base
+//! unit); dimensionless values and counters are exported raw. Windowed
+//! series carry a `window` label (`10s` / `60s`).
+
+use crate::trace::{self, TraceRecord};
+use crate::{registry, slo};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write;
+
+/// The two sliding windows every windowed series is exported at.
+pub const EXPO_WINDOWS: [u64; 2] = [10, 60];
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn ns_to_secs(ns: u64) -> f64 {
+    ns as f64 / 1e9
+}
+
+/// Renders every instrument in the registry in Prometheus text format
+/// (version 0.0.4): `# TYPE` headers followed by `metric{labels} value`
+/// lines, one sample per line, newline-terminated.
+pub fn prometheus_text() -> String {
+    let mut out = String::with_capacity(8 * 1024);
+
+    // -- counters (cumulative, plus windowed sums for rate counters) -------
+    out.push_str("# TYPE inbox_counter_total counter\n");
+    for (name, value) in registry::all_counters() {
+        let _ = writeln!(
+            out,
+            "inbox_counter_total{{name=\"{}\"}} {value}",
+            escape_label(&name)
+        );
+    }
+    out.push_str("# TYPE inbox_counter_window gauge\n");
+    for window in EXPO_WINDOWS {
+        for (name, sum) in registry::all_windowed_counters(window) {
+            let _ = writeln!(
+                out,
+                "inbox_counter_window{{name=\"{}\",window=\"{window}s\"}} {sum}",
+                escape_label(&name)
+            );
+        }
+    }
+
+    // -- spans: cumulative quantiles + windowed quantiles and rates --------
+    out.push_str("# TYPE inbox_span_seconds summary\n");
+    for (name, snap) in registry::all_spans() {
+        let name = escape_label(&name);
+        for (q, v) in [("0.5", snap.p50), ("0.95", snap.p95), ("0.99", snap.p99)] {
+            let _ = writeln!(
+                out,
+                "inbox_span_seconds{{name=\"{name}\",quantile=\"{q}\"}} {}",
+                ns_to_secs(v)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "inbox_span_seconds_count{{name=\"{name}\"}} {}",
+            snap.count
+        );
+        let _ = writeln!(
+            out,
+            "inbox_span_seconds_sum{{name=\"{name}\"}} {}",
+            ns_to_secs(snap.sum)
+        );
+    }
+    out.push_str("# TYPE inbox_span_window_seconds gauge\n");
+    out.push_str("# TYPE inbox_span_window_rate gauge\n");
+    for window in EXPO_WINDOWS {
+        for (name, w) in registry::all_windowed_spans(window) {
+            let name = escape_label(&name);
+            for (q, v) in [("0.5", w.p50), ("0.95", w.p95), ("0.99", w.p99)] {
+                let _ = writeln!(
+                    out,
+                    "inbox_span_window_seconds{{name=\"{name}\",window=\"{window}s\",quantile=\"{q}\"}} {}",
+                    ns_to_secs(v)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "inbox_span_window_rate{{name=\"{name}\",window=\"{window}s\"}} {}",
+                w.rate_per_sec
+            );
+        }
+    }
+
+    // -- value histograms (dimensionless) ----------------------------------
+    out.push_str("# TYPE inbox_value summary\n");
+    for (name, snap) in registry::all_values() {
+        let name = escape_label(&name);
+        for (q, v) in [("0.5", snap.p50), ("0.95", snap.p95), ("0.99", snap.p99)] {
+            let _ = writeln!(out, "inbox_value{{name=\"{name}\",quantile=\"{q}\"}} {v}");
+        }
+        let _ = writeln!(out, "inbox_value_count{{name=\"{name}\"}} {}", snap.count);
+    }
+    out.push_str("# TYPE inbox_value_window gauge\n");
+    for window in EXPO_WINDOWS {
+        for (name, w) in registry::all_windowed_values(window) {
+            let _ = writeln!(
+                out,
+                "inbox_value_window{{name=\"{}\",window=\"{window}s\",quantile=\"0.99\"}} {}",
+                escape_label(&name),
+                w.p99
+            );
+        }
+    }
+
+    // -- SLOs ---------------------------------------------------------------
+    out.push_str("# TYPE inbox_slo_good_total counter\n");
+    out.push_str("# TYPE inbox_slo_events_total counter\n");
+    out.push_str("# TYPE inbox_slo_objective_seconds gauge\n");
+    out.push_str("# TYPE inbox_slo_burn_rate gauge\n");
+    for window in EXPO_WINDOWS {
+        for (name, s) in slo::all_slos(window) {
+            let name = escape_label(&name);
+            if window == EXPO_WINDOWS[0] {
+                let _ = writeln!(out, "inbox_slo_good_total{{name=\"{name}\"}} {}", s.good);
+                let _ = writeln!(out, "inbox_slo_events_total{{name=\"{name}\"}} {}", s.total);
+                let _ = writeln!(
+                    out,
+                    "inbox_slo_objective_seconds{{name=\"{name}\"}} {}",
+                    ns_to_secs(s.objective_ns)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "inbox_slo_burn_rate{{name=\"{name}\",window=\"{window}s\"}} {}",
+                s.burn_rate
+            );
+        }
+    }
+
+    // -- flight recorder ----------------------------------------------------
+    out.push_str("# TYPE inbox_traces_retained gauge\n");
+    let _ = writeln!(
+        out,
+        "inbox_traces_retained{{ring=\"recent\"}} {}",
+        trace::recent_traces().len()
+    );
+    let _ = writeln!(
+        out,
+        "inbox_traces_retained{{ring=\"notable\"}} {}",
+        trace::notable_traces().len()
+    );
+
+    out
+}
+
+/// Everything the flight recorder currently retains.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceDump {
+    /// Last-N traces, any outcome, oldest first.
+    pub recent: Vec<TraceRecord>,
+    /// Retained shed/error/slow traces, oldest first.
+    pub notable: Vec<TraceRecord>,
+}
+
+/// Snapshots both flight-recorder rings.
+pub fn trace_dump() -> TraceDump {
+    TraceDump {
+        recent: trace::recent_traces()
+            .into_iter()
+            .map(|r| (*r).clone())
+            .collect(),
+        notable: trace::notable_traces()
+            .into_iter()
+            .map(|r| (*r).clone())
+            .collect(),
+    }
+}
+
+/// The flight recorder's contents as a JSON document
+/// (`{"recent": [...], "notable": [...]}`), for `GET /traces`.
+pub fn traces_json() -> String {
+    serde_json::to_string(&trace_dump()).expect("trace dumps always serialise")
+}
+
+/// One parsed Prometheus text sample: `(metric, labels, value)`.
+pub type ParsedSample = (String, Vec<(String, String)>, f64);
+
+/// Parses one Prometheus text line into `(metric, labels, value)`; `None`
+/// for comment/blank lines. Here for the CLI dashboard and the smoke
+/// tests, so parsing and rendering can't drift apart.
+pub fn parse_line(line: &str) -> Option<ParsedSample> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let (head, value) = line.rsplit_once(' ')?;
+    let value: f64 = value.parse().ok()?;
+    let (metric, labels) = match head.split_once('{') {
+        None => (head.to_string(), Vec::new()),
+        Some((metric, rest)) => {
+            let body = rest.strip_suffix('}')?;
+            let mut labels = Vec::new();
+            for pair in split_labels(body) {
+                let (k, v) = pair.split_once('=')?;
+                labels.push((k.to_string(), v.trim_matches('"').to_string()));
+            }
+            (metric.to_string(), labels)
+        }
+    };
+    Some((metric, labels, value))
+}
+
+/// Splits a label body on commas outside quotes.
+fn split_labels(body: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '\\' if in_quotes => escaped = !escaped,
+            '"' if !escaped => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                out.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => escaped = false,
+        }
+    }
+    if start < body.len() {
+        out.push(&body[start..]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn prometheus_text_is_parseable_and_covers_namespaces() {
+        crate::counter("test.expo.counter").incr();
+        crate::record_duration("test.expo.span", Duration::from_millis(5));
+        crate::record_value("test.expo.value", 17);
+        crate::rate_counter("test.expo.rate").add(2);
+        crate::slo("test.expo.slo", Duration::from_millis(10), 0.99)
+            .observe(Duration::from_millis(1));
+
+        let text = prometheus_text();
+        let mut samples = 0;
+        for line in text.lines() {
+            if let Some((metric, _, _)) = parse_line(line) {
+                assert!(metric.starts_with("inbox_"), "foreign metric {metric}");
+                samples += 1;
+            }
+        }
+        assert!(samples > 0, "no samples rendered");
+        for needle in [
+            "inbox_counter_total{name=\"test.expo.counter\"} 1",
+            "inbox_span_seconds_count{name=\"test.expo.span\"} ",
+            "inbox_value_count{name=\"test.expo.value\"} ",
+            "inbox_counter_window{name=\"test.expo.rate\",window=\"10s\"}",
+            "inbox_slo_events_total{name=\"test.expo.slo\"} ",
+            "inbox_traces_retained{ring=\"recent\"}",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+        // Windowed span series carry both windows.
+        assert!(text.contains("name=\"test.expo.span\",window=\"10s\",quantile=\"0.99\""));
+        assert!(text.contains("name=\"test.expo.span\",window=\"60s\",quantile=\"0.99\""));
+    }
+
+    #[test]
+    fn traces_json_round_trips() {
+        let t = crate::start_trace("test.expo.trace").unwrap();
+        let id = t.id().0;
+        t.finish(crate::TraceOutcome::Shed);
+        let text = traces_json();
+        let dump: TraceDump = serde_json::from_str(&text).unwrap();
+        assert!(dump.recent.iter().any(|r| r.id == id));
+        assert!(dump.notable.iter().any(|r| r.id == id));
+    }
+
+    #[test]
+    fn parse_line_handles_labels_and_comments() {
+        assert_eq!(parse_line("# TYPE foo counter"), None);
+        assert_eq!(parse_line(""), None);
+        let (m, l, v) = parse_line("foo_total{name=\"a.b\",window=\"10s\"} 3.5").unwrap();
+        assert_eq!(m, "foo_total");
+        assert_eq!(
+            l,
+            vec![
+                ("name".to_string(), "a.b".to_string()),
+                ("window".to_string(), "10s".to_string())
+            ]
+        );
+        assert_eq!(v, 3.5);
+        let (m, l, v) = parse_line("bare_metric 42").unwrap();
+        assert_eq!(m, "bare_metric");
+        assert!(l.is_empty());
+        assert_eq!(v, 42.0);
+    }
+}

@@ -191,6 +191,19 @@ pub fn check(site: &'static str) -> bool {
     fires
 }
 
+/// Zeroes every site's lifetime hit/fired counts (part of [`crate::reset`];
+/// triggers and schedules are left armed). The `failpoint.hit.*` /
+/// `failpoint.fired.*` mirrors live in the counter registry and are cleared
+/// by the same reset; [`check`] re-fetches its mirror cells per evaluation,
+/// so post-reset evaluations land in fresh counters.
+pub fn reset_counts() {
+    let mut sites = registry().lock().unwrap();
+    for state in sites.values_mut() {
+        state.hits = 0;
+        state.fired = 0;
+    }
+}
+
 /// Lifetime evaluation count of `site` (0 if never evaluated).
 pub fn hits(site: &str) -> u64 {
     registry().lock().unwrap().get(site).map_or(0, |s| s.hits)

@@ -109,6 +109,122 @@ impl LogHistogram {
             p99: self.quantile(0.99),
         }
     }
+
+    /// Adds this histogram's buckets into `acc`. The per-bucket loads are
+    /// individually atomic but not mutually consistent — samples recorded
+    /// concurrently may be partially included, exactly like [`snapshot`].
+    ///
+    /// [`snapshot`]: LogHistogram::snapshot
+    pub fn accumulate_into(&self, acc: &mut HistogramBuckets) {
+        for (i, b) in self.buckets.iter().enumerate() {
+            acc.counts[i] += b.load(Ordering::Relaxed);
+        }
+        acc.count += self.count();
+        acc.sum += self.sum();
+    }
+
+    /// Zeroes every bucket, the count, and the sum. Not atomic as a whole:
+    /// samples recorded concurrently with a clear may be partially lost.
+    /// Intended for window-slot rotation, where the slot being cleared has
+    /// aged out and its exact contents no longer matter.
+    pub fn clear(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A plain (non-atomic) owned histogram with the same bucket layout as
+/// [`LogHistogram`], supporting merge — the accumulator behind windowed
+/// merge-on-read. Merging two `HistogramBuckets` is exact: the result is
+/// identical to having recorded both sample streams into one histogram,
+/// bucket by bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramBuckets {
+    /// Per-bucket sample counts (bucket `i` covers `[2^i, 2^(i+1))`).
+    pub counts: [u64; N_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for HistogramBuckets {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistogramBuckets {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        HistogramBuckets {
+            counts: [0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample (same bucketing as [`LogHistogram::record`]).
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Merges `other` in, bucket by bucket.
+    pub fn merge(&mut self, other: &HistogramBuckets) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Number of accumulated samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of accumulated samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample, or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Approximate `q`-quantile — same reconstruction as
+    /// [`LogHistogram::quantile`], or 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.counts.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_mid(i);
+            }
+        }
+        bucket_mid(N_BUCKETS - 1)
+    }
+
+    /// The same summary a [`LogHistogram::snapshot`] would produce for this
+    /// accumulated distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
 }
 
 /// Point-in-time view of a [`LogHistogram`] (all values in ns).
@@ -199,6 +315,53 @@ mod tests {
             }
         });
         assert_eq!(h.count(), 80_000);
+    }
+
+    #[test]
+    fn buckets_merge_equals_single_recording() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        let one = LogHistogram::new();
+        for v in [1u64, 5, 5, 900, 40_000] {
+            a.record(v);
+            one.record(v);
+        }
+        for v in [2u64, 7, 1_000_000] {
+            b.record(v);
+            one.record(v);
+        }
+        let mut acc = HistogramBuckets::new();
+        a.accumulate_into(&mut acc);
+        b.accumulate_into(&mut acc);
+        assert_eq!(acc.snapshot(), one.snapshot());
+    }
+
+    #[test]
+    fn buckets_record_matches_histogram_record() {
+        let h = LogHistogram::new();
+        let mut acc = HistogramBuckets::new();
+        for v in [0u64, 1, 3, 17, 4096, 1 << 40] {
+            h.record(v);
+            acc.record(v);
+        }
+        let mut from_hist = HistogramBuckets::new();
+        h.accumulate_into(&mut from_hist);
+        assert_eq!(from_hist, acc);
+        assert_eq!(from_hist.snapshot(), acc.snapshot());
+    }
+
+    #[test]
+    fn clear_empties_a_histogram() {
+        let h = LogHistogram::new();
+        h.record(12);
+        h.record(900);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        // Still usable afterwards.
+        h.record(4);
+        assert_eq!(h.count(), 1);
     }
 
     #[test]

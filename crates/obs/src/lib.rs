@@ -15,6 +15,16 @@
 //! - **Failpoints** ([`failpoints`]) — deterministic fault-injection sites
 //!   for chaos testing, compiled to no-ops unless an instrumented crate is
 //!   built with its `failpoints` feature.
+//! - **Windows** ([`window`]) — sliding last-10s/last-60s aggregation over
+//!   every span and value histogram, plus opt-in [`rate_counter`]s, so the
+//!   registry answers "right now" as well as "since boot".
+//! - **Traces** ([`trace`]) — request-scoped causal span trees retained in
+//!   a flight recorder, propagated through thread boundaries explicitly or
+//!   via a thread-local context ([`ctx_span`]).
+//! - **SLOs** ([`slo`]) — per-endpoint good/total tracking against a
+//!   latency objective, with windowed burn rates.
+//! - **Exposition** ([`expo`]) — the registry rendered as Prometheus text
+//!   and flight-recorder JSON for live `GET /metrics` / `GET /traces`.
 //!
 //! Everything is process-global by design: instrumented crates call free
 //! functions and never thread handles through their APIs, so adding or
@@ -22,19 +32,32 @@
 
 #![warn(missing_docs)]
 
+pub mod expo;
 pub mod failpoints;
 pub mod histogram;
 pub mod registry;
+pub mod slo;
 pub mod telemetry;
+pub mod trace;
+pub mod window;
 
-pub use histogram::{HistogramSnapshot, LogHistogram};
+pub use expo::{prometheus_text, trace_dump, traces_json, TraceDump};
+pub use histogram::{HistogramBuckets, HistogramSnapshot, LogHistogram};
 pub use registry::{
-    all_counters, all_spans, all_values, counter, counter_value, enabled, record_duration,
-    record_value, reset, set_enabled, span, span_snapshot, time, value_snapshot, Counter,
-    SpanGuard,
+    all_counters, all_spans, all_values, all_windowed_counters, all_windowed_spans,
+    all_windowed_values, counter, counter_value, counter_window_sum, enabled, rate_counter,
+    record_duration, record_value, reset, set_enabled, span, span_snapshot, time, value_snapshot,
+    windowed_span, windowed_value, Counter, RateCounter, SpanGuard,
 };
+pub use slo::{all_slos, slo, slo_snapshot, Slo, SloSnapshot};
 pub use telemetry::{
-    add_sink, clear_sinks, emit_epoch, emit_run_summary, flush_sinks, next_run_id, BoxHealth,
-    CaptureSink, ConsoleSink, CounterSummary, EpochRecord, JsonlSink, RunSummary, Sink,
-    SpanSummary, TelemetryEvent, ValueSummary, Verbosity,
+    add_sink, clear_sinks, emit_epoch, emit_run_summary, emit_trace, flush_sinks, next_run_id,
+    BoxHealth, CaptureSink, ConsoleSink, CounterSummary, EpochRecord, JsonlSink, RunSummary, Sink,
+    SpanSummary, TelemetryEvent, ValueSummary, Verbosity, WindowedSummary,
 };
+pub use trace::{
+    clear_traces, ctx_span, notable_traces, recent_traces, set_slow_threshold, set_trace_sampling,
+    start_trace, with_context, ActiveTrace, CtxSpan, TraceId, TraceOutcome, TraceRecord, TraceSpan,
+    TraceSpanGuard,
+};
+pub use window::{now_sec, WindowedHistogram, WindowedSnapshot};

@@ -6,8 +6,18 @@
 //! through APIs. The whole layer sits behind one atomic enable gate:
 //! when disabled, [`span`] does not even read the clock, so instrumented
 //! code pays a single relaxed atomic load per call site.
+//!
+//! Every span and value histogram records into two aggregations at once:
+//! the cumulative-since-boot [`LogHistogram`] and a sliding
+//! [`WindowedHistogram`], so each name answers both "over the whole run"
+//! and "over the last 10/60 seconds" ([`windowed_span`],
+//! [`all_windowed_spans`], …). Plain [`counter`]s stay a single
+//! `fetch_add` — training hot loops increment them per-sample — while
+//! call sites that want rates opt in via [`rate_counter`], which feeds a
+//! windowed ring alongside the same cumulative cell.
 
 use crate::histogram::{HistogramSnapshot, LogHistogram};
+use crate::window::{self, WindowedHistogram, WindowedSnapshot};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -26,10 +36,27 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// One named duration/value series: cumulative histogram + sliding window,
+/// recorded together.
+#[derive(Default)]
+struct TimedCell {
+    hist: LogHistogram,
+    windowed: WindowedHistogram,
+}
+
+impl TimedCell {
+    fn record(&self, value: u64) {
+        self.hist.record(value);
+        self.windowed.record(value);
+    }
+}
+
 struct Registry {
-    spans: RwLock<HashMap<&'static str, Arc<LogHistogram>>>,
+    spans: RwLock<HashMap<&'static str, Arc<TimedCell>>>,
     counters: RwLock<HashMap<&'static str, Arc<AtomicU64>>>,
-    values: RwLock<HashMap<&'static str, Arc<LogHistogram>>>,
+    values: RwLock<HashMap<&'static str, Arc<TimedCell>>>,
+    /// Windowed rings for counters that opted in via [`rate_counter`].
+    counter_windows: RwLock<HashMap<&'static str, Arc<window::WindowedCounter>>>,
 }
 
 fn registry() -> &'static Registry {
@@ -38,10 +65,11 @@ fn registry() -> &'static Registry {
         spans: RwLock::new(HashMap::new()),
         counters: RwLock::new(HashMap::new()),
         values: RwLock::new(HashMap::new()),
+        counter_windows: RwLock::new(HashMap::new()),
     })
 }
 
-fn span_hist(name: &'static str) -> Arc<LogHistogram> {
+fn span_cell(name: &'static str) -> Arc<TimedCell> {
     if let Some(h) = registry().spans.read().get(name) {
         return Arc::clone(h);
     }
@@ -49,7 +77,7 @@ fn span_hist(name: &'static str) -> Arc<LogHistogram> {
     Arc::clone(map.entry(name).or_default())
 }
 
-fn value_hist(name: &'static str) -> Arc<LogHistogram> {
+fn value_cell(name: &'static str) -> Arc<TimedCell> {
     if let Some(h) = registry().values.read().get(name) {
         return Arc::clone(h);
     }
@@ -63,6 +91,17 @@ fn counter_cell(name: &'static str) -> Arc<AtomicU64> {
     }
     let mut map = registry().counters.write();
     Arc::clone(map.entry(name).or_default())
+}
+
+fn counter_window(name: &'static str) -> Arc<window::WindowedCounter> {
+    if let Some(w) = registry().counter_windows.read().get(name) {
+        return Arc::clone(w);
+    }
+    let mut map = registry().counter_windows.write();
+    Arc::clone(
+        map.entry(name)
+            .or_insert_with(|| Arc::new(window::WindowedCounter::new())),
+    )
 }
 
 /// Times a region of code; records into the named span histogram on drop.
@@ -80,7 +119,7 @@ impl SpanGuard {
         match self.start.take() {
             Some(start) => {
                 let elapsed = start.elapsed();
-                span_hist(self.name).record(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
+                span_cell(self.name).record(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
                 elapsed
             }
             None => Duration::ZERO,
@@ -122,7 +161,7 @@ pub fn time<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, Duration) {
 /// distribution for nanoseconds. No-op while instrumentation is disabled.
 pub fn record_value(name: &'static str, value: u64) {
     if enabled() {
-        value_hist(name).record(value);
+        value_cell(name).record(value);
     }
 }
 
@@ -131,7 +170,7 @@ pub fn record_value(name: &'static str, value: u64) {
 /// end-to-end time measured from enqueue to response across threads.
 pub fn record_duration(name: &'static str, duration: Duration) {
     if enabled() {
-        span_hist(name).record(duration.as_nanos().min(u128::from(u64::MAX)) as u64);
+        span_cell(name).record(duration.as_nanos().min(u128::from(u64::MAX)) as u64);
     }
 }
 
@@ -141,7 +180,7 @@ pub fn value_snapshot(name: &str) -> Option<HistogramSnapshot> {
         .values
         .read()
         .get(name)
-        .map(|h| h.snapshot())
+        .map(|h| h.hist.snapshot())
         .filter(|s| s.count > 0)
 }
 
@@ -152,7 +191,7 @@ pub fn all_values() -> Vec<(String, HistogramSnapshot)> {
         .values
         .read()
         .iter()
-        .map(|(name, h)| (name.to_string(), h.snapshot()))
+        .map(|(name, h)| (name.to_string(), h.hist.snapshot()))
         .filter(|(_, s)| s.count > 0)
         .collect();
     out.sort_by(|a, b| a.0.cmp(&b.0));
@@ -191,6 +230,56 @@ pub fn counter(name: &'static str) -> Counter {
     }
 }
 
+/// A counter that also feeds a sliding-window ring, so it answers rate
+/// queries ("sheds in the last 10 s") alongside the cumulative total. The
+/// cumulative side shares the cell of [`counter`] under the same name —
+/// `/stats`-style consumers see one number, not two. Each `add` costs two
+/// atomic ops plus a clock read; keep it off per-sample training loops.
+#[derive(Clone)]
+pub struct RateCounter {
+    cum: Counter,
+    win: Arc<window::WindowedCounter>,
+}
+
+impl RateCounter {
+    /// Adds `n` to both aggregations (no-op while disabled).
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.cum.add(n);
+            self.win.add(n);
+        }
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Cumulative value since boot.
+    pub fn get(&self) -> u64 {
+        self.cum.get()
+    }
+
+    /// Events in the last `window` seconds.
+    pub fn in_window(&self, window: u64) -> u64 {
+        self.win.sum(window)
+    }
+
+    /// Events per second over the last `window` seconds.
+    pub fn rate(&self, window: u64) -> f64 {
+        self.win.rate(window)
+    }
+}
+
+/// Looks up (creating on first use) the named rate counter. The cumulative
+/// side is the same cell [`counter`] returns for this name.
+pub fn rate_counter(name: &'static str) -> RateCounter {
+    RateCounter {
+        cum: counter(name),
+        win: counter_window(name),
+    }
+}
+
 /// Current value of a named counter (0 if never touched).
 pub fn counter_value(name: &'static str) -> u64 {
     registry()
@@ -201,14 +290,57 @@ pub fn counter_value(name: &'static str) -> u64 {
         .unwrap_or(0)
 }
 
+/// Windowed sum of a named counter over the last `window` seconds, if that
+/// counter has a windowed ring (i.e. was obtained via [`rate_counter`]).
+pub fn counter_window_sum(name: &str, window: u64) -> Option<u64> {
+    registry()
+        .counter_windows
+        .read()
+        .get(name)
+        .map(|w| w.sum(window))
+}
+
+/// Windowed sums of every rate counter, sorted by name.
+pub fn all_windowed_counters(window: u64) -> Vec<(String, u64)> {
+    let mut out: Vec<(String, u64)> = registry()
+        .counter_windows
+        .read()
+        .iter()
+        .map(|(name, w)| (name.to_string(), w.sum(window)))
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
 /// Snapshot of one span's histogram, if that span ever recorded.
 pub fn span_snapshot(name: &str) -> Option<HistogramSnapshot> {
     registry()
         .spans
         .read()
         .get(name)
-        .map(|h| h.snapshot())
+        .map(|h| h.hist.snapshot())
         .filter(|s| s.count > 0)
+}
+
+/// Windowed summary of one span over the last `window` seconds, if that
+/// span ever recorded (the window itself may be empty).
+pub fn windowed_span(name: &str, window: u64) -> Option<WindowedSnapshot> {
+    registry()
+        .spans
+        .read()
+        .get(name)
+        .filter(|h| h.hist.count() > 0)
+        .map(|h| h.windowed.window(window))
+}
+
+/// Windowed summary of one value histogram over the last `window` seconds.
+pub fn windowed_value(name: &str, window: u64) -> Option<WindowedSnapshot> {
+    registry()
+        .values
+        .read()
+        .get(name)
+        .filter(|h| h.hist.count() > 0)
+        .map(|h| h.windowed.window(window))
 }
 
 /// Snapshots of every span that recorded at least once, sorted by name.
@@ -217,8 +349,39 @@ pub fn all_spans() -> Vec<(String, HistogramSnapshot)> {
         .spans
         .read()
         .iter()
-        .map(|(name, h)| (name.to_string(), h.snapshot()))
+        .map(|(name, h)| (name.to_string(), h.hist.snapshot()))
         .filter(|(_, s)| s.count > 0)
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Windowed summaries of every span that ever recorded, sorted by name.
+/// Spans quiet for the whole window appear with zero counts — their absence
+/// from recent traffic is itself signal.
+pub fn all_windowed_spans(window: u64) -> Vec<(String, WindowedSnapshot)> {
+    let now = window::now_sec();
+    let mut out: Vec<(String, WindowedSnapshot)> = registry()
+        .spans
+        .read()
+        .iter()
+        .filter(|(_, h)| h.hist.count() > 0)
+        .map(|(name, h)| (name.to_string(), h.windowed.window_at(now, window)))
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Windowed summaries of every value histogram that ever recorded, sorted
+/// by name.
+pub fn all_windowed_values(window: u64) -> Vec<(String, WindowedSnapshot)> {
+    let now = window::now_sec();
+    let mut out: Vec<(String, WindowedSnapshot)> = registry()
+        .values
+        .read()
+        .iter()
+        .filter(|(_, h)| h.hist.count() > 0)
+        .map(|(name, h)| (name.to_string(), h.windowed.window_at(now, window)))
         .collect();
     out.sort_by(|a, b| a.0.cmp(&b.0));
     out
@@ -236,13 +399,20 @@ pub fn all_counters() -> Vec<(String, u64)> {
     out
 }
 
-/// Clears every span histogram and counter. Handles obtained before the
-/// reset keep writing into detached cells, so re-fetch them afterwards;
-/// intended for test isolation and the start of independent runs.
+/// Clears **every** observability namespace: span histograms (cumulative
+/// and windowed), counters, counter rate rings, value histograms, SLO
+/// cells, retained flight-recorder traces, and the failpoint registry's
+/// lifetime hit/fired mirrors. Handles obtained before the reset keep
+/// writing into detached cells, so re-fetch them afterwards; intended for
+/// test isolation and the start of independent runs.
 pub fn reset() {
     registry().spans.write().clear();
     registry().counters.write().clear();
     registry().values.write().clear();
+    registry().counter_windows.write().clear();
+    crate::slo::clear_slos();
+    crate::trace::clear_traces();
+    crate::failpoints::reset_counts();
 }
 
 #[cfg(test)]
@@ -302,6 +472,9 @@ mod tests {
         assert_eq!(counter_value("test.registry.never_touched"), 0);
         assert!(span_snapshot("test.registry.never_opened").is_none());
         assert!(value_snapshot("test.registry.never_recorded").is_none());
+        assert!(windowed_span("test.registry.never_opened", 10).is_none());
+        assert!(windowed_value("test.registry.never_recorded", 10).is_none());
+        assert!(counter_window_sum("test.registry.never_touched", 10).is_none());
     }
 
     #[test]
@@ -330,6 +503,44 @@ mod tests {
     }
 
     #[test]
+    fn spans_expose_windowed_summaries() {
+        record_duration("test.registry.windowed_span", Duration::from_micros(100));
+        // Recorded "now", so any window ending now contains it.
+        let w = windowed_span("test.registry.windowed_span", 60).unwrap();
+        assert_eq!(w.count, 1);
+        assert!(w.p99 >= 64_000, "p99 {} ns", w.p99);
+        assert!(all_windowed_spans(60)
+            .iter()
+            .any(|(n, s)| n == "test.registry.windowed_span" && s.count == 1));
+    }
+
+    #[test]
+    fn values_expose_windowed_summaries() {
+        record_value("test.registry.windowed_value", 32);
+        let w = windowed_value("test.registry.windowed_value", 60).unwrap();
+        assert_eq!(w.count, 1);
+        assert!(all_windowed_values(60)
+            .iter()
+            .any(|(n, _)| n == "test.registry.windowed_value"));
+    }
+
+    #[test]
+    fn rate_counters_feed_both_aggregations() {
+        let rc = rate_counter("test.registry.rate");
+        rc.add(3);
+        rc.incr();
+        assert_eq!(rc.get(), 4);
+        assert_eq!(rc.in_window(60), 4);
+        assert!(rc.rate(60) > 0.0);
+        // The cumulative side is the plain counter under the same name.
+        assert_eq!(counter_value("test.registry.rate"), 4);
+        assert_eq!(counter_window_sum("test.registry.rate", 60), Some(4));
+        assert!(all_windowed_counters(60)
+            .iter()
+            .any(|(n, v)| n == "test.registry.rate" && *v == 4));
+    }
+
+    #[test]
     fn disabled_gate_suppresses_recording() {
         // Serialise with other tests that might toggle the gate: none do,
         // but keep the window tiny regardless.
@@ -338,9 +549,12 @@ mod tests {
         let d = g.stop();
         let c = counter("test.registry.disabled_counter");
         c.add(5);
+        let rc = rate_counter("test.registry.disabled_rate");
+        rc.add(5);
         set_enabled(true);
         assert_eq!(d, Duration::ZERO);
         assert!(span_snapshot("test.registry.disabled").is_none());
         assert_eq!(counter_value("test.registry.disabled_counter"), 0);
+        assert_eq!(rc.in_window(60), 0);
     }
 }

@@ -1,0 +1,226 @@
+//! Per-endpoint latency SLO tracking: good/total event counts against a
+//! configurable objective, cumulative and windowed, with burn rate.
+//!
+//! An SLO here is "fraction of requests under `objective` latency ≥
+//! `target`" (e.g. 99% under 50 ms). Each observation classifies one
+//! request as good or bad; the cell keeps cumulative good/total counts
+//! plus windowed rings of both, so the **burn rate** — how fast the error
+//! budget is being consumed *right now*, relative to the rate the target
+//! allows — comes from recent traffic instead of being diluted by hours
+//! of healthy history. Burn rate 1.0 means errors arrive exactly at
+//! budget; 10× means the budget burns ten times too fast; 0 means no
+//! recent misses.
+
+use crate::window::WindowedCounter;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+struct SloCell {
+    /// Latency objective in nanoseconds; observations under it are good.
+    objective_ns: AtomicU64,
+    /// Target good fraction in `[0, 1]`, stored as f64 bits.
+    target_bits: AtomicU64,
+    good: AtomicU64,
+    total: AtomicU64,
+    w_good: WindowedCounter,
+    w_total: WindowedCounter,
+}
+
+fn cells() -> &'static RwLock<HashMap<&'static str, Arc<SloCell>>> {
+    static CELLS: OnceLock<RwLock<HashMap<&'static str, Arc<SloCell>>>> = OnceLock::new();
+    CELLS.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Handle to one registered SLO. Cheap to clone.
+#[derive(Clone)]
+pub struct Slo {
+    cell: Arc<SloCell>,
+}
+
+impl Slo {
+    /// Classifies one request latency against the objective (no-op while
+    /// instrumentation is disabled).
+    pub fn observe(&self, latency: Duration) {
+        if !crate::enabled() {
+            return;
+        }
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let good = ns < self.cell.objective_ns.load(Ordering::Relaxed);
+        self.cell.total.fetch_add(1, Ordering::Relaxed);
+        self.cell.w_total.add(1);
+        if good {
+            self.cell.good.fetch_add(1, Ordering::Relaxed);
+            self.cell.w_good.add(1);
+        }
+    }
+}
+
+/// Registers (or re-targets) the named SLO and returns its handle.
+/// `target` is the required good fraction, e.g. `0.99`.
+pub fn slo(name: &'static str, objective: Duration, target: f64) -> Slo {
+    let objective_ns = objective.as_nanos().min(u128::from(u64::MAX)) as u64;
+    let cell = {
+        let map = cells().read();
+        map.get(name).cloned()
+    };
+    let cell = match cell {
+        Some(c) => c,
+        None => {
+            let mut map = cells().write();
+            Arc::clone(map.entry(name).or_insert_with(|| {
+                Arc::new(SloCell {
+                    objective_ns: AtomicU64::new(objective_ns),
+                    target_bits: AtomicU64::new(target.to_bits()),
+                    good: AtomicU64::new(0),
+                    total: AtomicU64::new(0),
+                    w_good: WindowedCounter::new(),
+                    w_total: WindowedCounter::new(),
+                })
+            }))
+        }
+    };
+    cell.objective_ns.store(objective_ns, Ordering::Relaxed);
+    cell.target_bits.store(target.to_bits(), Ordering::Relaxed);
+    Slo { cell }
+}
+
+/// Point-in-time view of one SLO over one sliding window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloSnapshot {
+    /// Latency objective, nanoseconds.
+    pub objective_ns: u64,
+    /// Required good fraction.
+    pub target: f64,
+    /// Good requests since boot.
+    pub good: u64,
+    /// All requests since boot.
+    pub total: u64,
+    /// Good requests inside the window.
+    pub window_good: u64,
+    /// All requests inside the window.
+    pub window_total: u64,
+    /// Good fraction inside the window (1.0 when the window is empty —
+    /// no traffic burns no budget).
+    pub window_good_ratio: f64,
+    /// Budget burn rate over the window: observed error rate divided by
+    /// the error rate the target allows. 1.0 = burning exactly at budget.
+    pub burn_rate: f64,
+}
+
+fn snapshot_cell(cell: &SloCell, window: u64) -> SloSnapshot {
+    let target = f64::from_bits(cell.target_bits.load(Ordering::Relaxed));
+    let window_good = cell.w_good.sum(window);
+    let window_total = cell.w_total.sum(window);
+    let window_good_ratio = if window_total == 0 {
+        1.0
+    } else {
+        window_good as f64 / window_total as f64
+    };
+    let allowed_error = (1.0 - target).max(1e-9);
+    SloSnapshot {
+        objective_ns: cell.objective_ns.load(Ordering::Relaxed),
+        target,
+        good: cell.good.load(Ordering::Relaxed),
+        total: cell.total.load(Ordering::Relaxed),
+        window_good,
+        window_total,
+        window_good_ratio,
+        burn_rate: (1.0 - window_good_ratio) / allowed_error,
+    }
+}
+
+/// Snapshot of the named SLO over the last `window` seconds, if registered.
+pub fn slo_snapshot(name: &str, window: u64) -> Option<SloSnapshot> {
+    cells().read().get(name).map(|c| snapshot_cell(c, window))
+}
+
+/// Snapshots of every registered SLO, sorted by name.
+pub fn all_slos(window: u64) -> Vec<(String, SloSnapshot)> {
+    let mut out: Vec<(String, SloSnapshot)> = cells()
+        .read()
+        .iter()
+        .map(|(name, c)| (name.to_string(), snapshot_cell(c, window)))
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Drops every registered SLO (part of [`crate::reset`]).
+pub(crate) fn clear_slos() {
+    cells().write().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Process-global map, concurrent tests: unique names, no clear_slos().
+
+    #[test]
+    fn observations_split_into_good_and_bad() {
+        let s = slo("test.slo.split", Duration::from_millis(10), 0.9);
+        s.observe(Duration::from_millis(1)); // good
+        s.observe(Duration::from_millis(2)); // good
+        s.observe(Duration::from_millis(50)); // bad
+        let snap = slo_snapshot("test.slo.split", 60).unwrap();
+        assert_eq!(snap.total, 3);
+        assert_eq!(snap.good, 2);
+        assert_eq!(snap.window_total, 3);
+        assert_eq!(snap.window_good, 2);
+        assert!((snap.window_good_ratio - 2.0 / 3.0).abs() < 1e-9);
+        // Error rate 1/3 against a 10% allowance: burning ~3.3x budget.
+        assert!(
+            snap.burn_rate > 3.0 && snap.burn_rate < 3.7,
+            "{}",
+            snap.burn_rate
+        );
+    }
+
+    #[test]
+    fn empty_window_burns_nothing() {
+        let _ = slo("test.slo.idle", Duration::from_millis(5), 0.99);
+        let snap = slo_snapshot("test.slo.idle", 10).unwrap();
+        assert_eq!(snap.window_total, 0);
+        assert_eq!(snap.window_good_ratio, 1.0);
+        assert_eq!(snap.burn_rate, 0.0);
+    }
+
+    #[test]
+    fn all_good_is_zero_burn_all_bad_is_full_burn() {
+        let s = slo("test.slo.extremes", Duration::from_millis(10), 0.5);
+        s.observe(Duration::from_millis(1));
+        let healthy = slo_snapshot("test.slo.extremes", 60).unwrap();
+        assert_eq!(healthy.burn_rate, 0.0);
+        s.observe(Duration::from_secs(1));
+        let snap = slo_snapshot("test.slo.extremes", 60).unwrap();
+        // 50% errors against a 50% allowance: exactly at budget.
+        assert!((snap.burn_rate - 1.0).abs() < 1e-9, "{}", snap.burn_rate);
+    }
+
+    #[test]
+    fn reregistering_updates_objective_and_keeps_counts() {
+        let s = slo("test.slo.retarget", Duration::from_millis(1), 0.9);
+        s.observe(Duration::from_millis(10)); // bad under 1ms objective
+        let s = slo("test.slo.retarget", Duration::from_millis(100), 0.9);
+        s.observe(Duration::from_millis(10)); // good under 100ms objective
+        let snap = slo_snapshot("test.slo.retarget", 60).unwrap();
+        assert_eq!(snap.total, 2);
+        assert_eq!(snap.good, 1);
+        assert_eq!(snap.objective_ns, 100_000_000);
+    }
+
+    #[test]
+    fn unknown_slo_reads_as_none() {
+        assert!(slo_snapshot("test.slo.never_registered", 10).is_none());
+    }
+
+    #[test]
+    fn listed_in_all_slos() {
+        let _ = slo("test.slo.listed", Duration::from_millis(10), 0.99);
+        assert!(all_slos(10).iter().any(|(n, _)| n == "test.slo.listed"));
+    }
+}

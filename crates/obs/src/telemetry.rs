@@ -10,6 +10,8 @@
 
 use crate::histogram::HistogramSnapshot;
 use crate::registry;
+use crate::trace::TraceRecord;
+use crate::window::WindowedSnapshot;
 use parking_lot::{Mutex, RwLock};
 use serde::value::{Map, Value};
 use serde::{DeError, Deserialize, Serialize};
@@ -135,6 +137,19 @@ impl ValueSummary {
     }
 }
 
+/// Sliding-window view of one named span at the moment a summary was
+/// built: the steady-state complement of [`SpanSummary`]'s cumulative
+/// percentiles (which fold warmup and idle stretches into one histogram).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowedSummary {
+    /// Span name as passed to `obs::span`.
+    pub name: String,
+    /// Last-10-seconds summary.
+    pub last_10s: WindowedSnapshot,
+    /// Last-60-seconds summary.
+    pub last_60s: WindowedSnapshot,
+}
+
 /// Final value of one named counter over a whole run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CounterSummary {
@@ -158,16 +173,24 @@ pub struct RunSummary {
     /// existed.
     #[serde(default)]
     pub values: Vec<ValueSummary>,
+    /// Sliding-window (last-10s/last-60s) summaries of every span, sorted
+    /// by name. Defaults to empty when reading older summaries.
+    #[serde(default)]
+    pub windowed: Vec<WindowedSummary>,
 }
 
-/// A telemetry event, externally tagged in JSON as `{"epoch": {...}}` or
-/// `{"summary": {...}}` so JSONL consumers can dispatch on the single key.
+/// A telemetry event, externally tagged in JSON as `{"epoch": {...}}`,
+/// `{"summary": {...}}`, or `{"trace": {...}}` so JSONL consumers can
+/// dispatch on the single key.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TelemetryEvent {
     /// One training epoch finished.
     Epoch(EpochRecord),
     /// A run finished; aggregate statistics.
     Summary(RunSummary),
+    /// A request trace worth keeping (errors are emitted automatically by
+    /// the flight recorder); carries the trace id and full span tree.
+    Trace(TraceRecord),
 }
 
 // The vendored serde derive handles structs and unit enums only, so the
@@ -177,6 +200,7 @@ impl Serialize for TelemetryEvent {
         let (tag, inner) = match self {
             TelemetryEvent::Epoch(r) => ("epoch", r.serialize()),
             TelemetryEvent::Summary(s) => ("summary", s.serialize()),
+            TelemetryEvent::Trace(t) => ("trace", t.serialize()),
         };
         let mut map = Map::new();
         map.insert(tag, inner);
@@ -195,8 +219,11 @@ impl Deserialize for TelemetryEvent {
         if let Some(inner) = obj.get("summary") {
             return Ok(TelemetryEvent::Summary(RunSummary::deserialize(inner)?));
         }
+        if let Some(inner) = obj.get("trace") {
+            return Ok(TelemetryEvent::Trace(TraceRecord::deserialize(inner)?));
+        }
         Err(DeError::custom(
-            "expected an object tagged `epoch` or `summary`",
+            "expected an object tagged `epoch`, `summary`, or `trace`",
         ))
     }
 }
@@ -312,6 +339,16 @@ impl Sink for ConsoleSink {
                     }
                 }
             }
+            TelemetryEvent::Trace(t) => {
+                eprintln!(
+                    "trace {} {} {:?} {} ({} spans)",
+                    t.id,
+                    t.kind,
+                    t.outcome,
+                    fmt_ns(t.total_ns),
+                    t.spans.len(),
+                );
+            }
         }
     }
 }
@@ -414,8 +451,17 @@ pub fn emit_epoch(record: EpochRecord) {
     emit(&TelemetryEvent::Epoch(record));
 }
 
+/// Emits a finished [`TraceRecord`] — called by the flight recorder for
+/// every error trace, and available to anything that wants a specific
+/// trace on the JSONL record.
+pub fn emit_trace(record: &TraceRecord) {
+    emit(&TelemetryEvent::Trace(record.clone()));
+}
+
 /// Builds a [`RunSummary`] from the current registry contents and emits it.
 pub fn emit_run_summary(run: u64) -> RunSummary {
+    let w10: std::collections::HashMap<String, WindowedSnapshot> =
+        registry::all_windowed_spans(10).into_iter().collect();
     let summary = RunSummary {
         run,
         spans: registry::all_spans()
@@ -429,6 +475,17 @@ pub fn emit_run_summary(run: u64) -> RunSummary {
         values: registry::all_values()
             .into_iter()
             .map(|(name, snap)| ValueSummary::from_snapshot(name, snap))
+            .collect(),
+        windowed: registry::all_windowed_spans(60)
+            .into_iter()
+            .map(|(name, last_60s)| WindowedSummary {
+                last_10s: w10
+                    .get(&name)
+                    .copied()
+                    .unwrap_or_else(|| WindowedSnapshot::empty(10)),
+                name,
+                last_60s,
+            })
             .collect(),
     };
     emit(&TelemetryEvent::Summary(summary.clone()));
@@ -493,6 +550,11 @@ mod tests {
                 p95: 12,
                 p99: 12,
             }],
+            windowed: vec![WindowedSummary {
+                name: "grad.stage1".into(),
+                last_10s: WindowedSnapshot::empty(10),
+                last_60s: WindowedSnapshot::empty(60),
+            }],
         });
         let line = serde_json::to_string(&event).unwrap();
         assert!(line.starts_with("{\"summary\":"));
@@ -501,15 +563,37 @@ mod tests {
     }
 
     #[test]
+    fn trace_event_roundtrips_through_json() {
+        let event = TelemetryEvent::Trace(TraceRecord {
+            id: 17,
+            kind: "http.request".into(),
+            outcome: crate::trace::TraceOutcome::Error,
+            total_ns: 123_456,
+            spans: vec![crate::trace::TraceSpan {
+                id: 0,
+                parent: None,
+                name: "http.request".into(),
+                start_ns: 0,
+                dur_ns: 0,
+            }],
+        });
+        let line = serde_json::to_string(&event).unwrap();
+        assert!(line.starts_with("{\"trace\":"), "tagged line: {line}");
+        let back: TelemetryEvent = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, event);
+    }
+
+    #[test]
     fn summary_without_values_field_still_loads() {
-        // Summaries written before value histograms existed must read back
-        // with an empty `values` list.
+        // Summaries written before value histograms / windowed summaries
+        // existed must read back with those lists empty.
         let line = "{\"summary\":{\"run\":4,\"spans\":[],\"counters\":[]}}";
         let back: TelemetryEvent = serde_json::from_str(line).unwrap();
         match back {
             TelemetryEvent::Summary(s) => {
                 assert_eq!(s.run, 4);
                 assert!(s.values.is_empty());
+                assert!(s.windowed.is_empty());
             }
             other => panic!("expected summary, got {other:?}"),
         }
@@ -548,6 +632,7 @@ mod tests {
             spans: vec![],
             counters: vec![],
             values: vec![],
+            windowed: vec![],
         }));
         sink.flush();
         let text = std::fs::read_to_string(&path).unwrap();

@@ -1,0 +1,106 @@
+//! Property tests for the sliding-window layer: merging the per-second
+//! slot histograms must agree exactly with recording the same samples into
+//! one histogram, because `merged_at` is a pure re-aggregation — the slots
+//! partition the samples, they do not re-bucket them.
+
+use inbox_obs::{LogHistogram, WindowedHistogram, WindowedSnapshot};
+use proptest::prelude::*;
+
+/// A base second far enough from zero that `base + offset` never wraps and
+/// far enough apart between cases that slot indices exercise the whole
+/// ring.
+const BASE_SEC: u64 = 1_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Samples spread over seconds inside one window: the merged window
+    /// must report exactly the count, sum, and quantiles of a single
+    /// histogram fed the same samples.
+    #[test]
+    fn merge_of_buckets_equals_single_histogram(
+        samples in prop::collection::vec((0u64..10, 0u64..(1u64 << 40)), 0..200)
+    ) {
+        let windowed = WindowedHistogram::new();
+        let reference = LogHistogram::new();
+        for &(sec_offset, value) in &samples {
+            windowed.record_at(BASE_SEC + sec_offset, value);
+            reference.record(value);
+        }
+        // Read at the last second the samples could have landed in, with a
+        // window wide enough to cover all ten offsets.
+        let merged = windowed.merged_at(BASE_SEC + 9, 10);
+        let expect = reference.snapshot();
+        prop_assert_eq!(merged.count(), expect.count);
+        prop_assert_eq!(merged.sum(), expect.sum);
+        let got = merged.snapshot();
+        prop_assert_eq!(got.p50, expect.p50);
+        prop_assert_eq!(got.p95, expect.p95);
+        prop_assert_eq!(got.p99, expect.p99);
+        prop_assert_eq!(got.mean, expect.mean);
+    }
+
+    /// A narrower read must see exactly the suffix of samples inside the
+    /// window, never a blend of bucketing error.
+    #[test]
+    fn narrow_window_sees_exactly_its_suffix(
+        samples in prop::collection::vec((0u64..20, 1u64..(1u64 << 30)), 1..150),
+        window in 1u64..20,
+    ) {
+        let windowed = WindowedHistogram::new();
+        let reference = LogHistogram::new();
+        let now = BASE_SEC + 19;
+        for &(sec_offset, value) in &samples {
+            windowed.record_at(BASE_SEC + sec_offset, value);
+            // In-window iff now - sec < window.
+            if now - (BASE_SEC + sec_offset) < window {
+                reference.record(value);
+            }
+        }
+        let merged = windowed.merged_at(now, window);
+        prop_assert_eq!(merged.count(), reference.count());
+        prop_assert_eq!(merged.sum(), reference.sum());
+        prop_assert_eq!(merged.snapshot().p99, reference.snapshot().p99);
+    }
+}
+
+#[test]
+fn empty_window_is_all_zeros() {
+    let windowed = WindowedHistogram::new();
+    let snap = windowed.window_at(BASE_SEC, 10);
+    assert_eq!(snap, WindowedSnapshot::empty(10));
+    assert_eq!(snap.count, 0);
+    assert_eq!(snap.rate_per_sec, 0.0);
+    assert_eq!(snap.p99, 0);
+}
+
+#[test]
+fn reading_ahead_of_all_samples_is_empty() {
+    let windowed = WindowedHistogram::new();
+    windowed.record_at(BASE_SEC, 42);
+    // The sample has aged out of a 10s window read 10s later.
+    let snap = windowed.window_at(BASE_SEC + 10, 10);
+    assert_eq!(snap.count, 0, "aged-out slot leaked into the window");
+    // But is still visible one second earlier.
+    assert_eq!(windowed.window_at(BASE_SEC + 9, 10).count, 1);
+}
+
+#[test]
+fn bucket_rotation_replaces_an_aged_slot_exactly() {
+    let windowed = WindowedHistogram::new();
+    // Land a sample, then rotate its slot by recording exactly one ring
+    // length later (same slot index, different second).
+    windowed.record_at(BASE_SEC, 7);
+    windowed.record_at(BASE_SEC + 64, 9000);
+    let merged = windowed.merged_at(BASE_SEC + 64, 60);
+    assert_eq!(
+        merged.count(),
+        1,
+        "rotated slot must hold only the new sample"
+    );
+    let p50 = merged.snapshot().p50;
+    assert!(
+        p50 > 7,
+        "rotation left the aged-out sample behind (p50 {p50})"
+    );
+}

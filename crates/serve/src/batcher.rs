@@ -23,13 +23,14 @@ use std::collections::VecDeque;
 use std::sync::mpsc::SyncSender;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use inbox_kg::UserId;
+use inbox_obs::ActiveTrace;
 
 use crate::engine::{Engine, Recommendation};
 use crate::error::ServeError;
-use crate::ServeConfig;
+use crate::{ServeConfig, SLO_TARGET};
 
 /// A served answer: the top-K ranking or a typed degradation.
 type Answer = Result<Recommendation, ServeError>;
@@ -39,6 +40,9 @@ struct Pending {
     k: usize,
     enqueued: Instant,
     reply: SyncSender<Answer>,
+    /// The request's trace and its open `batcher.queue` span, when the
+    /// caller is tracing. The flush thread closes the span at dequeue.
+    trace: Option<(ActiveTrace, u32)>,
 }
 
 struct Queue {
@@ -60,6 +64,10 @@ pub struct Batcher {
     engine: Arc<Engine>,
     queue_cap: usize,
     worker: Mutex<Option<JoinHandle<()>>>,
+    /// `serve.recommend` SLO: answered latencies classified against the
+    /// objective; sheds count as (infinitely) bad events.
+    slo: inbox_obs::Slo,
+    shed: inbox_obs::RateCounter,
 }
 
 impl Batcher {
@@ -67,6 +75,7 @@ impl Batcher {
     pub fn start(engine: Arc<Engine>, config: &ServeConfig) -> Self {
         assert!(config.max_batch >= 1, "max_batch must be at least 1");
         assert!(config.queue_cap >= 1, "queue_cap must be at least 1");
+        let slo = inbox_obs::slo("serve.recommend", config.slo_objective, SLO_TARGET);
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue {
                 pending: VecDeque::new(),
@@ -79,10 +88,11 @@ impl Batcher {
             let engine = Arc::clone(&engine);
             let max_batch = config.max_batch;
             let batch_wait = config.batch_wait;
+            let slo = slo.clone();
             std::thread::Builder::new()
                 .name("inbox-serve-batcher".into())
                 .spawn(move || {
-                    flush_loop(&shared, &engine, max_batch, batch_wait);
+                    flush_loop(&shared, &engine, max_batch, batch_wait, &slo);
                 })
                 .expect("spawn batcher thread")
         };
@@ -91,6 +101,8 @@ impl Batcher {
             engine,
             queue_cap: config.queue_cap,
             worker: Mutex::new(Some(worker)),
+            slo,
+            shed: inbox_obs::rate_counter("serve.shed"),
         }
     }
 
@@ -101,8 +113,15 @@ impl Batcher {
 
     /// Submits a recommend request and blocks until its batch is flushed.
     /// Sheds with [`ServeError::Overloaded`] when `queue_cap` requests are
-    /// already waiting.
-    pub fn recommend(&self, user: UserId, k: usize) -> Result<Recommendation, ServeError> {
+    /// already waiting. With a `trace`, admission and queueing record
+    /// spans under its root.
+    pub fn recommend(
+        &self,
+        user: UserId,
+        k: usize,
+        trace: Option<ActiveTrace>,
+    ) -> Result<Recommendation, ServeError> {
+        let admit = trace.as_ref().map(|t| t.span("batcher.admit", Some(0)));
         let (reply, answer) = mpsc::sync_channel(1);
         {
             let mut queue = self.shared.queue.lock().unwrap();
@@ -114,16 +133,25 @@ impl Batcher {
             {
                 drop(queue);
                 self.engine.note_shed();
-                inbox_obs::counter("serve.shed").incr();
+                self.shed.incr();
+                // A shed is a user-visible failure: it burns SLO budget
+                // even though it has no latency to classify.
+                self.slo.observe(Duration::MAX);
                 return Err(ServeError::Overloaded);
             }
+            let queue_span = trace
+                .as_ref()
+                .map(|t| t.open_span("batcher.queue", Some(0)));
+            inbox_obs::record_value("serve.queue.depth", queue.pending.len() as u64 + 1);
             queue.pending.push_back(Pending {
                 user,
                 k,
                 enqueued: Instant::now(),
                 reply,
+                trace: trace.zip(queue_span),
             });
         }
+        drop(admit);
         self.shared.nonempty.notify_one();
         answer.recv().unwrap_or(Err(ServeError::Closed))
     }
@@ -178,7 +206,13 @@ impl Drop for CloseOnExit<'_> {
 
 /// Collects up to `max_batch` requests, waiting at most `batch_wait` past
 /// the first enqueue, then answers them. Loops until closed *and* drained.
-fn flush_loop(shared: &Shared, engine: &Engine, max_batch: usize, batch_wait: std::time::Duration) {
+fn flush_loop(
+    shared: &Shared,
+    engine: &Engine,
+    max_batch: usize,
+    batch_wait: Duration,
+    slo: &inbox_obs::Slo,
+) {
     let _close_on_exit = CloseOnExit(shared);
     loop {
         let batch = {
@@ -217,22 +251,50 @@ fn flush_loop(shared: &Shared, engine: &Engine, max_batch: usize, batch_wait: st
         if inbox_obs::failpoint!("serve.batcher.flush_panic") {
             panic!("injected failpoint: serve.batcher.flush_panic");
         }
-        flush(engine, batch);
+        flush(engine, batch, slo);
+    }
+}
+
+/// Scores one request in its trace context (when it has one), so engine
+/// spans — and, on the pool path, the `pool.score` span — attach to the
+/// request's tree no matter which thread runs the scoring.
+fn score_one(
+    engine: &Engine,
+    user: UserId,
+    k: usize,
+    trace: Option<&ActiveTrace>,
+    in_pool: bool,
+) -> Answer {
+    match trace {
+        Some(t) => inbox_obs::with_context(t, 0, || {
+            let _pool_span = in_pool.then(|| inbox_obs::ctx_span("pool.score"));
+            engine.recommend_now(user, k)
+        }),
+        None => engine.recommend_now(user, k),
     }
 }
 
 /// Answers one coalesced batch, fanning out over the engine's worker pool
 /// when one is configured and the batch is big enough to split.
-fn flush(engine: &Engine, batch: Vec<Pending>) {
+fn flush(engine: &Engine, batch: Vec<Pending>, slo: &inbox_obs::Slo) {
     if batch.is_empty() {
         return;
     }
     engine.note_batch();
-    inbox_obs::counter("serve.batch.flushes").incr();
+    inbox_obs::rate_counter("serve.batch.flushes").incr();
     inbox_obs::record_value("serve.batch.size", batch.len() as u64);
+    // The queue phase ends for the whole batch at dequeue.
+    for p in &batch {
+        if let Some((trace, queue_span)) = &p.trace {
+            trace.close_span(*queue_span);
+        }
+    }
     let answers: Vec<Answer> = match engine.pool() {
         Some(pool) if batch.len() >= 2 => {
-            let jobs: Vec<(UserId, usize)> = batch.iter().map(|p| (p.user, p.k)).collect();
+            let jobs: Vec<(UserId, usize, Option<&ActiveTrace>)> = batch
+                .iter()
+                .map(|p| (p.user, p.k, p.trace.as_ref().map(|(t, _)| t)))
+                .collect();
             let workers = pool.workers();
             let chunk = jobs.len().div_ceil(workers);
             let slots: Vec<Mutex<Vec<(usize, Answer)>>> =
@@ -241,8 +303,8 @@ fn flush(engine: &Engine, batch: Vec<Pending>) {
                 let start = w * chunk;
                 let end = jobs.len().min(start + chunk);
                 let mut out = Vec::with_capacity(end.saturating_sub(start));
-                for (i, &(user, k)) in jobs.iter().enumerate().take(end).skip(start) {
-                    out.push((i, engine.recommend_now(user, k)));
+                for (i, &(user, k, trace)) in jobs.iter().enumerate().take(end).skip(start) {
+                    out.push((i, score_one(engine, user, k, trace, true)));
                 }
                 *slots[w].lock().unwrap() = out;
             });
@@ -259,11 +321,13 @@ fn flush(engine: &Engine, batch: Vec<Pending>) {
         }
         _ => batch
             .iter()
-            .map(|p| engine.recommend_now(p.user, p.k))
+            .map(|p| score_one(engine, p.user, p.k, p.trace.as_ref().map(|(t, _)| t), false))
             .collect(),
     };
     for (pending, answer) in batch.into_iter().zip(answers) {
-        inbox_obs::record_duration("serve.request", pending.enqueued.elapsed());
+        let latency = pending.enqueued.elapsed();
+        inbox_obs::record_duration("serve.request", latency);
+        slo.observe(latency);
         // A receiver that hung up already got `Closed` from `recommend`;
         // nothing to do with the answer in that case.
         let _ = pending.reply.send(answer);

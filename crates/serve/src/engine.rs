@@ -119,8 +119,9 @@ pub struct Engine {
     cache: Mutex<BoxCache>,
     pool: Option<WorkerPool>,
     stats: StatCells,
-    obs_rebuilds: inbox_obs::Counter,
-    obs_cache_hits: inbox_obs::Counter,
+    obs_requests: inbox_obs::RateCounter,
+    obs_rebuilds: inbox_obs::RateCounter,
+    obs_cache_hits: inbox_obs::RateCounter,
     obs_fallbacks: inbox_obs::Counter,
     obs_ingests: inbox_obs::Counter,
     n_users: usize,
@@ -164,8 +165,9 @@ impl Engine {
             cache: Mutex::new(BoxCache::new(serve.cache_cap)),
             pool,
             stats: StatCells::default(),
-            obs_rebuilds: inbox_obs::counter("serve.box.rebuilds"),
-            obs_cache_hits: inbox_obs::counter("serve.cache.hits"),
+            obs_requests: inbox_obs::rate_counter("serve.requests"),
+            obs_rebuilds: inbox_obs::rate_counter("serve.box.rebuilds"),
+            obs_cache_hits: inbox_obs::rate_counter("serve.cache.hits"),
             obs_fallbacks: inbox_obs::counter("serve.fallback"),
             obs_ingests: inbox_obs::counter("serve.ingest"),
             n_users,
@@ -195,6 +197,11 @@ impl Engine {
     /// The intra-batch worker pool, when serving with more than one thread.
     pub(crate) fn pool(&self) -> Option<&WorkerPool> {
         self.pool.as_ref()
+    }
+
+    /// Number of interest boxes currently resident in the box cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().unwrap().len()
     }
 
     /// Current serving statistics.
@@ -264,12 +271,16 @@ impl Engine {
     /// cache hit, or lazy rebuild (one forward pass) followed by a cache
     /// insert. Returns the version the box belongs to.
     fn resolve_box(&self, user: UserId) -> (u64, Option<Arc<BoxEmb>>) {
+        let _resolve_span = inbox_obs::ctx_span("engine.resolve_box");
         let live = self.live.read().unwrap();
         let version = live.history.version(user);
         if let Some(hit) = self.cache.lock().unwrap().get(user.0, version) {
             drop(live);
             self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
             self.obs_cache_hits.incr();
+            // Zero-ish-duration marker span: its presence in the tree is
+            // the information.
+            drop(inbox_obs::ctx_span("engine.cache_hit"));
             return (version, hit);
         }
         // Miss: clone the history under the same read lock, so the box we
@@ -282,6 +293,7 @@ impl Engine {
         } else {
             self.stats.rebuilds.fetch_add(1, Ordering::Relaxed);
             self.obs_rebuilds.incr();
+            let _rebuild_span = inbox_obs::ctx_span("engine.rebuild");
             let mut tape = Tape::new();
             user_box_from_history(&self.model, &self.config, &mut tape, user, &history)
                 .map(Arc::new)
@@ -306,16 +318,21 @@ impl Engine {
         if user.index() >= self.n_users {
             return Err(ServeError::UnknownUser(user));
         }
+        let _recommend_span = inbox_obs::ctx_span("engine.recommend");
         let (version, resolved) = self.resolve_box(user);
-        let (scores, fallback) = match resolved.as_deref() {
-            Some(b) => (self.scorer.score_box(b), false),
-            None => (self.popularity.clone(), true),
+        let (scores, fallback) = {
+            let _score_span = inbox_obs::ctx_span("engine.score");
+            match resolved.as_deref() {
+                Some(b) => (self.scorer.score_box(b), false),
+                None => (self.popularity.clone(), true),
+            }
         };
         if fallback {
             self.stats.fallbacks.fetch_add(1, Ordering::Relaxed);
             self.obs_fallbacks.incr();
         }
         let items = {
+            let _rank_span = inbox_obs::ctx_span("engine.rank");
             let live = self.live.read().unwrap();
             let mask = &live.masks[user.index()];
             top_k_masked(&scores, mask, k)
@@ -324,6 +341,7 @@ impl Engine {
                 .collect()
         };
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.obs_requests.incr();
         Ok(Recommendation {
             user,
             items,

@@ -2,19 +2,26 @@
 //! `std::net::TcpListener` — no async runtime, no external HTTP crate.
 //!
 //! One thread per connection, `Connection: close` semantics (each request
-//! gets its own connection), query-string parameters. The surface is four
-//! routes:
+//! gets its own connection), query-string parameters. The surface:
 //!
 //! | Route                           | Meaning                                |
 //! |---------------------------------|----------------------------------------|
 //! | `GET /health`                   | liveness probe                         |
 //! | `GET /recommend?user=U&k=K`     | top-K for user `U` (`k` defaults to 10)|
 //! | `POST /ingest?user=U&item=I`    | record a live interaction              |
-//! | `GET /stats`                    | serving counters snapshot              |
+//! | `GET /stats`                    | serving counters + histogram snapshot  |
+//! | `GET /metrics`                  | Prometheus text exposition (live)      |
+//! | `GET /traces`                   | flight-recorder dump as JSON           |
 //!
 //! Degradation maps onto status codes: admission shedding is `503` with a
 //! JSON error body, unknown ids are `404`, malformed parameters are `400`.
 //! The server never panics a connection thread on bad input.
+//!
+//! Every connection mints a request trace (`http.request` root) at accept,
+//! subject to the flight recorder's sampling; the parse, batcher, engine,
+//! pool, and response-write stages all record spans into its tree, and the
+//! trace finishes with the request's outcome (`Ok`/`Shed`/`Error`, with
+//! slow-but-Ok requests promoted to `Slow` past the configured threshold).
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -186,13 +193,38 @@ fn parse_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
     Ok(Some(request))
 }
 
-fn write_response(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
+/// Content type of every JSON route.
+const JSON: &str = "application/json";
+/// Content type of the Prometheus text exposition (`GET /metrics`).
+const PROMETHEUS: &str = "text/plain; version=0.0.4";
+
+fn write_response_with_type(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) {
     let response = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     let _ = stream.write_all(response.as_bytes());
     let _ = stream.flush();
+}
+
+/// [`write_response_with_type`] under an `http.write` span when the
+/// request is traced.
+fn write_traced(
+    stream: &mut TcpStream,
+    trace: Option<&inbox_obs::ActiveTrace>,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) {
+    let _write_span = trace.map(|t| t.span("http.write", Some(0)));
+    write_response_with_type(stream, status, reason, content_type, body);
 }
 
 fn error_body(message: &str) -> String {
@@ -233,34 +265,82 @@ fn recommendation_body(r: &Recommendation) -> String {
     )
 }
 
-fn serve_error(stream: &mut TcpStream, err: &ServeError) {
+fn serve_error(stream: &mut TcpStream, trace: Option<&inbox_obs::ActiveTrace>, err: &ServeError) {
     let (status, reason) = match err {
         ServeError::Overloaded | ServeError::Closed => (503, "Service Unavailable"),
         ServeError::UnknownUser(_) | ServeError::UnknownItem(_) => (404, "Not Found"),
     };
-    write_response(stream, status, reason, &error_body(&err.to_string()));
+    write_traced(
+        stream,
+        trace,
+        status,
+        reason,
+        JSON,
+        &error_body(&err.to_string()),
+    );
+}
+
+/// JSON rendering of a value histogram's snapshot, `null` when the
+/// instrument has never recorded.
+fn value_stat(name: &str) -> String {
+    match inbox_obs::value_snapshot(name) {
+        Some(s) => format!(
+            "{{\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            s.count, s.mean, s.p50, s.p95, s.p99
+        ),
+        None => "null".to_string(),
+    }
 }
 
 fn handle_connection(mut stream: TcpStream, service: &Service) -> std::io::Result<()> {
+    // One trace per connection == one trace per request (`Connection:
+    // close`). `respond` reports the outcome; the flight recorder promotes
+    // slow-but-Ok requests past the configured threshold on `finish`.
+    let trace = inbox_obs::start_trace("http.request");
+    let outcome = respond(&mut stream, service, trace.as_ref());
+    if let Some(trace) = trace {
+        trace.finish(outcome);
+    }
+    Ok(())
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    service: &Service,
+    trace: Option<&inbox_obs::ActiveTrace>,
+) -> inbox_obs::TraceOutcome {
+    use inbox_obs::TraceOutcome;
     // Both unacceptable requests (`Ok(None)`) and read errors (e.g.
     // non-UTF-8 bytes in the request line) get an explicit 400: the server
     // answers every connection it accepted rather than silently hanging up.
-    let request = match parse_request(&mut stream) {
+    let request = {
+        let _parse_span = trace.map(|t| t.span("http.parse", Some(0)));
+        parse_request(stream)
+    };
+    let request = match request {
         Ok(Some(request)) => request,
         Ok(None) | Err(_) => {
-            write_response(&mut stream, 400, "Bad Request", &error_body("bad request"));
-            return Ok(());
+            write_traced(
+                stream,
+                trace,
+                400,
+                "Bad Request",
+                JSON,
+                &error_body("bad request"),
+            );
+            return TraceOutcome::Error;
         }
     };
     // Chaos site: drop the connection after a full parse, before any byte
     // of the response — the client sees a clean EOF, never a half-written
     // or interleaved response, and the server must keep serving.
     if inbox_obs::failpoint!("serve.http.torn_response") {
-        return Ok(());
+        return TraceOutcome::Error;
     }
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/health") => {
-            write_response(&mut stream, 200, "OK", "{\"status\":\"ok\"}");
+            write_traced(stream, trace, 200, "OK", JSON, "{\"status\":\"ok\"}");
+            TraceOutcome::Ok
         }
         ("GET", "/recommend") => {
             let user = request.param("user").and_then(|v| v.parse::<u32>().ok());
@@ -269,30 +349,47 @@ fn handle_connection(mut stream: TcpStream, service: &Service) -> std::io::Resul
                 Some(v) => v.parse::<usize>().ok(),
             };
             let (Some(user), Some(k)) = (user, k) else {
-                write_response(
-                    &mut stream,
+                write_traced(
+                    stream,
+                    trace,
                     400,
                     "Bad Request",
+                    JSON,
                     &error_body("recommend needs user=<u32> and optional k=<usize>"),
                 );
-                return Ok(());
+                return TraceOutcome::Error;
             };
-            match service.recommend(UserId(user), k) {
-                Ok(r) => write_response(&mut stream, 200, "OK", &recommendation_body(&r)),
-                Err(e) => serve_error(&mut stream, &e),
+            let answer = match trace {
+                Some(t) => service.recommend_traced(UserId(user), k, t),
+                None => service.recommend(UserId(user), k),
+            };
+            match answer {
+                Ok(r) => {
+                    write_traced(stream, trace, 200, "OK", JSON, &recommendation_body(&r));
+                    TraceOutcome::Ok
+                }
+                Err(e) => {
+                    serve_error(stream, trace, &e);
+                    match e {
+                        ServeError::Overloaded => TraceOutcome::Shed,
+                        _ => TraceOutcome::Error,
+                    }
+                }
             }
         }
         ("POST", "/ingest") => {
             let user = request.param("user").and_then(|v| v.parse::<u32>().ok());
             let item = request.param("item").and_then(|v| v.parse::<u32>().ok());
             let (Some(user), Some(item)) = (user, item) else {
-                write_response(
-                    &mut stream,
+                write_traced(
+                    stream,
+                    trace,
                     400,
                     "Bad Request",
+                    JSON,
                     &error_body("ingest needs user=<u32> and item=<u32>"),
                 );
-                return Ok(());
+                return TraceOutcome::Error;
             };
             match service.ingest(UserId(user), ItemId(item)) {
                 Ok(receipt) => {
@@ -304,22 +401,59 @@ fn handle_connection(mut stream: TcpStream, service: &Service) -> std::io::Resul
                         receipt.history_changed,
                         receipt.mask_changed
                     );
-                    write_response(&mut stream, 200, "OK", &body);
+                    write_traced(stream, trace, 200, "OK", JSON, &body);
+                    TraceOutcome::Ok
                 }
-                Err(e) => serve_error(&mut stream, &e),
+                Err(e) => {
+                    serve_error(stream, trace, &e);
+                    TraceOutcome::Error
+                }
             }
         }
         ("GET", "/stats") => {
             let s = service.stats();
             let body = format!(
-                "{{\"requests\":{},\"rebuilds\":{},\"cache_hits\":{},\"fallbacks\":{},\"ingests\":{},\"sheds\":{},\"batches\":{}}}",
-                s.requests, s.rebuilds, s.cache_hits, s.fallbacks, s.ingests, s.sheds, s.batches
+                "{{\"requests\":{},\"rebuilds\":{},\"cache_hits\":{},\"fallbacks\":{},\"ingests\":{},\"sheds\":{},\"batches\":{},\"queued\":{},\"cached_boxes\":{},\"batch_size\":{},\"queue_depth\":{}}}",
+                s.requests,
+                s.rebuilds,
+                s.cache_hits,
+                s.fallbacks,
+                s.ingests,
+                s.sheds,
+                s.batches,
+                service.queued(),
+                service.engine().cache_len(),
+                value_stat("serve.batch.size"),
+                value_stat("serve.queue.depth"),
             );
-            write_response(&mut stream, 200, "OK", &body);
+            write_traced(stream, trace, 200, "OK", JSON, &body);
+            TraceOutcome::Ok
+        }
+        ("GET", "/metrics") => {
+            write_traced(
+                stream,
+                trace,
+                200,
+                "OK",
+                PROMETHEUS,
+                &inbox_obs::prometheus_text(),
+            );
+            TraceOutcome::Ok
+        }
+        ("GET", "/traces") => {
+            write_traced(stream, trace, 200, "OK", JSON, &inbox_obs::traces_json());
+            TraceOutcome::Ok
         }
         _ => {
-            write_response(&mut stream, 404, "Not Found", &error_body("no such route"));
+            write_traced(
+                stream,
+                trace,
+                404,
+                "Not Found",
+                JSON,
+                &error_body("no such route"),
+            );
+            TraceOutcome::Error
         }
     }
-    Ok(())
 }

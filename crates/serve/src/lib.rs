@@ -60,7 +60,17 @@ pub struct ServeConfig {
     pub cache_cap: usize,
     /// Scoring threads for intra-batch fan-out (1 = no worker pool).
     pub threads: usize,
+    /// Latency objective for the `serve.recommend` SLO: requests answered
+    /// under this are "good"; the target good fraction is [`SLO_TARGET`].
+    pub slo_objective: Duration,
+    /// Requests slower than this end-to-end finish their trace as
+    /// [`inbox_obs::TraceOutcome::Slow`] and are retained in the flight
+    /// recorder's notable ring.
+    pub trace_slow: Duration,
 }
+
+/// Required good fraction for the `serve.recommend` SLO.
+pub const SLO_TARGET: f64 = 0.99;
 
 impl Default for ServeConfig {
     fn default() -> Self {
@@ -70,6 +80,8 @@ impl Default for ServeConfig {
             queue_cap: 1024,
             cache_cap: 100_000,
             threads: 1,
+            slo_objective: Duration::from_millis(50),
+            trace_slow: Duration::from_millis(250),
         }
     }
 }
@@ -83,7 +95,10 @@ pub struct Service {
 
 impl Service {
     /// Starts a service over `engine` with the batching knobs in `config`.
+    /// Registers the `serve.recommend` SLO and arms the flight recorder's
+    /// slow-trace threshold as a side effect.
     pub fn start(engine: Engine, config: &ServeConfig) -> Self {
+        inbox_obs::set_slow_threshold(config.trace_slow);
         let engine = Arc::new(engine);
         let batcher = Batcher::start(Arc::clone(&engine), config);
         Self { engine, batcher }
@@ -99,7 +114,20 @@ impl Service {
     /// until the request's batch is flushed; sheds with
     /// [`ServeError::Overloaded`] when the admission queue is full.
     pub fn recommend(&self, user: UserId, k: usize) -> Result<Recommendation, ServeError> {
-        self.batcher.recommend(user, k)
+        self.batcher.recommend(user, k, None)
+    }
+
+    /// [`recommend`](Service::recommend) with an active request trace:
+    /// admission, queueing, flush, engine, and pool stages all record
+    /// spans into `trace`'s tree. The caller owns the trace and finishes
+    /// it (the HTTP front-end does both ends).
+    pub fn recommend_traced(
+        &self,
+        user: UserId,
+        k: usize,
+        trace: &inbox_obs::ActiveTrace,
+    ) -> Result<Recommendation, ServeError> {
+        self.batcher.recommend(user, k, Some(trace.clone()))
     }
 
     /// Records a live interaction. Synchronous and never shed: ingest is a

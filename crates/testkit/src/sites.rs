@@ -1,11 +1,12 @@
-//! The authoritative inventory of failpoint sites compiled into the
-//! workspace.
+//! The authoritative inventories of failpoint sites and request-trace
+//! span names compiled into the workspace.
 //!
 //! The coverage suite (`tests/coverage.rs`) asserts two directions against
-//! this list: every site here fires at least once under the chaos tests,
+//! these lists: every site here fires at least once under the chaos tests,
 //! and every `failpoint!` call site in the instrumented crates' sources
-//! appears here. Adding a site to the code without listing it (or vice
-//! versa) fails CI.
+//! appears here — and likewise every trace-span name opened in
+//! `inbox-serve` appears in [`TRACE_SPANS`]. Adding a site to the code
+//! without listing it (or vice versa) fails CI.
 
 /// Every failpoint site in the workspace, sorted by name.
 pub const ALL: &[&str] = &[
@@ -35,13 +36,46 @@ pub const ALL: &[&str] = &[
     "serve.http.torn_response",
 ];
 
+/// Every span name that can appear in a request trace's tree, sorted by
+/// name. The coverage suite source-scans `inbox-serve` for span-opening
+/// calls and fails when either direction drifts.
+pub const TRACE_SPANS: &[&str] = &[
+    // Batcher admission: covers the shed decision and the enqueue.
+    "batcher.admit",
+    // Time spent queued; opened at enqueue, closed at batch dequeue.
+    "batcher.queue",
+    // Box cache hit marker (zero-duration leaf under resolve_box).
+    "engine.cache_hit",
+    // Mask-and-top-K ranking.
+    "engine.rank",
+    // Interest-box forward pass on a cache miss.
+    "engine.rebuild",
+    // Whole engine answer for one request.
+    "engine.recommend",
+    // Cache lookup + lazy rebuild.
+    "engine.resolve_box",
+    // Scoring every item against the resolved box.
+    "engine.score",
+    // Request-head parse on the connection thread.
+    "http.parse",
+    // Root span: one per accepted connection.
+    "http.request",
+    // Response serialisation + socket write.
+    "http.write",
+    // Worker-pool execution of one request inside a fanned-out batch.
+    "pool.score",
+];
+
 #[cfg(test)]
 mod tests {
-    use super::ALL;
+    use super::{ALL, TRACE_SPANS};
 
     #[test]
     fn inventory_is_sorted_and_unique() {
         for pair in ALL.windows(2) {
+            assert!(pair[0] < pair[1], "{} >= {}", pair[0], pair[1]);
+        }
+        for pair in TRACE_SPANS.windows(2) {
             assert!(pair[0] < pair[1], "{} >= {}", pair[0], pair[1]);
         }
     }
