@@ -32,6 +32,12 @@ use inbox_kg::{ItemId, UserId};
 use inbox_serve::{Engine, HttpServer, ServeConfig, ServeError, Service};
 use serde::{Deserialize, Serialize};
 
+/// The whole benchmark runs under the instrumented allocator so the
+/// steady-state probe can attribute real allocation counts to the serving
+/// scopes (the hook costs one relaxed atomic load while tracking is off).
+#[global_allocator]
+static ALLOC: inbox_obs::InstrumentedAlloc = inbox_obs::InstrumentedAlloc;
+
 /// Latency summary in milliseconds (from the `serve.request` span).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct LatencyMs {
@@ -52,6 +58,15 @@ struct WindowedLatencyMs {
     p50: f64,
     p95: f64,
     p99: f64,
+}
+
+/// Allocation counts attributed to one labeled scope during the
+/// steady-state probe.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ScopeAllocs {
+    scope: String,
+    allocs: u64,
+    bytes: u64,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -80,6 +95,13 @@ struct Report {
     metrics_samples: u64,
     /// Flight-recorder traces retained by the embedded `GET /traces` dump.
     traces_retained: u64,
+    /// Requests served by the post-load steady-state allocation probe.
+    alloc_probe_requests: u64,
+    /// Per-scope allocation counts over the probe (buffers warm, tracking
+    /// on). `engine.score`, `engine.rank`, and `batcher.flush` must read 0.
+    steady_state_allocs: Vec<ScopeAllocs>,
+    /// Probe allocations in the zero-alloc-by-contract scopes, per request.
+    hot_scope_allocs_per_request: f64,
 }
 
 /// One blocking HTTP GET against the embedded server; returns the body.
@@ -265,7 +287,51 @@ fn main() {
     let traces_retained = dump.recent.len() as u64;
     assert!(traces_retained > 0, "flight recorder retained no traces");
     http.shutdown();
+
+    // Steady-state allocation probe: the load phase warmed every per-thread
+    // scratch buffer and metric cell, so a further burst with the
+    // instrumented allocator tracking must attribute **zero** allocations
+    // to the `engine.score` / `engine.rank` / `batcher.flush` scopes.
+    let probe_per_client: u64 = if quick { 50 } else { 500 };
+    let alloc_probe_requests = probe_per_client * clients as u64;
+    inbox_obs::set_alloc_tracking(true);
+    inbox_obs::reset_alloc_stats();
+    std::thread::scope(|s| {
+        for t in 0..clients as u32 {
+            let service = &service;
+            s.spawn(move || {
+                for i in 0..probe_per_client as u32 {
+                    let user = UserId((i * 17 + t * 53) % n_users);
+                    service
+                        .recommend(user, k)
+                        .expect("probe traffic is far below the admission bound");
+                }
+            });
+        }
+    });
+    inbox_obs::set_alloc_tracking(false);
     service.shutdown();
+
+    let steady_state_allocs: Vec<ScopeAllocs> = inbox_obs::all_alloc_scopes()
+        .into_iter()
+        .filter(|(name, _)| name != "unscoped")
+        .map(|(scope, st)| ScopeAllocs {
+            scope,
+            allocs: st.allocs,
+            bytes: st.bytes,
+        })
+        .collect();
+    let hot_allocs: u64 = steady_state_allocs
+        .iter()
+        .filter(|s| {
+            matches!(
+                s.scope.as_str(),
+                "engine.score" | "engine.rank" | "batcher.flush"
+            )
+        })
+        .map(|s| s.allocs)
+        .sum();
+    let hot_scope_allocs_per_request = hot_allocs as f64 / alloc_probe_requests as f64;
 
     let latency = inbox_obs::span_snapshot("serve.request").expect("span recorded under load");
     let batch = inbox_obs::value_snapshot("serve.batch.size").expect("batches were flushed");
@@ -311,6 +377,9 @@ fn main() {
         }),
         metrics_samples,
         traces_retained,
+        alloc_probe_requests,
+        steady_state_allocs,
+        hot_scope_allocs_per_request,
     };
 
     println!(
@@ -338,6 +407,17 @@ fn main() {
     println!(
         "observability smoke: {} /metrics samples, {} retained trace(s)",
         report.metrics_samples, report.traces_retained
+    );
+    println!(
+        "alloc probe: {} requests, {:.4} hot-scope allocs/request ({})",
+        report.alloc_probe_requests,
+        report.hot_scope_allocs_per_request,
+        report
+            .steady_state_allocs
+            .iter()
+            .map(|s| format!("{} {}", s.scope, s.allocs))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
 
     let json = serde_json::to_string_pretty(&report).expect("serialise serve report");

@@ -1,0 +1,510 @@
+//! The perf-regression ledger: append-only history of benchmark runs and
+//! direction-aware diffing against a committed baseline.
+//!
+//! `BENCH_*.json` reports are free-form nested JSON; the ledger flattens
+//! every **numeric leaf** into a dotted path (`latency_ms.p99`,
+//! `current.stage1_samples_per_sec`, …) so entries stay comparable across
+//! report-schema evolution — a renamed field simply stops matching instead
+//! of breaking the parser. Entries land in `BENCH_LEDGER.jsonl`, one JSON
+//! object per line, stamped with the git revision the run was built from.
+//!
+//! The workspace's vendored `serde_json` deliberately exposes no generic
+//! `Value` type, so this module carries its own minimal JSON reader —
+//! ~everything the ledger needs and nothing more.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value (minimal: no number precision games, objects keep
+/// insertion order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, read as `f64`.
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks a key up in an object; `None` for non-objects/missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, when it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, when it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document. Errors carry a byte offset for context.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut at = 0usize;
+    let value = parse_value(bytes, &mut at)?;
+    skip_ws(bytes, &mut at);
+    if at != bytes.len() {
+        return Err(format!("trailing bytes at offset {at}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], at: &mut usize) {
+    while *at < b.len() && matches!(b[*at], b' ' | b'\t' | b'\n' | b'\r') {
+        *at += 1;
+    }
+}
+
+fn expect(b: &[u8], at: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, at);
+    if b.get(*at) == Some(&c) {
+        *at += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at offset {at}", c as char))
+    }
+}
+
+fn parse_value(b: &[u8], at: &mut usize) -> Result<Json, String> {
+    skip_ws(b, at);
+    match b.get(*at) {
+        Some(b'{') => parse_object(b, at),
+        Some(b'[') => parse_array(b, at),
+        Some(b'"') => Ok(Json::Str(parse_string(b, at)?)),
+        Some(b't') => parse_lit(b, at, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, at, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, at, "null", Json::Null),
+        Some(_) => parse_number(b, at),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(b: &[u8], at: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*at..].starts_with(lit.as_bytes()) {
+        *at += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at offset {at}"))
+    }
+}
+
+fn parse_number(b: &[u8], at: &mut usize) -> Result<Json, String> {
+    let start = *at;
+    while *at < b.len() && matches!(b[*at], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *at += 1;
+    }
+    std::str::from_utf8(&b[start..*at])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at offset {start}"))
+}
+
+fn parse_string(b: &[u8], at: &mut usize) -> Result<String, String> {
+    expect(b, at, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*at) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *at += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *at += 1;
+                match b.get(*at) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*at + 1..*at + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at offset {at}"))?;
+                        // Surrogate pairs are not worth supporting here.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *at += 4;
+                    }
+                    _ => return Err(format!("bad escape at offset {at}")),
+                }
+                *at += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a &str, so byte
+                // boundaries are trustworthy).
+                let rest = std::str::from_utf8(&b[*at..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *at += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], at: &mut usize) -> Result<Json, String> {
+    expect(b, at, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, at);
+    if b.get(*at) == Some(&b']') {
+        *at += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, at)?);
+        skip_ws(b, at);
+        match b.get(*at) {
+            Some(b',') => *at += 1,
+            Some(b']') => {
+                *at += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at offset {at}")),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], at: &mut usize) -> Result<Json, String> {
+    expect(b, at, b'{')?;
+    let mut pairs = Vec::new();
+    skip_ws(b, at);
+    if b.get(*at) == Some(&b'}') {
+        *at += 1;
+        return Ok(Json::Obj(pairs));
+    }
+    loop {
+        skip_ws(b, at);
+        let key = parse_string(b, at)?;
+        expect(b, at, b':')?;
+        pairs.push((key, parse_value(b, at)?));
+        skip_ws(b, at);
+        match b.get(*at) {
+            Some(b',') => *at += 1,
+            Some(b'}') => {
+                *at += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {at}")),
+        }
+    }
+}
+
+/// Flattens every finite numeric leaf into `dotted.path → value`. Array
+/// elements get numeric segments (`stage3_recalls.0`); booleans, strings,
+/// and nulls are skipped — the ledger tracks measurements, not metadata.
+pub fn flatten(json: &Json) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    walk(json, String::new(), &mut out);
+    out
+}
+
+fn walk(json: &Json, path: String, out: &mut BTreeMap<String, f64>) {
+    let join = |path: &str, seg: &str| {
+        if path.is_empty() {
+            seg.to_string()
+        } else {
+            format!("{path}.{seg}")
+        }
+    };
+    match json {
+        Json::Num(n) if n.is_finite() => {
+            out.insert(path, *n);
+        }
+        Json::Obj(pairs) => {
+            for (k, v) in pairs {
+                walk(v, join(&path, k), out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                walk(v, join(&path, &i.to_string()), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Which way "better" points for a metric path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Throughput-like: a drop is a regression.
+    HigherBetter,
+    /// Latency-like: a rise is a regression.
+    LowerBetter,
+    /// Configuration echoes, counts, recalls-per-epoch — tracked, never
+    /// flagged.
+    Informational,
+}
+
+/// Classifies a dotted metric path. The rules are name-conventional:
+/// `*_per_sec` / `qps` / `*speedup*` / `*hit_rate` are rates where more is
+/// better; anything under a `*_ms` segment is a latency where less is
+/// better; everything else is informational.
+pub fn direction(path: &str) -> Direction {
+    let last = path.rsplit('.').next().unwrap_or(path);
+    if last.ends_with("_per_sec")
+        || last == "qps"
+        || last.ends_with("hit_rate")
+        || path.split('.').any(|seg| seg.contains("speedup"))
+    {
+        return Direction::HigherBetter;
+    }
+    if path.split('.').any(|seg| seg.ends_with("_ms")) {
+        return Direction::LowerBetter;
+    }
+    Direction::Informational
+}
+
+/// One ledger line: a benchmark run's flattened metrics plus provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerEntry {
+    /// Short git revision the binary was built from (`unknown` outside a
+    /// work tree).
+    pub rev: String,
+    /// Which benchmark produced the metrics (`throughput`, `serve`, …).
+    pub bench: String,
+    /// Seconds since the Unix epoch when the entry was recorded.
+    pub unix_secs: u64,
+    /// Free-form annotation (`--note`).
+    pub note: String,
+    /// Flattened numeric metrics.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an entry as one JSONL line (no trailing newline).
+pub fn format_entry(e: &LedgerEntry) -> String {
+    let mut out = format!(
+        "{{\"rev\":\"{}\",\"bench\":\"{}\",\"unix_secs\":{},\"note\":\"{}\",\"metrics\":{{",
+        escape(&e.rev),
+        escape(&e.bench),
+        e.unix_secs,
+        escape(&e.note)
+    );
+    for (i, (k, v)) in e.metrics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", escape(k), v);
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Parses one JSONL ledger line back into an entry.
+pub fn parse_entry(line: &str) -> Result<LedgerEntry, String> {
+    let json = parse(line)?;
+    let field = |k: &str| -> Result<&Json, String> {
+        json.get(k)
+            .ok_or_else(|| format!("ledger line missing {k:?}"))
+    };
+    let strf = |k: &str| -> Result<String, String> {
+        field(k)?
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("{k:?} is not a string"))
+    };
+    let metrics = match field("metrics")? {
+        obj @ Json::Obj(_) => flatten(obj),
+        _ => return Err("\"metrics\" is not an object".into()),
+    };
+    Ok(LedgerEntry {
+        rev: strf("rev")?,
+        bench: strf("bench")?,
+        unix_secs: field("unix_secs")?.as_num().unwrap_or(0.0) as u64,
+        note: strf("note")?,
+        metrics,
+    })
+}
+
+/// One metric's baseline-vs-current verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Dotted metric path.
+    pub metric: String,
+    /// Baseline value from the ledger.
+    pub baseline: f64,
+    /// Value from the current report.
+    pub current: f64,
+    /// Signed percent change relative to the baseline.
+    pub delta_pct: f64,
+    /// Which way "better" points for this metric.
+    pub direction: Direction,
+    /// True when the change moves against `direction` by more than the
+    /// threshold. Informational metrics never regress.
+    pub regressed: bool,
+}
+
+/// Diffs `current` against `baseline` metric-by-metric (intersection of
+/// paths only — schema drift surfaces as missing rows, not errors).
+pub fn compare(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    threshold_pct: f64,
+) -> Vec<Comparison> {
+    baseline
+        .iter()
+        .filter_map(|(metric, &b)| {
+            let &c = current.get(metric)?;
+            let delta_pct = if b == 0.0 {
+                if c == 0.0 {
+                    0.0
+                } else {
+                    100.0 * c.signum()
+                }
+            } else {
+                (c - b) / b.abs() * 100.0
+            };
+            let direction = direction(metric);
+            let regressed = match direction {
+                Direction::HigherBetter => delta_pct < -threshold_pct,
+                Direction::LowerBetter => delta_pct > threshold_pct,
+                Direction::Informational => false,
+            };
+            Some(Comparison {
+                metric: metric.clone(),
+                baseline: b,
+                current: c,
+                delta_pct,
+                direction,
+                regressed,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let j = parse(r#"{"a": [1, 2.5, {"b": -3e2}], "s": "x\"y", "t": true, "n": null}"#)
+            .expect("parses");
+        assert_eq!(j.get("s").and_then(Json::as_str), Some("x\"y"));
+        assert_eq!(j.get("t"), Some(&Json::Bool(true)));
+        let flat = flatten(&j);
+        assert_eq!(flat.get("a.0"), Some(&1.0));
+        assert_eq!(flat.get("a.1"), Some(&2.5));
+        assert_eq!(flat.get("a.2.b"), Some(&-300.0));
+        assert_eq!(flat.len(), 3, "strings/bools/null are not metrics");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["{", "[1,", "{\"a\" 1}", "{} trailing", "\"open"] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn direction_rules_follow_naming_conventions() {
+        assert_eq!(
+            direction("current.stage1_samples_per_sec"),
+            Direction::HigherBetter
+        );
+        assert_eq!(direction("qps"), Direction::HigherBetter);
+        assert_eq!(direction("speedup.rank"), Direction::HigherBetter);
+        assert_eq!(direction("cache_hit_rate"), Direction::HigherBetter);
+        assert_eq!(direction("latency_ms.p99"), Direction::LowerBetter);
+        assert_eq!(direction("current.user_boxes_ms"), Direction::LowerBetter);
+        assert_eq!(direction("dim"), Direction::Informational);
+        assert_eq!(direction("batches"), Direction::Informational);
+        // A rate nested under a latency block is still a rate.
+        assert_eq!(
+            direction("windowed_latency_ms.rate_per_sec"),
+            Direction::HigherBetter
+        );
+    }
+
+    #[test]
+    fn entry_roundtrips_through_jsonl() {
+        let entry = LedgerEntry {
+            rev: "abc1234".into(),
+            bench: "serve".into(),
+            unix_secs: 1_754_000_000,
+            note: "full run, \"quoted\"".into(),
+            metrics: [("qps".to_string(), 1234.5), ("latency_ms.p99".into(), 7.25)]
+                .into_iter()
+                .collect(),
+        };
+        let line = format_entry(&entry);
+        assert!(!line.contains('\n'));
+        assert_eq!(parse_entry(&line).expect("roundtrip"), entry);
+    }
+
+    #[test]
+    fn compare_flags_directional_regressions_only() {
+        let base: BTreeMap<String, f64> = [
+            ("qps".to_string(), 1000.0),
+            ("latency_ms.p99".to_string(), 10.0),
+            ("batches".to_string(), 50.0),
+            ("gone".to_string(), 1.0),
+        ]
+        .into_iter()
+        .collect();
+        let cur: BTreeMap<String, f64> = [
+            ("qps".to_string(), 900.0),          // -10%: regression
+            ("latency_ms.p99".to_string(), 9.0), // improvement
+            ("batches".to_string(), 80.0),       // informational
+            ("new".to_string(), 2.0),            // unmatched
+        ]
+        .into_iter()
+        .collect();
+        let rows = compare(&base, &cur, 3.0);
+        assert_eq!(rows.len(), 3, "only intersecting metrics compare");
+        let by_name = |m: &str| rows.iter().find(|r| r.metric == m).unwrap();
+        assert!(by_name("qps").regressed);
+        assert!((by_name("qps").delta_pct - -10.0).abs() < 1e-9);
+        assert!(!by_name("latency_ms.p99").regressed);
+        assert!(!by_name("batches").regressed);
+
+        // Within threshold: no flag either way.
+        let cur2: BTreeMap<String, f64> = [("qps".to_string(), 980.0)].into_iter().collect();
+        assert!(!compare(&base, &cur2, 3.0)[0].regressed);
+    }
+}

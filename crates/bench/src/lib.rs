@@ -15,6 +15,8 @@
 
 #![warn(missing_docs)]
 
+pub mod ledger;
+
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 

@@ -34,7 +34,11 @@ USAGE:
                   [--smoke]
   inbox obs       [--addr 127.0.0.1:7878] [--interval-ms 1000] [--iters 0]
                   live dashboard over a running server's GET /metrics
-                  (qps, p99, cache hit rate, queue depth, shed rate, SLO burn)
+                  (qps, p99, cache hit rate, queue depth, shed rate, SLO burn,
+                  allocs/s, hottest contended lock)
+  inbox profile   [--addr 127.0.0.1:7878] [--out FILE]
+                  fetch a running server's folded-stack profile (GET /profile)
+                  and print it — pipe into flamegraph.pl for an SVG flamegraph
 
 GLOBAL FLAGS:
   --log-level quiet|info|debug   console verbosity (default info); quiet
@@ -376,7 +380,7 @@ pub fn serve(parsed: &Parsed) -> CmdResult {
             serve_cfg.cache_cap,
             serve_cfg.threads
         );
-        println!("routes: GET /health  GET /recommend?user=U&k=K  POST /ingest?user=U&item=I  GET /stats  GET /metrics  GET /traces");
+        println!("routes: GET /health  GET /recommend?user=U&k=K  POST /ingest?user=U&item=I  GET /stats  GET /metrics  GET /traces  GET /profile");
     }
     if parsed.has("smoke") {
         // Prove the wire path end to end, then exit (used by CI).
@@ -401,6 +405,13 @@ pub fn serve(parsed: &Parsed) -> CmdResult {
             .map_err(|e| format!("smoke: /traces is not valid JSON: {e}"))?;
         if dump.recent.is_empty() {
             return Err("smoke: /traces retained no request traces".into());
+        }
+        let folded = self_request(http.local_addr(), "/profile")?;
+        if !folded
+            .lines()
+            .any(|l| l.starts_with("http.request;") || l.starts_with("http.request "))
+        {
+            return Err("smoke: /profile has no stacks rooted at http.request".into());
         }
         let stats = service.stats();
         if chatty() {
@@ -444,8 +455,10 @@ fn sample(
 }
 
 /// Renders one dashboard line from a raw `/metrics` scrape: last-10s QPS,
-/// p99 latency, cache hit rate, queue depth, shed rate, and the
-/// `serve.recommend` SLO's 60s burn rate. Pure (testable without a server).
+/// p99 latency, cache hit rate, queue depth, shed rate, the
+/// `serve.recommend` SLO's 60s burn rate, the last-10s allocation rate,
+/// and the lock with the highest cumulative contention count. Pure
+/// (testable without a server).
 pub fn render_dashboard(metrics_text: &str) -> String {
     let samples: Vec<_> = metrics_text
         .lines()
@@ -508,8 +521,28 @@ pub fn render_dashboard(metrics_text: &str) -> String {
         &[("name", "serve.recommend"), ("window", "60s")],
     )
     .unwrap_or(0.0);
+    let alloc_rate =
+        sample(&samples, "inbox_alloc_window", &[("window", "10s")]).unwrap_or(0.0) / 10.0;
+    let hot_lock = samples
+        .iter()
+        .filter_map(|(m, ls, v)| {
+            if m != "inbox_counter_total" {
+                return None;
+            }
+            let name = ls
+                .iter()
+                .find(|(k, _)| k == "name")
+                .map(|(_, v)| v.as_str())?;
+            let lock = name.strip_prefix("lock.")?.strip_suffix(".contended")?;
+            Some((lock.to_string(), *v))
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1));
+    let hot_lock = match hot_lock {
+        Some((name, n)) if n > 0.0 => format!("{name}({n:.0})"),
+        _ => "-".to_string(),
+    };
     format!(
-        "qps {qps:8.1} | p99 {p99_ms:8.2} ms | cache hit {hit_pct:5.1}% | queue p99 {queue_p99:5.0} | shed/s {shed_rate:6.2} | burn60 {burn:5.2}"
+        "qps {qps:8.1} | p99 {p99_ms:8.2} ms | cache hit {hit_pct:5.1}% | queue p99 {queue_p99:5.0} | shed/s {shed_rate:6.2} | burn60 {burn:5.2} | alloc/s {alloc_rate:8.1} | hot lock {hot_lock}"
     )
 }
 
@@ -536,6 +569,43 @@ pub fn obs(parsed: &Parsed) -> CmdResult {
         }
         std::thread::sleep(interval);
     }
+}
+
+/// `inbox profile` — fetch a running server's folded-stack profile
+/// (`GET /profile`) and print it to stdout, or write it to `--out FILE`.
+/// The output is one `root;child;grandchild self_ns` line per frame —
+/// exactly what `flamegraph.pl` consumes:
+///
+/// ```text
+/// inbox profile --addr 127.0.0.1:7878 > serve.folded
+/// flamegraph.pl --countname ns serve.folded > serve.svg
+/// ```
+pub fn profile(parsed: &Parsed) -> CmdResult {
+    use std::net::ToSocketAddrs as _;
+    let addr = parsed.get("addr").unwrap_or("127.0.0.1:7878");
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("bad --addr {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("--addr {addr} resolved to nothing"))?;
+    let folded = self_request(sock, "/profile")
+        .map_err(|e| format!("fetching http://{addr}/profile: {e}"))?;
+    if folded.trim().is_empty() {
+        return Err(
+            "server returned an empty profile — no requests traced yet (check --trace-sample)"
+                .into(),
+        );
+    }
+    match parsed.get("out") {
+        Some(out) => {
+            std::fs::write(out, &folded).map_err(|e| format!("writing {out}: {e}"))?;
+            if chatty() {
+                eprintln!("{} stack frame(s) written to {out}", folded.lines().count());
+            }
+        }
+        None => print!("{folded}"),
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -724,6 +794,9 @@ inbox_counter_window{name=\"serve.cache.hits\",window=\"10s\"} 150
 inbox_counter_window{name=\"serve.shed\",window=\"10s\"} 20
 inbox_value_window{name=\"serve.queue.depth\",window=\"10s\",quantile=\"0.99\"} 7
 inbox_slo_burn_rate{name=\"serve.recommend\",window=\"60s\"} 1.25
+inbox_alloc_window{window=\"10s\"} 420
+inbox_counter_total{name=\"lock.engine.cache.contended\"} 3
+inbox_counter_total{name=\"lock.batcher.queue.contended\"} 17
 ";
         let line = render_dashboard(text);
         assert!(line.contains("qps    123.5"), "{line}");
@@ -731,6 +804,8 @@ inbox_slo_burn_rate{name=\"serve.recommend\",window=\"60s\"} 1.25
         assert!(line.contains("cache hit  75.0%"), "{line}");
         assert!(line.contains("shed/s   2.00"), "{line}");
         assert!(line.contains("burn60  1.25"), "{line}");
+        assert!(line.contains("alloc/s     42.0"), "{line}");
+        assert!(line.contains("hot lock batcher.queue(17)"), "{line}");
     }
 
     #[test]
@@ -738,5 +813,36 @@ inbox_slo_burn_rate{name=\"serve.recommend\",window=\"60s\"} 1.25
         let line = render_dashboard("# nothing here\n");
         assert!(line.contains("qps"), "{line}");
         assert!(line.contains("0.0"), "{line}");
+        assert!(line.contains("hot lock -"), "{line}");
+    }
+
+    #[test]
+    fn profile_fetches_folded_stacks_from_live_server() {
+        let ds = inbox_data::Dataset::synthetic(&SyntheticConfig::tiny(), 5);
+        let trained = inbox_core::train(&ds, InBoxConfig::tiny_test());
+        let serve_cfg = inbox_serve::ServeConfig::default();
+        let engine =
+            inbox_serve::Engine::from_trained(trained, ds.kg.clone(), &ds.train, &serve_cfg);
+        let service = Arc::new(inbox_serve::Service::start(engine, &serve_cfg));
+        let http = inbox_serve::HttpServer::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        self_request(http.local_addr(), "/recommend?user=0&k=3").unwrap();
+
+        let out = std::env::temp_dir().join(format!("inbox-profile-{}.folded", std::process::id()));
+        let addr = http.local_addr().to_string();
+        let p = parsed(&["profile", "--addr", &addr, "--out", out.to_str().unwrap()]);
+        profile(&p).unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(
+            text.lines()
+                .any(|l| l.starts_with("http.request;") || l.starts_with("http.request ")),
+            "profile output must contain stacks rooted at http.request:\n{text}"
+        );
+        for line in text.lines() {
+            let (_, value) = line.rsplit_once(' ').expect("folded line has a value");
+            value.parse::<u64>().expect("self-time is integral ns");
+        }
+        std::fs::remove_file(&out).unwrap();
+        http.shutdown();
+        service.shutdown();
     }
 }

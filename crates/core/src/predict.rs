@@ -278,6 +278,14 @@ pub fn all_user_boxes_with(
     }
 }
 
+/// Reusable buffers for [`ItemScorer::score_box_into`]: the per-dimension
+/// box bounds, kept warm so steady-state scoring allocates nothing.
+#[derive(Default)]
+pub struct ScoreScratch {
+    lo: Vec<f32>,
+    hi: Vec<f32>,
+}
+
 /// An owned snapshot of the item-embedding table that scores any interest
 /// box against every item: `γ - D_PB(v_i, b)` (Eq. (29)).
 ///
@@ -325,18 +333,40 @@ impl ItemScorer {
 
     /// Scores every item against one interest box, best-first by value.
     pub fn score_box(&self, b: &BoxEmb) -> Vec<f32> {
+        let mut scratch = ScoreScratch::default();
+        let mut scores = Vec::new();
+        self.score_box_into(b, &mut scratch, &mut scores);
+        scores
+    }
+
+    /// [`score_box`](ItemScorer::score_box) writing into caller-owned
+    /// buffers: identical arithmetic and accumulation order (scores stay
+    /// bit-identical to the reference path), but steady-state
+    /// allocation-free once `scratch` and `out` have warmed to the
+    /// scorer's dimensions.
+    pub fn score_box_into(
+        &self,
+        b: &BoxEmb,
+        scratch: &mut ScoreScratch,
+        out_scores: &mut Vec<f32>,
+    ) {
         let d = self.dim;
         // Per-user box bounds, computed once for all items. Using the same
         // `cen ± relu(off)` values and accumulation order as
         // `geometry::d_pb_weighted` keeps scores bit-identical.
-        let mut lo = Vec::with_capacity(d);
-        let mut hi = Vec::with_capacity(d);
+        let lo = &mut scratch.lo;
+        let hi = &mut scratch.hi;
+        lo.clear();
+        hi.clear();
+        lo.reserve(d);
+        hi.reserve(d);
         for k in 0..d {
             let half = b.off[k].max(0.0);
             lo.push(b.cen[k] - half);
             hi.push(b.cen[k] + half);
         }
-        let mut scores = Vec::with_capacity(self.n_items);
+        out_scores.clear();
+        out_scores.reserve(self.n_items);
         for row in self.items.chunks_exact(d) {
             let mut out = 0.0f32;
             let mut inside = 0.0f32;
@@ -345,9 +375,8 @@ impl ItemScorer {
                 out += (p - hi[k]).max(0.0) + (lo[k] - p).max(0.0);
                 inside += (b.cen[k] - p.clamp(lo[k], hi[k])).abs();
             }
-            scores.push(self.gamma - (out + self.inside_weight * inside));
+            out_scores.push(self.gamma - (out + self.inside_weight * inside));
         }
-        scores
     }
 
     /// The constant score vector used for users without a box: a `-∞`-like

@@ -14,8 +14,8 @@ pub mod pca;
 
 pub use beyond::{beyond_accuracy, gini, intra_list_similarity, BeyondAccuracy};
 pub use metrics::{
-    default_threads, evaluate, evaluate_with_threads, top_k_masked, user_metrics, RankingMetrics,
-    Scorer,
+    default_threads, evaluate, evaluate_with_threads, top_k_masked, top_k_masked_into,
+    user_metrics, RankingMetrics, Scorer, TopKScratch,
 };
 pub use pca::{
     centroid_separation, mean_pairwise_distance, separation, CentroidSeparation, Pca, Separation,

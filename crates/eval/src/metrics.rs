@@ -79,10 +79,40 @@ impl PartialOrd for HeapEntry {
     }
 }
 
+/// Reusable buffer for [`top_k_masked_into`]: after a warm-up call the
+/// selection runs without allocating (the heap's backing storage round-
+/// trips through the scratch between calls).
+#[derive(Default)]
+pub struct TopKScratch {
+    entries: Vec<HeapEntry>,
+}
+
 /// Selects the top-`k` items by score among candidates not in `mask`,
 /// ordered best-first. Ties are broken toward smaller item ids.
 pub fn top_k_masked(scores: &[f32], mask: &[ItemId], k: usize) -> Vec<ItemId> {
-    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+    let mut scratch = TopKScratch::default();
+    let mut out = Vec::new();
+    top_k_masked_into(scores, mask, k, &mut scratch, &mut out);
+    out
+}
+
+/// [`top_k_masked`] writing into caller-owned buffers: identical output
+/// (the comparator is a strict total order — item ids are distinct — so
+/// the unstable sort is deterministic), but steady-state allocation-free
+/// once `scratch` and `out` have warmed to capacity `k + 1` / `k`.
+pub fn top_k_masked_into(
+    scores: &[f32],
+    mask: &[ItemId],
+    k: usize,
+    scratch: &mut TopKScratch,
+    out: &mut Vec<ItemId>,
+) {
+    let mut entries = std::mem::take(&mut scratch.entries);
+    entries.clear();
+    entries.reserve(k + 1);
+    // Heapifying an empty Vec is free; the push/pop cadence below keeps the
+    // length at most k + 1, inside the reserved capacity.
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::from(entries);
     for (idx, &score) in scores.iter().enumerate() {
         let item = ItemId(idx as u32);
         if mask.binary_search(&item).is_ok() {
@@ -93,14 +123,17 @@ pub fn top_k_masked(scores: &[f32], mask: &[ItemId], k: usize) -> Vec<ItemId> {
             heap.pop();
         }
     }
-    let mut out: Vec<HeapEntry> = heap.into_vec();
-    out.sort_by(|a, b| {
+    let mut entries = heap.into_vec();
+    entries.sort_unstable_by(|a, b| {
         b.score
             .partial_cmp(&a.score)
             .unwrap_or(Ordering::Equal)
             .then_with(|| a.item.cmp(&b.item))
     });
-    out.into_iter().map(|e| e.item).collect()
+    out.clear();
+    out.extend(entries.iter().map(|e| e.item));
+    // Hand the backing storage (and its capacity) back for the next call.
+    scratch.entries = entries;
 }
 
 /// Computes `recall@K` and `ndcg@K` for one user given the ranked top-K and
@@ -236,6 +269,36 @@ mod tests {
         let scores = vec![0.5, 0.5, 0.5, 0.5];
         let top = top_k_masked(&scores, &[], 2);
         assert_eq!(top, vec![ItemId(0), ItemId(1)]);
+    }
+
+    #[test]
+    fn top_k_into_matches_allocating_variant_and_reuses_capacity() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut scratch = TopKScratch::default();
+        let mut out = Vec::new();
+        for trial in 0..50 {
+            let n = 1 + (trial * 7) % 200;
+            let scores: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut mask: Vec<ItemId> = (0..n as u32)
+                .filter(|_| rng.gen_bool(0.2))
+                .map(ItemId)
+                .collect();
+            mask.sort_unstable();
+            let k = 1 + trial % 25;
+            let reference = top_k_masked(&scores, &mask, k);
+            top_k_masked_into(&scores, &mask, k, &mut scratch, &mut out);
+            assert_eq!(out, reference, "trial {trial} diverged");
+        }
+        // Ties too: identical scores must order by item id either way.
+        let scores = vec![0.5f32; 40];
+        let reference = top_k_masked(&scores, &[], 10);
+        top_k_masked_into(&scores, &[], 10, &mut scratch, &mut out);
+        assert_eq!(out, reference);
+        // The scratch retains its backing capacity between calls.
+        let cap = scratch.entries.capacity();
+        top_k_masked_into(&scores, &[], 10, &mut scratch, &mut out);
+        assert_eq!(scratch.entries.capacity(), cap);
     }
 
     #[test]

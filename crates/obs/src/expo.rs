@@ -139,6 +139,36 @@ pub fn prometheus_text() -> String {
         }
     }
 
+    // -- allocation accounting ----------------------------------------------
+    // Scope rows exist once a scope registered (counts stay 0 unless the
+    // binary installed the instrumented allocator and tracking is on);
+    // the windowed series aggregate across all scopes.
+    out.push_str("# TYPE inbox_alloc_total counter\n");
+    out.push_str("# TYPE inbox_alloc_bytes_total counter\n");
+    for (scope, stats) in crate::alloc::all_alloc_scopes() {
+        let scope = escape_label(&scope);
+        let _ = writeln!(
+            out,
+            "inbox_alloc_total{{scope=\"{scope}\"}} {}",
+            stats.allocs
+        );
+        let _ = writeln!(
+            out,
+            "inbox_alloc_bytes_total{{scope=\"{scope}\"}} {}",
+            stats.bytes
+        );
+    }
+    out.push_str("# TYPE inbox_alloc_window gauge\n");
+    out.push_str("# TYPE inbox_alloc_bytes_window gauge\n");
+    for window in EXPO_WINDOWS {
+        let (allocs, bytes) = crate::alloc::alloc_window(window);
+        let _ = writeln!(out, "inbox_alloc_window{{window=\"{window}s\"}} {allocs}");
+        let _ = writeln!(
+            out,
+            "inbox_alloc_bytes_window{{window=\"{window}s\"}} {bytes}"
+        );
+    }
+
     // -- flight recorder ----------------------------------------------------
     out.push_str("# TYPE inbox_traces_retained gauge\n");
     let _ = writeln!(
@@ -248,6 +278,7 @@ mod tests {
         crate::rate_counter("test.expo.rate").add(2);
         crate::slo("test.expo.slo", Duration::from_millis(10), 0.99)
             .observe(Duration::from_millis(1));
+        drop(crate::alloc_scope("test.expo.alloc"));
 
         let text = prometheus_text();
         let mut samples = 0;
@@ -265,6 +296,10 @@ mod tests {
             "inbox_counter_window{name=\"test.expo.rate\",window=\"10s\"}",
             "inbox_slo_events_total{name=\"test.expo.slo\"} ",
             "inbox_traces_retained{ring=\"recent\"}",
+            "inbox_alloc_total{scope=\"test.expo.alloc\"} ",
+            "inbox_alloc_bytes_total{scope=\"unscoped\"} ",
+            "inbox_alloc_window{window=\"10s\"}",
+            "inbox_alloc_bytes_window{window=\"60s\"}",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }

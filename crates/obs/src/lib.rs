@@ -25,6 +25,15 @@
 //!   latency objective, with windowed burn rates.
 //! - **Exposition** ([`expo`]) — the registry rendered as Prometheus text
 //!   and flight-recorder JSON for live `GET /metrics` / `GET /traces`.
+//! - **Allocation accounting** ([`alloc`]) — an opt-in instrumented
+//!   global allocator attributing alloc count/bytes to labeled scopes
+//!   ([`alloc_scope`]), making "allocation-free steady state" a
+//!   runtime-checkable invariant.
+//! - **Contention accounting** ([`lock`]) — [`ObsMutex`]/[`ObsRwLock`]
+//!   wrappers recording wait/hold-time histograms and contention counters
+//!   per named lock.
+//! - **Profiler** ([`profile`]) — the flight recorder's span trees folded
+//!   into flamegraph-compatible folded-stack text for `GET /profile`.
 //!
 //! Everything is process-global by design: instrumented crates call free
 //! functions and never thread handles through their APIs, so adding or
@@ -32,17 +41,27 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod expo;
 pub mod failpoints;
 pub mod histogram;
+pub mod lock;
+pub mod profile;
 pub mod registry;
 pub mod slo;
 pub mod telemetry;
 pub mod trace;
 pub mod window;
 
+pub use alloc::{
+    all_alloc_scopes, alloc_scope, alloc_scope_stats, alloc_totals, alloc_tracking, alloc_window,
+    allocator_installed, assert_alloc_free, count_allocs, reset_alloc_stats, set_alloc_tracking,
+    AllocScopeGuard, InstrumentedAlloc, ScopeAllocStats, MAX_ALLOC_SCOPES,
+};
 pub use expo::{prometheus_text, trace_dump, traces_json, TraceDump};
 pub use histogram::{HistogramBuckets, HistogramSnapshot, LogHistogram};
+pub use lock::{ObsMutex, ObsMutexGuard, ObsReadGuard, ObsRwLock, ObsWriteGuard};
+pub use profile::{folded_stacks, folded_text};
 pub use registry::{
     all_counters, all_spans, all_values, all_windowed_counters, all_windowed_spans,
     all_windowed_values, counter, counter_value, counter_window_sum, enabled, rate_counter,

@@ -413,6 +413,7 @@ pub fn reset() {
     crate::slo::clear_slos();
     crate::trace::clear_traces();
     crate::failpoints::reset_counts();
+    crate::alloc::reset_alloc_stats();
 }
 
 #[cfg(test)]

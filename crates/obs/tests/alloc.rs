@@ -1,0 +1,158 @@
+//! End-to-end allocation accounting with [`inbox_obs::InstrumentedAlloc`]
+//! actually installed as this binary's global allocator — the library
+//! never installs it, so the real interposition path (attribution, the
+//! zero-alloc assertion helper, absence of recursion/deadlock) can only
+//! be exercised in a dedicated test binary like this one.
+
+use std::hint::black_box;
+use std::sync::Mutex;
+
+#[global_allocator]
+static ALLOC: inbox_obs::InstrumentedAlloc = inbox_obs::InstrumentedAlloc;
+
+/// Tracking is process-global and the harness runs tests concurrently;
+/// every test serialises on this.
+static GATE: Mutex<()> = Mutex::new(());
+
+fn gate() -> std::sync::MutexGuard<'static, ()> {
+    GATE.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn stats(scope: &str) -> inbox_obs::ScopeAllocStats {
+    inbox_obs::alloc_scope_stats(scope).unwrap_or_default()
+}
+
+#[test]
+fn probe_detects_the_installed_allocator() {
+    let _gate = gate();
+    assert!(inbox_obs::allocator_installed());
+}
+
+#[test]
+fn nested_scopes_attribute_to_the_innermost() {
+    let _gate = gate();
+    inbox_obs::set_alloc_tracking(true);
+    let outer_before = stats("test.e2e.outer");
+    let inner_before = stats("test.e2e.inner");
+    {
+        let _outer = inbox_obs::alloc_scope("test.e2e.outer");
+        let v = black_box(vec![0u8; 1024]);
+        {
+            let _inner = inbox_obs::alloc_scope("test.e2e.inner");
+            let b = black_box(vec![0u8; 512]);
+            drop(black_box(b));
+        }
+        drop(black_box(v));
+    }
+    inbox_obs::set_alloc_tracking(false);
+    let outer = stats("test.e2e.outer");
+    let inner = stats("test.e2e.inner");
+    // The outer scope is charged exactly its own Vec — the inner scope's
+    // 512 bytes must not leak outward, and vice versa.
+    assert_eq!(outer.allocs - outer_before.allocs, 1);
+    assert_eq!(outer.bytes - outer_before.bytes, 1024);
+    assert_eq!(outer.dealloc_bytes - outer_before.dealloc_bytes, 1024);
+    assert_eq!(inner.allocs - inner_before.allocs, 1);
+    assert_eq!(inner.bytes - inner_before.bytes, 512);
+    assert_eq!(inner.dealloc_bytes - inner_before.dealloc_bytes, 512);
+}
+
+#[test]
+// The Vec::new + push shape is the point: inject a heap allocation the
+// helper must catch (`vec![]` would be the same allocation, less plainly).
+#[allow(clippy::vec_init_then_push)]
+fn assert_alloc_free_catches_an_injected_push() {
+    let _gate = gate();
+    let result = std::panic::catch_unwind(|| {
+        inbox_obs::assert_alloc_free("injected", || {
+            let mut v = Vec::new();
+            v.push(black_box(1u8));
+            black_box(&v);
+        });
+    });
+    assert!(result.is_err(), "Vec::push slipped past assert_alloc_free");
+
+    // And a genuinely allocation-free region passes.
+    let mut acc = 0u64;
+    inbox_obs::assert_alloc_free("clean", || {
+        for i in 0..100u64 {
+            acc += black_box(i);
+        }
+    });
+    assert_eq!(acc, 4950);
+}
+
+#[test]
+fn count_allocs_is_per_thread() {
+    let _gate = gate();
+    inbox_obs::set_alloc_tracking(true);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        // A neighbour thread allocating furiously must not pollute the
+        // calling thread's count.
+        s.spawn(|| {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                drop(black_box(vec![0u8; 64]));
+            }
+        });
+        let ((), n) = inbox_obs::count_allocs(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc += black_box(i);
+            }
+            black_box(acc);
+        });
+        assert_eq!(n, 0, "neighbour thread's allocations leaked into count");
+        let ((), n) = inbox_obs::count_allocs(|| {
+            drop(black_box(vec![0u8; 32]));
+        });
+        assert_eq!(n, 1);
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    inbox_obs::set_alloc_tracking(false);
+}
+
+#[test]
+fn accounting_survives_a_multithreaded_hammer() {
+    // 8 threads × 10k allocations inside scopes: the accounting path must
+    // neither recurse (it would overflow the stack instantly) nor
+    // deadlock (the allocator takes no locks), and the totals must add up.
+    let _gate = gate();
+    inbox_obs::set_alloc_tracking(true);
+    let before = stats("test.e2e.hammer");
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                let _scope = inbox_obs::alloc_scope("test.e2e.hammer");
+                for i in 0..10_000usize {
+                    drop(black_box(vec![0u8; (i % 128) + 1]));
+                }
+            });
+        }
+    });
+    inbox_obs::set_alloc_tracking(false);
+    let after = stats("test.e2e.hammer");
+    assert_eq!(after.allocs - before.allocs, 80_000);
+    assert_eq!(after.deallocs - before.deallocs, 80_000);
+}
+
+#[test]
+fn window_and_reset_roundtrip() {
+    let _gate = gate();
+    inbox_obs::set_alloc_tracking(true);
+    drop(black_box(vec![0u8; 2048]));
+    inbox_obs::set_alloc_tracking(false);
+    let (allocs, bytes) = inbox_obs::alloc_window(60);
+    assert!(allocs >= 1, "window missed the allocation");
+    assert!(bytes >= 2048, "window missed the bytes");
+    assert!(inbox_obs::alloc_totals().allocs >= 1);
+
+    inbox_obs::reset_alloc_stats();
+    assert_eq!(inbox_obs::alloc_window(60), (0, 0));
+    assert_eq!(inbox_obs::alloc_totals().allocs, 0);
+    // Scope names survive the reset — the inventory outlives the counts.
+    assert!(inbox_obs::all_alloc_scopes()
+        .iter()
+        .any(|(n, _)| n == "unscoped"));
+}

@@ -1,0 +1,24 @@
+//! Scope-table overflow: its own binary because filling the process-global
+//! table would poison scope registration for every other test.
+
+use inbox_obs::MAX_ALLOC_SCOPES;
+
+#[test]
+fn table_overflow_degrades_to_unscoped() {
+    inbox_obs::set_alloc_tracking(true);
+    let names: Vec<&'static str> = (0..MAX_ALLOC_SCOPES + 4)
+        .map(|i| Box::leak(format!("test.overflow.{i}").into_boxed_str()) as &'static str)
+        .collect();
+    // Registration past the table's capacity must degrade (attribute to
+    // "unscoped"), never panic or evict an existing scope.
+    for name in &names {
+        let _g = inbox_obs::alloc_scope(name);
+    }
+    inbox_obs::set_alloc_tracking(false);
+    let registered = inbox_obs::all_alloc_scopes().len();
+    assert_eq!(registered, MAX_ALLOC_SCOPES, "table grew past its capacity");
+    // Overflowed names are queryable as unregistered, not phantom rows.
+    assert!(inbox_obs::alloc_scope_stats(names[names.len() - 1]).is_none());
+    // Re-entering an overflowed scope still works (maps to unscoped).
+    let _g = inbox_obs::alloc_scope(names[names.len() - 1]);
+}

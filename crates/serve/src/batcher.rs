@@ -26,7 +26,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use inbox_kg::UserId;
-use inbox_obs::ActiveTrace;
+use inbox_obs::{ActiveTrace, ObsMutex};
 
 use crate::engine::{Engine, Recommendation};
 use crate::error::ServeError;
@@ -51,7 +51,9 @@ struct Queue {
 }
 
 struct Shared {
-    queue: Mutex<Queue>,
+    /// Instrumented: producer/flush-thread contention and hold times land
+    /// in the `lock.batcher.queue.*` series.
+    queue: ObsMutex<Queue>,
     /// Woken when a request is enqueued or the batcher is shut down. Only
     /// the flush thread waits on it; producers never block.
     nonempty: Condvar,
@@ -77,10 +79,13 @@ impl Batcher {
         assert!(config.queue_cap >= 1, "queue_cap must be at least 1");
         let slo = inbox_obs::slo("serve.recommend", config.slo_objective, SLO_TARGET);
         let shared = Arc::new(Shared {
-            queue: Mutex::new(Queue {
-                pending: VecDeque::new(),
-                closed: false,
-            }),
+            queue: ObsMutex::new(
+                "batcher.queue",
+                Queue {
+                    pending: VecDeque::new(),
+                    closed: false,
+                },
+            ),
             nonempty: Condvar::new(),
         });
         let worker = {
@@ -214,8 +219,12 @@ fn flush_loop(
     slo: &inbox_obs::Slo,
 ) {
     let _close_on_exit = CloseOnExit(shared);
+    // Reused across flushes: with capacity for a full batch up front, the
+    // drain below never grows it, keeping the dequeue path allocation-free
+    // at steady state (checked against the `batcher.flush` scope).
+    let mut batch: Vec<Pending> = Vec::with_capacity(max_batch);
     loop {
-        let batch = {
+        {
             let mut queue = shared.queue.lock().unwrap();
             // Phase 1: sleep until there is at least one request (or we are
             // told to close with an empty queue, which means we are done).
@@ -223,7 +232,7 @@ fn flush_loop(
                 if queue.closed {
                     return;
                 }
-                queue = shared.nonempty.wait(queue).unwrap();
+                queue = shared.queue.wait(&shared.nonempty, queue).unwrap();
             }
             // Phase 2: the batch window is open. Wait for the deadline
             // measured from the oldest queued request, leaving early once
@@ -234,15 +243,20 @@ fn flush_loop(
                 if remaining.is_zero() {
                     break;
                 }
-                let (q, timeout) = shared.nonempty.wait_timeout(queue, remaining).unwrap();
+                let (q, timeout) = shared
+                    .queue
+                    .wait_timeout(&shared.nonempty, queue, remaining)
+                    .unwrap();
                 queue = q;
                 if timeout.timed_out() {
                     break;
                 }
             }
             let take = queue.pending.len().min(max_batch);
-            queue.pending.drain(..take).collect::<Vec<_>>()
-        };
+            let _flush_alloc = inbox_obs::alloc_scope("batcher.flush");
+            batch.clear();
+            batch.extend(queue.pending.drain(..take));
+        }
         // Chaos sites, both outside the queue lock: a one-shot stall here
         // delays a whole batch without blocking producers, and an injected
         // panic kills the flush thread with a batch in hand — the worst
@@ -251,7 +265,7 @@ fn flush_loop(
         if inbox_obs::failpoint!("serve.batcher.flush_panic") {
             panic!("injected failpoint: serve.batcher.flush_panic");
         }
-        flush(engine, batch, slo);
+        flush(engine, &mut batch, slo);
     }
 }
 
@@ -275,18 +289,26 @@ fn score_one(
 }
 
 /// Answers one coalesced batch, fanning out over the engine's worker pool
-/// when one is configured and the batch is big enough to split.
-fn flush(engine: &Engine, batch: Vec<Pending>, slo: &inbox_obs::Slo) {
+/// when one is configured and the batch is big enough to split. Drains
+/// `batch` so the caller's buffer (and its capacity) can be reused.
+fn flush(engine: &Engine, batch: &mut Vec<Pending>, slo: &inbox_obs::Slo) {
     if batch.is_empty() {
         return;
     }
-    engine.note_batch();
-    inbox_obs::rate_counter("serve.batch.flushes").incr();
-    inbox_obs::record_value("serve.batch.size", batch.len() as u64);
-    // The queue phase ends for the whole batch at dequeue.
-    for p in &batch {
-        if let Some((trace, queue_span)) = &p.trace {
-            trace.close_span(*queue_span);
+    {
+        // Bookkeeping region of the flush scope: counters, size histogram,
+        // and queue-span closing — none of it may allocate at steady state.
+        // The per-request answer computation below is deliberately outside:
+        // each answer owns a fresh `items` vector by contract.
+        let _flush_alloc = inbox_obs::alloc_scope("batcher.flush");
+        engine.note_batch();
+        inbox_obs::rate_counter("serve.batch.flushes").incr();
+        inbox_obs::record_value("serve.batch.size", batch.len() as u64);
+        // The queue phase ends for the whole batch at dequeue.
+        for p in batch.iter() {
+            if let Some((trace, queue_span)) = &p.trace {
+                trace.close_span(*queue_span);
+            }
         }
     }
     let answers: Vec<Answer> = match engine.pool() {
@@ -324,7 +346,10 @@ fn flush(engine: &Engine, batch: Vec<Pending>, slo: &inbox_obs::Slo) {
             .map(|p| score_one(engine, p.user, p.k, p.trace.as_ref().map(|(t, _)| t), false))
             .collect(),
     };
-    for (pending, answer) in batch.into_iter().zip(answers) {
+    // Reply region of the flush scope: latency classification and the
+    // rendezvous sends (the channel slot was allocated by the caller).
+    let _flush_alloc = inbox_obs::alloc_scope("batcher.flush");
+    for (pending, answer) in batch.drain(..).zip(answers) {
         let latency = pending.enqueued.elapsed();
         inbox_obs::record_duration("serve.request", latency);
         slo.observe(latency);

@@ -34,6 +34,9 @@ pub struct BoxCache {
     next_tick: u64,
     map: HashMap<u32, Entry>,
     lru: BTreeMap<u64, u32>,
+    /// Entries pushed out by the capacity bound (stale-version drops and
+    /// same-user replacements are not evictions — only LRU victims count).
+    evictions: u64,
 }
 
 impl BoxCache {
@@ -45,7 +48,13 @@ impl BoxCache {
             next_tick: 0,
             map: HashMap::new(),
             lru: BTreeMap::new(),
+            evictions: 0,
         }
+    }
+
+    /// Number of entries evicted by the capacity bound since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Number of resident entries.
@@ -109,6 +118,7 @@ impl BoxCache {
             let (&oldest, &victim) = self.lru.iter().next().expect("lru tracks every entry");
             self.lru.remove(&oldest);
             self.map.remove(&victim);
+            self.evictions += 1;
         }
     }
 }
@@ -147,13 +157,32 @@ mod tests {
         let mut c = BoxCache::new(2);
         c.insert(1, 0, boxed(1.0));
         c.insert(2, 0, boxed(2.0));
+        assert_eq!(c.evictions(), 0);
         // Touch 1 so 2 becomes the LRU victim.
         assert!(c.get(1, 0).is_some());
         c.insert(3, 0, boxed(3.0));
         assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
         assert!(c.get(2, 0).is_none(), "LRU entry evicted");
         assert!(c.get(1, 0).is_some());
         assert!(c.get(3, 0).is_some());
+    }
+
+    #[test]
+    fn eviction_counter_excludes_replacements_and_stale_drops() {
+        let mut c = BoxCache::new(2);
+        c.insert(1, 0, boxed(1.0));
+        // Same-user replacement: not an eviction.
+        c.insert(1, 1, boxed(1.5));
+        assert_eq!(c.evictions(), 0);
+        // Stale-version probe drops the entry: not an eviction.
+        assert!(c.get(1, 2).is_none());
+        assert_eq!(c.evictions(), 0);
+        // Capacity pressure: exactly the LRU victims count.
+        for u in 10..15 {
+            c.insert(u, 0, boxed(u as f32));
+        }
+        assert_eq!(c.evictions(), 3);
     }
 
     #[test]

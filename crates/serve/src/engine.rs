@@ -15,20 +15,32 @@
 //!   makes their cached box unreachable — invalidation without touching any
 //!   other user's entry.
 //!
+//! Both locks are instrumented ([`ObsRwLock`]/[`ObsMutex`]): wait and hold
+//! times land in the `lock.engine.live.*` / `lock.engine.cache.*` series,
+//! and contended acquisitions bump the matching `.contended` counters.
 //! Lock order is always live → cache; no code path acquires them in the
 //! other direction, so the engine cannot deadlock against itself.
+//!
+//! The hot scoring path is allocation-free at steady state: per-thread
+//! scratch buffers back [`ItemScorer::score_box_into`] and
+//! [`top_k_masked_into`](inbox_eval::top_k_masked_into), and the
+//! `engine.score` / `engine.rank` allocation scopes make that property
+//! checkable at runtime against the instrumented global allocator.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::Arc;
 
 use inbox_autodiff::Tape;
 use inbox_core::predict::user_box_from_history;
 use inbox_core::{
-    BoxEmb, HistoryCache, InBoxConfig, InBoxModel, ItemScorer, TrainedInBox, WorkerPool,
+    BoxEmb, HistoryCache, InBoxConfig, InBoxModel, ItemScorer, ScoreScratch, TrainedInBox,
+    WorkerPool,
 };
 use inbox_data::Interactions;
-use inbox_eval::top_k_masked;
+use inbox_eval::{top_k_masked, top_k_masked_into, TopKScratch};
 use inbox_kg::{ItemId, KnowledgeGraph, UserId};
+use inbox_obs::{ObsMutex, ObsRwLock};
 
 use crate::cache::BoxCache;
 use crate::error::ServeError;
@@ -76,6 +88,8 @@ pub struct ServeStats {
     pub rebuilds: u64,
     /// Box cache hits (including cached empty-history absences).
     pub cache_hits: u64,
+    /// Box cache entries pushed out by the LRU capacity bound.
+    pub evictions: u64,
     /// Requests answered from the popularity fallback.
     pub fallbacks: u64,
     /// Interactions ingested.
@@ -106,6 +120,21 @@ struct LiveState {
     masks: Vec<Vec<ItemId>>,
 }
 
+/// Per-thread reusable buffers for the score → rank pipeline. After one
+/// warm request per thread, [`Engine::recommend_now`] performs no heap
+/// allocation inside the `engine.score` and `engine.rank` scopes.
+#[derive(Default)]
+struct RecommendScratch {
+    score: ScoreScratch,
+    scores: Vec<f32>,
+    topk: TopKScratch,
+    out: Vec<ItemId>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<RecommendScratch> = RefCell::new(RecommendScratch::default());
+}
+
 /// The in-process recommendation engine. Thread-safe: all methods take
 /// `&self` and may be called concurrently from any number of threads.
 pub struct Engine {
@@ -115,8 +144,8 @@ pub struct Engine {
     scorer: ItemScorer,
     /// Popularity score per item, frozen at startup (cold-user fallback).
     popularity: Vec<f32>,
-    live: RwLock<LiveState>,
-    cache: Mutex<BoxCache>,
+    live: ObsRwLock<LiveState>,
+    cache: ObsMutex<BoxCache>,
     pool: Option<WorkerPool>,
     stats: StatCells,
     obs_requests: inbox_obs::RateCounter,
@@ -161,8 +190,8 @@ impl Engine {
             kg,
             scorer,
             popularity,
-            live: RwLock::new(LiveState { history, masks }),
-            cache: Mutex::new(BoxCache::new(serve.cache_cap)),
+            live: ObsRwLock::new("engine.live", LiveState { history, masks }),
+            cache: ObsMutex::new("engine.cache", BoxCache::new(serve.cache_cap)),
             pool,
             stats: StatCells::default(),
             obs_requests: inbox_obs::rate_counter("serve.requests"),
@@ -210,6 +239,7 @@ impl Engine {
             requests: self.stats.requests.load(Ordering::Relaxed),
             rebuilds: self.stats.rebuilds.load(Ordering::Relaxed),
             cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
+            evictions: self.cache.lock().unwrap().evictions(),
             fallbacks: self.stats.fallbacks.load(Ordering::Relaxed),
             ingests: self.stats.ingests.load(Ordering::Relaxed),
             sheds: self.stats.sheds.load(Ordering::Relaxed),
@@ -294,6 +324,7 @@ impl Engine {
             self.stats.rebuilds.fetch_add(1, Ordering::Relaxed);
             self.obs_rebuilds.incr();
             let _rebuild_span = inbox_obs::ctx_span("engine.rebuild");
+            let _rebuild_alloc = inbox_obs::alloc_scope("engine.rebuild");
             let mut tape = Tape::new();
             user_box_from_history(&self.model, &self.config, &mut tape, user, &history)
                 .map(Arc::new)
@@ -320,26 +351,51 @@ impl Engine {
         }
         let _recommend_span = inbox_obs::ctx_span("engine.recommend");
         let (version, resolved) = self.resolve_box(user);
-        let (scores, fallback) = {
-            let _score_span = inbox_obs::ctx_span("engine.score");
-            match resolved.as_deref() {
-                Some(b) => (self.scorer.score_box(b), false),
-                None => (self.popularity.clone(), true),
-            }
-        };
+        let fallback = resolved.is_none();
         if fallback {
             self.stats.fallbacks.fetch_add(1, Ordering::Relaxed);
             self.obs_fallbacks.incr();
         }
-        let items = {
-            let _rank_span = inbox_obs::ctx_span("engine.rank");
-            let live = self.live.read().unwrap();
-            let mask = &live.masks[user.index()];
-            top_k_masked(&scores, mask, k)
-                .into_iter()
-                .map(|i| (i, scores[i.index()]))
+        // Score and rank through per-thread scratch buffers: after one warm
+        // request per thread, neither scope allocates. The answer's own
+        // `items` vector is materialised outside both scopes — it leaves
+        // with the caller, so it is intrinsic to the request, not overhead.
+        let items = SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            let scratch = &mut *scratch;
+            {
+                let _score_span = inbox_obs::ctx_span("engine.score");
+                let _score_alloc = inbox_obs::alloc_scope("engine.score");
+                match resolved.as_deref() {
+                    Some(b) => {
+                        self.scorer
+                            .score_box_into(b, &mut scratch.score, &mut scratch.scores)
+                    }
+                    None => {
+                        scratch.scores.clear();
+                        scratch.scores.extend_from_slice(&self.popularity);
+                    }
+                }
+            }
+            {
+                let _rank_span = inbox_obs::ctx_span("engine.rank");
+                let _rank_alloc = inbox_obs::alloc_scope("engine.rank");
+                let live = self.live.read().unwrap();
+                let mask = &live.masks[user.index()];
+                top_k_masked_into(
+                    &scratch.scores,
+                    mask,
+                    k,
+                    &mut scratch.topk,
+                    &mut scratch.out,
+                );
+            }
+            scratch
+                .out
+                .iter()
+                .map(|&i| (i, scratch.scores[i.index()]))
                 .collect()
-        };
+        });
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
         self.obs_requests.incr();
         Ok(Recommendation {

@@ -12,6 +12,7 @@
 //! | `GET /stats`                    | serving counters + histogram snapshot  |
 //! | `GET /metrics`                  | Prometheus text exposition (live)      |
 //! | `GET /traces`                   | flight-recorder dump as JSON           |
+//! | `GET /profile`                  | folded stacks (flamegraph.pl input)    |
 //!
 //! Degradation maps onto status codes: admission shedding is `503` with a
 //! JSON error body, unknown ids are `404`, malformed parameters are `400`.
@@ -413,10 +414,11 @@ fn respond(
         ("GET", "/stats") => {
             let s = service.stats();
             let body = format!(
-                "{{\"requests\":{},\"rebuilds\":{},\"cache_hits\":{},\"fallbacks\":{},\"ingests\":{},\"sheds\":{},\"batches\":{},\"queued\":{},\"cached_boxes\":{},\"batch_size\":{},\"queue_depth\":{}}}",
+                "{{\"requests\":{},\"rebuilds\":{},\"cache_hits\":{},\"evictions\":{},\"fallbacks\":{},\"ingests\":{},\"sheds\":{},\"batches\":{},\"queued\":{},\"cached_boxes\":{},\"batch_size\":{},\"queue_depth\":{}}}",
                 s.requests,
                 s.rebuilds,
                 s.cache_hits,
+                s.evictions,
                 s.fallbacks,
                 s.ingests,
                 s.sheds,
@@ -442,6 +444,19 @@ fn respond(
         }
         ("GET", "/traces") => {
             write_traced(stream, trace, 200, "OK", JSON, &inbox_obs::traces_json());
+            TraceOutcome::Ok
+        }
+        ("GET", "/profile") => {
+            // Folded stacks over the flight recorder's retained traces —
+            // pipe straight into `flamegraph.pl`.
+            write_traced(
+                stream,
+                trace,
+                200,
+                "OK",
+                "text/plain",
+                &inbox_obs::folded_text(),
+            );
             TraceOutcome::Ok
         }
         _ => {

@@ -10,6 +10,10 @@ use inbox_data::{Dataset, SyntheticConfig};
 use inbox_serve::{Engine, HttpServer, ServeConfig, Service};
 
 fn server(seed: u64) -> (Dataset, Arc<Service>, HttpServer) {
+    server_with(seed, ServeConfig::default())
+}
+
+fn server_with(seed: u64, serve_cfg: ServeConfig) -> (Dataset, Arc<Service>, HttpServer) {
     let ds = Dataset::synthetic(&SyntheticConfig::tiny(), seed);
     let cfg = InBoxConfig::tiny_test();
     let sizes = UniverseSizes {
@@ -19,11 +23,24 @@ fn server(seed: u64) -> (Dataset, Arc<Service>, HttpServer) {
         n_users: ds.train.n_users(),
     };
     let model = InBoxModel::new(sizes, &cfg);
-    let serve_cfg = ServeConfig::default();
     let engine = Engine::new(model, cfg, ds.kg.clone(), &ds.train, &serve_cfg);
     let service = Arc::new(Service::start(engine, &serve_cfg));
     let http = HttpServer::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind ephemeral port");
     (ds, service, http)
+}
+
+/// Extracts the integer value of `"field":N` from a flat JSON body.
+fn stat_field(body: &str, field: &str) -> u64 {
+    let needle = format!("\"{field}\":");
+    let rest = &body[body
+        .find(&needle)
+        .unwrap_or_else(|| panic!("{field} in {body}"))
+        + needle.len()..];
+    rest.chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("numeric {field} in {body}"))
 }
 
 /// Sends one raw request and returns `(status, body)`.
@@ -151,6 +168,7 @@ fn stats_and_unknown_routes() {
         "requests",
         "rebuilds",
         "cache_hits",
+        "evictions",
         "fallbacks",
         "ingests",
         "sheds",
@@ -163,6 +181,64 @@ fn stats_and_unknown_routes() {
     assert_eq!(status, 404);
     let (status, _) = roundtrip(&http, "\r\n");
     assert_eq!(status, 400, "garbage request line is a client error");
+}
+
+#[test]
+fn stats_surface_rebuilds_and_cache_evictions() {
+    // A two-entry box cache under traffic from many distinct users must
+    // rebuild boxes (misses with history) and evict LRU victims — and both
+    // must be visible over the wire.
+    let (ds, _service, http) = server_with(
+        57,
+        ServeConfig {
+            cache_cap: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let n_users = ds.train.n_users().min(8);
+    for user in 0..n_users as u32 {
+        let (status, _) = get(&http, &format!("/recommend?user={user}&k=3"));
+        assert_eq!(status, 200);
+    }
+    let (status, body) = get(&http, "/stats");
+    assert_eq!(status, 200);
+    assert!(
+        stat_field(&body, "rebuilds") >= 1,
+        "some user has history, so at least one box was rebuilt; body: {body}"
+    );
+    assert!(
+        stat_field(&body, "evictions") >= n_users as u64 - 2,
+        "every insert past capacity evicts an LRU victim; body: {body}"
+    );
+    assert!(
+        stat_field(&body, "cached_boxes") <= 2,
+        "resident entries stay within the capacity bound; body: {body}"
+    );
+}
+
+#[test]
+fn profile_route_emits_folded_stacks_rooted_at_the_request_trace() {
+    let (_ds, _service, http) = server(58);
+    // Serve one request so the flight recorder has at least one trace.
+    let (status, _) = get(&http, "/recommend?user=0&k=3");
+    assert_eq!(status, 200);
+    let (status, body) = get(&http, "/profile");
+    assert_eq!(status, 200);
+    assert!(!body.trim().is_empty(), "folded output is non-empty");
+    // flamegraph.pl input: every line is `path value` with the serving
+    // span tree's root first in each path.
+    for line in body.lines() {
+        let (path, value) = line.rsplit_once(' ').expect("`path value` line");
+        assert!(
+            path == "http.request" || path.starts_with("http.request;"),
+            "unexpected stack root in {line:?}"
+        );
+        value.parse::<u64>().expect("numeric self-time value");
+    }
+    assert!(
+        body.lines().any(|l| l.starts_with("http.request;")),
+        "at least one child span appears below the root: {body}"
+    );
 }
 
 #[test]

@@ -1,5 +1,5 @@
-//! The authoritative inventories of failpoint sites and request-trace
-//! span names compiled into the workspace.
+//! The authoritative inventories of failpoint sites, request-trace span
+//! names, and allocation-scope labels compiled into the workspace.
 //!
 //! The coverage suite (`tests/coverage.rs`) asserts two directions against
 //! these lists: every site here fires at least once under the chaos tests,
@@ -66,9 +66,34 @@ pub const TRACE_SPANS: &[&str] = &[
     "pool.score",
 ];
 
+/// Every allocation-scope label registered by the instrumented crates
+/// (`inbox_obs::alloc_scope` call sites in `inbox-core` and `inbox-serve`),
+/// sorted by name. The audit suite (`tests/alloc_scopes.rs`) source-scans
+/// both crates and checks the runtime registry so that a scope nobody
+/// lists — or a listed scope nobody enters — fails CI.
+pub const ALLOC_SCOPES: &[&str] = &[
+    // serve::batcher — batch drain, bookkeeping, and reply fan-out on the
+    // flush thread (allocation-free at steady state).
+    "batcher.flush",
+    // serve::engine::recommend_now — mask-and-top-K ranking into per-
+    // thread scratch (allocation-free at steady state).
+    "engine.rank",
+    // serve::engine::resolve_box — interest-box forward pass on a cache
+    // miss (allocates freely; attributed, not bounded).
+    "engine.rebuild",
+    // serve::engine::recommend_now — scoring every item against the
+    // resolved box into per-thread scratch (allocation-free at steady
+    // state).
+    "engine.score",
+    // core::trainer — the three training-stage epoch loops.
+    "trainer.stage1",
+    "trainer.stage2",
+    "trainer.stage3",
+];
+
 #[cfg(test)]
 mod tests {
-    use super::{ALL, TRACE_SPANS};
+    use super::{ALL, ALLOC_SCOPES, TRACE_SPANS};
 
     #[test]
     fn inventory_is_sorted_and_unique() {
@@ -76,6 +101,9 @@ mod tests {
             assert!(pair[0] < pair[1], "{} >= {}", pair[0], pair[1]);
         }
         for pair in TRACE_SPANS.windows(2) {
+            assert!(pair[0] < pair[1], "{} >= {}", pair[0], pair[1]);
+        }
+        for pair in ALLOC_SCOPES.windows(2) {
             assert!(pair[0] < pair[1], "{} >= {}", pair[0], pair[1]);
         }
     }
