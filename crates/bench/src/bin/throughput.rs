@@ -14,7 +14,9 @@
 //!
 //! `--quick` runs a single repetition on the tiny dataset (CI smoke mode,
 //! written to `--out` or discarded); `--threads N` overrides the worker
-//! count (default 1 so numbers are comparable on any machine).
+//! count (default 1 so numbers are comparable on any machine);
+//! `--items-scale N` sets the catalog multiplier for the indexed stage
+//! (default 100, or 10 under `--quick`).
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -24,9 +26,11 @@ use inbox_core::model::{InBoxModel, UniverseSizes};
 use inbox_core::predict::{all_user_boxes_with, HistoryCache};
 use inbox_core::sampler::{stage1_epoch, stage2_epoch, stage3_epoch, Stage1Stats};
 use inbox_core::stages::{stage1_loss, stage2_loss, stage3_loss, BatchRunner};
-use inbox_core::{InBoxConfig, InBoxScorer};
+use inbox_core::{InBoxConfig, InBoxScorer, ItemScorer, ScoreScratch};
 use inbox_data::{Dataset, SyntheticConfig};
-use inbox_eval::evaluate_with_threads;
+use inbox_eval::{evaluate_with_threads, top_k_masked_into, TopKScratch};
+use inbox_index::{auto_nprobe, BoxQuery, IvfIndex, IvfParams, QueryScratch};
+use inbox_kg::ItemId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -55,6 +59,27 @@ struct Speedup {
     rank: f64,
 }
 
+/// The candidate-index stage: full-sort vs IVF top-20 ranking on the
+/// items-scaled catalog twin (`--items-scale`, default 100x) with item
+/// points warm-started to clustered (trained-like) geometry. `rank_speedup`
+/// is full-sort wall-clock over IVF wall-clock for the same user set;
+/// `recall_at_20` is measured against the exact full-sort top-20.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct IndexedStage {
+    items_scale: usize,
+    n_items: usize,
+    n_users_ranked: usize,
+    nlist: usize,
+    nprobe: usize,
+    build_ms: f64,
+    full_rank_ms: f64,
+    ivf_rank_ms: f64,
+    rank_speedup: f64,
+    recall_at_20: f64,
+    mean_candidates: f64,
+    candidates_per_sec: f64,
+}
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Report {
     dataset: String,
@@ -65,6 +90,9 @@ struct Report {
     baseline: Option<Numbers>,
     current: Numbers,
     speedup: Option<Speedup>,
+    /// Absent in reports written before the index subsystem existed.
+    #[serde(default)]
+    indexed: Option<IndexedStage>,
 }
 
 fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
@@ -169,6 +197,114 @@ fn measure(ds: &Dataset, cfg: &InBoxConfig, reps: usize) -> Numbers {
     }
 }
 
+/// Measures the indexed stage: build an items-scaled twin of `synth`,
+/// warm-start clustered item points (the post-training regime the index
+/// serves in — see `InBoxModel::set_item_points`), then time exact
+/// full-sort top-20 against IVF-probed top-20 over every user with a box.
+fn measure_indexed(
+    synth: &SyntheticConfig,
+    cfg: &InBoxConfig,
+    reps: usize,
+    scale: usize,
+) -> IndexedStage {
+    let big = synth.clone().with_items_scale(scale);
+    let ds = Dataset::synthetic(&big, 7);
+    let sizes = UniverseSizes {
+        n_items: ds.kg.n_items(),
+        n_tags: ds.kg.n_tags(),
+        n_relations: ds.kg.n_relations(),
+        n_users: ds.n_users(),
+    };
+    let mut model = InBoxModel::new(sizes, cfg);
+    // Tag-granular clusters: trained item points gather around the tag
+    // boxes that contain them (Figure 5 colors the PCA projection by
+    // genre), so the cluster count follows the tag vocabulary, not the
+    // catalog size.
+    inbox_testkit::harness::cluster_item_points(&mut model, ds.kg.n_tags().max(1), 0.05, 0x1db0);
+
+    let runner = BatchRunner::new(cfg.threads);
+    let cache = HistoryCache::build(&ds.kg, &ds.train, cfg);
+    let boxes = all_user_boxes_with(&model, &cache, cfg, runner.pool());
+    let scorer = ItemScorer::new(&model, cfg, ds.kg.n_items());
+    let users: Vec<&inbox_core::geometry::BoxEmb> = boxes.iter().flatten().collect();
+    let k = 20;
+
+    let _span = inbox_obs::span("bench.throughput.indexed");
+    let (build_secs, index) = best_of(reps, || {
+        IvfIndex::build(scorer.items(), scorer.dim(), &IvfParams::default())
+            .expect("index build on a well-shaped catalog")
+    });
+    let nlist = index.nlist();
+    let nprobe = auto_nprobe(nlist);
+
+    // Exact full sort through the production path (score_box_into +
+    // top_k_masked_into), unmasked on both sides.
+    let mut scores = Vec::new();
+    let mut score_scratch = ScoreScratch::default();
+    let mut topk = TopKScratch::default();
+    let mut top: Vec<ItemId> = Vec::new();
+    let (full_secs, full_tops) = best_of(reps, || {
+        let mut tops: Vec<Vec<ItemId>> = Vec::with_capacity(users.len());
+        for b in &users {
+            scorer.score_box_into(b, &mut score_scratch, &mut scores);
+            top_k_masked_into(&scores, &[], k, &mut topk, &mut top);
+            tops.push(top.clone());
+        }
+        tops
+    });
+
+    // IVF: probe selection + box-pruned exact re-rank, same users.
+    let mut qscratch = QueryScratch::default();
+    let mut ranked: Vec<(ItemId, f32)> = Vec::new();
+    let (ivf_secs, (ivf_tops, candidates)) = best_of(reps, || {
+        let mut tops: Vec<Vec<ItemId>> = Vec::with_capacity(users.len());
+        let mut candidates = 0u64;
+        for b in &users {
+            scorer.prepare_box_bounds(b, &mut score_scratch);
+            let q = BoxQuery {
+                lo: score_scratch.lo(),
+                hi: score_scratch.hi(),
+                cen: &b.cen,
+                inside_weight: scorer.inside_weight(),
+                gamma: scorer.gamma(),
+            };
+            let stats = index.query(
+                &q,
+                nprobe,
+                k,
+                &[],
+                |i| scorer.score_item_prepared(b, &score_scratch, i),
+                &mut qscratch,
+                &mut ranked,
+            );
+            candidates += stats.candidates as u64;
+            tops.push(ranked.iter().map(|&(i, _)| i).collect());
+        }
+        (tops, candidates)
+    });
+
+    let mut hits = 0u64;
+    let mut total = 0u64;
+    for (want, got) in full_tops.iter().zip(&ivf_tops) {
+        total += want.len() as u64;
+        hits += want.iter().filter(|i| got.contains(i)).count() as u64;
+    }
+    IndexedStage {
+        items_scale: scale,
+        n_items: ds.kg.n_items(),
+        n_users_ranked: users.len(),
+        nlist,
+        nprobe,
+        build_ms: build_secs * 1e3,
+        full_rank_ms: full_secs * 1e3,
+        ivf_rank_ms: ivf_secs * 1e3,
+        rank_speedup: full_secs / ivf_secs,
+        recall_at_20: hits as f64 / total.max(1) as f64,
+        mean_candidates: candidates as f64 / users.len().max(1) as f64,
+        candidates_per_sec: candidates as f64 / ivf_secs,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -179,6 +315,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
+    let items_scale = args
+        .iter()
+        .position(|a| a == "--items-scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 10 } else { 100 });
     let out_path: PathBuf = args
         .iter()
         .position(|a| a == "--out")
@@ -213,6 +355,7 @@ fn main() {
     );
 
     let current = measure(&ds, &cfg, reps);
+    let indexed = measure_indexed(&synth, &cfg, reps, items_scale);
 
     // A stored baseline (same dataset/threads) survives re-measurement runs;
     // `--save-baseline` replaces it with the numbers just measured.
@@ -247,6 +390,7 @@ fn main() {
         baseline,
         current,
         speedup,
+        indexed: Some(indexed),
     };
 
     println!(
@@ -263,6 +407,16 @@ fn main() {
         println!(
             "speedup vs baseline: stage1 {:.2}x stage2 {:.2}x stage3 {:.2}x user_boxes {:.2}x rank {:.2}x",
             s.stage1, s.stage2, s.stage3, s.user_boxes, s.rank
+        );
+    }
+    if let Some(ix) = &report.indexed {
+        println!(
+            "indexed @{}x catalog ({} items, {} users): nlist {} nprobe {} build {:.1} ms",
+            ix.items_scale, ix.n_items, ix.n_users_ranked, ix.nlist, ix.nprobe, ix.build_ms,
+        );
+        println!(
+            "  full sort {:>8.1} ms   ivf {:>8.1} ms   speedup {:.2}x   recall@20 {:.4}   {:.0} cand/user",
+            ix.full_rank_ms, ix.ivf_rank_ms, ix.rank_speedup, ix.recall_at_20, ix.mean_candidates,
         );
     }
 

@@ -265,13 +265,17 @@ pub enum Direction {
 
 /// Classifies a dotted metric path. The rules are name-conventional:
 /// `*_per_sec` / `qps` / `*speedup*` / `*hit_rate` are rates where more is
-/// better; anything under a `*_ms` segment is a latency where less is
-/// better; everything else is informational.
+/// better; `recall*` / `hit*` are retrieval-quality fractions where more
+/// is better (the index's recall@k contract lands here); anything under a
+/// `*_ms` segment is a latency where less is better; everything else is
+/// informational.
 pub fn direction(path: &str) -> Direction {
     let last = path.rsplit('.').next().unwrap_or(path);
     if last.ends_with("_per_sec")
         || last == "qps"
         || last.ends_with("hit_rate")
+        || last.starts_with("recall")
+        || last.starts_with("hit")
         || path.split('.').any(|seg| seg.contains("speedup"))
     {
         return Direction::HigherBetter;
@@ -450,6 +454,14 @@ mod tests {
         assert_eq!(direction("qps"), Direction::HigherBetter);
         assert_eq!(direction("speedup.rank"), Direction::HigherBetter);
         assert_eq!(direction("cache_hit_rate"), Direction::HigherBetter);
+        // Retrieval-quality metrics from the candidate index.
+        assert_eq!(direction("indexed.recall_at_20"), Direction::HigherBetter);
+        assert_eq!(direction("recall@20"), Direction::HigherBetter);
+        assert_eq!(direction("eval.hits"), Direction::HigherBetter);
+        assert_eq!(
+            direction("indexed.candidates_per_sec"),
+            Direction::HigherBetter
+        );
         assert_eq!(direction("latency_ms.p99"), Direction::LowerBetter);
         assert_eq!(direction("current.user_boxes_ms"), Direction::LowerBetter);
         assert_eq!(direction("dim"), Direction::Informational);

@@ -31,6 +31,7 @@ USAGE:
                   [--addr 127.0.0.1:7878] [--batch-max 32] [--batch-wait-us 500]
                   [--queue-cap 1024] [--cache-cap 100000] [--threads 1]
                   [--slo-ms 50] [--trace-slow-ms 250] [--trace-sample 1]
+                  [--index full|ivf] [--nlist 0] [--nprobe 0] (0 = auto)
                   [--smoke]
   inbox obs       [--addr 127.0.0.1:7878] [--interval-ms 1000] [--iters 0]
                   live dashboard over a running server's GET /metrics
@@ -314,7 +315,22 @@ pub fn recommend(parsed: &Parsed) -> CmdResult {
 /// Builds the serving configuration from flags.
 pub fn serve_config_from_flags(parsed: &Parsed) -> Result<ServeConfig, Box<dyn Error>> {
     let defaults = ServeConfig::default();
+    // Candidate generation: `--index full` (default) scores every item;
+    // `--index ivf` builds the IVF + box-pruning index, with `--nlist` /
+    // `--nprobe` overriding the auto-derived knobs (0 = auto).
+    let index = match parsed.get("index") {
+        None => defaults.index,
+        Some(name) => match inbox_serve::IndexMode::parse(name) {
+            Some(inbox_serve::IndexMode::Ivf { .. }) => inbox_serve::IndexMode::Ivf {
+                nlist: parsed.get_parsed("nlist", 0usize)?,
+                nprobe: parsed.get_parsed("nprobe", 0usize)?,
+            },
+            Some(mode) => mode,
+            None => return Err(format!("--index {name}: expected 'full' or 'ivf'").into()),
+        },
+    };
     Ok(ServeConfig {
+        index,
         max_batch: parsed.get_parsed("batch-max", defaults.max_batch)?,
         batch_wait: std::time::Duration::from_micros(parsed.get_parsed("batch-wait-us", 500u64)?),
         queue_cap: parsed.get_parsed("queue-cap", defaults.queue_cap)?,
@@ -371,14 +387,18 @@ pub fn serve(parsed: &Parsed) -> CmdResult {
         .map_err(|e| format!("cannot bind --addr {addr}: {e}"))?;
     if chatty() {
         println!(
-            "serving {} on http://{} (batch {} / {}us, queue {}, cache {}, threads {})",
+            "serving {} on http://{} (batch {} / {}us, queue {}, cache {}, threads {}, index {})",
             ds.name,
             http.local_addr(),
             serve_cfg.max_batch,
             serve_cfg.batch_wait.as_micros(),
             serve_cfg.queue_cap,
             serve_cfg.cache_cap,
-            serve_cfg.threads
+            serve_cfg.threads,
+            match service.engine().index_active() {
+                Some((nlist, nprobe)) => format!("ivf(nlist={nlist},nprobe={nprobe})"),
+                None => "full".to_string(),
+            }
         );
         println!("routes: GET /health  GET /recommend?user=U&k=K  POST /ingest?user=U&item=I  GET /stats  GET /metrics  GET /traces  GET /profile");
     }
@@ -740,6 +760,8 @@ mod tests {
             data_dir.to_str().unwrap(),
             "--addr",
             "127.0.0.1:0",
+            "--index",
+            "ivf",
             "--smoke",
         ]);
         serve(&p).unwrap();
@@ -765,6 +787,12 @@ mod tests {
             "20",
             "--trace-slow-ms",
             "100",
+            "--index",
+            "ivf",
+            "--nlist",
+            "64",
+            "--nprobe",
+            "8",
         ]);
         let cfg = serve_config_from_flags(&p).unwrap();
         assert_eq!(cfg.max_batch, 8);
@@ -774,6 +802,13 @@ mod tests {
         assert_eq!(cfg.threads, 2);
         assert_eq!(cfg.slo_objective, std::time::Duration::from_millis(20));
         assert_eq!(cfg.trace_slow, std::time::Duration::from_millis(100));
+        assert_eq!(
+            cfg.index,
+            inbox_serve::IndexMode::Ivf {
+                nlist: 64,
+                nprobe: 8
+            }
+        );
         // Defaults hold when flags are absent.
         let d = serve_config_from_flags(&parsed(&["serve"])).unwrap();
         assert_eq!(d.max_batch, inbox_serve::ServeConfig::default().max_batch);
@@ -781,6 +816,17 @@ mod tests {
             d.slo_objective,
             inbox_serve::ServeConfig::default().slo_objective
         );
+        assert_eq!(d.index, inbox_serve::IndexMode::FullSort);
+        // Bare `--index ivf` leaves both knobs on auto; junk is rejected.
+        let auto = serve_config_from_flags(&parsed(&["serve", "--index", "ivf"])).unwrap();
+        assert_eq!(
+            auto.index,
+            inbox_serve::IndexMode::Ivf {
+                nlist: 0,
+                nprobe: 0
+            }
+        );
+        assert!(serve_config_from_flags(&parsed(&["serve", "--index", "rtree"])).is_err());
     }
 
     #[test]

@@ -632,6 +632,27 @@ impl InBoxModel {
         self.store.value(self.item_emb)
     }
 
+    /// Warm-starts the item-point table from externally supplied vectors
+    /// (flat row-major `n_items × d`), replacing the random init.
+    ///
+    /// Trained InBox item points cluster by concept (Section 4.5 /
+    /// Figure 5); this hook lets callers start from pretrained or
+    /// synthetic-but-clustered geometry instead of training from scratch —
+    /// benchmark and index fixtures use it to reproduce the post-training
+    /// regime deterministically.
+    ///
+    /// # Panics
+    /// If `points.len() != n_items * dim`.
+    pub fn set_item_points(&mut self, points: &[f32]) {
+        let table = self.store.value_mut(self.item_emb);
+        assert_eq!(
+            points.len(),
+            table.rows() * table.cols(),
+            "item-point warm start must be n_items * dim values"
+        );
+        table.data_mut().copy_from_slice(points);
+    }
+
     /// All item points as owned vectors (for PCA / Figure 5).
     pub fn all_item_points(&self) -> Vec<Vec<f32>> {
         let t = self.store.value(self.item_emb);

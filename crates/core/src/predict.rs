@@ -286,6 +286,43 @@ pub struct ScoreScratch {
     hi: Vec<f32>,
 }
 
+impl ScoreScratch {
+    /// Lower box corner per dimension, as prepared by
+    /// [`ItemScorer::prepare_box_bounds`].
+    pub fn lo(&self) -> &[f32] {
+        &self.lo
+    }
+
+    /// Upper box corner per dimension, as prepared by
+    /// [`ItemScorer::prepare_box_bounds`].
+    pub fn hi(&self) -> &[f32] {
+        &self.hi
+    }
+}
+
+/// The per-item scoring kernel shared by the full scan and the per-item
+/// path: `γ - (d_out + w·d_in)` with separate outside/inside accumulators
+/// in dimension order. Keeping both paths on this single function is what
+/// makes candidate re-ranking bit-identical to the full sort.
+#[inline]
+fn score_row(
+    row: &[f32],
+    cen: &[f32],
+    lo: &[f32],
+    hi: &[f32],
+    gamma: f32,
+    inside_weight: f32,
+) -> f32 {
+    let mut out = 0.0f32;
+    let mut inside = 0.0f32;
+    for k in 0..row.len() {
+        let p = row[k];
+        out += (p - hi[k]).max(0.0) + (lo[k] - p).max(0.0);
+        inside += (cen[k] - p.clamp(lo[k], hi[k])).abs();
+    }
+    gamma - (out + inside_weight * inside)
+}
+
 /// An owned snapshot of the item-embedding table that scores any interest
 /// box against every item: `γ - D_PB(v_i, b)` (Eq. (29)).
 ///
@@ -331,6 +368,63 @@ impl ItemScorer {
         self.n_items
     }
 
+    /// Embedding dimension of the snapshot.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The score offset `γ` (scores are `γ - distance`, Eq. (29)).
+    pub fn gamma(&self) -> f32 {
+        self.gamma
+    }
+
+    /// Weight of the inside-distance term of `D_PB`.
+    pub fn inside_weight(&self) -> f32 {
+        self.inside_weight
+    }
+
+    /// The row-major `n_items × dim` item-point snapshot.
+    pub fn items(&self) -> &[f32] {
+        &self.items
+    }
+
+    /// Fills `scratch` with the box's per-dimension `[lo, hi]` bounds —
+    /// the exact `cen ± relu(off)` values the scan path uses. Splitting
+    /// this out lets candidate-generation paths score arbitrary item
+    /// subsets via [`score_item_prepared`](ItemScorer::score_item_prepared)
+    /// with bit-identical results to the full scan.
+    pub fn prepare_box_bounds(&self, b: &BoxEmb, scratch: &mut ScoreScratch) {
+        let d = self.dim;
+        let lo = &mut scratch.lo;
+        let hi = &mut scratch.hi;
+        lo.clear();
+        hi.clear();
+        lo.reserve(d);
+        hi.reserve(d);
+        for k in 0..d {
+            let half = b.off[k].max(0.0);
+            lo.push(b.cen[k] - half);
+            hi.push(b.cen[k] + half);
+        }
+    }
+
+    /// Scores one item against a box whose bounds were prepared by
+    /// [`prepare_box_bounds`](ItemScorer::prepare_box_bounds). Identical
+    /// arithmetic and operation order to the full-scan path, so the score
+    /// is bit-identical to `score_box_into`'s entry for the same item.
+    pub fn score_item_prepared(&self, b: &BoxEmb, scratch: &ScoreScratch, item: u32) -> f32 {
+        let d = self.dim;
+        let row = &self.items[item as usize * d..(item as usize + 1) * d];
+        score_row(
+            row,
+            &b.cen,
+            &scratch.lo,
+            &scratch.hi,
+            self.gamma,
+            self.inside_weight,
+        )
+    }
+
     /// Scores every item against one interest box, best-first by value.
     pub fn score_box(&self, b: &BoxEmb) -> Vec<f32> {
         let mut scratch = ScoreScratch::default();
@@ -350,32 +444,21 @@ impl ItemScorer {
         scratch: &mut ScoreScratch,
         out_scores: &mut Vec<f32>,
     ) {
-        let d = self.dim;
         // Per-user box bounds, computed once for all items. Using the same
         // `cen ± relu(off)` values and accumulation order as
         // `geometry::d_pb_weighted` keeps scores bit-identical.
-        let lo = &mut scratch.lo;
-        let hi = &mut scratch.hi;
-        lo.clear();
-        hi.clear();
-        lo.reserve(d);
-        hi.reserve(d);
-        for k in 0..d {
-            let half = b.off[k].max(0.0);
-            lo.push(b.cen[k] - half);
-            hi.push(b.cen[k] + half);
-        }
+        self.prepare_box_bounds(b, scratch);
         out_scores.clear();
         out_scores.reserve(self.n_items);
-        for row in self.items.chunks_exact(d) {
-            let mut out = 0.0f32;
-            let mut inside = 0.0f32;
-            for k in 0..d {
-                let p = row[k];
-                out += (p - hi[k]).max(0.0) + (lo[k] - p).max(0.0);
-                inside += (b.cen[k] - p.clamp(lo[k], hi[k])).abs();
-            }
-            out_scores.push(self.gamma - (out + self.inside_weight * inside));
+        for row in self.items.chunks_exact(self.dim) {
+            out_scores.push(score_row(
+                row,
+                &b.cen,
+                &scratch.lo,
+                &scratch.hi,
+                self.gamma,
+                self.inside_weight,
+            ));
         }
     }
 
@@ -606,6 +689,28 @@ mod tests {
         let v = cache.version(user);
         assert!(!cache.ingest(&ds.kg, &cfg, user, ItemId(0)));
         assert_eq!(cache.version(user), v);
+    }
+
+    #[test]
+    fn per_item_prepared_scores_bit_match_the_full_scan() {
+        let (ds, model, cfg) = setup();
+        let boxes = all_user_boxes(&model, &ds.kg, &ds.train, &cfg);
+        let scorer = ItemScorer::new(&model, &cfg, ds.n_items());
+        assert_eq!(scorer.dim(), model.dim);
+        assert_eq!(scorer.gamma(), cfg.gamma);
+        assert_eq!(scorer.inside_weight(), cfg.inside_weight);
+        assert_eq!(scorer.items().len(), ds.n_items() * model.dim);
+        let mut scratch = ScoreScratch::default();
+        for b in boxes.iter().flatten() {
+            let full = scorer.score_box(b);
+            scorer.prepare_box_bounds(b, &mut scratch);
+            assert_eq!(scratch.lo().len(), model.dim);
+            assert_eq!(scratch.hi().len(), model.dim);
+            for (i, &s) in full.iter().enumerate() {
+                let one = scorer.score_item_prepared(b, &scratch, i as u32);
+                assert_eq!(one.to_bits(), s.to_bits(), "item {i}");
+            }
+        }
     }
 
     #[test]

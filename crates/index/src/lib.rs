@@ -1,0 +1,888 @@
+//! `inbox-index` — box-aware top-k candidate retrieval over a frozen item
+//! matrix.
+//!
+//! Serving ranks a user by scoring their interest box against every item
+//! point (`γ - D_PB(v, b)`, Eq. (29)) and taking the masked top-K — an
+//! O(items) scan per request. This crate makes that cost sublinear in the
+//! catalog with the classic candidate-generation-then-rerank split:
+//!
+//! 1. **IVF coarse partition** ([`IvfIndex::build`]): Lloyd's k-means over
+//!    the item points under the **L1 metric** — the same metric family as
+//!    the paper's `D_PB` distance (Eq. (7)–(9)) — yields `nlist`
+//!    partitions, each with its centroid and the axis-aligned bounding
+//!    rectangle of its member points.
+//! 2. **Probe selection** ([`IvfIndex::select_probes`]): partitions are
+//!    ordered by the exact box-to-centroid distance (outside + weighted
+//!    inside term, identical shape to the item score) and the `nprobe`
+//!    nearest are kept.
+//! 3. **Box pruning + exact re-rank** ([`IvfIndex::rerank`]): probed
+//!    partitions are visited nearest-first. Once the running top-k is
+//!    full, a partition whose bounding rectangle provably cannot contain
+//!    an item beating the current k-th best score is skipped whole; every
+//!    surviving partition's members are scored **exactly** through a
+//!    caller-supplied scorer (production passes
+//!    `ItemScorer::score_item_prepared`, the very arithmetic of the full
+//!    sort), maintaining a masked top-k heap with the evaluation
+//!    protocol's tie-breaking (score descending, then smaller item id).
+//!
+//! Because candidate scores and the selection comparator are bit-identical
+//! to the full sort, the served answer is **byte-identical to the full
+//! sort whenever the probed partitions contain the true top-k** — the
+//! `nprobe = nlist` configuration recovers the full sort exactly (the
+//! pruning bound is conservative), and smaller `nprobe` trades recall for
+//! latency, a contract the testkit differential suite measures.
+//!
+//! The rectangle bound is evaluated in `f64` with a small safety slack
+//! ([`PRUNE_SLACK`]) so `f32` rounding in the exact per-item scores can
+//! never make the pruning unsound (see DESIGN.md §12 for the derivation).
+
+#![warn(missing_docs)]
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use inbox_kg::ItemId;
+
+/// How the serving engine generates ranking candidates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum IndexMode {
+    /// Score every item (the exact O(items) baseline).
+    #[default]
+    FullSort,
+    /// IVF candidate generation with exact re-rank. `0` for either knob
+    /// means "derive from the catalog size" ([`auto_nlist`] /
+    /// [`auto_nprobe`]).
+    Ivf {
+        /// Number of coarse partitions (k-means cells).
+        nlist: usize,
+        /// Partitions probed per query, nearest-first.
+        nprobe: usize,
+    },
+}
+
+impl IndexMode {
+    /// Parses a CLI-style mode name: `full` / `fullsort` / `ivf`. The IVF
+    /// knobs start at 0 (auto) — callers overlay `--nlist` / `--nprobe`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "full" | "fullsort" | "full-sort" => Some(IndexMode::FullSort),
+            "ivf" => Some(IndexMode::Ivf {
+                nlist: 0,
+                nprobe: 0,
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for IndexMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexMode::FullSort => write!(f, "full"),
+            IndexMode::Ivf { nlist, nprobe } => write!(f, "ivf(nlist={nlist},nprobe={nprobe})"),
+        }
+    }
+}
+
+/// Default partition count for a catalog: ~2·√n keeps mean partition size
+/// at √n/2, balancing the O(nlist) centroid scan against per-partition
+/// scan cost. Clamped so tiny catalogs still get a few partitions.
+pub fn auto_nlist(n_items: usize) -> usize {
+    (((n_items as f64).sqrt() * 2.0) as usize).clamp(1, n_items.max(1))
+}
+
+/// Default probe count for a partition count: an eighth of the partitions,
+/// at least 4 — measured ≥0.95 recall@20 on the synthetic twins (the
+/// testkit differential suite asserts exactly this contract).
+pub fn auto_nprobe(nlist: usize) -> usize {
+    (nlist / 8).max(4).min(nlist.max(1))
+}
+
+/// Construction error. The only failure mode is the injected chaos site
+/// `index.build_partition` — k-means itself cannot fail — but builders
+/// must treat any error as "serve without an index", never as fatal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The `index.build_partition` failpoint fired while finalising the
+    /// given partition (chaos testing only).
+    Injected(usize),
+    /// The item matrix was empty or its length was not a multiple of the
+    /// dimension.
+    BadShape {
+        /// Length of the flat item matrix.
+        len: usize,
+        /// Claimed embedding dimension.
+        dim: usize,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Injected(p) => {
+                write!(f, "injected failure finalising partition {p}")
+            }
+            BuildError::BadShape { len, dim } => {
+                write!(f, "item matrix of length {len} is not n×{dim}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// K-means construction knobs. Defaults are what the serving engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IvfParams {
+    /// Number of partitions.
+    pub nlist: usize,
+    /// Lloyd iterations (assignment is deterministic, so few suffice).
+    pub iters: usize,
+    /// Seed stride for centroid initialisation (deterministic).
+    pub seed: u64,
+}
+
+impl Default for IvfParams {
+    fn default() -> Self {
+        Self {
+            nlist: 0, // resolved against the catalog by `build`
+            iters: 6,
+            seed: 0x1db0,
+        }
+    }
+}
+
+/// One query's box geometry, borrowed from the caller's scratch: the
+/// per-dimension bounds `lo = cen - relu(off)` / `hi = cen + relu(off)`
+/// plus the scoring constants. The engine fills `lo`/`hi` through
+/// `ItemScorer::prepare_box_bounds` so they are the exact values the
+/// re-rank scorer uses.
+#[derive(Debug, Clone, Copy)]
+pub struct BoxQuery<'a> {
+    /// Lower box corner per dimension.
+    pub lo: &'a [f32],
+    /// Upper box corner per dimension.
+    pub hi: &'a [f32],
+    /// Box center per dimension.
+    pub cen: &'a [f32],
+    /// Weight of the inside-distance term (`inside_weight` in Eq. (9)).
+    pub inside_weight: f32,
+    /// Score offset (`γ` in Eq. (29)); scores are `gamma - distance`.
+    pub gamma: f32,
+}
+
+/// Absolute slack subtracted from the k-th best score before a partition
+/// is pruned. The rectangle bound is computed in `f64` (so it is a true
+/// bound on the real-valued score), but the exact per-item scores are
+/// `f32` arithmetic whose rounding can land a hair *above* the real
+/// value; the slack absorbs that, keeping pruning conservative. Scores
+/// live on the `gamma`-ish scale (units, not millionths), so 1e-3 costs
+/// essentially no pruning power.
+pub const PRUNE_SLACK: f64 = 1e-3;
+
+#[derive(PartialEq)]
+struct Cand {
+    score: f32,
+    item: u32,
+}
+
+impl Eq for Cand {}
+
+// Max-heap that pops the *worst* candidate: lowest score, ties toward the
+// largest item id — the same survivor set and final ordering as
+// `inbox_eval::top_k_masked`, so a candidate superset of the true top-k
+// reranks to a byte-identical answer.
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.item.cmp(&other.item))
+    }
+}
+
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable per-thread buffers for [`IvfIndex::select_probes`] /
+/// [`IvfIndex::rerank`]: after one warm query, the whole probe → prune →
+/// re-rank pipeline is allocation-free.
+#[derive(Default)]
+pub struct QueryScratch {
+    /// `(rect min-distance, centroid distance, partition)` rows, sorted
+    /// ascending, truncated to `nprobe` by `select_probes`.
+    probes: Vec<(f32, f32, u32)>,
+    /// Backing storage for the top-k heap (round-trips through the heap).
+    heap: Vec<Cand>,
+}
+
+impl QueryScratch {
+    /// Partitions the last [`IvfIndex::select_probes`] chose, as
+    /// `(rect min-distance, centroid distance, partition)`, most promising
+    /// first.
+    pub fn probes(&self) -> &[(f32, f32, u32)] {
+        &self.probes
+    }
+}
+
+/// What one [`IvfIndex::rerank`] did, for telemetry and contracts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RerankStats {
+    /// Probed partitions whose members were actually scored.
+    pub scanned_partitions: usize,
+    /// Probed partitions skipped whole by the bounding-rectangle test.
+    pub pruned_partitions: usize,
+    /// Candidate items scored exactly (mask hits excluded).
+    pub candidates: usize,
+}
+
+/// An IVF coarse partition of a frozen item-point matrix, with per-
+/// partition bounding rectangles for geometric pruning. Immutable after
+/// construction; queries are `&self` and thread-safe.
+pub struct IvfIndex {
+    dim: usize,
+    n_items: usize,
+    /// Row-major `nlist × dim` partition centroids.
+    centroids: Vec<f32>,
+    /// Row-major `nlist × dim` per-partition lower rectangle corners.
+    rect_lo: Vec<f32>,
+    /// Row-major `nlist × dim` per-partition upper rectangle corners.
+    rect_hi: Vec<f32>,
+    /// CSR offsets into `members`, length `nlist + 1`.
+    offsets: Vec<u32>,
+    /// Item ids grouped by partition.
+    members: Vec<u32>,
+}
+
+impl IvfIndex {
+    /// Builds the index over a row-major `n × dim` item matrix (the same
+    /// layout `ItemScorer` snapshots). Deterministic in `params.seed`.
+    ///
+    /// The `index.build_partition` failpoint fires per finalised
+    /// partition; a fired site aborts the build with
+    /// [`BuildError::Injected`] — callers degrade to full-sort serving.
+    pub fn build(items: &[f32], dim: usize, params: &IvfParams) -> Result<Self, BuildError> {
+        if dim == 0 || items.is_empty() || !items.len().is_multiple_of(dim) {
+            return Err(BuildError::BadShape {
+                len: items.len(),
+                dim,
+            });
+        }
+        let n = items.len() / dim;
+        let nlist = if params.nlist == 0 {
+            auto_nlist(n)
+        } else {
+            params.nlist.clamp(1, n)
+        };
+
+        // Deterministic spread initialisation: a fixed odd stride derived
+        // from the seed walks the catalog, so seeds land all over the
+        // matrix regardless of item order.
+        let stride = (params.seed | 1) as usize % n.max(1);
+        let stride = if stride == 0 { 1 } else { stride };
+        let mut centroids = vec![0.0f32; nlist * dim];
+        let mut at = 0usize;
+        let mut taken = std::collections::HashSet::new();
+        for c in 0..nlist {
+            while !taken.insert(at) {
+                at = (at + 1) % n;
+            }
+            centroids[c * dim..(c + 1) * dim].copy_from_slice(&items[at * dim..(at + 1) * dim]);
+            at = (at + stride) % n;
+        }
+
+        // Lloyd iterations under L1 assignment with mean updates. Mean
+        // (not median) updates are fine here: the index only needs a
+        // *partition*, correctness never depends on centroid optimality.
+        let mut assign = vec![0u32; n];
+        let mut counts = vec![0u32; nlist];
+        let mut sums = vec![0.0f64; nlist * dim];
+        for _ in 0..params.iters.max(1) {
+            for (i, row) in items.chunks_exact(dim).enumerate() {
+                assign[i] = nearest_centroid_l1(&centroids, dim, row);
+            }
+            counts.fill(0);
+            sums.fill(0.0);
+            for (i, row) in items.chunks_exact(dim).enumerate() {
+                let c = assign[i] as usize;
+                counts[c] += 1;
+                for (k, &v) in row.iter().enumerate() {
+                    sums[c * dim + k] += v as f64;
+                }
+            }
+            // Empty partitions steal the point farthest from its centroid
+            // so every partition stays populated (and the CSR total).
+            for c in 0..nlist {
+                if counts[c] > 0 {
+                    for k in 0..dim {
+                        centroids[c * dim + k] = (sums[c * dim + k] / counts[c] as f64) as f32;
+                    }
+                } else {
+                    let far = farthest_item(items, dim, &centroids, &assign);
+                    centroids[c * dim..(c + 1) * dim]
+                        .copy_from_slice(&items[far * dim..(far + 1) * dim]);
+                }
+            }
+        }
+        for (i, row) in items.chunks_exact(dim).enumerate() {
+            assign[i] = nearest_centroid_l1(&centroids, dim, row);
+        }
+
+        // Finalise: CSR member lists + bounding rectangles.
+        counts.fill(0);
+        for &a in &assign {
+            counts[a as usize] += 1;
+        }
+        let mut offsets = vec![0u32; nlist + 1];
+        for c in 0..nlist {
+            offsets[c + 1] = offsets[c] + counts[c];
+        }
+        let mut cursor: Vec<u32> = offsets[..nlist].to_vec();
+        let mut members = vec![0u32; n];
+        for (i, &a) in assign.iter().enumerate() {
+            members[cursor[a as usize] as usize] = i as u32;
+            cursor[a as usize] += 1;
+        }
+        let mut rect_lo = vec![f32::MAX; nlist * dim];
+        let mut rect_hi = vec![f32::MIN; nlist * dim];
+        for c in 0..nlist {
+            if inbox_obs::failpoint!("index.build_partition") {
+                return Err(BuildError::Injected(c));
+            }
+            for &item in &members[offsets[c] as usize..offsets[c + 1] as usize] {
+                let row = &items[item as usize * dim..(item as usize + 1) * dim];
+                for (k, &v) in row.iter().enumerate() {
+                    let lo = &mut rect_lo[c * dim + k];
+                    *lo = lo.min(v);
+                    let hi = &mut rect_hi[c * dim + k];
+                    *hi = hi.max(v);
+                }
+            }
+        }
+        Ok(Self {
+            dim,
+            n_items: n,
+            centroids,
+            rect_lo,
+            rect_hi,
+            offsets,
+            members,
+        })
+    }
+
+    /// Number of partitions.
+    pub fn nlist(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of indexed items.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Item ids of one partition.
+    pub fn members(&self, partition: usize) -> &[u32] {
+        &self.members[self.offsets[partition] as usize..self.offsets[partition + 1] as usize]
+    }
+
+    /// Exact box-to-point distance (`d_out + w·d_in`, Eq. (7)–(9)) from
+    /// the query box to a centroid — the probe ordering key.
+    fn box_distance(&self, q: &BoxQuery<'_>, centroid: usize) -> f32 {
+        let row = &self.centroids[centroid * self.dim..(centroid + 1) * self.dim];
+        let mut out = 0.0f32;
+        let mut inside = 0.0f32;
+        for (k, &p) in row.iter().enumerate() {
+            out += (p - q.hi[k]).max(0.0) + (q.lo[k] - p).max(0.0);
+            inside += (q.cen[k] - p.clamp(q.lo[k], q.hi[k])).abs();
+        }
+        out + q.inside_weight * inside
+    }
+
+    /// Upper bound (in `f64`, conservative) on the score any point inside
+    /// partition `c`'s bounding rectangle can achieve against the box:
+    /// `gamma - min over the rectangle of (d_out + w·d_in)`. Per
+    /// dimension the outside term's minimum is the rectangle-to-box gap
+    /// and the inside term's minimum is the distance from the center to
+    /// the clamped rectangle interval — see DESIGN.md §12.
+    fn rect_score_bound(&self, q: &BoxQuery<'_>, c: usize) -> f64 {
+        let base = c * self.dim;
+        let mut d_out = 0.0f64;
+        let mut d_in = 0.0f64;
+        for k in 0..self.dim {
+            let rlo = self.rect_lo[base + k] as f64;
+            let rhi = self.rect_hi[base + k] as f64;
+            let blo = q.lo[k] as f64;
+            let bhi = q.hi[k] as f64;
+            let cen = q.cen[k] as f64;
+            d_out += (rlo - bhi).max(0.0) + (blo - rhi).max(0.0);
+            // The clamp of any rectangle point into the box spans
+            // [clamp(rlo), clamp(rhi)]; the nearest such value to the
+            // center bounds the inside term.
+            let a = rlo.clamp(blo, bhi);
+            let b = rhi.clamp(blo, bhi);
+            d_in += if cen < a {
+                a - cen
+            } else if cen > b {
+                cen - b
+            } else {
+                0.0
+            };
+        }
+        q.gamma as f64 - (d_out + q.inside_weight as f64 * d_in)
+    }
+
+    /// Stage 1 — candidate generation: ranks every partition by how close
+    /// its geometry can possibly come to the box and keeps the `nprobe`
+    /// most promising in `scratch`. The primary key is the **rectangle
+    /// min-distance** (the MINDIST of R-tree best-first search: the
+    /// smallest `d_out + w·d_in` any member could achieve, i.e. exactly
+    /// `gamma - rect_score_bound`); rectangles that overlap the box all
+    /// tie at 0, so the **box-to-centroid distance** (Eq. (7)–(9) applied
+    /// to the k-means centroid) breaks ties, then the partition id keeps
+    /// probing deterministic. Allocation-free once `scratch` is warm.
+    pub fn select_probes(&self, q: &BoxQuery<'_>, nprobe: usize, scratch: &mut QueryScratch) {
+        let nlist = self.nlist();
+        scratch.probes.clear();
+        scratch.probes.reserve(nlist);
+        for c in 0..nlist {
+            let mindist = (q.gamma as f64 - self.rect_score_bound(q, c)) as f32;
+            scratch
+                .probes
+                .push((mindist, self.box_distance(q, c), c as u32));
+        }
+        scratch.probes.sort_unstable_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(Ordering::Equal)
+                .then(a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal))
+                .then(a.2.cmp(&b.2))
+        });
+        scratch.probes.truncate(nprobe.max(1).min(nlist));
+    }
+
+    /// Stage 2 — box pruning + exact re-rank over the probed partitions:
+    /// visits `scratch`'s probe list nearest-first, skips partitions whose
+    /// rectangle bound cannot beat the current k-th best score (minus
+    /// [`PRUNE_SLACK`]), and scores every remaining member through
+    /// `score` (exact, caller-supplied) into a masked top-k. `mask` must
+    /// be sorted ascending. The result lands in `out` best-first with the
+    /// evaluation protocol's tie-breaking; the returned stats feed the
+    /// candidate-set telemetry.
+    pub fn rerank(
+        &self,
+        q: &BoxQuery<'_>,
+        k: usize,
+        mask: &[ItemId],
+        mut score: impl FnMut(u32) -> f32,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<(ItemId, f32)>,
+    ) -> RerankStats {
+        let mut stats = RerankStats::default();
+        let mut entries = std::mem::take(&mut scratch.heap);
+        entries.clear();
+        entries.reserve(k + 1);
+        let mut heap: BinaryHeap<Cand> = BinaryHeap::from(entries);
+        for i in 0..scratch.probes.len() {
+            let c = scratch.probes[i].2 as usize;
+            if heap.len() == k {
+                // `peek` is the worst kept candidate — the k-th best.
+                let kth = heap.peek().map(|e| e.score as f64).unwrap_or(f64::MIN);
+                if self.rect_score_bound(q, c) < kth - PRUNE_SLACK {
+                    stats.pruned_partitions += 1;
+                    continue;
+                }
+            }
+            stats.scanned_partitions += 1;
+            for &item in self.members(c) {
+                if mask.binary_search(&ItemId(item)).is_ok() {
+                    continue;
+                }
+                stats.candidates += 1;
+                heap.push(Cand {
+                    score: score(item),
+                    item,
+                });
+                if heap.len() > k {
+                    heap.pop();
+                }
+            }
+        }
+        let mut entries = heap.into_vec();
+        entries.sort_unstable_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.item.cmp(&b.item))
+        });
+        out.clear();
+        out.extend(entries.iter().map(|e| (ItemId(e.item), e.score)));
+        entries.clear();
+        scratch.heap = entries;
+        stats
+    }
+
+    /// Convenience single-call query (tests and offline tools; the engine
+    /// calls the two stages separately to attribute them to spans).
+    #[allow(clippy::too_many_arguments)]
+    pub fn query(
+        &self,
+        q: &BoxQuery<'_>,
+        nprobe: usize,
+        k: usize,
+        mask: &[ItemId],
+        score: impl FnMut(u32) -> f32,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<(ItemId, f32)>,
+    ) -> RerankStats {
+        self.select_probes(q, nprobe, scratch);
+        self.rerank(q, k, mask, score, scratch, out)
+    }
+}
+
+fn nearest_centroid_l1(centroids: &[f32], dim: usize, row: &[f32]) -> u32 {
+    let mut best = 0u32;
+    let mut best_d = f32::MAX;
+    for (c, cen) in centroids.chunks_exact(dim).enumerate() {
+        let mut d = 0.0f32;
+        for k in 0..dim {
+            d += (row[k] - cen[k]).abs();
+        }
+        if d < best_d {
+            best_d = d;
+            best = c as u32;
+        }
+    }
+    best
+}
+
+fn farthest_item(items: &[f32], dim: usize, centroids: &[f32], assign: &[u32]) -> usize {
+    let mut far = 0usize;
+    let mut far_d = f32::MIN;
+    for (i, row) in items.chunks_exact(dim).enumerate() {
+        let c = assign[i] as usize;
+        let cen = &centroids[c * dim..(c + 1) * dim];
+        let mut d = 0.0f32;
+        for k in 0..dim {
+            d += (row[k] - cen[k]).abs();
+        }
+        if d > far_d {
+            far_d = d;
+            far = i;
+        }
+    }
+    far
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_items(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n * dim).map(|_| rng.gen_range(-2.0..2.0)).collect()
+    }
+
+    /// The exact per-item score the engine's full sort computes.
+    fn exact_score(items: &[f32], dim: usize, item: u32, q: &BoxQuery<'_>) -> f32 {
+        let row = &items[item as usize * dim..(item as usize + 1) * dim];
+        let mut out = 0.0f32;
+        let mut inside = 0.0f32;
+        for (k, &p) in row.iter().enumerate() {
+            out += (p - q.hi[k]).max(0.0) + (q.lo[k] - p).max(0.0);
+            inside += (q.cen[k] - p.clamp(q.lo[k], q.hi[k])).abs();
+        }
+        q.gamma - (out + q.inside_weight * inside)
+    }
+
+    fn full_sort(
+        items: &[f32],
+        dim: usize,
+        q: &BoxQuery<'_>,
+        mask: &[ItemId],
+        k: usize,
+    ) -> Vec<(ItemId, f32)> {
+        let n = items.len() / dim;
+        let mut scored: Vec<(ItemId, f32)> = (0..n as u32)
+            .filter(|i| mask.binary_search(&ItemId(*i)).is_err())
+            .map(|i| (ItemId(i), exact_score(items, dim, i, q)))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        scored.truncate(k);
+        scored
+    }
+
+    fn box_of(cen: Vec<f32>, half: f32) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let lo = cen.iter().map(|c| c - half).collect();
+        let hi = cen.iter().map(|c| c + half).collect();
+        (lo, hi, cen)
+    }
+
+    #[test]
+    fn build_partitions_every_item_exactly_once() {
+        let dim = 4;
+        let items = random_items(300, dim, 1);
+        let ix = IvfIndex::build(
+            &items,
+            dim,
+            &IvfParams {
+                nlist: 12,
+                ..Default::default()
+            },
+        )
+        .expect("build");
+        assert_eq!(ix.nlist(), 12);
+        assert_eq!(ix.n_items(), 300);
+        let mut seen = vec![false; 300];
+        for c in 0..ix.nlist() {
+            for &m in ix.members(c) {
+                assert!(!seen[m as usize], "item {m} in two partitions");
+                seen[m as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every item indexed");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let items = random_items(200, 3, 7);
+        let p = IvfParams {
+            nlist: 9,
+            ..Default::default()
+        };
+        let a = IvfIndex::build(&items, 3, &p).unwrap();
+        let b = IvfIndex::build(&items, 3, &p).unwrap();
+        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.members, b.members);
+        assert_eq!(a.offsets, b.offsets);
+    }
+
+    #[test]
+    fn rects_bound_their_members() {
+        let dim = 5;
+        let items = random_items(400, dim, 3);
+        let ix = IvfIndex::build(
+            &items,
+            dim,
+            &IvfParams {
+                nlist: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for c in 0..ix.nlist() {
+            for &m in ix.members(c) {
+                let row = &items[m as usize * dim..(m as usize + 1) * dim];
+                for (k, &v) in row.iter().enumerate() {
+                    assert!(ix.rect_lo[c * dim + k] <= v);
+                    assert!(ix.rect_hi[c * dim + k] >= v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bad_shapes_are_rejected() {
+        assert!(matches!(
+            IvfIndex::build(&[1.0, 2.0, 3.0], 2, &IvfParams::default()),
+            Err(BuildError::BadShape { .. })
+        ));
+        assert!(matches!(
+            IvfIndex::build(&[], 2, &IvfParams::default()),
+            Err(BuildError::BadShape { .. })
+        ));
+        assert!(IvfIndex::build(&[1.0, 2.0], 0, &IvfParams::default()).is_err());
+    }
+
+    #[test]
+    fn rect_bound_dominates_member_scores() {
+        let dim = 6;
+        let items = random_items(500, dim, 11);
+        let ix = IvfIndex::build(
+            &items,
+            dim,
+            &IvfParams {
+                nlist: 20,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let cen: Vec<f32> = (0..dim).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let (lo, hi, cen) = box_of(cen, rng.gen_range(0.0..1.0));
+            let q = BoxQuery {
+                lo: &lo,
+                hi: &hi,
+                cen: &cen,
+                inside_weight: 0.5,
+                gamma: 12.0,
+            };
+            for c in 0..ix.nlist() {
+                let bound = ix.rect_score_bound(&q, c);
+                for &m in ix.members(c) {
+                    let s = exact_score(&items, dim, m, &q) as f64;
+                    assert!(
+                        s <= bound + PRUNE_SLACK,
+                        "partition {c} item {m}: score {s} above bound {bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probing_everything_matches_full_sort_bitwise() {
+        let dim = 8;
+        let items = random_items(600, dim, 23);
+        let ix = IvfIndex::build(
+            &items,
+            dim,
+            &IvfParams {
+                nlist: 24,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut scratch = QueryScratch::default();
+        let mut out = Vec::new();
+        for case in 0..40 {
+            let cen: Vec<f32> = (0..dim).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let (lo, hi, cen) = box_of(cen, rng.gen_range(0.0..1.5));
+            let q = BoxQuery {
+                lo: &lo,
+                hi: &hi,
+                cen: &cen,
+                inside_weight: 0.5,
+                gamma: 12.0,
+            };
+            // A sorted mask of ~5% of the catalog.
+            let mask: Vec<ItemId> = (0..600u32)
+                .filter(|_| rng.gen_bool(0.05))
+                .map(ItemId)
+                .collect();
+            let k = 20;
+            let expected = full_sort(&items, dim, &q, &mask, k);
+            let stats = ix.query(
+                &q,
+                ix.nlist(),
+                k,
+                &mask,
+                |i| exact_score(&items, dim, i, &q),
+                &mut scratch,
+                &mut out,
+            );
+            assert_eq!(out.len(), expected.len(), "case {case}");
+            for (got, want) in out.iter().zip(&expected) {
+                assert_eq!(got.0, want.0, "case {case}");
+                assert_eq!(got.1.to_bits(), want.1.to_bits(), "case {case}");
+            }
+            assert_eq!(
+                stats.scanned_partitions + stats.pruned_partitions,
+                ix.nlist(),
+                "every probed partition is either scanned or pruned"
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_actually_skips_partitions() {
+        // A tight box far from most of the catalog must prune partitions.
+        let dim = 4;
+        let items = random_items(800, dim, 41);
+        let ix = IvfIndex::build(
+            &items,
+            dim,
+            &IvfParams {
+                nlist: 32,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (lo, hi, cen) = box_of(vec![1.8; dim], 0.05);
+        let q = BoxQuery {
+            lo: &lo,
+            hi: &hi,
+            cen: &cen,
+            inside_weight: 0.5,
+            gamma: 12.0,
+        };
+        let mut scratch = QueryScratch::default();
+        let mut out = Vec::new();
+        let stats = ix.query(
+            &q,
+            ix.nlist(),
+            5,
+            &[],
+            |i| exact_score(&items, dim, i, &q),
+            &mut scratch,
+            &mut out,
+        );
+        assert!(
+            stats.pruned_partitions > 0,
+            "corner box pruned nothing: {stats:?}"
+        );
+        assert!(stats.candidates < 800, "pruning reduced the scan");
+    }
+
+    #[test]
+    fn mode_parsing_and_auto_params() {
+        assert_eq!(IndexMode::parse("full"), Some(IndexMode::FullSort));
+        assert_eq!(IndexMode::parse("FULL-SORT"), Some(IndexMode::FullSort));
+        assert_eq!(
+            IndexMode::parse("ivf"),
+            Some(IndexMode::Ivf {
+                nlist: 0,
+                nprobe: 0
+            })
+        );
+        assert_eq!(IndexMode::parse("rtree"), None);
+        assert_eq!(IndexMode::default(), IndexMode::FullSort);
+
+        let nlist = auto_nlist(40_000);
+        assert_eq!(nlist, 400);
+        assert_eq!(auto_nprobe(nlist), 50);
+        assert_eq!(auto_nprobe(8), 4);
+        assert_eq!(auto_nprobe(2), 2, "nprobe never exceeds nlist");
+        assert!(auto_nlist(1) == 1);
+    }
+
+    #[test]
+    fn small_catalogs_clamp_nlist() {
+        let items = random_items(5, 2, 1);
+        let ix = IvfIndex::build(
+            &items,
+            2,
+            &IvfParams {
+                nlist: 64,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(ix.nlist(), 5);
+        let ix = IvfIndex::build(
+            &items,
+            2,
+            &IvfParams {
+                nlist: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(ix.nlist() >= 1 && ix.nlist() <= 5);
+    }
+}

@@ -39,6 +39,9 @@ use inbox_core::{
 };
 use inbox_data::Interactions;
 use inbox_eval::{top_k_masked, top_k_masked_into, TopKScratch};
+use inbox_index::{
+    auto_nlist, auto_nprobe, BoxQuery, IndexMode, IvfIndex, IvfParams, QueryScratch,
+};
 use inbox_kg::{ItemId, KnowledgeGraph, UserId};
 use inbox_obs::{ObsMutex, ObsRwLock};
 
@@ -129,6 +132,10 @@ struct RecommendScratch {
     scores: Vec<f32>,
     topk: TopKScratch,
     out: Vec<ItemId>,
+    /// IVF probe + heap buffers (unused under [`IndexMode::FullSort`]).
+    query: QueryScratch,
+    /// Re-ranked answer buffer for the indexed path.
+    ranked: Vec<(ItemId, f32)>,
 }
 
 thread_local! {
@@ -147,12 +154,19 @@ pub struct Engine {
     live: ObsRwLock<LiveState>,
     cache: ObsMutex<BoxCache>,
     pool: Option<WorkerPool>,
+    /// IVF candidate index over the frozen item matrix plus the resolved
+    /// probe count. `None` under [`IndexMode::FullSort`] *and* when an IVF
+    /// build failed — the engine silently degrades to the full sort, which
+    /// is always correct (just slower).
+    index: Option<(IvfIndex, usize)>,
     stats: StatCells,
     obs_requests: inbox_obs::RateCounter,
     obs_rebuilds: inbox_obs::RateCounter,
     obs_cache_hits: inbox_obs::RateCounter,
     obs_fallbacks: inbox_obs::Counter,
     obs_ingests: inbox_obs::Counter,
+    obs_index_requests: inbox_obs::RateCounter,
+    obs_index_pruned: inbox_obs::Counter,
     n_users: usize,
 }
 
@@ -184,6 +198,36 @@ impl Engine {
             .map(|u| train.items_of(UserId(u)).to_vec())
             .collect();
         let pool = (serve.threads > 1).then(|| WorkerPool::new(serve.threads));
+        let index = match serve.index {
+            IndexMode::FullSort => None,
+            IndexMode::Ivf { nlist, nprobe } => {
+                let nlist = if nlist == 0 {
+                    auto_nlist(n_items)
+                } else {
+                    nlist
+                };
+                let params = IvfParams {
+                    nlist,
+                    ..IvfParams::default()
+                };
+                match IvfIndex::build(scorer.items(), scorer.dim(), &params) {
+                    Ok(ix) => {
+                        let nprobe = if nprobe == 0 {
+                            auto_nprobe(ix.nlist())
+                        } else {
+                            nprobe
+                        };
+                        Some((ix, nprobe.clamp(1, nlist)))
+                    }
+                    Err(_) => {
+                        // Degrade, never crash: the full sort answers every
+                        // query the index would, just without the speedup.
+                        inbox_obs::counter("serve.index.build_failed").incr();
+                        None
+                    }
+                }
+            }
+        };
         Self {
             model,
             config,
@@ -193,12 +237,15 @@ impl Engine {
             live: ObsRwLock::new("engine.live", LiveState { history, masks }),
             cache: ObsMutex::new("engine.cache", BoxCache::new(serve.cache_cap)),
             pool,
+            index,
             stats: StatCells::default(),
             obs_requests: inbox_obs::rate_counter("serve.requests"),
             obs_rebuilds: inbox_obs::rate_counter("serve.box.rebuilds"),
             obs_cache_hits: inbox_obs::rate_counter("serve.cache.hits"),
             obs_fallbacks: inbox_obs::counter("serve.fallback"),
             obs_ingests: inbox_obs::counter("serve.ingest"),
+            obs_index_requests: inbox_obs::rate_counter("serve.index.requests"),
+            obs_index_pruned: inbox_obs::counter("serve.index.pruned_partitions"),
             n_users,
         }
     }
@@ -226,6 +273,16 @@ impl Engine {
     /// The intra-batch worker pool, when serving with more than one thread.
     pub(crate) fn pool(&self) -> Option<&WorkerPool> {
         self.pool.as_ref()
+    }
+
+    /// The live candidate index, as `(nlist, nprobe)`: `None` under
+    /// [`IndexMode::FullSort`] or after a failed IVF build (the engine then
+    /// serves full sorts). The resolved values reflect the auto-derivation
+    /// of `0` knobs.
+    pub fn index_active(&self) -> Option<(usize, usize)> {
+        self.index
+            .as_ref()
+            .map(|(ix, nprobe)| (ix.nlist(), *nprobe))
     }
 
     /// Number of interest boxes currently resident in the box cache.
@@ -363,6 +420,53 @@ impl Engine {
         let items = SCRATCH.with(|scratch| {
             let mut scratch = scratch.borrow_mut();
             let scratch = &mut *scratch;
+            // Indexed path: candidate generation (probe selection) + exact
+            // re-rank over the probed partitions. Only box-backed users go
+            // through the index — cold users keep the popularity fallback
+            // below, bit-for-bit unchanged. The re-rank scores candidates
+            // through the very same per-item arithmetic as the full scan,
+            // so whenever the probed partitions contain the true top-k the
+            // answer is byte-identical to `IndexMode::FullSort`.
+            if let (Some(b), Some((index, nprobe))) = (resolved.as_deref(), self.index.as_ref()) {
+                let RecommendScratch {
+                    score,
+                    query,
+                    ranked,
+                    ..
+                } = scratch;
+                self.scorer.prepare_box_bounds(b, score);
+                let q = BoxQuery {
+                    lo: score.lo(),
+                    hi: score.hi(),
+                    cen: &b.cen,
+                    inside_weight: self.scorer.inside_weight(),
+                    gamma: self.scorer.gamma(),
+                };
+                {
+                    let _cand_span = inbox_obs::ctx_span("engine.candidates");
+                    let _cand_alloc = inbox_obs::alloc_scope("engine.candidates");
+                    index.select_probes(&q, *nprobe, query);
+                }
+                let rerank_stats = {
+                    let _rerank_span = inbox_obs::ctx_span("engine.rerank");
+                    let _rerank_alloc = inbox_obs::alloc_scope("engine.rerank");
+                    let live = self.live.read().unwrap();
+                    let mask = &live.masks[user.index()];
+                    index.rerank(
+                        &q,
+                        k,
+                        mask,
+                        |i| self.scorer.score_item_prepared(b, score, i),
+                        query,
+                        ranked,
+                    )
+                };
+                inbox_obs::record_value("engine.candidates.size", rerank_stats.candidates as u64);
+                self.obs_index_requests.incr();
+                self.obs_index_pruned
+                    .add(rerank_stats.pruned_partitions as u64);
+                return ranked.clone();
+            }
             {
                 let _score_span = inbox_obs::ctx_span("engine.score");
                 let _score_alloc = inbox_obs::alloc_scope("engine.score");

@@ -44,6 +44,7 @@ pub use cache::BoxCache;
 pub use engine::{Engine, Ingested, Recommendation, ServeStats};
 pub use error::ServeError;
 pub use http::HttpServer;
+pub use inbox_index::IndexMode;
 
 /// Tuning knobs for the service.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +68,11 @@ pub struct ServeConfig {
     /// [`inbox_obs::TraceOutcome::Slow`] and are retained in the flight
     /// recorder's notable ring.
     pub trace_slow: Duration,
+    /// How the engine generates ranking candidates: [`IndexMode::FullSort`]
+    /// (score every item; the default) or [`IndexMode::Ivf`] (IVF coarse
+    /// partitions + box pruning + exact re-rank). An index that fails to
+    /// build degrades to full sort — never a startup failure.
+    pub index: IndexMode,
 }
 
 /// Required good fraction for the `serve.recommend` SLO.
@@ -82,6 +88,7 @@ impl Default for ServeConfig {
             threads: 1,
             slo_objective: Duration::from_millis(50),
             trace_slow: Duration::from_millis(250),
+            index: IndexMode::FullSort,
         }
     }
 }

@@ -49,6 +49,37 @@ pub fn engine(seed: u64, serve: &ServeConfig) -> (Dataset, InBoxConfig, Engine) 
     (ds, cfg, engine)
 }
 
+/// Overwrites `model`'s item points with deterministic **clustered**
+/// geometry: `n_clusters` centers drawn uniform in `[-0.5, 0.5)^d`, each
+/// item placed on its cluster center plus per-dimension jitter in
+/// `[-jitter, jitter)`. Items are assigned to clusters in contiguous
+/// blocks.
+///
+/// Trained InBox item points cluster by concept (Figure 5 of the paper);
+/// untrained `InBoxModel::new` points are uniform noise — the worst case
+/// for any spatial index. Recall/latency fixtures for `inbox-index` use
+/// this helper to reproduce the post-training regime without paying for
+/// training, while exactness fixtures keep the adversarial uniform init.
+pub fn cluster_item_points(model: &mut InBoxModel, n_clusters: usize, jitter: f32, seed: u64) {
+    use rand::Rng;
+    use rand::SeedableRng;
+    let sizes = model.sizes();
+    let (n, d) = (sizes.n_items, model.dim);
+    let n_clusters = n_clusters.clamp(1, n.max(1));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let centers: Vec<f32> = (0..n_clusters * d)
+        .map(|_| rng.gen_range(-0.5f32..0.5))
+        .collect();
+    let mut points = vec![0.0f32; n * d];
+    for i in 0..n {
+        let c = i * n_clusters / n.max(1);
+        for k in 0..d {
+            points[i * d + k] = centers[c * d + k] + rng.gen_range(-jitter..jitter);
+        }
+    }
+    model.set_item_points(&points);
+}
+
 /// Asserts two f32 slices are **bit-identical**, reporting the first
 /// mismatching index with both bit patterns.
 pub fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {

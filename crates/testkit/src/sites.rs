@@ -10,6 +10,9 @@
 
 /// Every failpoint site in the workspace, sorted by name.
 pub const ALL: &[&str] = &[
+    // index::IvfIndex::build — abort index construction while finalising
+    // a partition; serve must degrade to full-sort, never crash.
+    "index.build_partition",
     // core::persist::load — fail the read with an injected I/O error
     // before the file is touched.
     "persist.load.io",
@@ -46,12 +49,16 @@ pub const TRACE_SPANS: &[&str] = &[
     "batcher.queue",
     // Box cache hit marker (zero-duration leaf under resolve_box).
     "engine.cache_hit",
+    // IVF candidate generation: probe selection over partition centroids.
+    "engine.candidates",
     // Mask-and-top-K ranking.
     "engine.rank",
     // Interest-box forward pass on a cache miss.
     "engine.rebuild",
     // Whole engine answer for one request.
     "engine.recommend",
+    // Box-pruned exact re-rank of the probed partitions' members.
+    "engine.rerank",
     // Cache lookup + lazy rebuild.
     "engine.resolve_box",
     // Scoring every item against the resolved box.
@@ -75,12 +82,18 @@ pub const ALLOC_SCOPES: &[&str] = &[
     // serve::batcher — batch drain, bookkeeping, and reply fan-out on the
     // flush thread (allocation-free at steady state).
     "batcher.flush",
+    // serve::engine::recommend_now — IVF probe selection into per-thread
+    // scratch (allocation-free at steady state).
+    "engine.candidates",
     // serve::engine::recommend_now — mask-and-top-K ranking into per-
     // thread scratch (allocation-free at steady state).
     "engine.rank",
     // serve::engine::resolve_box — interest-box forward pass on a cache
     // miss (allocates freely; attributed, not bounded).
     "engine.rebuild",
+    // serve::engine::recommend_now — box-pruned exact re-rank into per-
+    // thread scratch (allocation-free at steady state).
+    "engine.rerank",
     // serve::engine::recommend_now — scoring every item against the
     // resolved box into per-thread scratch (allocation-free at steady
     // state).

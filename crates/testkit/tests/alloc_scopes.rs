@@ -49,7 +49,10 @@ fn alloc_scope_inventory_matches_sources() {
 }
 
 /// Direction 2: a tiny end-to-end run (train + batched serving) enters
-/// every listed scope, so the registry knows them all afterwards.
+/// every listed scope, so the registry knows them all afterwards. Serving
+/// runs both candidate-generation modes: the full-sort engine enters
+/// `engine.score`/`engine.rank`, the IVF engine `engine.candidates`/
+/// `engine.rerank`.
 #[test]
 fn end_to_end_run_registers_every_listed_scope() {
     let ds = harness::tiny_dataset(93);
@@ -61,6 +64,20 @@ fn end_to_end_run_registers_every_listed_scope() {
         service.recommend(UserId(u), 5).expect("served answer");
     }
     service.shutdown();
+
+    let ivf_cfg = ServeConfig {
+        index: inbox_serve::IndexMode::Ivf {
+            nlist: 0,
+            nprobe: 0,
+        },
+        ..ServeConfig::default()
+    };
+    let trained = train(&ds, InBoxConfig::tiny_test());
+    let indexed = inbox_serve::Engine::from_trained(trained, ds.kg.clone(), &ds.train, &ivf_cfg);
+    assert!(indexed.index_active().is_some(), "IVF build must succeed");
+    for u in 0..ds.train.n_users().min(4) as u32 {
+        indexed.recommend_now(UserId(u), 5).expect("indexed answer");
+    }
 
     let registered: BTreeSet<String> = inbox_obs::all_alloc_scopes()
         .into_iter()

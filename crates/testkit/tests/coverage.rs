@@ -50,6 +50,27 @@ fn every_registered_site_is_exercised_and_listed() {
     }
     let _ = std::fs::remove_file(&path);
 
+    // --- index sites ------------------------------------------------------
+    // An injected build failure must degrade the engine to full-sort
+    // serving (index absent, answers still correct), never crash startup.
+    {
+        let ivf_cfg = ServeConfig {
+            index: inbox_serve::IndexMode::Ivf {
+                nlist: 0,
+                nprobe: 0,
+            },
+            ..ServeConfig::default()
+        };
+        let _fp = FailGuard::new("index.build_partition", Trigger::Always);
+        let (_ds, _cfg, engine) = harness::engine(73, &ivf_cfg);
+        assert_eq!(
+            engine.index_active(),
+            None,
+            "failed index build must leave the engine serving full sorts"
+        );
+        engine.recommend_now(UserId(0), 5).unwrap();
+    }
+
     // --- serve sites ------------------------------------------------------
     let serve_cfg = ServeConfig::default();
     let (_ds, _cfg, engine) = harness::engine(72, &serve_cfg);
@@ -121,7 +142,7 @@ fn every_registered_site_is_exercised_and_listed() {
     // --- direction 2: every source call site is in the inventory -----------
     let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
     let mut in_source = BTreeSet::new();
-    for crate_src in ["../core/src", "../serve/src"] {
+    for crate_src in ["../core/src", "../serve/src", "../index/src"] {
         scan_sources(&manifest.join(crate_src), &mut in_source);
     }
     assert_eq!(
@@ -130,7 +151,7 @@ fn every_registered_site_is_exercised_and_listed() {
             .iter()
             .map(|s| s.to_string())
             .collect::<BTreeSet<_>>(),
-        "failpoint!(…) call sites in core+serve sources must match sites::ALL exactly"
+        "failpoint!(…) call sites in core+serve+index sources must match sites::ALL exactly"
     );
 }
 

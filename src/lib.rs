@@ -24,6 +24,8 @@
 //! * [`eval`] — the all-ranking protocol (recall@K / ndcg@K) and the PCA
 //!   analysis behind Figure 5,
 //! * [`obs`] — spans, counters, and training telemetry,
+//! * [`index`] — box-aware top-k candidate retrieval: IVF coarse partitions
+//!   with geometric box pruning and exact re-rank,
 //! * [`serve`] — the online recommendation service: request micro-batching,
 //!   a versioned interest-box cache, live interaction ingestion, and a
 //!   std-only HTTP front-end.
@@ -62,6 +64,9 @@ pub use inbox_core as core;
 pub use inbox_data as data;
 /// Evaluation protocol (re-export of `inbox-eval`).
 pub use inbox_eval as eval;
+/// Box-aware top-k candidate retrieval: IVF partitions + geometric
+/// pruning + exact re-rank (re-export of `inbox-index`).
+pub use inbox_index as index;
 /// Knowledge-graph store (re-export of `inbox-kg`).
 pub use inbox_kg as kg;
 /// Observability: spans, counters, telemetry (re-export of `inbox-obs`).
