@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod params;
+pub mod simd;
 mod tape;
 mod tensor;
 

@@ -240,9 +240,12 @@ proptest! {
         }
     }
 
-    /// The fused `l1_rows` op is bit-identical to the sub → abs →
-    /// sum_axis1 chain, with and without row broadcast of the second
-    /// operand.
+    /// The fused `l1_rows` op matches the sub → abs → sum_axis1 chain,
+    /// with and without row broadcast of the second operand. Gradients are
+    /// bit-identical (elementwise sign propagation); forward values agree
+    /// up to reassociation because the fused op sums in the lane-striped
+    /// order (see the `simd` module) while the chain sums sequentially —
+    /// the fused value's bit-exactness is pinned by the testkit oracles.
     #[test]
     fn fused_l1_rows_matches_unfused_chain_bitwise(
         rows in 1..5usize, cols in 1..5usize, broadcast in 0..2usize,
@@ -275,7 +278,12 @@ proptest! {
         };
         let (fused_v, fused_g) = run(true);
         let (chain_v, chain_g) = run(false);
-        prop_assert_eq!(bits(&fused_v), bits(&chain_v), "forward value bits");
+        for (f, c) in fused_v.iter().zip(&chain_v) {
+            prop_assert!(
+                (f - c).abs() <= 1e-5 * (1.0 + c.abs()),
+                "forward value {} vs {}", f, c
+            );
+        }
         for (i, (f, c)) in fused_g.iter().zip(&chain_g).enumerate() {
             prop_assert_eq!(bits(f), bits(c), "gradient bits of param {}", i);
         }

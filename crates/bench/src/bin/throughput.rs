@@ -26,7 +26,7 @@ use inbox_core::model::{InBoxModel, UniverseSizes};
 use inbox_core::predict::{all_user_boxes_with, HistoryCache};
 use inbox_core::sampler::{stage1_epoch, stage2_epoch, stage3_epoch, Stage1Stats};
 use inbox_core::stages::{stage1_loss, stage2_loss, stage3_loss, BatchRunner};
-use inbox_core::{InBoxConfig, InBoxScorer, ItemScorer, ScoreScratch};
+use inbox_core::{InBoxConfig, InBoxScorer, ItemScorer, Quantization, ScoreScratch};
 use inbox_data::{Dataset, SyntheticConfig};
 use inbox_eval::{evaluate_with_threads, top_k_masked_into, TopKScratch};
 use inbox_index::{auto_nprobe, BoxQuery, IvfIndex, IvfParams, QueryScratch};
@@ -80,6 +80,25 @@ struct IndexedStage {
     candidates_per_sec: f64,
 }
 
+/// The quantization stage: f32 vs int8 full-scan top-20 over the same
+/// items-scaled clustered catalog and users as [`IndexedStage`], plus the
+/// int8 IVF re-rank. `agreement_at_20` is the mean per-user overlap
+/// between the int8 and f32 exact top-20 (the testkit contract requires
+/// ≥ 0.99); `bound_slack` is the conservative quantized-vs-f32 score gap
+/// the IVF prune widens by.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct QuantizedStage {
+    n_items: usize,
+    n_users_ranked: usize,
+    bound_slack: f64,
+    f32_scan_ms: f64,
+    int8_scan_ms: f64,
+    scan_speedup: f64,
+    agreement_at_20: f64,
+    ivf_int8_rank_ms: f64,
+    ivf_int8_agreement_at_20: f64,
+}
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Report {
     dataset: String,
@@ -93,6 +112,9 @@ struct Report {
     /// Absent in reports written before the index subsystem existed.
     #[serde(default)]
     indexed: Option<IndexedStage>,
+    /// Absent in reports written before int8 inference existed.
+    #[serde(default)]
+    quantized: Option<QuantizedStage>,
 }
 
 fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
@@ -201,12 +223,23 @@ fn measure(ds: &Dataset, cfg: &InBoxConfig, reps: usize) -> Numbers {
 /// warm-start clustered item points (the post-training regime the index
 /// serves in — see `InBoxModel::set_item_points`), then time exact
 /// full-sort top-20 against IVF-probed top-20 over every user with a box.
+/// Mean per-user overlap fraction between two top-k rankings.
+fn overlap(want: &[Vec<ItemId>], got: &[Vec<ItemId>]) -> f64 {
+    let mut hits = 0u64;
+    let mut total = 0u64;
+    for (w, g) in want.iter().zip(got) {
+        total += w.len() as u64;
+        hits += w.iter().filter(|i| g.contains(i)).count() as u64;
+    }
+    hits as f64 / total.max(1) as f64
+}
+
 fn measure_indexed(
     synth: &SyntheticConfig,
     cfg: &InBoxConfig,
     reps: usize,
     scale: usize,
-) -> IndexedStage {
+) -> (IndexedStage, QuantizedStage) {
     let big = synth.clone().with_items_scale(scale);
     let ds = Dataset::synthetic(&big, 7);
     let sizes = UniverseSizes {
@@ -267,6 +300,7 @@ fn measure_indexed(
                 cen: &b.cen,
                 inside_weight: scorer.inside_weight(),
                 gamma: scorer.gamma(),
+                bound_slack: 0.0,
             };
             let stats = index.query(
                 &q,
@@ -283,13 +317,7 @@ fn measure_indexed(
         (tops, candidates)
     });
 
-    let mut hits = 0u64;
-    let mut total = 0u64;
-    for (want, got) in full_tops.iter().zip(&ivf_tops) {
-        total += want.len() as u64;
-        hits += want.iter().filter(|i| got.contains(i)).count() as u64;
-    }
-    IndexedStage {
+    let indexed = IndexedStage {
         items_scale: scale,
         n_items: ds.kg.n_items(),
         n_users_ranked: users.len(),
@@ -299,10 +327,66 @@ fn measure_indexed(
         full_rank_ms: full_secs * 1e3,
         ivf_rank_ms: ivf_secs * 1e3,
         rank_speedup: full_secs / ivf_secs,
-        recall_at_20: hits as f64 / total.max(1) as f64,
+        recall_at_20: overlap(&full_tops, &ivf_tops),
         mean_candidates: candidates as f64 / users.len().max(1) as f64,
         candidates_per_sec: candidates as f64 / ivf_secs,
-    }
+    };
+
+    // Quantized stage: the same users and catalog scored through the
+    // dequantize-free int8 kernel — exact full scan first (agreement is
+    // measured against the f32 full-sort top-20 above), then the IVF
+    // re-rank with the prune widened by the scorer's bound slack.
+    let _qspan = inbox_obs::span("bench.throughput.quantized");
+    let qscorer = ItemScorer::with_quantization(&model, cfg, ds.kg.n_items(), Quantization::Int8);
+    let (int8_secs, int8_tops) = best_of(reps, || {
+        let mut tops: Vec<Vec<ItemId>> = Vec::with_capacity(users.len());
+        for b in &users {
+            // The production quantized full sort: int8 scan + bounded-error
+            // refine (exact f32 re-scoring of near-threshold candidates).
+            qscorer.score_box_into(b, &mut score_scratch, &mut scores);
+            qscorer.refined_topk_into(b, &mut score_scratch, &scores, &[], k, &mut ranked);
+            tops.push(ranked.iter().map(|&(i, _)| i).collect());
+        }
+        tops
+    });
+    let (ivf8_secs, ivf8_tops) = best_of(reps, || {
+        let mut tops: Vec<Vec<ItemId>> = Vec::with_capacity(users.len());
+        for b in &users {
+            qscorer.prepare_box_bounds(b, &mut score_scratch);
+            let q = BoxQuery {
+                lo: score_scratch.lo(),
+                hi: score_scratch.hi(),
+                cen: &b.cen,
+                inside_weight: qscorer.inside_weight(),
+                gamma: qscorer.gamma(),
+                bound_slack: qscorer.bound_slack(),
+            };
+            index.select_probes(&q, nprobe, &mut qscratch);
+            index.rerank_refined(
+                &q,
+                k,
+                &[],
+                |i| qscorer.score_item_prepared(b, &score_scratch, i),
+                |i| qscorer.score_item_prepared_f32(b, &score_scratch, i),
+                &mut qscratch,
+                &mut ranked,
+            );
+            tops.push(ranked.iter().map(|&(i, _)| i).collect());
+        }
+        tops
+    });
+    let quantized = QuantizedStage {
+        n_items: ds.kg.n_items(),
+        n_users_ranked: users.len(),
+        bound_slack: qscorer.bound_slack() as f64,
+        f32_scan_ms: full_secs * 1e3,
+        int8_scan_ms: int8_secs * 1e3,
+        scan_speedup: full_secs / int8_secs,
+        agreement_at_20: overlap(&full_tops, &int8_tops),
+        ivf_int8_rank_ms: ivf8_secs * 1e3,
+        ivf_int8_agreement_at_20: overlap(&full_tops, &ivf8_tops),
+    };
+    (indexed, quantized)
 }
 
 fn main() {
@@ -355,7 +439,7 @@ fn main() {
     );
 
     let current = measure(&ds, &cfg, reps);
-    let indexed = measure_indexed(&synth, &cfg, reps, items_scale);
+    let (indexed, quantized) = measure_indexed(&synth, &cfg, reps, items_scale);
 
     // A stored baseline (same dataset/threads) survives re-measurement runs;
     // `--save-baseline` replaces it with the numbers just measured.
@@ -391,6 +475,7 @@ fn main() {
         current,
         speedup,
         indexed: Some(indexed),
+        quantized: Some(quantized),
     };
 
     println!(
@@ -417,6 +502,16 @@ fn main() {
         println!(
             "  full sort {:>8.1} ms   ivf {:>8.1} ms   speedup {:.2}x   recall@20 {:.4}   {:.0} cand/user",
             ix.full_rank_ms, ix.ivf_rank_ms, ix.rank_speedup, ix.recall_at_20, ix.mean_candidates,
+        );
+    }
+    if let Some(qz) = &report.quantized {
+        println!(
+            "quantized int8: scan {:>8.1} ms ({:.2}x vs f32)   agreement@20 {:.4}   slack {:.2e}",
+            qz.int8_scan_ms, qz.scan_speedup, qz.agreement_at_20, qz.bound_slack,
+        );
+        println!(
+            "  ivf+int8 {:>8.1} ms   agreement@20 {:.4}",
+            qz.ivf_int8_rank_ms, qz.ivf_int8_agreement_at_20,
         );
     }
 

@@ -265,8 +265,9 @@ pub enum Direction {
 
 /// Classifies a dotted metric path. The rules are name-conventional:
 /// `*_per_sec` / `qps` / `*speedup*` / `*hit_rate` are rates where more is
-/// better; `recall*` / `hit*` are retrieval-quality fractions where more
-/// is better (the index's recall@k contract lands here); anything under a
+/// better; `recall*` / `hit*` / `agreement*` are retrieval-quality
+/// fractions where more is better (the index's recall@k contract and the
+/// quantized scorer's agreement@k contract land here); anything under a
 /// `*_ms` segment is a latency where less is better; everything else is
 /// informational.
 pub fn direction(path: &str) -> Direction {
@@ -276,6 +277,7 @@ pub fn direction(path: &str) -> Direction {
         || last.ends_with("hit_rate")
         || last.starts_with("recall")
         || last.starts_with("hit")
+        || last.starts_with("agreement")
         || path.split('.').any(|seg| seg.contains("speedup"))
     {
         return Direction::HigherBetter;
@@ -458,6 +460,12 @@ mod tests {
         assert_eq!(direction("indexed.recall_at_20"), Direction::HigherBetter);
         assert_eq!(direction("recall@20"), Direction::HigherBetter);
         assert_eq!(direction("eval.hits"), Direction::HigherBetter);
+        // The quantized scorer's ranking-agreement contract.
+        assert_eq!(
+            direction("quantized.agreement_at_20"),
+            Direction::HigherBetter
+        );
+        assert_eq!(direction("agreement@20"), Direction::HigherBetter);
         assert_eq!(
             direction("indexed.candidates_per_sec"),
             Direction::HigherBetter

@@ -32,7 +32,7 @@ USAGE:
                   [--queue-cap 1024] [--cache-cap 100000] [--threads 1]
                   [--slo-ms 50] [--trace-slow-ms 250] [--trace-sample 1]
                   [--index full|ivf] [--nlist 0] [--nprobe 0] (0 = auto)
-                  [--smoke]
+                  [--quantize none|int8] [--smoke]
   inbox obs       [--addr 127.0.0.1:7878] [--interval-ms 1000] [--iters 0]
                   live dashboard over a running server's GET /metrics
                   (qps, p99, cache hit rate, queue depth, shed rate, SLO burn,
@@ -329,8 +329,17 @@ pub fn serve_config_from_flags(parsed: &Parsed) -> Result<ServeConfig, Box<dyn E
             None => return Err(format!("--index {name}: expected 'full' or 'ivf'").into()),
         },
     };
+    // Inference quantization: `--quantize int8` scores through the
+    // dequantize-free int8 kernel; `none` (default) keeps f32.
+    let quantize = match parsed.get("quantize") {
+        None => defaults.quantize,
+        Some(name) => {
+            inbox_serve::Quantization::parse(name).map_err(|e| format!("--quantize {name}: {e}"))?
+        }
+    };
     Ok(ServeConfig {
         index,
+        quantize,
         max_batch: parsed.get_parsed("batch-max", defaults.max_batch)?,
         batch_wait: std::time::Duration::from_micros(parsed.get_parsed("batch-wait-us", 500u64)?),
         queue_cap: parsed.get_parsed("queue-cap", defaults.queue_cap)?,
@@ -387,7 +396,7 @@ pub fn serve(parsed: &Parsed) -> CmdResult {
         .map_err(|e| format!("cannot bind --addr {addr}: {e}"))?;
     if chatty() {
         println!(
-            "serving {} on http://{} (batch {} / {}us, queue {}, cache {}, threads {}, index {})",
+            "serving {} on http://{} (batch {} / {}us, queue {}, cache {}, threads {}, index {}, quantize {})",
             ds.name,
             http.local_addr(),
             serve_cfg.max_batch,
@@ -398,7 +407,8 @@ pub fn serve(parsed: &Parsed) -> CmdResult {
             match service.engine().index_active() {
                 Some((nlist, nprobe)) => format!("ivf(nlist={nlist},nprobe={nprobe})"),
                 None => "full".to_string(),
-            }
+            },
+            service.engine().quantization().as_str()
         );
         println!("routes: GET /health  GET /recommend?user=U&k=K  POST /ingest?user=U&item=I  GET /stats  GET /metrics  GET /traces  GET /profile");
     }

@@ -121,10 +121,11 @@ impl BoxEmb {
     }
 }
 
-/// Point-to-point L1 distance `D_PP` (Eq. (3)).
+/// Point-to-point L1 distance `D_PP` (Eq. (3)), summed in the
+/// lane-striped order of [`crate::simd`].
 pub fn d_pp(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum()
+    crate::simd::l1_row(a, b)
 }
 
 /// Box-to-box distance `D_BB` (Eq. (6)): L1 between centers plus L1 between
@@ -170,8 +171,14 @@ pub fn d_in(point: &[f32], b: &BoxEmb) -> f32 {
 }
 
 /// Point-to-box distance `D_PB = D_out + D_in` (Eq. (7)).
+///
+/// Computed by the lane-striped SIMD kernel ([`crate::simd::d_pb_box_parts`]);
+/// the scalar [`d_out`] / [`d_in`] pair above is the readable reference form,
+/// kept scalar on purpose as an independent cross-check for the testkit.
 pub fn d_pb(point: &[f32], b: &BoxEmb) -> f32 {
-    d_out(point, b) + d_in(point, b)
+    debug_assert_eq!(point.len(), b.dim());
+    let (out, inside) = crate::simd::d_pb_box_parts(point, &b.cen, &b.off);
+    out + inside
 }
 
 /// Point-to-box distance with a weighted inside term:
@@ -185,7 +192,9 @@ pub fn d_pb(point: &[f32], b: &BoxEmb) -> f32 {
 /// down-weights the inside term (`α = 0.02` there) for exactly this reason;
 /// we expose the weight as `InBoxConfig::inside_weight`. See DESIGN.md.
 pub fn d_pb_weighted(point: &[f32], b: &BoxEmb, inside_weight: f32) -> f32 {
-    d_out(point, b) + inside_weight * d_in(point, b)
+    debug_assert_eq!(point.len(), b.dim());
+    let (out, inside) = crate::simd::d_pb_box_parts(point, &b.cen, &b.off);
+    out + inside_weight * inside
 }
 
 /// Matching score of Eq. (29): `γ - D_PB(v, b_u)`.

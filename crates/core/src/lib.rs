@@ -32,6 +32,7 @@ pub mod persist;
 pub mod pool;
 pub mod predict;
 pub mod sampler;
+pub mod simd;
 pub mod stages;
 pub mod trainer;
 
@@ -43,4 +44,5 @@ pub use predict::{
     all_user_boxes, all_user_boxes_with, user_box_from_history, user_interest_box, HistoryCache,
     InBoxScorer, ItemScorer, ScoreScratch,
 };
+pub use simd::{Quantization, QuantizedItems};
 pub use trainer::{train, TrainReport, TrainedInBox};

@@ -20,6 +20,7 @@ use crate::config::InBoxConfig;
 use crate::geometry::BoxEmb;
 use crate::model::{InBoxModel, ItemBoxParts};
 use crate::pool::WorkerPool;
+use crate::simd::{self, Quantization, QuantizedItems};
 
 /// Precomputed per-user history: the first `max_history_infer` training
 /// items, each with its first `max_concepts` concepts — exactly the history
@@ -279,11 +280,22 @@ pub fn all_user_boxes_with(
 }
 
 /// Reusable buffers for [`ItemScorer::score_box_into`]: the per-dimension
-/// box bounds, kept warm so steady-state scoring allocates nothing.
+/// box bounds (plus, under int8 quantization, the bounds transformed into
+/// the quantized domain), kept warm so steady-state scoring allocates
+/// nothing.
 #[derive(Default)]
 pub struct ScoreScratch {
     lo: Vec<f32>,
     hi: Vec<f32>,
+    /// Quantized-domain bounds/center, stride-padded; filled by
+    /// `prepare_box_bounds` only when the scorer is quantized.
+    qlo: Vec<f32>,
+    qhi: Vec<f32>,
+    qcen: Vec<f32>,
+    /// Unmasked-score buffer for `refined_topk_into`'s k-th selection.
+    kth: Vec<f32>,
+    /// `(exact score, item)` candidate buffer for `refined_topk_into`.
+    refine: Vec<(f32, u32)>,
 }
 
 impl ScoreScratch {
@@ -301,9 +313,11 @@ impl ScoreScratch {
 }
 
 /// The per-item scoring kernel shared by the full scan and the per-item
-/// path: `γ - (d_out + w·d_in)` with separate outside/inside accumulators
-/// in dimension order. Keeping both paths on this single function is what
-/// makes candidate re-ranking bit-identical to the full sort.
+/// path: `γ - (d_out + w·d_in)` via the lane-striped SIMD kernel
+/// ([`simd::d_pb_bounds_parts`]). Keeping both paths on this single
+/// function is what makes candidate re-ranking bit-identical to the full
+/// sort, and sharing the kernel with [`geometry::d_pb_weighted`] makes
+/// the matrix snapshot bit-identical to the per-item reference path too.
 #[inline]
 fn score_row(
     row: &[f32],
@@ -313,13 +327,7 @@ fn score_row(
     gamma: f32,
     inside_weight: f32,
 ) -> f32 {
-    let mut out = 0.0f32;
-    let mut inside = 0.0f32;
-    for k in 0..row.len() {
-        let p = row[k];
-        out += (p - hi[k]).max(0.0) + (lo[k] - p).max(0.0);
-        inside += (cen[k] - p.clamp(lo[k], hi[k])).abs();
-    }
+    let (out, inside) = simd::d_pb_bounds_parts(row, cen, lo, hi);
     gamma - (out + inside_weight * inside)
 }
 
@@ -343,12 +351,16 @@ pub struct ItemScorer {
     dim: usize,
     /// Row-major `n_items × dim` snapshot of the item points.
     items: Vec<f32>,
+    /// Int8 twin of `items` when quantized inference is enabled; scoring
+    /// then goes through the dequantize-free kernel instead of `items`.
+    quant: Option<QuantizedItems>,
     /// Lazily-built score vector for history-less users, cloned per call.
     sentinel: OnceLock<Vec<f32>>,
 }
 
 impl ItemScorer {
-    /// Snapshots the current item-point matrix of `model`.
+    /// Snapshots the current item-point matrix of `model` (full-f32
+    /// scoring; see [`with_quantization`](Self::with_quantization)).
     pub fn new(model: &InBoxModel, config: &InBoxConfig, n_items: usize) -> Self {
         let table = model.item_point_matrix();
         assert!(n_items <= table.rows(), "n_items exceeds item table");
@@ -359,8 +371,48 @@ impl ItemScorer {
             n_items,
             dim,
             items: table.data()[..n_items * dim].to_vec(),
+            quant: None,
             sentinel: OnceLock::new(),
         }
+    }
+
+    /// [`new`](Self::new) plus an optional int8 quantization of the item
+    /// matrix. The f32 snapshot is kept either way — index construction
+    /// and the sentinel path read it — but scoring under
+    /// [`Quantization::Int8`] goes through the dequantize-free kernel,
+    /// within [`bound_slack`](Self::bound_slack) of the f32 scores.
+    pub fn with_quantization(
+        model: &InBoxModel,
+        config: &InBoxConfig,
+        n_items: usize,
+        quantization: Quantization,
+    ) -> Self {
+        let mut scorer = Self::new(model, config, n_items);
+        if quantization == Quantization::Int8 {
+            scorer.quant = Some(QuantizedItems::from_items(
+                &scorer.items,
+                scorer.n_items,
+                scorer.dim,
+                scorer.inside_weight,
+            ));
+        }
+        scorer
+    }
+
+    /// The active quantization mode.
+    pub fn quantization(&self) -> Quantization {
+        if self.quant.is_some() {
+            Quantization::Int8
+        } else {
+            Quantization::None
+        }
+    }
+
+    /// Conservative bound on `|score - f32 score|` per item under the
+    /// active quantization (`0.0` when unquantized). Candidate-pruning
+    /// bounds derived from f32 geometry must be widened by this.
+    pub fn bound_slack(&self) -> f32 {
+        self.quant.as_ref().map_or(0.0, |q| q.bound_slack())
     }
 
     /// Number of items the snapshot covers.
@@ -402,9 +454,22 @@ impl ItemScorer {
         lo.reserve(d);
         hi.reserve(d);
         for k in 0..d {
-            let half = b.off[k].max(0.0);
+            // relu0, not f32::max: identical select semantics to the SIMD
+            // kernel's box form, so the bounds and box forms stay
+            // bit-identical.
+            let half = simd::relu0(b.off[k]);
             lo.push(b.cen[k] - half);
             hi.push(b.cen[k] + half);
+        }
+        if let Some(q) = &self.quant {
+            q.transform_bounds(
+                &scratch.lo,
+                &scratch.hi,
+                &b.cen,
+                &mut scratch.qlo,
+                &mut scratch.qhi,
+                &mut scratch.qcen,
+            );
         }
     }
 
@@ -413,6 +478,25 @@ impl ItemScorer {
     /// arithmetic and operation order to the full-scan path, so the score
     /// is bit-identical to `score_box_into`'s entry for the same item.
     pub fn score_item_prepared(&self, b: &BoxEmb, scratch: &ScoreScratch, item: u32) -> f32 {
+        if let Some(q) = &self.quant {
+            let (out, inside) = simd::quantized_d_pb_parts(
+                q.row(item),
+                q.scales(),
+                &scratch.qlo,
+                &scratch.qhi,
+                &scratch.qcen,
+            );
+            return self.gamma - (out + self.inside_weight * inside);
+        }
+        self.score_item_prepared_f32(b, scratch, item)
+    }
+
+    /// The **f32** per-item score for a prepared box, regardless of the
+    /// active quantization: the exact-scoring half of the bounded-error
+    /// ranking oracle (int8 selects candidates, this re-scores them).
+    /// Bit-identical to [`score_item_prepared`](Self::score_item_prepared)
+    /// when the scorer is unquantized.
+    pub fn score_item_prepared_f32(&self, b: &BoxEmb, scratch: &ScoreScratch, item: u32) -> f32 {
         let d = self.dim;
         let row = &self.items[item as usize * d..(item as usize + 1) * d];
         score_row(
@@ -423,6 +507,83 @@ impl ItemScorer {
             self.gamma,
             self.inside_weight,
         )
+    }
+
+    /// Exact masked top-k from a quantized full scan — the bounded-error
+    /// ranking oracle behind `--quantize int8`.
+    ///
+    /// `scores` is this scorer's [`score_box_into`](Self::score_box_into)
+    /// output for `b` (int8 scores when quantized). The preliminary k-th
+    /// unmasked score defines a candidate threshold `kth - 2·bound_slack`;
+    /// every unmasked item at or above it is re-scored through the exact
+    /// f32 path, and the final top-k (score descending, item id ascending —
+    /// the `inbox_eval::top_k_masked` ordering) is taken over those exact
+    /// scores. Every item's int8 score sits within
+    /// [`bound_slack`](Self::bound_slack) of its f32 score, so any true
+    /// top-k item `i` has `int8_i ≥ f32_kth − slack ≥ int8_kth − 2·slack`:
+    /// the candidate set provably contains the exact f32 top-k and the
+    /// answer is bit-identical to an unquantized full sort. `mask` must be
+    /// sorted ascending.
+    pub fn refined_topk_into(
+        &self,
+        b: &BoxEmb,
+        scratch: &mut ScoreScratch,
+        scores: &[f32],
+        mask: &[ItemId],
+        k: usize,
+        out: &mut Vec<(ItemId, f32)>,
+    ) {
+        out.clear();
+        if k == 0 {
+            return;
+        }
+        // Preliminary k-th unmasked coarse score via quickselect.
+        let kth_buf = &mut scratch.kth;
+        kth_buf.clear();
+        kth_buf.reserve(scores.len());
+        let mut m = 0usize;
+        for (i, &s) in scores.iter().enumerate() {
+            while m < mask.len() && mask[m].index() < i {
+                m += 1;
+            }
+            if m < mask.len() && mask[m].index() == i {
+                continue;
+            }
+            kth_buf.push(s);
+        }
+        if kth_buf.is_empty() {
+            return;
+        }
+        let nth = k.min(kth_buf.len()) - 1;
+        let (_, kth, _) = kth_buf.select_nth_unstable_by(nth, |a, b| b.total_cmp(a));
+        let threshold = *kth - 2.0 * self.bound_slack();
+        // Collect and exactly re-score every unmasked candidate at or above
+        // the widened threshold. `refine` is taken out of the scratch so the
+        // exact scorer can borrow the prepared bounds still inside it.
+        let mut refine = std::mem::take(&mut scratch.refine);
+        refine.clear();
+        let mut m = 0usize;
+        for (i, &s) in scores.iter().enumerate() {
+            while m < mask.len() && mask[m].index() < i {
+                m += 1;
+            }
+            if m < mask.len() && mask[m].index() == i {
+                continue;
+            }
+            if s >= threshold {
+                let exact = self.score_item_prepared_f32(b, scratch, i as u32);
+                refine.push((exact, i as u32));
+            }
+        }
+        refine.sort_unstable_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.1.cmp(&b.1))
+        });
+        refine.truncate(k);
+        out.extend(refine.iter().map(|&(s, i)| (ItemId(i), s)));
+        refine.clear();
+        scratch.refine = refine;
     }
 
     /// Scores every item against one interest box, best-first by value.
@@ -450,6 +611,19 @@ impl ItemScorer {
         self.prepare_box_bounds(b, scratch);
         out_scores.clear();
         out_scores.reserve(self.n_items);
+        if let Some(q) = &self.quant {
+            for item in 0..self.n_items as u32 {
+                let (out, inside) = simd::quantized_d_pb_parts(
+                    q.row(item),
+                    q.scales(),
+                    &scratch.qlo,
+                    &scratch.qhi,
+                    &scratch.qcen,
+                );
+                out_scores.push(self.gamma - (out + self.inside_weight * inside));
+            }
+            return;
+        }
         for row in self.items.chunks_exact(self.dim) {
             out_scores.push(score_row(
                 row,
@@ -595,8 +769,11 @@ mod tests {
             for (i, &s) in fast.iter().enumerate() {
                 let p = model.item_point_f32(ItemId(i as u32));
                 let reference = cfg.gamma - geometry::d_pb_weighted(p, b, cfg.inside_weight);
-                assert!(
-                    (s - reference).abs() < 1e-6,
+                // Bit-identical: the scan path and the geometry reference
+                // share the lane-striped kernel (bounds vs box form).
+                assert_eq!(
+                    s.to_bits(),
+                    reference.to_bits(),
                     "user {u} item {i}: {s} vs {reference}"
                 );
             }
@@ -711,6 +888,44 @@ mod tests {
                 assert_eq!(one.to_bits(), s.to_bits(), "item {i}");
             }
         }
+    }
+
+    #[test]
+    fn quantized_scorer_stays_within_its_bound_slack() {
+        let (ds, model, cfg) = setup();
+        let boxes = all_user_boxes(&model, &ds.kg, &ds.train, &cfg);
+        let exact = ItemScorer::new(&model, &cfg, ds.n_items());
+        let quant = ItemScorer::with_quantization(&model, &cfg, ds.n_items(), Quantization::Int8);
+        assert_eq!(exact.quantization(), Quantization::None);
+        assert_eq!(exact.bound_slack(), 0.0);
+        assert_eq!(quant.quantization(), Quantization::Int8);
+        let slack = quant.bound_slack();
+        assert!(slack > 0.0 && slack.is_finite());
+        let mut scratch = ScoreScratch::default();
+        for b in boxes.iter().flatten() {
+            let want = exact.score_box(b);
+            let got = quant.score_box(b);
+            quant.prepare_box_bounds(b, &mut scratch);
+            for (i, (&g, &w)) in got.iter().zip(&want).enumerate() {
+                assert!(
+                    (g - w).abs() <= slack,
+                    "item {i}: quantized {g} vs f32 {w}, slack {slack}"
+                );
+                // Per-item path bit-matches the quantized full scan too.
+                let one = quant.score_item_prepared(b, &scratch, i as u32);
+                assert_eq!(one.to_bits(), g.to_bits(), "item {i} per-item path");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_sentinel_path_is_byte_identical_to_f32() {
+        let (ds, model, cfg) = setup();
+        let exact = ItemScorer::new(&model, &cfg, ds.n_items());
+        let quant = ItemScorer::with_quantization(&model, &cfg, ds.n_items(), Quantization::Int8);
+        // History-less users never touch the item matrix: the sentinel
+        // vector must not depend on the quantization mode at all.
+        assert_eq!(exact.sentinel_scores(), quant.sentinel_scores());
     }
 
     #[test]

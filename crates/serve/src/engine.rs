@@ -187,7 +187,7 @@ impl Engine {
         );
         let n_users = train.n_users();
         let n_items = train.n_items();
-        let scorer = ItemScorer::new(&model, &config, n_items);
+        let scorer = ItemScorer::with_quantization(&model, &config, n_items, serve.quantize);
         let popularity = train
             .item_popularity()
             .into_iter()
@@ -283,6 +283,11 @@ impl Engine {
         self.index
             .as_ref()
             .map(|(ix, nprobe)| (ix.nlist(), *nprobe))
+    }
+
+    /// The item-matrix quantization the scorer was built with.
+    pub fn quantization(&self) -> inbox_core::Quantization {
+        self.scorer.quantization()
     }
 
     /// Number of interest boxes currently resident in the box cache.
@@ -441,6 +446,7 @@ impl Engine {
                     cen: &b.cen,
                     inside_weight: self.scorer.inside_weight(),
                     gamma: self.scorer.gamma(),
+                    bound_slack: self.scorer.bound_slack(),
                 };
                 {
                     let _cand_span = inbox_obs::ctx_span("engine.candidates");
@@ -452,14 +458,30 @@ impl Engine {
                     let _rerank_alloc = inbox_obs::alloc_scope("engine.rerank");
                     let live = self.live.read().unwrap();
                     let mask = &live.masks[user.index()];
-                    index.rerank(
-                        &q,
-                        k,
-                        mask,
-                        |i| self.scorer.score_item_prepared(b, score, i),
-                        query,
-                        ranked,
-                    )
+                    if self.scorer.quantization() == inbox_core::Quantization::None {
+                        index.rerank(
+                            &q,
+                            k,
+                            mask,
+                            |i| self.scorer.score_item_prepared(b, score, i),
+                            query,
+                            ranked,
+                        )
+                    } else {
+                        // Bounded-error ranking oracle: the int8 kernel
+                        // selects candidates, near-threshold survivors are
+                        // re-scored through the exact f32 path, recovering
+                        // the f32 top-k of the scanned partitions exactly.
+                        index.rerank_refined(
+                            &q,
+                            k,
+                            mask,
+                            |i| self.scorer.score_item_prepared(b, score, i),
+                            |i| self.scorer.score_item_prepared_f32(b, score, i),
+                            query,
+                            ranked,
+                        )
+                    }
                 };
                 inbox_obs::record_value("engine.candidates.size", rerank_stats.candidates as u64);
                 self.obs_index_requests.incr();
@@ -486,6 +508,24 @@ impl Engine {
                 let _rank_alloc = inbox_obs::alloc_scope("engine.rank");
                 let live = self.live.read().unwrap();
                 let mask = &live.masks[user.index()];
+                // Quantized full sort goes through the bounded-error
+                // ranking oracle: the int8 scan above selected candidates,
+                // the refine pass re-scores near-threshold items in f32 and
+                // returns the exact f32 top-k. Cold users never reach this
+                // branch (popularity scores are f32 either way).
+                if let Some(b) = resolved.as_deref() {
+                    if self.scorer.quantization() != inbox_core::Quantization::None {
+                        self.scorer.refined_topk_into(
+                            b,
+                            &mut scratch.score,
+                            &scratch.scores,
+                            mask,
+                            k,
+                            &mut scratch.ranked,
+                        );
+                        return scratch.ranked.clone();
+                    }
+                }
                 top_k_masked_into(
                     &scratch.scores,
                     mask,
@@ -534,10 +574,23 @@ impl Engine {
         let items = {
             let live = self.live.read().unwrap();
             let mask = &live.masks[user.index()];
-            top_k_masked(&scores, mask, k)
-                .into_iter()
-                .map(|i| (i, scores[i.index()]))
-                .collect()
+            // Mirror `recommend_now`: quantized box-backed answers go
+            // through the bounded-error refine, so the oracle contract
+            // (bit-identical answers) holds under `--quantize int8` too.
+            match &b {
+                Some(b) if self.scorer.quantization() != inbox_core::Quantization::None => {
+                    let mut score = inbox_core::ScoreScratch::default();
+                    let mut ranked = Vec::new();
+                    self.scorer.prepare_box_bounds(b, &mut score);
+                    self.scorer
+                        .refined_topk_into(b, &mut score, &scores, mask, k, &mut ranked);
+                    ranked
+                }
+                _ => top_k_masked(&scores, mask, k)
+                    .into_iter()
+                    .map(|i| (i, scores[i.index()]))
+                    .collect(),
+            }
         };
         Ok(Recommendation {
             user,

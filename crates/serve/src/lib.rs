@@ -44,6 +44,7 @@ pub use cache::BoxCache;
 pub use engine::{Engine, Ingested, Recommendation, ServeStats};
 pub use error::ServeError;
 pub use http::HttpServer;
+pub use inbox_core::Quantization;
 pub use inbox_index::IndexMode;
 
 /// Tuning knobs for the service.
@@ -73,6 +74,13 @@ pub struct ServeConfig {
     /// partitions + box pruning + exact re-rank). An index that fails to
     /// build degrades to full sort — never a startup failure.
     pub index: IndexMode,
+    /// Item-matrix quantization for inference scoring.
+    /// [`Quantization::None`] keeps the f32 matrix (bit-identical to
+    /// offline ranking); [`Quantization::Int8`] scores through the
+    /// dequantize-free int8 kernel, trading exactness for throughput
+    /// under the testkit's agreement@20 ≥ 0.99 contract. Cold users
+    /// (popularity fallback) bypass quantization byte-identically.
+    pub quantize: Quantization,
 }
 
 /// Required good fraction for the `serve.recommend` SLO.
@@ -89,6 +97,7 @@ impl Default for ServeConfig {
             slo_objective: Duration::from_millis(50),
             trace_slow: Duration::from_millis(250),
             index: IndexMode::FullSort,
+            quantize: Quantization::None,
         }
     }
 }

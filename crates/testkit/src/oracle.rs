@@ -8,17 +8,20 @@
 //!
 //! **Bit-exactness discipline.** f32 addition is not associative, so an
 //! oracle can only assert `to_bits` equality if it folds in the *same
-//! order* the production code documents. Each function notes which
-//! contract it mirrors:
+//! order* the production code documents. Since the SIMD kernel overhaul
+//! that order is the **lane-striped** contract of `inbox_autodiff::simd`
+//! for every row reduction, replicated here by [`striped_fold`] with a
+//! plain array (no `F32x8`), plus select-based min/max matching the SSE
+//! instruction semantics. Each function notes which contract it mirrors:
 //!
-//! * the tape ops promise fused == unfused-chain (and we re-state the
-//!   chain order here),
+//! * the tape ops promise fused == unfused-chain up to reassociation
+//!   (gradients bitwise; forward values pinned against *these* oracles),
 //! * [`score_items`] mirrors `core::predict::ItemScorer` /
 //!   `core::geometry::d_pb_weighted` (separate outside/inside
-//!   accumulators),
+//!   lane-striped sums),
 //! * [`d_pb_rows`] mirrors the *fused training op*, which folds a single
-//!   interleaved accumulator and is therefore deliberately a different
-//!   function from [`score_items`],
+//!   interleaved lane-striped accumulator and is therefore deliberately a
+//!   different function from [`score_items`],
 //! * [`interest_box`] mirrors `InBoxModel::interest_box` fragment by
 //!   fragment.
 //!
@@ -76,6 +79,52 @@ pub fn rows_from_flat(rows: usize, cols: usize, data: &[f32]) -> Rows {
 
 fn bcast(m: &Rows, r: usize) -> &[f32] {
     &m[if m.len() == 1 { 0 } else { r }]
+}
+
+// ---------------------------------------------------------------------
+// The lane-striped reduction order (independent replica)
+// ---------------------------------------------------------------------
+
+/// Folds per-dimension terms in the workspace's **lane-striped** order —
+/// the reduction-order contract every SIMD row kernel documents
+/// (`inbox_autodiff::simd`): term `k` accumulates into lane `k % 8`
+/// sequentially, then the eight lanes reduce through the fixed pairwise
+/// tree `[0+4, 1+5, 2+6, 3+7] → [·0+·2, ·1+·3] → left + right`. Written
+/// here with a plain array and explicit adds, no shared helper, so the
+/// production kernels cannot hide a fold-order bug in common code.
+fn striped_fold(terms: impl Iterator<Item = f32>) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    for (k, t) in terms.enumerate() {
+        lanes[k % 8] += t;
+    }
+    let b = [
+        lanes[0] + lanes[4],
+        lanes[1] + lanes[5],
+        lanes[2] + lanes[6],
+        lanes[3] + lanes[7],
+    ];
+    let c = [b[0] + b[2], b[1] + b[3]];
+    c[0] + c[1]
+}
+
+/// Select-based max with SSE `maxps` semantics (the second operand wins
+/// ties and unordered comparisons) — the min/max contract of the SIMD
+/// kernels, distinct from `f32::max`'s unspecified signed-zero result.
+fn smax(a: f32, b: f32) -> f32 {
+    if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Select-based min with SSE `minps` semantics.
+fn smin(a: f32, b: f32) -> f32 {
+    if a < b {
+        a
+    } else {
+        b
+    }
 }
 
 fn bcast_rows(a: &Rows, b: &Rows, what: &str) -> usize {
@@ -266,14 +315,14 @@ pub fn attn_combine(scores: &Rows, values: &Rows) -> Rows {
 }
 
 /// Per-row L1 distance `sum_axis1(|a - b|)` with row broadcast on either
-/// side. Mirrors `Tape::l1_rows` (per row, `|x - y|` summed in column
-/// order).
+/// side. Mirrors `Tape::l1_rows` (per row, `|x - y|` folded in the
+/// lane-striped order).
 pub fn l1_rows(a: &Rows, b: &Rows) -> Vec<f32> {
     let rows = bcast_rows(a, b, "l1_rows");
     (0..rows)
         .map(|r| {
             let (ra, rb) = (bcast(a, r), bcast(b, r));
-            ra.iter().zip(rb).map(|(&x, &y)| (x - y).abs()).sum()
+            striped_fold(ra.iter().zip(rb).map(|(&x, &y)| (x - y).abs()))
         })
         .collect()
 }
@@ -362,20 +411,17 @@ pub fn d_pb_rows(points: &Rows, cen: &Rows, off: &Rows, inside_weight: f32) -> V
             let prow = bcast(points, r);
             let crow = bcast(cen, r);
             let orow = bcast(off, r);
-            let mut acc = 0.0f32;
-            for c in 0..cols {
-                let half = orow[c].max(0.0);
+            striped_fold((0..cols).map(|c| {
+                let half = smax(orow[c], 0.0);
                 let hi = crow[c] + half;
                 let lo = crow[c] - half;
                 let p = prow[c];
-                let over = (p - hi).max(0.0);
-                let under = (lo - p).max(0.0);
-                let clamped = if p >= lo { p } else { lo };
-                let clamped = if clamped <= hi { clamped } else { hi };
+                let over = smax(p - hi, 0.0);
+                let under = smax(lo - p, 0.0);
+                let clamped = smin(smax(p, lo), hi);
                 let inside = (crow[c] - clamped).abs();
-                acc += (over + under) + inside_weight * inside;
-            }
-            acc
+                (over + under) + inside_weight * inside
+            }))
         })
         .collect()
 }
@@ -384,9 +430,10 @@ pub fn d_pb_rows(points: &Rows, cen: &Rows, off: &Rows, inside_weight: f32) -> V
 // Geometry / scoring oracles (inference path)
 // ---------------------------------------------------------------------
 
-/// Point-to-point L1 distance (Eq. (3)).
+/// Point-to-point L1 distance (Eq. (3)), folded in the lane-striped
+/// order of `geometry::d_pp`.
 pub fn d_pp(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum()
+    striped_fold(a.iter().zip(b).map(|(&x, &y)| (x - y).abs()))
 }
 
 /// The `(D_out, D_in)` pair for one point against a `(cen, raw off)`
@@ -423,20 +470,18 @@ pub fn score_items(
     let mut lo = Vec::with_capacity(dim);
     let mut hi = Vec::with_capacity(dim);
     for k in 0..dim {
-        let half = off[k].max(0.0);
+        let half = smax(off[k], 0.0);
         lo.push(cen[k] - half);
         hi.push(cen[k] + half);
     }
     items
         .chunks_exact(dim)
         .map(|row| {
-            let mut out = 0.0f32;
-            let mut inside = 0.0f32;
-            for k in 0..dim {
-                let p = row[k];
-                out += (p - hi[k]).max(0.0) + (lo[k] - p).max(0.0);
-                inside += (cen[k] - p.clamp(lo[k], hi[k])).abs();
-            }
+            let out = striped_fold(
+                (0..dim).map(|k| smax(row[k] - hi[k], 0.0) + smax(lo[k] - row[k], 0.0)),
+            );
+            let inside =
+                striped_fold((0..dim).map(|k| (cen[k] - smin(smax(row[k], lo[k]), hi[k])).abs()));
             gamma - (out + inside_weight * inside)
         })
         .collect()

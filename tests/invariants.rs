@@ -165,9 +165,11 @@ proptest! {
 use inbox_repro::testkit::{invariants, oracle};
 
 proptest! {
-    /// The testkit's scalar scoring oracle agrees **bit-for-bit** with the
-    /// geometry crate's `D_out`/`D_in` on the full matching formula, for
-    /// arbitrary item tables and boxes.
+    /// The testkit's scalar scoring oracle — an independent replica of the
+    /// lane-striped reduction contract — agrees **bit-for-bit** with the
+    /// geometry crate's SIMD `d_pb_weighted` kernel on the full matching
+    /// formula, for arbitrary item tables and boxes, and to f32 rounding
+    /// with the sequential `D_out`/`D_in` reference pair.
     #[test]
     fn oracle_scoring_matches_geometry_bitwise(
         items in prop::collection::vec(-3.0f32..3.0, 4 * DIM),
@@ -176,10 +178,15 @@ proptest! {
         let scores = oracle::score_items(&items, DIM, &b.cen, &b.off, 12.0, 0.5);
         for (r, score) in scores.iter().enumerate() {
             let p = &items[r * DIM..(r + 1) * DIM];
-            let want = 12.0 - (geometry::d_out(p, &b) + 0.5 * geometry::d_in(p, &b));
+            let want = 12.0 - geometry::d_pb_weighted(p, &b, 0.5);
             prop_assert_eq!(
                 score.to_bits(), want.to_bits(),
                 "row {}: oracle {} vs geometry {}", r, score, want
+            );
+            let scalar = 12.0 - (geometry::d_out(p, &b) + 0.5 * geometry::d_in(p, &b));
+            prop_assert!(
+                (score - scalar).abs() <= 1e-4 * (1.0 + scalar.abs()),
+                "row {}: oracle {} vs scalar reference {}", r, score, scalar
             );
         }
     }
