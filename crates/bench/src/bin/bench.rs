@@ -14,7 +14,9 @@
 //! direction-aware: throughput-like metrics regress when they drop,
 //! latency-like metrics when they rise, everything else is informational.
 //! `compare` always exits 0 unless `--strict` is passed — the CI job that
-//! runs it is advisory, not a gate.
+//! runs it is advisory, not a gate. `compare --json` renders the same
+//! verdicts as one machine-readable JSON document on stdout (for dashboards
+//! and scripted gates) instead of the human table.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -142,6 +144,19 @@ fn print_row(row: &Comparison) {
     );
 }
 
+/// Renders one comparison row as a JSON object (for `compare --json`).
+fn json_row(row: &Comparison) -> String {
+    let direction = match row.direction {
+        Direction::HigherBetter => "higher_better",
+        Direction::LowerBetter => "lower_better",
+        Direction::Informational => "informational",
+    };
+    format!(
+        "{{\"metric\":\"{}\",\"baseline\":{},\"current\":{},\"delta_pct\":{},\"direction\":\"{}\",\"regressed\":{}}}",
+        row.metric, row.baseline, row.current, row.delta_pct, direction, row.regressed
+    )
+}
+
 fn compare(args: &[String]) {
     let root = repo_root();
     let threshold: f64 = flag_value(args, "--threshold")
@@ -149,6 +164,7 @@ fn compare(args: &[String]) {
         .unwrap_or(3.0);
     let strict = args.iter().any(|a| a == "--strict");
     let verbose = args.iter().any(|a| a == "--verbose");
+    let json = args.iter().any(|a| a == "--json");
     let ledger_path = flag_value(args, "--ledger")
         .map(PathBuf::from)
         .unwrap_or_else(|| root.join("BENCH_LEDGER.jsonl"));
@@ -164,15 +180,29 @@ fn compare(args: &[String]) {
     }
     let mut regressions = 0usize;
     let mut compared = 0usize;
+    let mut json_benches: Vec<String> = Vec::new();
     for (bench, current) in load_reports(&root, &extra) {
         let Some(base) = baselines.get(&bench) else {
-            println!("{bench}: no ledger baseline, skipping");
+            if !json {
+                println!("{bench}: no ledger baseline, skipping");
+            }
             continue;
         };
         let rows = ledger::compare(&base.metrics, &current, threshold);
         let flagged: Vec<&Comparison> = rows.iter().filter(|r| r.regressed).collect();
         compared += rows.len();
         regressions += flagged.len();
+        if json {
+            // --json keeps every row: the consumer filters, not us.
+            let rendered: Vec<String> = rows.iter().map(json_row).collect();
+            json_benches.push(format!(
+                "{{\"bench\":\"{bench}\",\"baseline_rev\":\"{}\",\"regressions\":{},\"rows\":[{}]}}",
+                base.rev,
+                flagged.len(),
+                rendered.join(",")
+            ));
+            continue;
+        }
         println!(
             "{bench}: {} metrics vs rev {} ({} regression(s) beyond ±{threshold}%)",
             rows.len(),
@@ -185,10 +215,17 @@ fn compare(args: &[String]) {
             }
         }
     }
-    println!(
-        "compare: {compared} metrics checked, {regressions} regression(s) beyond ±{threshold}%{}",
-        if strict { "" } else { " (informational)" }
-    );
+    if json {
+        println!(
+            "{{\"threshold_pct\":{threshold},\"compared\":{compared},\"regressions\":{regressions},\"strict\":{strict},\"benches\":[{}]}}",
+            json_benches.join(",")
+        );
+    } else {
+        println!(
+            "compare: {compared} metrics checked, {regressions} regression(s) beyond ±{threshold}%{}",
+            if strict { "" } else { " (informational)" }
+        );
+    }
     if strict && regressions > 0 {
         std::process::exit(1);
     }
@@ -223,7 +260,7 @@ fn main() {
             eprintln!(
                 "usage: bench <history|compare> [--ledger FILE] [--file BENCH_x.json]...\n\
                  \x20 history: --note TEXT\n\
-                 \x20 compare: --threshold PCT (default 3) --strict --verbose"
+                 \x20 compare: --threshold PCT (default 3) --strict --verbose --json"
             );
             std::process::exit(2);
         }

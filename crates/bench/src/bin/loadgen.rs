@@ -9,7 +9,11 @@
 //! 2. **load** — mixed recommend/ingest streams from N client threads.
 //!    Latency percentiles come from the `serve.request` span histogram,
 //!    batch sizes from the `serve.batch.size` value histogram — the same
-//!    telemetry a production `--metrics-out` sink would see.
+//!    telemetry a production `--metrics-out` sink would see. The shadow-
+//!    oracle auditor runs at its default 1-in-32 sampling throughout; the
+//!    queue is drained at shutdown and the report asserts every audited
+//!    answer matched the exact re-rank (FullSort + f32 serving must audit
+//!    perfectly clean).
 //!
 //! The model is untrained: serving cost (forward pass, scoring, top-K) is
 //! independent of parameter values, so skipping training keeps the bench
@@ -69,6 +73,25 @@ struct ScopeAllocs {
     bytes: u64,
 }
 
+/// Shadow-oracle audit verdicts, drained to completion at shutdown, plus
+/// the drift monitor's score-distribution divergence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct AuditReport {
+    /// Configured sampling stride (1-in-N served answers).
+    sample_every: u64,
+    sampled: u64,
+    audited: u64,
+    shed: u64,
+    stale: u64,
+    mismatched: u64,
+    /// Fraction of oracle top-20 items present in audited served answers.
+    recall_at_20: f64,
+    /// Fraction of audited positions that agreed exactly with the oracle.
+    agreement_at_20: f64,
+    /// PSI of the served top-score distribution vs the startup reference.
+    drift_psi_score: f64,
+}
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Report {
     dataset: String,
@@ -102,6 +125,8 @@ struct Report {
     steady_state_allocs: Vec<ScopeAllocs>,
     /// Probe allocations in the zero-alloc-by-contract scopes, per request.
     hot_scope_allocs_per_request: f64,
+    /// Shadow-oracle audit results over the whole run (load + probe).
+    audit: AuditReport,
 }
 
 /// One blocking HTTP GET against the embedded server; returns the body.
@@ -286,6 +311,22 @@ fn main() {
         serde_json::from_str(&http_get(http.local_addr(), "/traces")).expect("/traces parses");
     let traces_retained = dump.recent.len() as u64;
     assert!(traces_retained > 0, "flight recorder retained no traces");
+    // Live `/audit` scrape: with FullSort + f32 serving every answer the
+    // auditor has processed so far re-ranked identically, so the live
+    // recall ratio must read exactly 1.0 even mid-drain.
+    let audit_body = http_get(http.local_addr(), "/audit");
+    let audit_live: serde_json::Value = serde_json::from_str(&audit_body).expect("/audit parses");
+    let live_recall = audit_live
+        .as_object()
+        .and_then(|o| o.get("audit"))
+        .and_then(|a| a.as_object())
+        .and_then(|a| a.get("recall"))
+        .and_then(|r| r.as_f64())
+        .expect("/audit reports a recall ratio");
+    assert!(
+        live_recall == 1.0,
+        "exact serving must audit clean: /audit recall {live_recall}"
+    );
     http.shutdown();
 
     // Steady-state allocation probe: the load phase warmed every per-thread
@@ -310,7 +351,45 @@ fn main() {
         }
     });
     inbox_obs::set_alloc_tracking(false);
+    // Shutdown drains the audit queue through the shadow oracle, so the
+    // snapshot below covers every sampled answer that was not shed.
     service.shutdown();
+    let audit_snap = inbox_obs::audit_snapshot(inbox_obs::ALERT_WINDOW_SECS);
+    assert!(
+        audit_snap.sampled > 0,
+        "audit sampler never fired at 1-in-{}",
+        serve_cfg.audit_sample
+    );
+    assert_eq!(
+        audit_snap.sampled,
+        audit_snap.audited + audit_snap.shed + audit_snap.stale,
+        "audit drain left samples unaccounted for"
+    );
+    assert!(
+        audit_snap.audited > 0,
+        "no sampled answer survived to audit"
+    );
+    assert!(
+        audit_snap.recall == 1.0 && audit_snap.mismatched == 0,
+        "exact serving must audit clean: recall {} with {} mismatch(es)",
+        audit_snap.recall,
+        audit_snap.mismatched
+    );
+    let audit = AuditReport {
+        sample_every: serve_cfg.audit_sample,
+        sampled: audit_snap.sampled,
+        audited: audit_snap.audited,
+        shed: audit_snap.shed,
+        stale: audit_snap.stale,
+        mismatched: audit_snap.mismatched,
+        recall_at_20: audit_snap.recall,
+        agreement_at_20: audit_snap.agreement,
+        // The worker publishes drift stats once more while draining, so
+        // the score PSI must exist by now — a missing stat means the
+        // monitor silently never ran, which should fail the bench.
+        drift_psi_score: inbox_obs::drift_stat("psi.score")
+            .expect("drift monitor published no score PSI"),
+    };
 
     let steady_state_allocs: Vec<ScopeAllocs> = inbox_obs::all_alloc_scopes()
         .into_iter()
@@ -380,6 +459,7 @@ fn main() {
         alloc_probe_requests,
         steady_state_allocs,
         hot_scope_allocs_per_request,
+        audit,
     };
 
     println!(
@@ -418,6 +498,18 @@ fn main() {
             .map(|s| format!("{} {}", s.scope, s.allocs))
             .collect::<Vec<_>>()
             .join(", ")
+    );
+    println!(
+        "audit: {} sampled (1-in-{}), {} audited, {} shed, {} stale, \
+         recall@20 {:.2}, agreement@20 {:.2}, psi {:.4}",
+        report.audit.sampled,
+        report.audit.sample_every,
+        report.audit.audited,
+        report.audit.shed,
+        report.audit.stale,
+        report.audit.recall_at_20,
+        report.audit.agreement_at_20,
+        report.audit.drift_psi_score
     );
 
     let json = serde_json::to_string_pretty(&report).expect("serialise serve report");

@@ -266,10 +266,11 @@ pub enum Direction {
 /// Classifies a dotted metric path. The rules are name-conventional:
 /// `*_per_sec` / `qps` / `*speedup*` / `*hit_rate` are rates where more is
 /// better; `recall*` / `hit*` / `agreement*` are retrieval-quality
-/// fractions where more is better (the index's recall@k contract and the
-/// quantized scorer's agreement@k contract land here); anything under a
-/// `*_ms` segment is a latency where less is better; everything else is
-/// informational.
+/// fractions where more is better (the index's recall@k contract, the
+/// quantized scorer's agreement@k contract, and the shadow-oracle audit
+/// series land here); `psi*` / `drift*` / `displacement*` leaves are
+/// quality-divergence measures where less is better, as is anything under
+/// a `*_ms` segment (latencies); everything else is informational.
 pub fn direction(path: &str) -> Direction {
     let last = path.rsplit('.').next().unwrap_or(path);
     if last.ends_with("_per_sec")
@@ -281,6 +282,11 @@ pub fn direction(path: &str) -> Direction {
         || path.split('.').any(|seg| seg.contains("speedup"))
     {
         return Direction::HigherBetter;
+    }
+    if path.split('.').any(|seg| {
+        seg.starts_with("psi") || seg.starts_with("drift") || seg.starts_with("displacement")
+    }) {
+        return Direction::LowerBetter;
     }
     if path.split('.').any(|seg| seg.ends_with("_ms")) {
         return Direction::LowerBetter;
@@ -472,6 +478,14 @@ mod tests {
         );
         assert_eq!(direction("latency_ms.p99"), Direction::LowerBetter);
         assert_eq!(direction("current.user_boxes_ms"), Direction::LowerBetter);
+        // Shadow-oracle audit series: recall/agreement rise, divergence and
+        // displacement fall.
+        assert_eq!(direction("audit.recall_at_20"), Direction::HigherBetter);
+        assert_eq!(direction("audit.agreement_at_20"), Direction::HigherBetter);
+        assert_eq!(direction("drift.psi_score"), Direction::LowerBetter);
+        assert_eq!(direction("audit.psi.score"), Direction::LowerBetter);
+        assert_eq!(direction("audit.displacement_p99"), Direction::LowerBetter);
+        assert_eq!(direction("audit.sampled"), Direction::Informational);
         assert_eq!(direction("dim"), Direction::Informational);
         assert_eq!(direction("batches"), Direction::Informational);
         // A rate nested under a latency block is still a rate.

@@ -33,10 +33,14 @@ USAGE:
                   [--slo-ms 50] [--trace-slow-ms 250] [--trace-sample 1]
                   [--index full|ivf] [--nlist 0] [--nprobe 0] (0 = auto)
                   [--quantize none|int8] [--smoke]
+                  [--audit-sample 32] [--audit-queue-cap 256] [--audit-floor F]
+                  (shadow-oracle audit: re-rank 1-in-N answers through the
+                   exact full-sort oracle; 0 disables; --audit-floor arms the
+                   degradation alert on windowed audit recall)
   inbox obs       [--addr 127.0.0.1:7878] [--interval-ms 1000] [--iters 0]
                   live dashboard over a running server's GET /metrics
                   (qps, p99, cache hit rate, queue depth, shed rate, SLO burn,
-                  allocs/s, hottest contended lock)
+                  allocs/s, hottest contended lock, audit recall + drift PSI)
   inbox profile   [--addr 127.0.0.1:7878] [--out FILE]
                   fetch a running server's folded-stack profile (GET /profile)
                   and print it — pipe into flamegraph.pl for an SVG flamegraph
@@ -337,9 +341,23 @@ pub fn serve_config_from_flags(parsed: &Parsed) -> Result<ServeConfig, Box<dyn E
             inbox_serve::Quantization::parse(name).map_err(|e| format!("--quantize {name}: {e}"))?
         }
     };
+    // Shadow-oracle auditing: `--audit-sample N` re-ranks 1-in-N answers
+    // through the exact oracle in the background (0 disables), and
+    // `--audit-floor F` arms the latched degradation alert on windowed
+    // audit recall.
+    let audit_floor = match parsed.get("audit-floor") {
+        None => defaults.audit_floor,
+        Some(v) => Some(
+            v.parse::<f64>()
+                .map_err(|e| format!("bad --audit-floor: {e}"))?,
+        ),
+    };
     Ok(ServeConfig {
         index,
         quantize,
+        audit_sample: parsed.get_parsed("audit-sample", defaults.audit_sample)?,
+        audit_queue_cap: parsed.get_parsed("audit-queue-cap", defaults.audit_queue_cap)?,
+        audit_floor,
         max_batch: parsed.get_parsed("batch-max", defaults.max_batch)?,
         batch_wait: std::time::Duration::from_micros(parsed.get_parsed("batch-wait-us", 500u64)?),
         queue_cap: parsed.get_parsed("queue-cap", defaults.queue_cap)?,
@@ -410,7 +428,7 @@ pub fn serve(parsed: &Parsed) -> CmdResult {
             },
             service.engine().quantization().as_str()
         );
-        println!("routes: GET /health  GET /recommend?user=U&k=K  POST /ingest?user=U&item=I  GET /stats  GET /metrics  GET /traces  GET /profile");
+        println!("routes: GET /health  GET /recommend?user=U&k=K  POST /ingest?user=U&item=I  GET /stats  GET /audit  GET /metrics  GET /traces  GET /profile");
     }
     if parsed.has("smoke") {
         // Prove the wire path end to end, then exit (used by CI).
@@ -442,6 +460,22 @@ pub fn serve(parsed: &Parsed) -> CmdResult {
             .any(|l| l.starts_with("http.request;") || l.starts_with("http.request "))
         {
             return Err("smoke: /profile has no stacks rooted at http.request".into());
+        }
+        // The audit surface must be well-formed JSON carrying the
+        // shadow-oracle series (the recommend above was the 1st answer, so
+        // the 1-in-N sampler always picked it up when auditing is on).
+        let audit = self_request(http.local_addr(), "/audit")?;
+        let audit: serde_json::Value = serde_json::from_str(&audit)
+            .map_err(|e| format!("smoke: /audit is not valid JSON: {e}"))?;
+        let sampled = audit
+            .as_object()
+            .and_then(|o| o.get("audit"))
+            .and_then(|a| a.as_object())
+            .and_then(|a| a.get("sampled"))
+            .and_then(|s| s.as_f64())
+            .unwrap_or(0.0);
+        if serve_cfg.audit_sample > 0 && sampled == 0.0 {
+            return Err("smoke: /audit recorded no sampled answers".into());
         }
         let stats = service.stats();
         if chatty() {
@@ -487,8 +521,10 @@ fn sample(
 /// Renders one dashboard line from a raw `/metrics` scrape: last-10s QPS,
 /// p99 latency, cache hit rate, queue depth, shed rate, the
 /// `serve.recommend` SLO's 60s burn rate, the last-10s allocation rate,
-/// and the lock with the highest cumulative contention count. Pure
-/// (testable without a server).
+/// the lock with the highest cumulative contention count, and the quality
+/// columns — audited/sampled counts, audit queue backlog, last-minute
+/// audit recall (flagged `DEGRADED` when the latch is tripped), and the
+/// served-score drift PSI. Pure (testable without a server).
 pub fn render_dashboard(metrics_text: &str) -> String {
     let samples: Vec<_> = metrics_text
         .lines()
@@ -571,8 +607,28 @@ pub fn render_dashboard(metrics_text: &str) -> String {
         Some((name, n)) if n > 0.0 => format!("{name}({n:.0})"),
         _ => "-".to_string(),
     };
+    let audit_sampled = sample(&samples, "inbox_audit_sampled_total", &[]).unwrap_or(0.0);
+    let audit_audited = sample(&samples, "inbox_audit_audited_total", &[]).unwrap_or(0.0);
+    let audit_recall = sample(&samples, "inbox_audit_recall", &[("window", "60s")]).unwrap_or(1.0);
+    let audit_degraded = sample(&samples, "inbox_audit_degraded", &[]).unwrap_or(0.0);
+    let audit_backlog = sample(
+        &samples,
+        "inbox_value_window",
+        &[
+            ("name", "audit.queue.depth"),
+            ("window", "10s"),
+            ("quantile", "0.99"),
+        ],
+    )
+    .unwrap_or(0.0);
+    let audit_state = if audit_degraded > 0.0 {
+        " DEGRADED"
+    } else {
+        ""
+    };
+    let psi = sample(&samples, "inbox_audit_drift", &[("stat", "psi.score")]).unwrap_or(0.0);
     format!(
-        "qps {qps:8.1} | p99 {p99_ms:8.2} ms | cache hit {hit_pct:5.1}% | queue p99 {queue_p99:5.0} | shed/s {shed_rate:6.2} | burn60 {burn:5.2} | alloc/s {alloc_rate:8.1} | hot lock {hot_lock}"
+        "qps {qps:8.1} | p99 {p99_ms:8.2} ms | cache hit {hit_pct:5.1}% | queue p99 {queue_p99:5.0} | shed/s {shed_rate:6.2} | burn60 {burn:5.2} | alloc/s {alloc_rate:8.1} | hot lock {hot_lock} | audit {audit_audited:.0}/{audit_sampled:.0} bl {audit_backlog:3.0} rec60 {audit_recall:4.2}{audit_state} | psi {psi:6.3}"
     )
 }
 
@@ -803,6 +859,12 @@ mod tests {
             "64",
             "--nprobe",
             "8",
+            "--audit-sample",
+            "16",
+            "--audit-queue-cap",
+            "32",
+            "--audit-floor",
+            "0.97",
         ]);
         let cfg = serve_config_from_flags(&p).unwrap();
         assert_eq!(cfg.max_batch, 8);
@@ -819,6 +881,9 @@ mod tests {
                 nprobe: 8
             }
         );
+        assert_eq!(cfg.audit_sample, 16);
+        assert_eq!(cfg.audit_queue_cap, 32);
+        assert_eq!(cfg.audit_floor, Some(0.97));
         // Defaults hold when flags are absent.
         let d = serve_config_from_flags(&parsed(&["serve"])).unwrap();
         assert_eq!(d.max_batch, inbox_serve::ServeConfig::default().max_batch);
@@ -827,6 +892,9 @@ mod tests {
             inbox_serve::ServeConfig::default().slo_objective
         );
         assert_eq!(d.index, inbox_serve::IndexMode::FullSort);
+        assert_eq!(d.audit_sample, 32, "auditing defaults on at 1-in-32");
+        assert_eq!(d.audit_floor, None, "alerting defaults off");
+        assert!(serve_config_from_flags(&parsed(&["serve", "--audit-floor", "high"])).is_err());
         // Bare `--index ivf` leaves both knobs on auto; junk is rejected.
         let auto = serve_config_from_flags(&parsed(&["serve", "--index", "ivf"])).unwrap();
         assert_eq!(
@@ -853,6 +921,12 @@ inbox_slo_burn_rate{name=\"serve.recommend\",window=\"60s\"} 1.25
 inbox_alloc_window{window=\"10s\"} 420
 inbox_counter_total{name=\"lock.engine.cache.contended\"} 3
 inbox_counter_total{name=\"lock.batcher.queue.contended\"} 17
+inbox_audit_sampled_total 9
+inbox_audit_audited_total 8
+inbox_audit_recall{window=\"60s\"} 0.95
+inbox_audit_degraded 1
+inbox_value_window{name=\"audit.queue.depth\",window=\"10s\",quantile=\"0.99\"} 2
+inbox_audit_drift{stat=\"psi.score\"} 0.042
 ";
         let line = render_dashboard(text);
         assert!(line.contains("qps    123.5"), "{line}");
@@ -862,6 +936,10 @@ inbox_counter_total{name=\"lock.batcher.queue.contended\"} 17
         assert!(line.contains("burn60  1.25"), "{line}");
         assert!(line.contains("alloc/s     42.0"), "{line}");
         assert!(line.contains("hot lock batcher.queue(17)"), "{line}");
+        assert!(line.contains("audit 8/9"), "{line}");
+        assert!(line.contains("bl   2"), "{line}");
+        assert!(line.contains("rec60 0.95 DEGRADED"), "{line}");
+        assert!(line.contains("psi  0.042"), "{line}");
     }
 
     #[test]
@@ -870,6 +948,9 @@ inbox_counter_total{name=\"lock.batcher.queue.contended\"} 17
         assert!(line.contains("qps"), "{line}");
         assert!(line.contains("0.0"), "{line}");
         assert!(line.contains("hot lock -"), "{line}");
+        // No audit traffic reads healthy, not alarming.
+        assert!(line.contains("rec60 1.00"), "{line}");
+        assert!(!line.contains("DEGRADED"), "{line}");
     }
 
     #[test]

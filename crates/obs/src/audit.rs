@@ -1,0 +1,478 @@
+//! Shadow-oracle audit accounting: online ranking-quality series.
+//!
+//! The serving layer samples 1-in-N answered `/recommend` requests and
+//! re-ranks them through the exact full-sort f32 oracle in the background
+//! (see `inbox-serve`). Each comparison lands here as one
+//! [`AuditObservation`]; this module keeps the cumulative and windowed
+//! recall@k / agreement@k / rank-displacement series, plus the degradation
+//! alerter: a **latched** `degraded` flag that trips when windowed audit
+//! recall drops below a configured floor and clears only once a full
+//! window of samples is back at or above it, with an SLO-style burn
+//! counter ticking for every below-floor sample while degraded.
+//!
+//! Everything is process-global (like the span/counter registry) so the
+//! serve worker writes and the exposition layer reads without threading
+//! handles through APIs; [`crate::reset`] clears it all.
+
+use crate::histogram::LogHistogram;
+use crate::window::{WindowedCounter, WindowedHistogram};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Window (seconds) the degradation alerter evaluates recall over.
+pub const ALERT_WINDOW_SECS: u64 = 60;
+
+/// Minimum audited samples inside the alert window before the degradation
+/// latch may change state in either direction — a lone unlucky sample must
+/// not page anyone, and a lone lucky one must not clear a real alert.
+pub const MIN_ALERT_SAMPLES: u64 = 5;
+
+struct AuditCell {
+    /// Answers handed to the audit queue.
+    sampled: AtomicU64,
+    /// Samples dropped because the audit queue was full.
+    shed: AtomicU64,
+    /// Samples skipped because the user's history version moved on before
+    /// the oracle ran (the comparison would be against different state).
+    stale: AtomicU64,
+    /// Samples fully re-ranked and compared.
+    audited: AtomicU64,
+    /// Audited samples whose served answer differed from the oracle's.
+    mismatched: AtomicU64,
+    /// Cumulative recall numerator: served items found in the oracle top-k.
+    hit_items: AtomicU64,
+    /// Cumulative agreement numerator: positions with the identical item.
+    agree_items: AtomicU64,
+    /// Cumulative denominator: sum of k over audited samples.
+    total_items: AtomicU64,
+    w_audited: WindowedCounter,
+    w_mismatched: WindowedCounter,
+    w_hit_items: WindowedCounter,
+    w_agree_items: WindowedCounter,
+    w_total_items: WindowedCounter,
+    /// Worst absolute rank displacement per audited sample, in positions.
+    displacement: LogHistogram,
+    w_displacement: WindowedHistogram,
+    /// Recall floor as f64 bits; NaN = alerting disabled.
+    floor_bits: AtomicU64,
+    degraded: AtomicBool,
+    /// Times the latch tripped (0 → 1 transitions).
+    degraded_events: AtomicU64,
+    /// Below-floor audited samples observed while evaluating the alert.
+    burn: AtomicU64,
+    w_burn: WindowedCounter,
+}
+
+fn cell() -> &'static AuditCell {
+    static CELL: OnceLock<AuditCell> = OnceLock::new();
+    CELL.get_or_init(|| AuditCell {
+        sampled: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        stale: AtomicU64::new(0),
+        audited: AtomicU64::new(0),
+        mismatched: AtomicU64::new(0),
+        hit_items: AtomicU64::new(0),
+        agree_items: AtomicU64::new(0),
+        total_items: AtomicU64::new(0),
+        w_audited: WindowedCounter::new(),
+        w_mismatched: WindowedCounter::new(),
+        w_hit_items: WindowedCounter::new(),
+        w_agree_items: WindowedCounter::new(),
+        w_total_items: WindowedCounter::new(),
+        displacement: LogHistogram::new(),
+        w_displacement: WindowedHistogram::default(),
+        floor_bits: AtomicU64::new(f64::NAN.to_bits()),
+        degraded: AtomicBool::new(false),
+        degraded_events: AtomicU64::new(0),
+        burn: AtomicU64::new(0),
+        w_burn: WindowedCounter::new(),
+    })
+}
+
+/// One served answer compared against the shadow oracle's re-rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditObservation {
+    /// Requested list length.
+    pub k: usize,
+    /// Served items that appear anywhere in the oracle's top-k (set
+    /// overlap; the recall@k numerator).
+    pub matched: usize,
+    /// Positions whose served item equals the oracle's item at the same
+    /// rank (the agreement@k numerator).
+    pub agreed: usize,
+    /// Largest absolute rank displacement of any served item against its
+    /// oracle rank, in positions (served items absent from the oracle
+    /// top-k count as displaced by k).
+    pub max_displacement: u64,
+}
+
+impl AuditObservation {
+    /// Whether the served answer differed from the oracle's in any way.
+    pub fn mismatched(&self) -> bool {
+        self.matched < self.k || self.agreed < self.k
+    }
+}
+
+/// Counts one answer handed to the audit queue.
+pub fn note_audit_sampled() {
+    if crate::enabled() {
+        cell().sampled.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Counts one sample dropped because the audit queue was full.
+pub fn note_audit_shed() {
+    if crate::enabled() {
+        cell().shed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Counts one sample skipped because the user's history version moved on
+/// before the oracle re-ranked it.
+pub fn note_audit_stale() {
+    if crate::enabled() {
+        cell().stale.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Records one oracle comparison and re-evaluates the degradation alert.
+/// Returns whether the observation was a mismatch (so the caller can
+/// record a notable trace for it).
+pub fn record_audit(obs: &AuditObservation) -> bool {
+    if !crate::enabled() {
+        return obs.mismatched();
+    }
+    let c = cell();
+    c.audited.fetch_add(1, Ordering::Relaxed);
+    c.w_audited.add(1);
+    c.hit_items.fetch_add(obs.matched as u64, Ordering::Relaxed);
+    c.w_hit_items.add(obs.matched as u64);
+    c.agree_items
+        .fetch_add(obs.agreed as u64, Ordering::Relaxed);
+    c.w_agree_items.add(obs.agreed as u64);
+    c.total_items.fetch_add(obs.k as u64, Ordering::Relaxed);
+    c.w_total_items.add(obs.k as u64);
+    c.displacement.record(obs.max_displacement);
+    c.w_displacement.record(obs.max_displacement);
+    let mismatched = obs.mismatched();
+    if mismatched {
+        c.mismatched.fetch_add(1, Ordering::Relaxed);
+        c.w_mismatched.add(1);
+    }
+    evaluate_alert(c);
+    mismatched
+}
+
+/// Re-evaluates the latched degradation alert against the configured floor.
+fn evaluate_alert(c: &AuditCell) {
+    let floor = f64::from_bits(c.floor_bits.load(Ordering::Relaxed));
+    if !floor.is_finite() {
+        return;
+    }
+    let samples = c.w_audited.sum(ALERT_WINDOW_SECS);
+    if samples < MIN_ALERT_SAMPLES {
+        return;
+    }
+    let total = c.w_total_items.sum(ALERT_WINDOW_SECS);
+    let hits = c.w_hit_items.sum(ALERT_WINDOW_SECS);
+    let recall = if total == 0 {
+        1.0
+    } else {
+        hits as f64 / total as f64
+    };
+    if recall < floor {
+        c.burn.fetch_add(1, Ordering::Relaxed);
+        c.w_burn.add(1);
+        if !c.degraded.swap(true, Ordering::Relaxed) {
+            c.degraded_events.fetch_add(1, Ordering::Relaxed);
+        }
+    } else {
+        c.degraded.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Sets (or with `None` disables) the windowed-recall floor under which the
+/// degradation latch trips.
+pub fn set_audit_floor(floor: Option<f64>) {
+    let bits = floor.unwrap_or(f64::NAN).to_bits();
+    cell().floor_bits.store(bits, Ordering::Relaxed);
+}
+
+/// The configured recall floor, if alerting is enabled.
+pub fn audit_floor() -> Option<f64> {
+    let f = f64::from_bits(cell().floor_bits.load(Ordering::Relaxed));
+    f.is_finite().then_some(f)
+}
+
+/// Current state of the latched degradation flag.
+pub fn audit_degraded() -> bool {
+    cell().degraded.load(Ordering::Relaxed)
+}
+
+/// Point-in-time view of the audit series over one sliding window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditSnapshot {
+    /// Answers handed to the audit queue since boot.
+    pub sampled: u64,
+    /// Samples dropped at the full audit queue.
+    pub shed: u64,
+    /// Samples skipped as stale (history version moved on).
+    pub stale: u64,
+    /// Samples fully compared against the oracle.
+    pub audited: u64,
+    /// Compared samples that differed from the oracle.
+    pub mismatched: u64,
+    /// Cumulative recall@k across all audited samples (1.0 when none).
+    pub recall: f64,
+    /// Cumulative agreement@k across all audited samples (1.0 when none).
+    pub agreement: f64,
+    /// The sliding window the `window_*` fields cover, seconds.
+    pub window_secs: u64,
+    /// Samples compared inside the window.
+    pub window_audited: u64,
+    /// Mismatches inside the window.
+    pub window_mismatched: u64,
+    /// Recall@k inside the window (1.0 when the window is empty — no
+    /// audited traffic is no evidence of degradation).
+    pub window_recall: f64,
+    /// Agreement@k inside the window (1.0 when empty).
+    pub window_agreement: f64,
+    /// Median worst-rank-displacement inside the window, positions.
+    pub window_displacement_p50: u64,
+    /// p99 worst-rank-displacement inside the window, positions.
+    pub window_displacement_p99: u64,
+    /// Configured windowed-recall floor; `None` disables alerting.
+    pub floor: Option<f64>,
+    /// Latched degradation flag.
+    pub degraded: bool,
+    /// Times the latch tripped since boot.
+    pub degraded_events: u64,
+    /// Below-floor samples observed since boot (budget burn).
+    pub burn: u64,
+    /// Below-floor samples observed inside the window.
+    pub window_burn: u64,
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        1.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Snapshot of the audit series over the last `window` seconds.
+pub fn audit_snapshot(window: u64) -> AuditSnapshot {
+    let c = cell();
+    let w_disp = c.w_displacement.merged_at(crate::window::now_sec(), window);
+    AuditSnapshot {
+        sampled: c.sampled.load(Ordering::Relaxed),
+        shed: c.shed.load(Ordering::Relaxed),
+        stale: c.stale.load(Ordering::Relaxed),
+        audited: c.audited.load(Ordering::Relaxed),
+        mismatched: c.mismatched.load(Ordering::Relaxed),
+        recall: ratio(
+            c.hit_items.load(Ordering::Relaxed),
+            c.total_items.load(Ordering::Relaxed),
+        ),
+        agreement: ratio(
+            c.agree_items.load(Ordering::Relaxed),
+            c.total_items.load(Ordering::Relaxed),
+        ),
+        window_secs: window,
+        window_audited: c.w_audited.sum(window),
+        window_mismatched: c.w_mismatched.sum(window),
+        window_recall: ratio(c.w_hit_items.sum(window), c.w_total_items.sum(window)),
+        window_agreement: ratio(c.w_agree_items.sum(window), c.w_total_items.sum(window)),
+        window_displacement_p50: w_disp.quantile(0.50),
+        window_displacement_p99: w_disp.quantile(0.99),
+        floor: audit_floor(),
+        degraded: c.degraded.load(Ordering::Relaxed),
+        degraded_events: c.degraded_events.load(Ordering::Relaxed),
+        burn: c.burn.load(Ordering::Relaxed),
+        window_burn: c.w_burn.sum(window),
+    }
+}
+
+/// Zeroes every audit series, clears the latch, and disables the floor
+/// (part of [`crate::reset`]).
+pub(crate) fn clear_audit() {
+    let c = cell();
+    c.sampled.store(0, Ordering::Relaxed);
+    c.shed.store(0, Ordering::Relaxed);
+    c.stale.store(0, Ordering::Relaxed);
+    c.audited.store(0, Ordering::Relaxed);
+    c.mismatched.store(0, Ordering::Relaxed);
+    c.hit_items.store(0, Ordering::Relaxed);
+    c.agree_items.store(0, Ordering::Relaxed);
+    c.total_items.store(0, Ordering::Relaxed);
+    c.w_audited.clear();
+    c.w_mismatched.clear();
+    c.w_hit_items.clear();
+    c.w_agree_items.clear();
+    c.w_total_items.clear();
+    c.displacement.clear();
+    c.w_displacement.clear();
+    c.floor_bits.store(f64::NAN.to_bits(), Ordering::Relaxed);
+    c.degraded.store(false, Ordering::Relaxed);
+    c.degraded_events.store(0, Ordering::Relaxed);
+    c.burn.store(0, Ordering::Relaxed);
+    c.w_burn.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // One process-global cell, concurrent tests: serialise and clear.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        SERIAL
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn perfect(k: usize) -> AuditObservation {
+        AuditObservation {
+            k,
+            matched: k,
+            agreed: k,
+            max_displacement: 0,
+        }
+    }
+
+    #[test]
+    fn perfect_answers_keep_recall_at_one() {
+        let _g = serial();
+        clear_audit();
+        crate::set_enabled(true);
+        for _ in 0..10 {
+            assert!(!record_audit(&perfect(20)));
+        }
+        let s = audit_snapshot(60);
+        assert_eq!(s.audited, 10);
+        assert_eq!(s.mismatched, 0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.agreement, 1.0);
+        assert_eq!(s.window_recall, 1.0);
+        assert_eq!(s.window_displacement_p99, 0);
+        assert!(!s.degraded);
+        clear_audit();
+    }
+
+    #[test]
+    fn mismatches_move_recall_and_displacement() {
+        let _g = serial();
+        clear_audit();
+        crate::set_enabled(true);
+        record_audit(&perfect(10));
+        let miss = AuditObservation {
+            k: 10,
+            matched: 8,
+            agreed: 5,
+            max_displacement: 7,
+        };
+        assert!(record_audit(&miss));
+        let s = audit_snapshot(60);
+        assert_eq!(s.audited, 2);
+        assert_eq!(s.mismatched, 1);
+        assert!((s.recall - 18.0 / 20.0).abs() < 1e-12);
+        assert!((s.agreement - 15.0 / 20.0).abs() < 1e-12);
+        assert!(
+            s.window_displacement_p99 >= 6,
+            "{}",
+            s.window_displacement_p99
+        );
+        clear_audit();
+    }
+
+    #[test]
+    fn degradation_latch_trips_and_recovers() {
+        let _g = serial();
+        clear_audit();
+        crate::set_enabled(true);
+        set_audit_floor(Some(0.9));
+        // Below MIN_ALERT_SAMPLES nothing trips, even at recall 0.
+        for _ in 0..MIN_ALERT_SAMPLES - 1 {
+            record_audit(&AuditObservation {
+                k: 10,
+                matched: 0,
+                agreed: 0,
+                max_displacement: 10,
+            });
+        }
+        assert!(!audit_degraded());
+        record_audit(&AuditObservation {
+            k: 10,
+            matched: 0,
+            agreed: 0,
+            max_displacement: 10,
+        });
+        assert!(audit_degraded(), "floor 0.9, windowed recall 0: must trip");
+        let tripped = audit_snapshot(60);
+        assert_eq!(tripped.degraded_events, 1);
+        assert!(tripped.burn >= 1);
+        // Healthy traffic pulls windowed recall back over the floor.
+        for _ in 0..200 {
+            record_audit(&perfect(10));
+        }
+        assert!(!audit_degraded(), "recovered recall must clear the latch");
+        let s = audit_snapshot(60);
+        assert_eq!(s.degraded_events, 1, "recovery is not a new trip");
+        clear_audit();
+    }
+
+    #[test]
+    fn no_floor_means_no_alerting() {
+        let _g = serial();
+        clear_audit();
+        crate::set_enabled(true);
+        assert_eq!(audit_floor(), None);
+        for _ in 0..20 {
+            record_audit(&AuditObservation {
+                k: 5,
+                matched: 0,
+                agreed: 0,
+                max_displacement: 5,
+            });
+        }
+        assert!(!audit_degraded());
+        assert_eq!(audit_snapshot(60).burn, 0);
+        clear_audit();
+    }
+
+    #[test]
+    fn queue_accounting_counts_each_fate() {
+        let _g = serial();
+        clear_audit();
+        crate::set_enabled(true);
+        note_audit_sampled();
+        note_audit_sampled();
+        note_audit_shed();
+        note_audit_stale();
+        let s = audit_snapshot(10);
+        assert_eq!(s.sampled, 2);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.stale, 1);
+        assert_eq!(s.audited, 0);
+        assert_eq!(s.recall, 1.0, "no audited samples is not a failure");
+        clear_audit();
+    }
+
+    #[test]
+    fn snapshot_serialises_roundtrip() {
+        let _g = serial();
+        clear_audit();
+        crate::set_enabled(true);
+        set_audit_floor(Some(0.95));
+        record_audit(&perfect(20));
+        let snap = audit_snapshot(60);
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: AuditSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+        clear_audit();
+    }
+}

@@ -1,0 +1,172 @@
+//! Distribution-drift monitors: PSI divergence against startup references.
+//!
+//! The serving layer captures *reference* distributions at startup — the
+//! served score distribution and candidate-set sizes, as raw
+//! [`HistogramBuckets`] — and each audit window compares the live windowed
+//! buckets against them with a Population-Stability-Index-style statistic:
+//!
+//! ```text
+//! PSI = Σ_i (p_i − q_i) · ln(p_i / q_i)
+//! ```
+//!
+//! over per-bucket proportions `p` (reference) and `q` (live), both floored
+//! at a small ε so empty buckets neither divide by zero nor blow the sum
+//! up. PSI is 0 for identical distributions and grows symmetrically as
+//! mass moves; the conventional reading is below 0.1 stable, 0.1–0.25
+//! drifting, above 0.25 shifted. The stats land in a named-gauge store
+//! (also used for ingest tag-coverage) that the exposition layer renders as
+//! `inbox_audit_drift`.
+
+use crate::histogram::{HistogramBuckets, N_BUCKETS};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Proportion floor for PSI: empty buckets are treated as holding this
+/// fraction of the distribution.
+pub const PSI_EPS: f64 = 1e-6;
+
+/// PSI divergence between a reference and a live distribution sharing the
+/// histogram bucket layout. Returns 0.0 when either side is empty — no
+/// traffic is no evidence of drift.
+pub fn psi(reference: &HistogramBuckets, live: &HistogramBuckets) -> f64 {
+    let (rn, ln) = (reference.count(), live.count());
+    if rn == 0 || ln == 0 {
+        return 0.0;
+    }
+    let mut out = 0.0;
+    for i in 0..N_BUCKETS {
+        let p = (reference.counts[i] as f64 / rn as f64).max(PSI_EPS);
+        let q = (live.counts[i] as f64 / ln as f64).max(PSI_EPS);
+        out += (p - q) * (p / q).ln();
+    }
+    out
+}
+
+struct DriftStore {
+    /// Named reference distributions captured at startup.
+    references: RwLock<HashMap<&'static str, HistogramBuckets>>,
+    /// Named float gauges (PSI values, coverage fractions), f64 bits.
+    stats: RwLock<HashMap<&'static str, u64>>,
+}
+
+fn store() -> &'static DriftStore {
+    static STORE: OnceLock<DriftStore> = OnceLock::new();
+    STORE.get_or_init(|| DriftStore {
+        references: RwLock::new(HashMap::new()),
+        stats: RwLock::new(HashMap::new()),
+    })
+}
+
+/// Stores (replacing) the named reference distribution.
+pub fn set_reference(name: &'static str, buckets: HistogramBuckets) {
+    store().references.write().insert(name, buckets);
+}
+
+/// The named reference distribution, if one was captured.
+pub fn reference(name: &str) -> Option<HistogramBuckets> {
+    store().references.read().get(name).cloned()
+}
+
+/// PSI of `live` against the named reference, if one was captured.
+pub fn psi_vs_reference(name: &str, live: &HistogramBuckets) -> Option<f64> {
+    store().references.read().get(name).map(|r| psi(r, live))
+}
+
+/// Publishes a named drift statistic (PSI value, coverage fraction, …).
+pub fn set_drift_stat(name: &'static str, value: f64) {
+    store().stats.write().insert(name, value.to_bits());
+}
+
+/// The current value of a named drift statistic.
+pub fn drift_stat(name: &str) -> Option<f64> {
+    store().stats.read().get(name).map(|&b| f64::from_bits(b))
+}
+
+/// Every published drift statistic, sorted by name.
+pub fn all_drift_stats() -> Vec<(String, f64)> {
+    let mut out: Vec<(String, f64)> = store()
+        .stats
+        .read()
+        .iter()
+        .map(|(name, &b)| (name.to_string(), f64::from_bits(b)))
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Drops every reference and statistic (part of [`crate::reset`]).
+pub(crate) fn clear_drift() {
+    store().references.write().clear();
+    store().stats.write().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buckets_of(samples: &[u64]) -> HistogramBuckets {
+        let mut b = HistogramBuckets::new();
+        for &v in samples {
+            b.record(v);
+        }
+        b
+    }
+
+    #[test]
+    fn identical_distributions_have_zero_psi() {
+        let a = buckets_of(&[10, 20, 30, 500, 900, 1000]);
+        assert_eq!(psi(&a, &a.clone()), 0.0);
+    }
+
+    #[test]
+    fn psi_is_zero_when_either_side_is_empty() {
+        let a = buckets_of(&[10, 20]);
+        let empty = HistogramBuckets::new();
+        assert_eq!(psi(&a, &empty), 0.0);
+        assert_eq!(psi(&empty, &a), 0.0);
+    }
+
+    #[test]
+    fn shifted_distribution_scores_higher_than_jittered() {
+        let reference = buckets_of(&(0..1000).map(|i| 500 + i % 50).collect::<Vec<_>>());
+        // Same band, slightly different mix.
+        let jittered = buckets_of(&(0..1000).map(|i| 505 + i % 55).collect::<Vec<_>>());
+        // Mass moved an order of magnitude up.
+        let shifted = buckets_of(&(0..1000).map(|i| 5000 + i % 500).collect::<Vec<_>>());
+        let small = psi(&reference, &jittered);
+        let large = psi(&reference, &shifted);
+        assert!(small >= 0.0);
+        assert!(
+            large > small + 0.25,
+            "shifted {large} must dwarf jittered {small}"
+        );
+    }
+
+    #[test]
+    fn psi_is_symmetric_and_non_negative_on_disjoint_mass() {
+        let a = buckets_of(&[1, 2, 3, 4]);
+        let b = buckets_of(&[1000, 2000, 3000]);
+        let ab = psi(&a, &b);
+        let ba = psi(&b, &a);
+        assert!(ab > 0.0);
+        // The (p−q)·ln(p/q) form is symmetric in p and q.
+        assert!((ab - ba).abs() < 1e-9, "{ab} vs {ba}");
+    }
+
+    #[test]
+    fn references_and_stats_roundtrip() {
+        let name = "test.drift.reference";
+        set_reference("test.drift.reference", buckets_of(&[5, 10, 15]));
+        let live = buckets_of(&[5, 10, 15]);
+        assert_eq!(psi_vs_reference(name, &live), Some(0.0));
+        assert!(psi_vs_reference("test.drift.never_set", &live).is_none());
+
+        set_drift_stat("test.drift.stat", 0.125);
+        assert_eq!(drift_stat("test.drift.stat"), Some(0.125));
+        assert!(all_drift_stats()
+            .iter()
+            .any(|(n, v)| n == "test.drift.stat" && *v == 0.125));
+        assert!(drift_stat("test.drift.never_published").is_none());
+    }
+}

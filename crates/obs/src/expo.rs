@@ -169,6 +169,65 @@ pub fn prometheus_text() -> String {
         );
     }
 
+    // -- shadow-oracle audit + drift ----------------------------------------
+    // Queue accounting is cumulative; quality series are windowed gauges so
+    // a scrape answers "how honest is the index right now".
+    out.push_str("# TYPE inbox_audit_sampled_total counter\n");
+    out.push_str("# TYPE inbox_audit_audited_total counter\n");
+    out.push_str("# TYPE inbox_audit_shed_total counter\n");
+    out.push_str("# TYPE inbox_audit_stale_total counter\n");
+    out.push_str("# TYPE inbox_audit_mismatch_total counter\n");
+    out.push_str("# TYPE inbox_audit_recall gauge\n");
+    out.push_str("# TYPE inbox_audit_agreement gauge\n");
+    out.push_str("# TYPE inbox_audit_displacement gauge\n");
+    out.push_str("# TYPE inbox_audit_degraded gauge\n");
+    out.push_str("# TYPE inbox_audit_degraded_total counter\n");
+    out.push_str("# TYPE inbox_audit_burn_total counter\n");
+    out.push_str("# TYPE inbox_audit_floor gauge\n");
+    out.push_str("# TYPE inbox_audit_drift gauge\n");
+    for (i, window) in EXPO_WINDOWS.into_iter().enumerate() {
+        let a = crate::audit::audit_snapshot(window);
+        if i == 0 {
+            let _ = writeln!(out, "inbox_audit_sampled_total {}", a.sampled);
+            let _ = writeln!(out, "inbox_audit_audited_total {}", a.audited);
+            let _ = writeln!(out, "inbox_audit_shed_total {}", a.shed);
+            let _ = writeln!(out, "inbox_audit_stale_total {}", a.stale);
+            let _ = writeln!(out, "inbox_audit_mismatch_total {}", a.mismatched);
+            let _ = writeln!(out, "inbox_audit_degraded {}", u8::from(a.degraded));
+            let _ = writeln!(out, "inbox_audit_degraded_total {}", a.degraded_events);
+            let _ = writeln!(out, "inbox_audit_burn_total {}", a.burn);
+            if let Some(floor) = a.floor {
+                let _ = writeln!(out, "inbox_audit_floor {floor}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "inbox_audit_recall{{window=\"{window}s\"}} {}",
+            a.window_recall
+        );
+        let _ = writeln!(
+            out,
+            "inbox_audit_agreement{{window=\"{window}s\"}} {}",
+            a.window_agreement
+        );
+        for (q, v) in [
+            ("0.5", a.window_displacement_p50),
+            ("0.99", a.window_displacement_p99),
+        ] {
+            let _ = writeln!(
+                out,
+                "inbox_audit_displacement{{window=\"{window}s\",quantile=\"{q}\"}} {v}"
+            );
+        }
+    }
+    for (name, value) in crate::drift::all_drift_stats() {
+        let _ = writeln!(
+            out,
+            "inbox_audit_drift{{stat=\"{}\"}} {value}",
+            escape_label(&name)
+        );
+    }
+
     // -- flight recorder ----------------------------------------------------
     out.push_str("# TYPE inbox_traces_retained gauge\n");
     let _ = writeln!(
@@ -279,6 +338,7 @@ mod tests {
         crate::slo("test.expo.slo", Duration::from_millis(10), 0.99)
             .observe(Duration::from_millis(1));
         drop(crate::alloc_scope("test.expo.alloc"));
+        crate::set_drift_stat("test.expo.drift", 0.25);
 
         let text = prometheus_text();
         let mut samples = 0;
@@ -300,6 +360,13 @@ mod tests {
             "inbox_alloc_bytes_total{scope=\"unscoped\"} ",
             "inbox_alloc_window{window=\"10s\"}",
             "inbox_alloc_bytes_window{window=\"60s\"}",
+            "inbox_audit_sampled_total ",
+            "inbox_audit_degraded ",
+            "inbox_audit_recall{window=\"10s\"}",
+            "inbox_audit_recall{window=\"60s\"}",
+            "inbox_audit_agreement{window=\"60s\"}",
+            "inbox_audit_displacement{window=\"60s\",quantile=\"0.99\"}",
+            "inbox_audit_drift{stat=\"test.expo.drift\"} 0.25",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }

@@ -1,19 +1,34 @@
-//! Fixed-footprint log-scale histogram for latency aggregation.
+//! Fixed-footprint log-linear histogram for latency aggregation.
 //!
-//! Values (nanoseconds) land in 64 power-of-two buckets: bucket `i` covers
-//! `[2^i, 2^(i+1))`, with bucket 0 also absorbing zero. Recording is a single
-//! relaxed atomic increment, so the hot path never allocates or locks, and a
-//! histogram can be shared freely across threads. Quantiles are reconstructed
-//! from the bucket counts with the bucket midpoint as the representative
-//! value, giving at worst a factor-of-√2-ish relative error — plenty for
-//! p50/p95/p99 of span latencies spread across orders of magnitude.
+//! Values (nanoseconds) land in HdrHistogram-style log-linear buckets: each
+//! power-of-two range `[2^e, 2^(e+1))` is split into four equal sub-buckets
+//! (2 sub-bucket bits), so the representative midpoint is never more than
+//! ~12.5% from the recorded value. Values below 4 get their own exact
+//! buckets. Recording is a single relaxed atomic increment, so the hot path
+//! never allocates or locks, and a histogram can be shared freely across
+//! threads. Quantiles are reconstructed from the bucket counts with the
+//! bucket midpoint as the representative value.
+//!
+//! The 2 extra resolution bits exist because serve latencies cluster in the
+//! 0.1–2 ms band: with plain power-of-two buckets the whole band collapsed
+//! into two buckets and p50 == p95 in BENCH_serve.json. Four sub-buckets per
+//! octave keep the footprint small (252 buckets cover all of `u64`) while
+//! making sub-millisecond percentiles distinguishable.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Number of power-of-two buckets; covers the full `u64` nanosecond range.
-pub const N_BUCKETS: usize = 64;
+/// Sub-bucket resolution bits: each power-of-two octave is split into
+/// `2^SUB_BITS` linear sub-buckets.
+const SUB_BITS: usize = 2;
+/// Sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
 
-/// A concurrent log-scale histogram of `u64` samples (typically ns).
+/// Number of log-linear buckets; covers the full `u64` nanosecond range.
+/// Indices `0..SUB` hold the exact values `0..SUB`; above that, octave `e`
+/// (values `[2^e, 2^(e+1))`, `e ≥ 2`) contributes `SUB` sub-buckets.
+pub const N_BUCKETS: usize = SUB * 63;
+
+/// A concurrent log-linear histogram of `u64` samples (typically ns).
 #[derive(Debug)]
 pub struct LogHistogram {
     buckets: [AtomicU64; N_BUCKETS],
@@ -21,20 +36,36 @@ pub struct LogHistogram {
     sum: AtomicU64,
 }
 
-/// Index of the bucket covering `value`: `floor(log2(value))`, with 0 → 0.
+/// Index of the bucket covering `value`. Values below `SUB` map to their own
+/// exact buckets; otherwise the top `SUB_BITS` bits after the leading one
+/// select a linear sub-bucket inside the value's octave.
 #[inline]
 fn bucket_of(value: u64) -> usize {
-    if value == 0 {
-        0
+    if value < SUB as u64 {
+        value as usize
     } else {
-        63 - value.leading_zeros() as usize
+        let exp = 63 - value.leading_zeros() as usize;
+        let sub = ((value >> (exp - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        SUB * (exp - 1) + sub
+    }
+}
+
+/// Lower bound and width of bucket `i`'s range.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i < SUB {
+        (i as u64, 1)
+    } else {
+        let exp = i / SUB + 1;
+        let sub = (i % SUB) as u64;
+        let width = 1u64 << (exp - SUB_BITS);
+        ((1u64 << exp) + sub * width, width)
     }
 }
 
 /// Midpoint of bucket `i`'s range, used to reconstruct quantiles.
 fn bucket_mid(i: usize) -> u64 {
-    let lo = 1u64 << i;
-    lo + (lo >> 1)
+    let (lo, width) = bucket_bounds(i);
+    lo + width / 2
 }
 
 impl Default for LogHistogram {
@@ -46,7 +77,7 @@ impl Default for LogHistogram {
 impl LogHistogram {
     /// An empty histogram.
     pub const fn new() -> Self {
-        // `[AtomicU64::new(0); 64]` needs Copy; build the array via a
+        // `[AtomicU64::new(0); N]` needs Copy; build the array via a
         // const block, which is re-evaluated per element.
         LogHistogram {
             buckets: [const { AtomicU64::new(0) }; N_BUCKETS],
@@ -143,7 +174,7 @@ impl LogHistogram {
 /// bucket by bucket.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramBuckets {
-    /// Per-bucket sample counts (bucket `i` covers `[2^i, 2^(i+1))`).
+    /// Per-bucket sample counts (log-linear layout; see module docs).
     pub counts: [u64; N_BUCKETS],
     count: u64,
     sum: u64,
@@ -249,15 +280,56 @@ mod tests {
     use super::*;
 
     #[test]
-    fn buckets_cover_powers_of_two() {
+    fn buckets_are_log_linear_with_four_sub_buckets() {
+        // Exact buckets below SUB.
         assert_eq!(bucket_of(0), 0);
-        assert_eq!(bucket_of(1), 0);
-        assert_eq!(bucket_of(2), 1);
-        assert_eq!(bucket_of(3), 1);
-        assert_eq!(bucket_of(4), 2);
-        assert_eq!(bucket_of(1023), 9);
-        assert_eq!(bucket_of(1024), 10);
-        assert_eq!(bucket_of(u64::MAX), 63);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 3);
+        // Octave [4, 8): width-1 sub-buckets.
+        assert_eq!(bucket_of(4), 4);
+        assert_eq!(bucket_of(7), 7);
+        // Octave [8, 16): width-2 sub-buckets.
+        assert_eq!(bucket_of(8), 8);
+        assert_eq!(bucket_of(9), 8);
+        assert_eq!(bucket_of(10), 9);
+        assert_eq!(bucket_of(15), 11);
+        // Last sub-bucket of [512, 1024) vs first of [1024, 2048).
+        assert_eq!(bucket_of(1023), bucket_of(896));
+        assert_eq!(bucket_of(1024), bucket_of(1023) + 1);
+        assert_eq!(bucket_of(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_monotone() {
+        // Every bucket's range starts where the previous one ended, and
+        // bucket_of maps both endpoints back to the bucket itself.
+        let mut expected_lo = 0u64;
+        for i in 0..N_BUCKETS {
+            let (lo, width) = bucket_bounds(i);
+            assert_eq!(lo, expected_lo, "bucket {i} lower bound");
+            assert_eq!(bucket_of(lo), i, "bucket {i} lower endpoint");
+            let hi = lo.saturating_add(width - 1);
+            assert_eq!(bucket_of(hi), i, "bucket {i} upper endpoint");
+            expected_lo = match lo.checked_add(width) {
+                Some(next) => next,
+                None => {
+                    assert_eq!(i, N_BUCKETS - 1, "only the last bucket may cap u64");
+                    break;
+                }
+            };
+        }
+    }
+
+    #[test]
+    fn midpoint_error_is_within_an_eighth() {
+        // The sub-bucket width is at most lo/4, so the midpoint is never
+        // more than value/8 away from any value in the bucket.
+        for v in [1u64, 5, 13, 100, 1023, 4096, 600_000, 786_432, 1 << 40] {
+            let mid = bucket_mid(bucket_of(v));
+            let err = mid.abs_diff(v);
+            assert!(err * 8 <= v.max(8), "value {v} mid {mid} err {err}");
+        }
     }
 
     #[test]
@@ -268,15 +340,34 @@ mod tests {
         }
         assert_eq!(h.count(), 1000);
         assert_eq!(h.mean(), (1..=1000u64).sum::<u64>() / 1000);
-        // True p50 = 500 lives in bucket [256, 512); midpoint 384.
+        // True p50 = 500 lives in sub-bucket [448, 512); midpoint 480.
         let p50 = h.quantile(0.5);
-        assert!((256..1024).contains(&p50), "p50 {p50}");
-        // True p99 = 990 lives in bucket [512, 1024); midpoint 768.
+        assert!((440..=570).contains(&p50), "p50 {p50}");
+        // True p99 = 990 lives in sub-bucket [896, 1024); midpoint 960.
         let p99 = h.quantile(0.99);
-        assert!((512..2048).contains(&p99), "p99 {p99}");
+        assert!((880..=1120).contains(&p99), "p99 {p99}");
         // Quantiles are monotone in q.
         assert!(h.quantile(0.1) <= h.quantile(0.5));
         assert!(h.quantile(0.5) <= h.quantile(0.99));
+    }
+
+    #[test]
+    fn sub_millisecond_latencies_are_distinguishable() {
+        // The regression fixed here: serve latencies clustered in the
+        // 0.5–1 ms band used to collapse into one power-of-two bucket, so
+        // p50 == p95 == 786432 ns. With sub-buckets they separate.
+        let h = LogHistogram::new();
+        for _ in 0..950 {
+            h.record(600_000); // 0.6 ms bulk
+        }
+        for _ in 0..50 {
+            h.record(950_000); // 0.95 ms tail
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p50 < p99, "p50 {p50} vs p99 {p99} must be distinguishable");
+        assert!(p50.abs_diff(600_000) * 8 <= 600_000, "p50 {p50}");
+        assert!(p99.abs_diff(950_000) * 8 <= 950_000, "p99 {p99}");
     }
 
     #[test]

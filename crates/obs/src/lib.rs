@@ -34,6 +34,11 @@
 //!   per named lock.
 //! - **Profiler** ([`profile`]) — the flight recorder's span trees folded
 //!   into flamegraph-compatible folded-stack text for `GET /profile`.
+//! - **Audit** ([`audit`]) — shadow-oracle ranking-quality series
+//!   (recall@k / agreement@k / rank displacement, cumulative and windowed)
+//!   with a latched degradation alert against a configured recall floor.
+//! - **Drift** ([`drift`]) — PSI-style divergence of live distributions
+//!   against startup reference snapshots, plus named drift gauges.
 //!
 //! Everything is process-global by design: instrumented crates call free
 //! functions and never thread handles through their APIs, so adding or
@@ -42,6 +47,8 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod audit;
+pub mod drift;
 pub mod expo;
 pub mod failpoints;
 pub mod histogram;
@@ -58,6 +65,15 @@ pub use alloc::{
     allocator_installed, assert_alloc_free, count_allocs, reset_alloc_stats, set_alloc_tracking,
     AllocScopeGuard, InstrumentedAlloc, ScopeAllocStats, MAX_ALLOC_SCOPES,
 };
+pub use audit::{
+    audit_degraded, audit_floor, audit_snapshot, note_audit_sampled, note_audit_shed,
+    note_audit_stale, record_audit, set_audit_floor, AuditObservation, AuditSnapshot,
+    ALERT_WINDOW_SECS, MIN_ALERT_SAMPLES,
+};
+pub use drift::{
+    all_drift_stats, drift_stat, psi, psi_vs_reference, reference, set_drift_stat, set_reference,
+    PSI_EPS,
+};
 pub use expo::{prometheus_text, trace_dump, traces_json, TraceDump};
 pub use histogram::{HistogramBuckets, HistogramSnapshot, LogHistogram};
 pub use lock::{ObsMutex, ObsMutexGuard, ObsReadGuard, ObsRwLock, ObsWriteGuard};
@@ -65,8 +81,9 @@ pub use profile::{folded_stacks, folded_text};
 pub use registry::{
     all_counters, all_spans, all_values, all_windowed_counters, all_windowed_spans,
     all_windowed_values, counter, counter_value, counter_window_sum, enabled, rate_counter,
-    record_duration, record_value, reset, set_enabled, span, span_snapshot, time, value_snapshot,
-    windowed_span, windowed_value, Counter, RateCounter, SpanGuard,
+    record_duration, record_value, reset, set_enabled, span, span_snapshot, time, value_buckets,
+    value_snapshot, windowed_span, windowed_value, windowed_value_buckets, Counter, RateCounter,
+    SpanGuard,
 };
 pub use slo::{all_slos, slo, slo_snapshot, Slo, SloSnapshot};
 pub use telemetry::{
@@ -75,8 +92,8 @@ pub use telemetry::{
     SpanSummary, TelemetryEvent, ValueSummary, Verbosity, WindowedSummary,
 };
 pub use trace::{
-    clear_traces, ctx_span, notable_traces, recent_traces, set_slow_threshold, set_trace_sampling,
-    start_trace, with_context, ActiveTrace, CtxSpan, TraceId, TraceOutcome, TraceRecord, TraceSpan,
-    TraceSpanGuard,
+    clear_traces, ctx_span, force_trace, notable_traces, recent_traces, set_slow_threshold,
+    set_trace_sampling, start_trace, with_context, ActiveTrace, CtxSpan, TraceId, TraceOutcome,
+    TraceRecord, TraceSpan, TraceSpanGuard,
 };
 pub use window::{now_sec, WindowedHistogram, WindowedSnapshot};

@@ -343,6 +343,35 @@ pub fn windowed_value(name: &str, window: u64) -> Option<WindowedSnapshot> {
         .map(|h| h.windowed.window(window))
 }
 
+/// Raw merged bucket counts of one value histogram over the last `window`
+/// seconds, if that value ever recorded. The full distribution — not just
+/// summary quantiles — so drift monitors can compare live traffic against a
+/// reference snapshot bucket by bucket (see [`crate::drift::psi`]).
+pub fn windowed_value_buckets(name: &str, window: u64) -> Option<crate::HistogramBuckets> {
+    registry()
+        .values
+        .read()
+        .get(name)
+        .filter(|h| h.hist.count() > 0)
+        .map(|h| h.windowed.merged_at(window::now_sec(), window))
+}
+
+/// Cumulative bucket counts of one value histogram since boot, if that
+/// value ever recorded. Used to capture drift *reference* distributions at
+/// startup.
+pub fn value_buckets(name: &str) -> Option<crate::HistogramBuckets> {
+    registry()
+        .values
+        .read()
+        .get(name)
+        .filter(|h| h.hist.count() > 0)
+        .map(|h| {
+            let mut acc = crate::HistogramBuckets::new();
+            h.hist.accumulate_into(&mut acc);
+            acc
+        })
+}
+
 /// Snapshots of every span that recorded at least once, sorted by name.
 pub fn all_spans() -> Vec<(String, HistogramSnapshot)> {
     let mut out: Vec<(String, HistogramSnapshot)> = registry()
@@ -401,10 +430,10 @@ pub fn all_counters() -> Vec<(String, u64)> {
 
 /// Clears **every** observability namespace: span histograms (cumulative
 /// and windowed), counters, counter rate rings, value histograms, SLO
-/// cells, retained flight-recorder traces, and the failpoint registry's
-/// lifetime hit/fired mirrors. Handles obtained before the reset keep
-/// writing into detached cells, so re-fetch them afterwards; intended for
-/// test isolation and the start of independent runs.
+/// cells, retained flight-recorder traces, audit and drift state, and the
+/// failpoint registry's lifetime hit/fired mirrors. Handles obtained before
+/// the reset keep writing into detached cells, so re-fetch them afterwards;
+/// intended for test isolation and the start of independent runs.
 pub fn reset() {
     registry().spans.write().clear();
     registry().counters.write().clear();
@@ -414,6 +443,8 @@ pub fn reset() {
     crate::trace::clear_traces();
     crate::failpoints::reset_counts();
     crate::alloc::reset_alloc_stats();
+    crate::audit::clear_audit();
+    crate::drift::clear_drift();
 }
 
 #[cfg(test)]

@@ -290,6 +290,26 @@ pub fn start_trace(kind: &'static str) -> Option<ActiveTrace> {
     Some(trace)
 }
 
+/// Starts a trace unconditionally, bypassing 1-in-N sampling (the global
+/// enable flag still applies). For rare, always-notable events — e.g. the
+/// audit worker recording a mismatched request — where losing the record
+/// to request sampling would defeat the point of recording it.
+pub fn force_trace(kind: &'static str) -> Option<ActiveTrace> {
+    if !crate::enabled() {
+        return None;
+    }
+    let trace = ActiveTrace {
+        inner: Arc::new(TraceInner {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            kind,
+            start: Instant::now(),
+            spans: Mutex::new(Vec::with_capacity(8)),
+        }),
+    };
+    trace.open_span(kind, None);
+    Some(trace)
+}
+
 /// Keeps 1-in-`every` requests (1 = trace everything, 0 = trace nothing).
 pub fn set_trace_sampling(every: u64) {
     SAMPLE_EVERY.store(every, Ordering::Relaxed);

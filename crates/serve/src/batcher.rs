@@ -28,6 +28,7 @@ use std::time::{Duration, Instant};
 use inbox_kg::UserId;
 use inbox_obs::{ActiveTrace, ObsMutex};
 
+use crate::audit::Auditor;
 use crate::engine::{Engine, Recommendation};
 use crate::error::ServeError;
 use crate::{ServeConfig, SLO_TARGET};
@@ -73,8 +74,10 @@ pub struct Batcher {
 }
 
 impl Batcher {
-    /// Starts the flush thread over `engine`.
-    pub fn start(engine: Arc<Engine>, config: &ServeConfig) -> Self {
+    /// Starts the flush thread over `engine`. With an `auditor`, every
+    /// answered request is offered to its 1-in-N sampler after the batch's
+    /// answers are computed (and before replies are sent).
+    pub fn start(engine: Arc<Engine>, config: &ServeConfig, auditor: Option<Arc<Auditor>>) -> Self {
         assert!(config.max_batch >= 1, "max_batch must be at least 1");
         assert!(config.queue_cap >= 1, "queue_cap must be at least 1");
         let slo = inbox_obs::slo("serve.recommend", config.slo_objective, SLO_TARGET);
@@ -97,7 +100,14 @@ impl Batcher {
             std::thread::Builder::new()
                 .name("inbox-serve-batcher".into())
                 .spawn(move || {
-                    flush_loop(&shared, &engine, max_batch, batch_wait, &slo);
+                    flush_loop(
+                        &shared,
+                        &engine,
+                        max_batch,
+                        batch_wait,
+                        &slo,
+                        auditor.as_deref(),
+                    );
                 })
                 .expect("spawn batcher thread")
         };
@@ -217,6 +227,7 @@ fn flush_loop(
     max_batch: usize,
     batch_wait: Duration,
     slo: &inbox_obs::Slo,
+    auditor: Option<&Auditor>,
 ) {
     let _close_on_exit = CloseOnExit(shared);
     // Reused across flushes: with capacity for a full batch up front, the
@@ -265,7 +276,7 @@ fn flush_loop(
         if inbox_obs::failpoint!("serve.batcher.flush_panic") {
             panic!("injected failpoint: serve.batcher.flush_panic");
         }
-        flush(engine, &mut batch, slo);
+        flush(engine, &mut batch, slo, auditor);
     }
 }
 
@@ -291,7 +302,12 @@ fn score_one(
 /// Answers one coalesced batch, fanning out over the engine's worker pool
 /// when one is configured and the batch is big enough to split. Drains
 /// `batch` so the caller's buffer (and its capacity) can be reused.
-fn flush(engine: &Engine, batch: &mut Vec<Pending>, slo: &inbox_obs::Slo) {
+fn flush(
+    engine: &Engine,
+    batch: &mut Vec<Pending>,
+    slo: &inbox_obs::Slo,
+    auditor: Option<&Auditor>,
+) {
     if batch.is_empty() {
         return;
     }
@@ -346,6 +362,16 @@ fn flush(engine: &Engine, batch: &mut Vec<Pending>, slo: &inbox_obs::Slo) {
             .map(|p| score_one(engine, p.user, p.k, p.trace.as_ref().map(|(t, _)| t), false))
             .collect(),
     };
+    // Audit sampling: after the answers exist, before replies go out, and
+    // deliberately *outside* the allocation-checked flush scopes — the
+    // 1-in-N winners clone their answer for the background oracle, which is
+    // audit overhead, not serving overhead. `maybe_sample` never blocks
+    // (full audit queues shed).
+    if let Some(auditor) = auditor {
+        for answer in answers.iter().flatten() {
+            auditor.maybe_sample(answer);
+        }
+    }
     // Reply region of the flush scope: latency classification and the
     // rendezvous sends (the channel slot was allocated by the caller).
     let _flush_alloc = inbox_obs::alloc_scope("batcher.flush");

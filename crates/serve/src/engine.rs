@@ -167,6 +167,9 @@ pub struct Engine {
     obs_ingests: inbox_obs::Counter,
     obs_index_requests: inbox_obs::RateCounter,
     obs_index_pruned: inbox_obs::Counter,
+    /// Ingested items carrying no KG concept tags — the audit layer's
+    /// ingest-stream coverage signal (untagged items can never move a box).
+    obs_ingest_untagged: inbox_obs::Counter,
     n_users: usize,
 }
 
@@ -246,6 +249,7 @@ impl Engine {
             obs_ingests: inbox_obs::counter("serve.ingest"),
             obs_index_requests: inbox_obs::rate_counter("serve.index.requests"),
             obs_index_pruned: inbox_obs::counter("serve.index.pruned_partitions"),
+            obs_ingest_untagged: inbox_obs::counter("serve.ingest.untagged"),
             n_users,
         }
     }
@@ -350,6 +354,9 @@ impl Engine {
         };
         self.stats.ingests.fetch_add(1, Ordering::Relaxed);
         self.obs_ingests.incr();
+        if self.kg.concepts_of(item).is_empty() {
+            self.obs_ingest_untagged.incr();
+        }
         Ok(Ingested {
             user,
             item,
@@ -598,5 +605,62 @@ impl Engine {
             fallback,
             version,
         })
+    }
+
+    /// Shadow-oracle re-rank for the online audit worker: the exact
+    /// **FullSort f32** answer for `(user, version)`, computed off the hot
+    /// path with fresh allocations. Every item is scored through
+    /// [`ItemScorer::score_item_prepared_f32`] — the same per-item kernel
+    /// the production refine/re-rank paths use — and ranked with the
+    /// production tie-break (score descending, item id ascending), so a
+    /// healthy serving configuration compares byte-identical against it.
+    ///
+    /// Returns `Ok(None)` when the comparison would be against different
+    /// live state than the answer was served from: the user's history
+    /// version moved past `version`, or the mask grew over one of the
+    /// served items without a version bump (an ingest of an item already
+    /// in the capped history changes the mask only). Such samples are
+    /// *stale*, not mismatched.
+    pub fn audit_rerank(
+        &self,
+        user: UserId,
+        version: u64,
+        k: usize,
+        served: &[(ItemId, f32)],
+    ) -> Result<Option<Vec<(ItemId, f32)>>, ServeError> {
+        if user.index() >= self.n_users {
+            return Err(ServeError::UnknownUser(user));
+        }
+        let (history, mask) = {
+            let live = self.live.read().unwrap();
+            if live.history.version(user) != version {
+                return Ok(None);
+            }
+            (
+                live.history.history(user).to_vec(),
+                live.masks[user.index()].clone(),
+            )
+        };
+        if served.iter().any(|(i, _)| mask.binary_search(i).is_ok()) {
+            return Ok(None);
+        }
+        let mut tape = Tape::new();
+        let b = user_box_from_history(&self.model, &self.config, &mut tape, user, &history);
+        let scores: Vec<f32> = match &b {
+            Some(b) => {
+                let mut scratch = ScoreScratch::default();
+                self.scorer.prepare_box_bounds(b, &mut scratch);
+                (0..self.n_items() as u32)
+                    .map(|i| self.scorer.score_item_prepared_f32(b, &scratch, i))
+                    .collect()
+            }
+            // Cold users are served the popularity ranking; audit it as-is.
+            None => self.popularity.clone(),
+        };
+        let items = top_k_masked(&scores, &mask, k)
+            .into_iter()
+            .map(|i| (i, scores[i.index()]))
+            .collect();
+        Ok(Some(items))
     }
 }

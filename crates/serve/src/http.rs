@@ -10,6 +10,7 @@
 //! | `GET /recommend?user=U&k=K`     | top-K for user `U` (`k` defaults to 10)|
 //! | `POST /ingest?user=U&item=I`    | record a live interaction              |
 //! | `GET /stats`                    | serving counters + histogram snapshot  |
+//! | `GET /audit`                    | shadow-oracle audit + drift snapshot   |
 //! | `GET /metrics`                  | Prometheus text exposition (live)      |
 //! | `GET /traces`                   | flight-recorder dump as JSON           |
 //! | `GET /profile`                  | folded stacks (flamegraph.pl input)    |
@@ -413,8 +414,9 @@ fn respond(
         }
         ("GET", "/stats") => {
             let s = service.stats();
+            let audit = inbox_obs::audit_snapshot(inbox_obs::ALERT_WINDOW_SECS);
             let body = format!(
-                "{{\"requests\":{},\"rebuilds\":{},\"cache_hits\":{},\"evictions\":{},\"fallbacks\":{},\"ingests\":{},\"sheds\":{},\"batches\":{},\"queued\":{},\"cached_boxes\":{},\"batch_size\":{},\"queue_depth\":{}}}",
+                "{{\"requests\":{},\"rebuilds\":{},\"cache_hits\":{},\"evictions\":{},\"fallbacks\":{},\"ingests\":{},\"sheds\":{},\"batches\":{},\"queued\":{},\"cached_boxes\":{},\"batch_size\":{},\"queue_depth\":{},\"audit_backlog\":{},\"audit_sampled\":{},\"audit_audited\":{},\"audit_window_recall\":{},\"audit_degraded\":{}}}",
                 s.requests,
                 s.rebuilds,
                 s.cache_hits,
@@ -427,6 +429,28 @@ fn respond(
                 service.engine().cache_len(),
                 value_stat("serve.batch.size"),
                 value_stat("serve.queue.depth"),
+                service.audit_backlog(),
+                audit.sampled,
+                audit.audited,
+                audit.window_recall,
+                audit.degraded,
+            );
+            write_traced(stream, trace, 200, "OK", JSON, &body);
+            TraceOutcome::Ok
+        }
+        ("GET", "/audit") => {
+            // The serde-rendered audit snapshot, wrapped with the live
+            // queue backlog and the drift gauges the worker publishes.
+            let snap = inbox_obs::audit_snapshot(inbox_obs::ALERT_WINDOW_SECS);
+            let audit = serde_json::to_string(&snap).unwrap_or_else(|_| "null".to_string());
+            let drift: Vec<String> = inbox_obs::all_drift_stats()
+                .into_iter()
+                .map(|(name, v)| format!("{}:{v}", json_string(&name)))
+                .collect();
+            let body = format!(
+                "{{\"audit\":{audit},\"backlog\":{},\"drift\":{{{}}}}}",
+                service.audit_backlog(),
+                drift.join(","),
             );
             write_traced(stream, trace, 200, "OK", JSON, &body);
             TraceOutcome::Ok

@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+mod audit;
 mod batcher;
 mod cache;
 mod engine;
@@ -39,6 +40,7 @@ use std::time::Duration;
 
 use inbox_kg::{ItemId, UserId};
 
+pub use audit::Auditor;
 pub use batcher::Batcher;
 pub use cache::BoxCache;
 pub use engine::{Engine, Ingested, Recommendation, ServeStats};
@@ -48,7 +50,7 @@ pub use inbox_core::Quantization;
 pub use inbox_index::IndexMode;
 
 /// Tuning knobs for the service.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Most requests coalesced into one micro-batch.
     pub max_batch: usize,
@@ -81,6 +83,20 @@ pub struct ServeConfig {
     /// under the testkit's agreement@20 ≥ 0.99 contract. Cold users
     /// (popularity fallback) bypass quantization byte-identically.
     pub quantize: Quantization,
+    /// Shadow-oracle audit sampling: 1-in-this-many answered requests are
+    /// copied to the background audit worker and re-ranked through the
+    /// exact FullSort f32 oracle. `0` disables auditing entirely (no
+    /// worker, no per-answer tick).
+    pub audit_sample: u64,
+    /// Bound on samples awaiting their oracle re-rank; arrivals beyond it
+    /// are shed (counted in `inbox_audit_shed_total`), never queued behind
+    /// an unbounded backlog and never blocking the serving path.
+    pub audit_queue_cap: usize,
+    /// Windowed audit-recall floor for the degradation alerter: when the
+    /// last-minute audited recall@k drops below this, the latched
+    /// `inbox_audit_degraded` gauge trips (and burn counters tick) until a
+    /// window of samples is back at or above it. `None` disables alerting.
+    pub audit_floor: Option<f64>,
 }
 
 /// Required good fraction for the `serve.recommend` SLO.
@@ -98,6 +114,9 @@ impl Default for ServeConfig {
             trace_slow: Duration::from_millis(250),
             index: IndexMode::FullSort,
             quantize: Quantization::None,
+            audit_sample: 32,
+            audit_queue_cap: 256,
+            audit_floor: None,
         }
     }
 }
@@ -107,17 +126,26 @@ impl Default for ServeConfig {
 pub struct Service {
     engine: Arc<Engine>,
     batcher: Batcher,
+    auditor: Option<Arc<Auditor>>,
 }
 
 impl Service {
     /// Starts a service over `engine` with the batching knobs in `config`.
-    /// Registers the `serve.recommend` SLO and arms the flight recorder's
-    /// slow-trace threshold as a side effect.
+    /// Registers the `serve.recommend` SLO, arms the flight recorder's
+    /// slow-trace threshold, and (unless `audit_sample` is 0) captures the
+    /// drift references and starts the shadow-oracle audit worker.
     pub fn start(engine: Engine, config: &ServeConfig) -> Self {
         inbox_obs::set_slow_threshold(config.trace_slow);
+        inbox_obs::set_audit_floor(config.audit_floor);
         let engine = Arc::new(engine);
-        let batcher = Batcher::start(Arc::clone(&engine), config);
-        Self { engine, batcher }
+        let auditor =
+            (config.audit_sample > 0).then(|| Auditor::start(Arc::clone(&engine), config));
+        let batcher = Batcher::start(Arc::clone(&engine), config, auditor.clone());
+        Self {
+            engine,
+            batcher,
+            auditor,
+        }
     }
 
     /// The underlying engine (for stats, oracle comparisons, and direct
@@ -163,9 +191,19 @@ impl Service {
         self.batcher.queued()
     }
 
-    /// Stops the batcher, draining queued requests first. Idempotent; the
-    /// engine stays usable for direct (unbatched) calls afterwards.
+    /// Number of sampled answers waiting for their shadow-oracle re-rank
+    /// (0 when auditing is disabled).
+    pub fn audit_backlog(&self) -> usize {
+        self.auditor.as_ref().map_or(0, |a| a.backlog())
+    }
+
+    /// Stops the batcher (draining queued requests first), then the audit
+    /// worker (draining sampled answers through the oracle). Idempotent;
+    /// the engine stays usable for direct (unbatched) calls afterwards.
     pub fn shutdown(&self) {
         self.batcher.shutdown();
+        if let Some(auditor) = &self.auditor {
+            auditor.shutdown();
+        }
     }
 }

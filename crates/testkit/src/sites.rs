@@ -22,6 +22,15 @@ pub const ALL: &[&str] = &[
     // core::persist::save — write only the first half of the document,
     // simulating a crash mid-write.
     "persist.save.truncate",
+    // serve::audit::worker_loop — panic the audit worker thread before
+    // it processes a dequeued sample; serving must be unaffected.
+    "serve.audit.panic",
+    // serve::audit::offer — report the audit queue as full regardless of
+    // occupancy, forcing the sampler to shed the copy.
+    "serve.audit.queue_full",
+    // serve::audit::worker_loop — stall the audit worker (pure delay)
+    // before each sample is re-ranked; backlog grows, serving does not.
+    "serve.audit.stall",
     // serve::batcher::flush_loop — panic the flush thread right before
     // it answers a drained batch.
     "serve.batcher.flush_panic",

@@ -14,9 +14,9 @@ use std::time::{Duration, Instant};
 use inbox_core::persist::{self, PersistError};
 use inbox_core::trainer::{TrainReport, TrainedInBox};
 use inbox_kg::UserId;
-use inbox_serve::{HttpServer, ServeConfig, ServeError, Service};
+use inbox_serve::{HttpServer, IndexMode, ServeConfig, ServeError, Service};
 use inbox_testkit::harness;
-use inbox_testkit::{FailGuard, Trigger};
+use inbox_testkit::{failpoints, FailGuard, Trigger};
 
 /// The failpoint registry is process-global, and the test harness runs
 /// integration tests on multiple threads — every test serialises through
@@ -212,6 +212,237 @@ fn eviction_flood_never_changes_answers() {
         stats.rebuilds >= 2,
         "every boxed request must rebuild, saw {}",
         stats.rebuilds
+    );
+}
+
+/// Polls `cond` until it holds or ~2s elapses — the audit failpoints fire
+/// on the worker thread, asynchronously to the caller.
+fn wait_for(cond: impl Fn() -> bool, what: &str) {
+    for _ in 0..1000 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+/// A full *audit* queue sheds the sampled copy, never the request: every
+/// answer still arrives bit-identical to the oracle, the shed is counted,
+/// and the degradation gauge stays defined (and clear).
+#[test]
+fn audit_queue_full_sheds_copies_never_answers() {
+    let _serial = serial();
+    inbox_obs::set_enabled(true);
+    inbox_obs::reset();
+    let serve_cfg = ServeConfig {
+        audit_sample: 1,
+        ..ServeConfig::default()
+    };
+    let (_ds, _cfg, engine) = harness::engine(49, &serve_cfg);
+    let service = Service::start(engine, &serve_cfg);
+    {
+        let _fp = FailGuard::new("serve.audit.queue_full", Trigger::Always);
+        for u in 0..5 {
+            let rec = service
+                .recommend(UserId(u), 5)
+                .expect("shedding audit copies must never shed requests");
+            let expected = service.engine().oracle(UserId(u), 5).unwrap();
+            assert_eq!(
+                rec.items, expected.items,
+                "audit shed must not change answers"
+            );
+        }
+    }
+    service.shutdown();
+    let snap = inbox_obs::audit_snapshot(inbox_obs::ALERT_WINDOW_SECS);
+    assert_eq!(snap.sampled, 5, "1-in-1 sampling must tally every answer");
+    assert_eq!(snap.shed, 5, "every sampled copy must be counted as shed");
+    assert_eq!(snap.audited, 0, "shed copies must never reach the oracle");
+    assert!(
+        !snap.degraded,
+        "shedding must not trip the degradation latch"
+    );
+    assert!(
+        inbox_obs::prometheus_text().contains("inbox_audit_degraded 0"),
+        "the degradation gauge must stay defined while shedding"
+    );
+}
+
+/// A stalled audit worker backs the *audit* queue up; `/recommend` must
+/// not block behind it, and the drained backlog still audits clean.
+#[test]
+fn audit_stall_backlogs_without_blocking_serving() {
+    let _serial = serial();
+    inbox_obs::set_enabled(true);
+    inbox_obs::reset();
+    let serve_cfg = ServeConfig {
+        audit_sample: 1,
+        ..ServeConfig::default()
+    };
+    let (_ds, _cfg, engine) = harness::engine(50, &serve_cfg);
+    let service = Service::start(engine, &serve_cfg);
+    let stall = Duration::from_millis(750);
+    let _fp = FailGuard::new("serve.audit.stall", Trigger::DelayOnce(stall));
+    let t0 = Instant::now();
+    for i in 0..8u32 {
+        service
+            .recommend(UserId(i % 4), 5)
+            .expect("a stalled auditor must not block serving");
+    }
+    assert!(
+        t0.elapsed() < stall,
+        "requests must complete while the audit worker sleeps"
+    );
+    // Shutdown drains the backlog through the oracle — exact serving must
+    // audit perfectly clean even for samples that sat behind the stall.
+    service.shutdown();
+    let snap = inbox_obs::audit_snapshot(inbox_obs::ALERT_WINDOW_SECS);
+    assert_eq!(snap.sampled, 8);
+    assert_eq!(
+        snap.audited + snap.stale + snap.shed,
+        snap.sampled,
+        "the drain must account for every sampled answer"
+    );
+    assert!(
+        snap.audited >= 1,
+        "the stalled backlog must still be audited"
+    );
+    assert!(snap.recall == 1.0, "exact serving must audit clean");
+}
+
+/// A panicking audit worker dies alone: serving continues bit-exact, the
+/// backlog just stops draining, and shutdown joins the dead thread
+/// without hanging.
+#[test]
+fn audit_panic_kills_worker_not_serving() {
+    let _serial = serial();
+    inbox_obs::set_enabled(true);
+    inbox_obs::reset();
+    let serve_cfg = ServeConfig {
+        audit_sample: 1,
+        ..ServeConfig::default()
+    };
+    let (_ds, _cfg, engine) = harness::engine(52, &serve_cfg);
+    let service = Service::start(engine, &serve_cfg);
+    let _fp = FailGuard::new("serve.audit.panic", Trigger::Nth(1));
+    service.recommend(UserId(0), 5).unwrap();
+    wait_for(
+        || failpoints::fired("serve.audit.panic") >= 1,
+        "the injected audit-worker panic",
+    );
+    for u in 1..5 {
+        let rec = service
+            .recommend(UserId(u), 5)
+            .expect("a dead audit worker must not affect serving");
+        let expected = service.engine().oracle(UserId(u), 5).unwrap();
+        assert_eq!(
+            rec.items, expected.items,
+            "post-panic answers must stay exact"
+        );
+    }
+    assert!(
+        service.audit_backlog() >= 1,
+        "samples must pile up behind the dead worker"
+    );
+    let t0 = Instant::now();
+    service.shutdown();
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "shutdown must join the dead worker without hanging"
+    );
+    let snap = inbox_obs::audit_snapshot(inbox_obs::ALERT_WINDOW_SECS);
+    assert!(!snap.degraded, "a dead worker must not trip the latch");
+    assert!(
+        inbox_obs::prometheus_text().contains("inbox_audit_degraded 0"),
+        "the degradation gauge must stay defined after the worker dies"
+    );
+}
+
+/// Forced degradation end to end: serving through an IVF index that
+/// probes a single partition of adversarially clustered geometry misses
+/// most of the exact top-k, so the windowed audit recall falls under the
+/// floor and the latch trips — and rolling back to exact serving floods
+/// the window with clean audits until the latch clears again.
+#[test]
+fn forced_degradation_trips_and_recovers() {
+    let _serial = serial();
+    inbox_obs::set_enabled(true);
+    inbox_obs::reset();
+    let floor = 0.9;
+    // Two tight blobs split across 12 partitions: the exact top-20 lives
+    // in one blob but spans several partitions, and nprobe=1 sees one.
+    let bad_cfg = ServeConfig {
+        audit_sample: 1,
+        audit_floor: Some(floor),
+        index: IndexMode::Ivf {
+            nlist: 12,
+            nprobe: 1,
+        },
+        ..ServeConfig::default()
+    };
+    let (ds, mut model, cfg) = harness::fixture(51);
+    harness::cluster_item_points(&mut model, 2, 0.05, 51);
+    let engine = inbox_serve::Engine::new(model, cfg, ds.kg.clone(), &ds.train, &bad_cfg);
+    assert!(
+        engine.index_active().is_some(),
+        "the IVF index must build for this fixture"
+    );
+    let n_users = ds.train.n_users() as u32;
+    let bad = Service::start(engine, &bad_cfg);
+    for u in 0..n_users {
+        bad.recommend(UserId(u), 20).unwrap();
+    }
+    bad.shutdown(); // drains every sampled answer through the oracle
+    let tripped = inbox_obs::audit_snapshot(inbox_obs::ALERT_WINDOW_SECS);
+    assert!(
+        tripped.audited >= inbox_obs::MIN_ALERT_SAMPLES,
+        "the alert needs a populated window, audited {}",
+        tripped.audited
+    );
+    assert!(
+        tripped.window_recall < floor,
+        "single-probe serving over split clusters must miss exact top-k \
+         items, window recall {}",
+        tripped.window_recall
+    );
+    assert!(tripped.degraded, "the degradation latch must trip");
+    assert!(tripped.degraded_events >= 1, "the trip must be counted");
+    assert!(tripped.burn >= 1, "burn must accumulate while degraded");
+    assert!(
+        inbox_obs::prometheus_text().contains("inbox_audit_degraded 1"),
+        "/metrics must expose the tripped latch"
+    );
+
+    // Roll back to exact serving. The monitor is process-global: clean
+    // audits flow into the same window until recall climbs over the floor.
+    let good_cfg = ServeConfig {
+        audit_sample: 1,
+        audit_floor: Some(floor),
+        ..ServeConfig::default()
+    };
+    let (_ds2, _cfg2, engine) = harness::engine(51, &good_cfg);
+    let good = Service::start(engine, &good_cfg);
+    for round in 0..12u32 {
+        for u in 0..n_users {
+            good.recommend(UserId((u + round) % n_users), 20).unwrap();
+        }
+    }
+    good.shutdown();
+    let recovered = inbox_obs::audit_snapshot(inbox_obs::ALERT_WINDOW_SECS);
+    assert!(
+        recovered.window_recall >= floor,
+        "clean audits must pull the window back over the floor, recall {}",
+        recovered.window_recall
+    );
+    assert!(!recovered.degraded, "recovery must clear the latch");
+    assert_eq!(
+        recovered.degraded_events, 1,
+        "the clear must not re-count the original trip"
+    );
+    assert!(
+        inbox_obs::prometheus_text().contains("inbox_audit_degraded 0"),
+        "/metrics must expose the cleared latch"
     );
 }
 

@@ -72,7 +72,12 @@ fn every_registered_site_is_exercised_and_listed() {
     }
 
     // --- serve sites ------------------------------------------------------
-    let serve_cfg = ServeConfig::default();
+    // Audit every answer (1-in-1 sampling) so the audit-worker sites are
+    // reachable deterministically from ordinary recommend traffic.
+    let serve_cfg = ServeConfig {
+        audit_sample: 1,
+        ..ServeConfig::default()
+    };
     let (_ds, _cfg, engine) = harness::engine(72, &serve_cfg);
     {
         let _fp = FailGuard::new("serve.cache.evict", Trigger::Always);
@@ -88,6 +93,35 @@ fn every_registered_site_is_exercised_and_listed() {
             "serve.batcher.flush_stall",
             Trigger::DelayOnce(Duration::from_millis(1)),
         );
+        service.recommend(UserId(0), 5).unwrap();
+    }
+    // --- audit worker sites -----------------------------------------------
+    // The sampler sheds synchronously on the flush thread, so the guard
+    // scope suffices; the worker-side sites fire asynchronously and are
+    // awaited via their fired counters.
+    {
+        let _fp = FailGuard::new("serve.audit.queue_full", Trigger::Always);
+        service.recommend(UserId(1), 5).unwrap();
+    }
+    {
+        let _fp = FailGuard::new(
+            "serve.audit.stall",
+            Trigger::DelayOnce(Duration::from_millis(1)),
+        );
+        service.recommend(UserId(2), 5).unwrap();
+        wait_for(
+            || failpoints::fired("serve.audit.stall") >= 1,
+            "audit stall",
+        );
+    }
+    {
+        let _fp = FailGuard::new("serve.audit.panic", Trigger::Nth(1));
+        service.recommend(UserId(3), 5).unwrap();
+        wait_for(
+            || failpoints::fired("serve.audit.panic") >= 1,
+            "audit panic",
+        );
+        // The audit worker died; serving must be unaffected.
         service.recommend(UserId(0), 5).unwrap();
     }
     let http = HttpServer::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
@@ -153,6 +187,18 @@ fn every_registered_site_is_exercised_and_listed() {
             .collect::<BTreeSet<_>>(),
         "failpoint!(…) call sites in core+serve+index sources must match sites::ALL exactly"
     );
+}
+
+/// Polls `cond` until it holds or ~1s elapses (asynchronous failpoints
+/// fire on the audit worker thread, not the caller's).
+fn wait_for(cond: impl Fn() -> bool, what: &str) {
+    for _ in 0..500 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!("timed out waiting for {what}");
 }
 
 /// Collects every `failpoint!("name")` occurrence under `dir` (recursive).
